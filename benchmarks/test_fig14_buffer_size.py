@@ -1,0 +1,96 @@
+"""Experiment 3 / Figure 14: effect of the buffer size.
+
+Sweeps the LRU buffer from 1 % to 10 % of the database (Table 3's
+range) on UCR with both query sets.
+
+Paper shapes asserted:
+* SeqScan's cost is flat across buffer sizes (it scans sequentially
+  with no reuse);
+* the buffer-based algorithms improve (weakly) with more buffer;
+* the deferred ranked-union engines already perform well at the
+  smallest buffer — the paper's "most desirable characteristic in the
+  large database and multi-user environment".
+"""
+
+from benchmarks.conftest import K_DEFAULT, LEN_Q, NUM_QUERIES, record
+from repro.bench import format_series_table
+from repro.bench.harness import DEFERRED_LINEUP
+
+BUFFER_RANGE = (0.01, 0.025, 0.05, 0.10)
+
+
+def run_sweep(harness, queries):
+    rows = {}
+    for fraction in BUFFER_RANGE:
+        rows[f"{fraction:.1%}"] = harness.run_lineup(
+            DEFERRED_LINEUP,
+            queries,
+            k=K_DEFAULT,
+            buffer_fraction=fraction,
+        )
+    harness.db.resize_buffer(0.05)  # restore the default for later tests
+    return rows
+
+
+def test_fig14a_buffer_size_regular(benchmark, ucr_harness):
+    queries = ucr_harness.regular_queries(length=LEN_Q, count=NUM_QUERIES)
+    rows = benchmark.pedantic(
+        lambda: run_sweep(ucr_harness, queries), rounds=1, iterations=1
+    )
+    record(
+        "fig14_buffer_size",
+        format_series_table(
+            "Fig 14(a) — UCR-REGULAR: wall clock time (modeled, s) by "
+            "buffer size",
+            "buffer",
+            rows,
+            "modeled_time_s",
+        )
+        + "\n\n"
+        + format_series_table(
+            "Fig 14(a') — UCR-REGULAR: page accesses by buffer size",
+            "buffer",
+            rows,
+            "page_accesses",
+        ),
+    )
+    _assert_shapes(rows)
+
+
+def test_fig14b_buffer_size_dense(benchmark, ucr_harness):
+    queries = ucr_harness.dense_queries(length=LEN_Q, count=NUM_QUERIES)
+    rows = benchmark.pedantic(
+        lambda: run_sweep(ucr_harness, queries), rounds=1, iterations=1
+    )
+    record(
+        "fig14_buffer_size",
+        format_series_table(
+            "Fig 14(b) — UCR-DENSE: wall clock time (modeled, s) by "
+            "buffer size",
+            "buffer",
+            rows,
+            "modeled_time_s",
+        ),
+    )
+    _assert_shapes(rows)
+
+
+def _assert_shapes(rows):
+    fractions = list(rows)
+    # SeqScan flat: identical page counts at every buffer size.
+    seq_pages = [rows[f]["SeqScan"].page_accesses for f in fractions]
+    assert max(seq_pages) - min(seq_pages) <= 1
+    # Buffer-based engines: the largest buffer needs no more pages than
+    # the smallest (weak monotonicity, as in the paper's "slightly
+    # decreases").
+    for label in ("HLMJ(D)", "RU(D)", "RU-COST(D)"):
+        assert (
+            rows[fractions[-1]][label].page_accesses
+            <= rows[fractions[0]][label].page_accesses * 1.05
+        ), label
+    # RU-COST(D) already beats HLMJ(D) at the smallest buffer.
+    small = fractions[0]
+    assert (
+        rows[small]["RU-COST(D)"].candidates
+        <= rows[small]["HLMJ(D)"].candidates
+    )

@@ -1,0 +1,88 @@
+"""Experiment 4 / Figure 15: effect of the window size.
+
+Sweeps ``omega`` over the (scaled) Table 3 range {32, 64, 128} -> here
+{16, 32, 64}, building one index per window size on the same UCR data.
+
+Paper shapes asserted (the *window size effect* of [16, 17]):
+* SeqScan is flat in all three measures — it ignores the index;
+* for the index engines, larger windows yield (weakly) fewer
+  candidates;
+* RU-COST(D) keeps the fewest candidates at every window size.
+"""
+
+from benchmarks.conftest import (
+    BENCH_SIZES,
+    FEATURES,
+    K_DEFAULT,
+    LEN_Q,
+    NUM_QUERIES,
+    record,
+)
+from repro.bench import Harness, format_series_table
+from repro.bench.harness import DEFERRED_LINEUP
+
+OMEGA_RANGE = (16, 32, 64)
+
+
+def run_sweep():
+    rows = {}
+    queries = None
+    for omega in OMEGA_RANGE:
+        harness = Harness(
+            "UCR",
+            size=BENCH_SIZES["UCR"] // 2,  # one index per omega: keep builds snappy
+            omega=omega,
+            features=FEATURES,
+            seed=0,
+        )
+        if queries is None:
+            # One shared query set across all window sizes — otherwise
+            # the density screening (which depends on omega) would
+            # change the workload between sweep points and confound the
+            # window size effect.
+            queries = harness.regular_queries(length=LEN_Q, count=NUM_QUERIES)
+        rows[omega] = harness.run_lineup(DEFERRED_LINEUP, queries, k=K_DEFAULT)
+    return rows
+
+
+def test_fig15_window_size(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    blocks = [
+        format_series_table(
+            "Fig 15(a) — candidates by window size (UCR-REGULAR)",
+            "omega",
+            rows,
+            "candidates",
+        ),
+        format_series_table(
+            "Fig 15(b) — page accesses by window size",
+            "omega",
+            rows,
+            "page_accesses",
+        ),
+        format_series_table(
+            "Fig 15(c) — wall clock time (modeled, s) by window size",
+            "omega",
+            rows,
+            "modeled_time_s",
+        ),
+    ]
+    record("fig15_window_size", "\n\n".join(blocks))
+
+    omegas = list(rows)
+    # SeqScan flat regardless of omega.
+    seq_candidates = [rows[o]["SeqScan"].candidates for o in omegas]
+    assert max(seq_candidates) == min(seq_candidates)
+    # Window size effect: the largest window needs no more candidates
+    # than the smallest for every index engine (small slack for query
+    # sets whose hardest query sits near a window boundary).
+    for label in ("HLMJ(D)", "RU(D)", "RU-COST(D)"):
+        assert rows[omegas[-1]][label].candidates <= 1.25 * (
+            rows[omegas[0]][label].candidates
+        ), label
+    # RU-COST(D) leads everywhere (few-percent slack: at the largest
+    # window both engines converge on the same small candidate set).
+    for omega in omegas:
+        assert rows[omega]["RU-COST(D)"].candidates <= 1.1 * (
+            rows[omega]["HLMJ(D)"].candidates
+        )

@@ -1,0 +1,71 @@
+"""Experiment 4 / Figure 16: effect of the query length.
+
+Sweeps ``Len(Q)`` over the (scaled) Table 3 range {256, 384, 512} ->
+here {128, 192, 256} on the shared UCR index.
+
+Paper shapes asserted:
+* SeqScan's candidates are (nearly) unchanged by query length, but its
+  wall time grows with it (longer DTW computations);
+* for the index engines, longer queries produce (weakly) more
+  candidates — the relative window size shrinks (window size effect);
+* RU-COST(D) stays ahead of HLMJ(D) at every length.
+"""
+
+from benchmarks.conftest import K_DEFAULT, NUM_QUERIES, record
+from repro.bench import format_series_table
+from repro.bench.harness import DEFERRED_LINEUP
+
+LENGTH_RANGE = (128, 192, 256)
+
+
+def run_sweep(harness):
+    rows = {}
+    for length in LENGTH_RANGE:
+        queries = harness.regular_queries(length=length, count=NUM_QUERIES)
+        rows[length] = harness.run_lineup(
+            DEFERRED_LINEUP, queries, k=K_DEFAULT
+        )
+    return rows
+
+
+def test_fig16_query_length(benchmark, ucr_harness):
+    rows = benchmark.pedantic(
+        lambda: run_sweep(ucr_harness), rounds=1, iterations=1
+    )
+    blocks = [
+        format_series_table(
+            "Fig 16(a) — candidates by query length (UCR-REGULAR)",
+            "Len(Q)",
+            rows,
+            "candidates",
+        ),
+        format_series_table(
+            "Fig 16(b) — page accesses by query length",
+            "Len(Q)",
+            rows,
+            "page_accesses",
+        ),
+        format_series_table(
+            "Fig 16(c) — wall clock time (modeled, s) by query length",
+            "Len(Q)",
+            rows,
+            "modeled_time_s",
+        ),
+    ]
+    record("fig16_query_length", "\n\n".join(blocks))
+
+    lengths = list(rows)
+    # SeqScan: candidate count changes only with the offset count
+    # (slightly), but modeled time grows with Len(Q).
+    assert (
+        rows[lengths[-1]]["SeqScan"].modeled_time_s
+        > rows[lengths[0]]["SeqScan"].modeled_time_s
+    )
+    spread = [rows[L]["SeqScan"].candidates for L in lengths]
+    assert max(spread) / min(spread) < 1.01
+    # RU-COST(D) ahead of HLMJ(D) everywhere.
+    for length in lengths:
+        assert (
+            rows[length]["RU-COST(D)"].candidates
+            <= rows[length]["HLMJ(D)"].candidates
+        )

@@ -1,0 +1,65 @@
+"""Experiment 5 / Figure 17: WALK, STOCK, and MUSIC by ``k``.
+
+The paper reports that the trends on the remaining three datasets
+mirror UCR-REGULAR (Fig. 11c): RU-COST(D) best, then RU(D), then
+HLMJ(D), with SeqScan orders of magnitude behind at scale.
+
+Asserted per dataset and per ``k``: RU-COST(D) needs no more
+candidates than HLMJ(D), and beats SeqScan on modeled wall time at the
+default ``k``.
+"""
+
+import pytest
+
+from benchmarks.conftest import LEN_Q, NUM_QUERIES, record
+from repro.bench import format_series_table, format_speedups
+from repro.bench.harness import DEFERRED_LINEUP
+
+K_RANGE_D = (5, 25, 50)
+PANELS = {"WALK": "a", "STOCK": "b", "MUSIC": "c"}
+
+
+def run_sweep(harness):
+    queries = harness.regular_queries(length=LEN_Q, count=NUM_QUERIES)
+    return {
+        k: harness.run_lineup(DEFERRED_LINEUP, queries, k=k)
+        for k in K_RANGE_D
+    }
+
+
+@pytest.mark.parametrize("dataset", ["WALK", "STOCK", "MUSIC"])
+def test_fig17_other_datasets(benchmark, dataset, request):
+    harness = request.getfixturevalue(f"{dataset.lower()}_harness")
+    rows = benchmark.pedantic(
+        lambda: run_sweep(harness), rounds=1, iterations=1
+    )
+    blocks = [
+        format_series_table(
+            f"Fig 17({PANELS[dataset]}) — {dataset}: wall clock time "
+            "(modeled, s) by k",
+            "k",
+            rows,
+            "modeled_time_s",
+        ),
+        format_series_table(
+            f"Fig 17({PANELS[dataset]}') — {dataset}: candidates by k",
+            "k",
+            rows,
+            "candidates",
+        ),
+        format_speedups(
+            rows, "modeled_time_s", "RU-COST(D)", ["SeqScan", "HLMJ(D)"]
+        ),
+    ]
+    record("fig17_other_datasets", "\n\n".join(blocks))
+
+    for k, results in rows.items():
+        assert (
+            results["RU-COST(D)"].candidates
+            <= results["HLMJ(D)"].candidates * 1.05
+        ), f"{dataset} k={k}"
+    defaults = rows[25]
+    assert (
+        defaults["RU-COST(D)"].modeled_time_s
+        < defaults["SeqScan"].modeled_time_s
+    ), dataset

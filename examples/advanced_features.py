@@ -1,0 +1,85 @@
+"""Tour of the library's extensions beyond the paper's core algorithm.
+
+* streaming top-k through the extended iterator model,
+* range (epsilon) matching,
+* multi-scale (variable-length) matching,
+* GeneralMatch data strides,
+* save/load persistence.
+
+Run:  python examples/advanced_features.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro import SubsequenceDatabase
+from repro.core.scaling import resample
+
+
+def main() -> None:
+    rng = np.random.default_rng(2)
+    base_motif = rng.standard_normal(96).cumsum()
+    data = np.concatenate(
+        [
+            rng.standard_normal(8000).cumsum(),
+            base_motif,
+            rng.standard_normal(6000).cumsum(),
+            resample(base_motif, 192),  # a time-stretched 2x copy
+            rng.standard_normal(4000).cumsum(),
+        ]
+    )
+
+    db = SubsequenceDatabase(omega=32, features=4)
+    db.insert(0, data)
+    db.build()
+
+    # --- streaming: results arrive as their rank is settled ----------
+    print("streaming top-5 (first results arrive early):")
+    for rank, match in enumerate(db.iter_matches(base_motif, k=5), 1):
+        print(
+            f"  #{rank}: [{match.start}:{match.end}) "
+            f"d={match.distance:.3f}"
+        )
+
+    # --- range matching: everything within epsilon --------------------
+    hits = db.range_search(base_motif, epsilon=2.0)
+    print(f"\nrange search (eps=2.0): {len(hits.matches)} subsequences")
+
+    # --- multi-scale: find the stretched copy too ---------------------
+    result = db.search_scaled(base_motif, k=4, scales=(1.0, 2.0))
+    print("\nmulti-scale search (normalized distances):")
+    for match in result.matches:
+        print(
+            f"  len={match.length:>3d} [{match.start}:{match.end}) "
+            f"d/step={match.distance:.4f}"
+        )
+
+    # --- GeneralMatch stride: denser index, tighter classes -----------
+    fine = SubsequenceDatabase(omega=32, features=4, data_stride=8)
+    fine.insert(0, data)
+    fine.build()
+    coarse_stats = db.search(base_motif, k=5).stats
+    fine_stats = fine.search(base_motif, k=5).stats
+    print(
+        f"\nGeneralMatch: stride 32 (DualMatch) -> "
+        f"{db.index.num_indexed_windows} windows, "
+        f"{coarse_stats.candidates} candidates; stride 8 -> "
+        f"{fine.index.num_indexed_windows} windows, "
+        f"{fine_stats.candidates} candidates"
+    )
+
+    # --- persistence: page-exact round trip ----------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        db.save(tmp)
+        loaded = SubsequenceDatabase.load(tmp)
+        again = loaded.search(base_motif, k=1)
+        print(
+            f"\nreloaded database finds the motif at "
+            f"{again.matches[0].start} "
+            f"(distance {again.matches[0].distance:.6f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Pipeline inspection: the workload where HLMJ falls over.
+
+PIPE-like data is almost perfectly periodic — every window of the
+carrier signal collapses into a few dense clusters of the index — with
+rare irregular signatures (bends, valves, tee junctions) in between.  A
+query cut around such a signature has *mixed* windows: some map into
+the dense clusters and flood HLMJ's single global priority queue, while
+the discriminative sparse windows starve (Figure 2 of the paper).
+
+This example finds all occurrences of a valve signature and prints how
+much work each engine did — the ranked-union engines are orders of
+magnitude cheaper (Experiment 2 / Figure 13).
+
+Run:  python examples/pipeline_inspection.py
+"""
+
+from repro import SubsequenceDatabase
+from repro.data import load_dataset
+from repro.data.queries import pattern_queries
+
+
+def main() -> None:
+    pipe = load_dataset("PIPE", size=100_000, seed=2)
+    print(
+        f"inspection record: {pipe.size:,} samples; injected signatures:",
+        {family: len(offsets) for family, offsets in pipe.markers.items()},
+    )
+
+    db = SubsequenceDatabase(omega=32, features=4, buffer_fraction=0.05)
+    db.insert(0, pipe.values)
+    db.build()
+
+    family = "TEE"
+    query = pattern_queries(pipe, family, length=192, count=1, seed=4)[0]
+    sites = len(pipe.markers[family])
+    print(
+        f"\nsearching for {family.lower()}-like sites "
+        f"({sites} were injected)..."
+    )
+
+    # Top-k returns overlapping shifts of the same site, so over-fetch
+    # and keep the best match per non-overlapping site.
+    result = db.search(query, k=8 * sites, method="ru-cost", deferred=True)
+    found = []
+    for match in result.matches:  # best first
+        if all(abs(match.start - kept) >= 96 for kept in found):
+            found.append(match.start)
+        if len(found) == sites:
+            break
+    print("  distinct match sites:", sorted(found))
+    print("  true injections at: ", pipe.markers[family])
+
+    print("\nwork per engine for the same query (k=25):")
+    print(f"{'engine':>12s} {'candidates':>12s} {'page accesses':>14s}")
+    for method in ("hlmj", "ru", "ru-cost"):
+        db.reset_cache()
+        stats = db.search(query, k=25, method=method, deferred=True).stats
+        print(
+            f"{method:>12s} {stats.candidates:>12,d} "
+            f"{stats.page_accesses:>14,d}"
+        )
+    print(
+        "\nHLMJ (and even plain RU) retrieve orders of magnitude more"
+        "\ncandidates: their schedules chew through the dense carrier"
+        "\nwindows before the sparse signature windows can raise the"
+        "\nlower bound — RU-COST consumes the sparse queues first."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Find historical price patterns similar to a recent window.
+
+A classic chartist workflow: take the most recent trading window and
+ask "when did the market last move like this?"  DTW absorbs small
+timing differences between the patterns; the ranked-union index makes
+the search touch a small fraction of the history.
+
+The example also contrasts all engines on the same query, printing the
+paper's three metrics for each.
+
+Run:  python examples/stock_pattern_search.py
+"""
+
+from repro import SubsequenceDatabase
+from repro.data import load_dataset
+
+
+def main() -> None:
+    stock = load_dataset("STOCK", size=60_000, seed=3)
+    prices = stock.values
+
+    db = SubsequenceDatabase(omega=32, features=4, buffer_fraction=0.05)
+    db.insert(0, prices)
+    db.build()
+    print(f"indexed {stock.size:,} daily prices")
+
+    # The "recent" pattern: the last 128 observations.
+    query = prices[-128:].copy()
+
+    # Over-fetch, then drop the query's own window and overlapping
+    # shifts of the same episode so five *distinct* periods remain.
+    result = db.search(query, k=60, method="ru-cost", deferred=True)
+    print("\nmost similar distinct historical periods (RU-COST):")
+    kept = []
+    for match in result.matches:  # best first
+        if match.end > stock.size - query.size:  # the query window itself
+            continue
+        if any(abs(match.start - other) < query.size for other in kept):
+            continue
+        kept.append(match.start)
+        print(
+            f"  days [{match.start:>6d}..{match.end:>6d})  "
+            f"DTW distance {match.distance:8.4f}"
+        )
+        if len(kept) == 5:
+            break
+
+    print("\nengine comparison on the same query (k=5):")
+    print(
+        f"{'engine':>12s} {'candidates':>12s} {'page accesses':>14s} "
+        f"{'pops':>10s} {'ms':>9s}"
+    )
+    for method in ("seqscan", "hlmj", "hlmj-wg", "ru", "ru-cost"):
+        db.reset_cache()
+        stats = db.search(
+            query, k=5, method=method, deferred=method != "seqscan"
+        ).stats
+        print(
+            f"{method:>12s} {stats.candidates:>12,d} "
+            f"{stats.page_accesses:>14,d} {stats.heap_pops:>10,d} "
+            f"{stats.wall_time_s * 1000:>9.1f}"
+        )
+    print(
+        "\n(the PSM baseline is omitted here — its n-way join needs its"
+        "\nown sliding-window index and minutes of state enumeration;"
+        "\nsee benchmarks/test_fig18_psm_comparison.py)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+pyproject.toml is the build definition; this file exists so that
+``python setup.py develop`` works on machines without the ``wheel``
+package (pip's isolated builds need network access to fetch it).
+"""
+
+from setuptools import setup
+
+setup()

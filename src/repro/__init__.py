@@ -1,0 +1,49 @@
+"""repro — ranked subsequence matching via ranked union.
+
+A from-scratch reproduction of Han, Lee, Moon, Hwang, Yu,
+*A New Approach for Processing Ranked Subsequence Matching Based on
+Ranked Union* (SIGMOD 2011): exact top-k subsequence search under
+banded dynamic time warping, evaluated as a ranked union over matching
+subsequence equivalence classes with cost-aware density-based
+scheduling (RU-COST), together with the baselines the paper compares
+against (SeqScan, HLMJ, adapted PSM) and every substrate they need
+(paged storage with an LRU buffer pool, an R*-tree, the
+LB_Keogh / LB_PAA lower-bound stack, DualMatch windowing, deferred
+retrieval).
+
+Quickstart::
+
+    import numpy as np
+    from repro import SubsequenceDatabase
+
+    db = SubsequenceDatabase(omega=64, features=4)
+    db.insert(0, np.cumsum(np.random.standard_normal(100_000)))
+    db.build()
+    result = db.search(query, k=25, method="ru-cost", deferred=True)
+"""
+
+from repro.api import SubsequenceDatabase
+from repro.core.distance import dtw_distance, lp_distance
+from repro.core.envelope import Envelope, query_envelope
+from repro.core.metrics import QueryStats
+from repro.core.results import Match
+from repro.engines.base import EngineConfig, SearchResult
+from repro.engines.cost_density import CostDensityConfig
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SubsequenceDatabase",
+    "SearchResult",
+    "EngineConfig",
+    "CostDensityConfig",
+    "Match",
+    "QueryStats",
+    "Envelope",
+    "query_envelope",
+    "dtw_distance",
+    "lp_distance",
+    "ReproError",
+    "__version__",
+]

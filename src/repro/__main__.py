@@ -1,0 +1,102 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands
+-----------
+``demo``
+    Build a small database and run one ranked query with every engine,
+    printing matches and the paper's three cost metrics.
+``inventory``
+    Print the Table 2-style dataset inventory at a chosen scale.
+
+These are convenience smoke tests; the real experiment drivers live in
+``benchmarks/`` (one pytest-benchmark module per figure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _demo(args: argparse.Namespace) -> int:
+    from repro import SubsequenceDatabase
+    from repro.data import load_dataset
+
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    db = SubsequenceDatabase(omega=args.omega, features=4)
+    db.insert(0, dataset.values)
+    db.build()
+    print(f"{dataset.name}: {dataset.size:,} points indexed")
+    print(db.describe())
+
+    rng = np.random.default_rng(args.seed + 1)
+    start = int(rng.integers(0, dataset.size - args.query_length))
+    query = dataset.values[start : start + args.query_length].copy()
+    print(f"\nquery: subsequence [{start}:{start + args.query_length})")
+
+    print(
+        f"\n{'engine':>10s} {'top-1 dist':>12s} {'candidates':>12s} "
+        f"{'pages':>8s} {'ms':>8s}"
+    )
+    for method in ("seqscan", "hlmj", "hlmj-wg", "ru", "ru-cost"):
+        db.reset_cache()
+        result = db.search(
+            query, k=args.k, method=method, deferred=method != "seqscan"
+        )
+        stats = result.stats
+        print(
+            f"{method:>10s} {result.matches[0].distance:>12.4f} "
+            f"{stats.candidates:>12,d} {stats.page_accesses:>8,d} "
+            f"{stats.wall_time_s * 1000:>8.1f}"
+        )
+    return 0
+
+
+def _inventory(args: argparse.Namespace) -> int:
+    from repro.data import DATASET_NAMES, load_dataset
+    from repro.data.datasets import scaled_size
+
+    print(f"{'Data set':>10s} {'Size':>12s} {'Markers':>30s}")
+    for name in DATASET_NAMES:
+        dataset = load_dataset(
+            name, size=scaled_size(name, args.scale), seed=args.seed
+        )
+        info = dataset.describe()
+        print(
+            f"{name:>10s} {info['size']:>12,d} {str(info['markers']):>30s}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ranked subsequence matching via ranked union "
+        "(SIGMOD 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run one query with every engine")
+    demo.add_argument("--dataset", default="WALK", help="dataset name")
+    demo.add_argument("--size", type=int, default=40_000)
+    demo.add_argument("--omega", type=int, default=32)
+    demo.add_argument("--query-length", type=int, default=128)
+    demo.add_argument("--k", type=int, default=5)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_demo)
+
+    inventory = sub.add_parser(
+        "inventory", help="print the Table 2 dataset inventory"
+    )
+    inventory.add_argument("--scale", type=float, default=1.0 / 256.0)
+    inventory.add_argument("--seed", type=int, default=0)
+    inventory.set_defaults(func=_inventory)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,412 @@
+"""Public facade: :class:`SubsequenceDatabase`.
+
+One object wires the whole stack together — paged storage, buffer pool,
+DualMatch R*-tree index, and the five query engines — behind a small
+API::
+
+    from repro import SubsequenceDatabase
+
+    db = SubsequenceDatabase(omega=64, features=4)
+    db.insert(0, values)
+    db.build()
+    result = db.search(query, k=25, method="ru-cost", deferred=True)
+    for match in result.matches:
+        print(match.sid, match.start, match.distance)
+    print(result.stats.candidates, result.stats.page_accesses)
+
+Methods
+-------
+``method`` names accepted by :meth:`SubsequenceDatabase.search`:
+
+========== ===========================================================
+name       engine
+========== ===========================================================
+seqscan    LB_Keogh-filtered sequential scan
+hlmj       global priority queue + MDMWP pruning (Han et al. [12])
+hlmj-wg    hlmj + the window-group distance of [12] (tighter prune)
+psm        progressive index merge + bloom signatures (Xin et al. [22])
+ru         ranked union, default max-delta scheduling (this paper)
+ru-cost    ranked union, cost-aware density scheduling (this paper)
+========== ===========================================================
+
+``psm`` requires ``build(psm=True)``, which additionally builds the
+FRM-style sliding-window index PSM joins over.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.metrics import QueryStats
+from repro.core.results import Match
+from repro.engines.base import Engine, EngineConfig, SearchResult
+from repro.engines.cost_density import CostDensityConfig
+from repro.engines.hlmj import HlmjEngine
+from repro.engines.psm import PsmEngine, build_sliding_index
+from repro.engines.ranked_union import RankedUnionEngine
+from repro.engines.seqscan import SeqScanEngine
+from repro.exceptions import ConfigurationError, IndexNotBuiltError
+from repro.index.builder import DualMatchIndex, build_index
+from repro.storage.buffer import BufferPool
+from repro.storage.page import PAGE_SIZE_DEFAULT
+from repro.storage.pager import Pager
+from repro.storage.sequences import SequenceStore
+
+_METHODS = ("seqscan", "hlmj", "hlmj-wg", "psm", "ru", "ru-cost")
+
+
+class SubsequenceDatabase:
+    """A ranked subsequence matching database.
+
+    Parameters
+    ----------
+    omega:
+        Disjoint/sliding window size (paper default 64).
+    features:
+        PAA dimensionality ``f`` (must divide ``omega``).
+    page_size:
+        Simulated disk page size in bytes (paper: 4096).
+    buffer_fraction:
+        LRU buffer capacity as a fraction of the database's pages,
+        applied when :meth:`build` runs (paper default 5 %).
+    p:
+        Norm order for all distances.
+    data_stride:
+        GeneralMatch data-window stride ``J`` (must divide ``omega``).
+        Defaults to ``omega`` — the paper's DualMatch configuration.
+        Smaller strides index more (overlapping) data windows in
+        exchange for tighter per-class bounds; ``J = 1`` is the FRM
+        end of the spectrum.
+    """
+
+    def __init__(
+        self,
+        omega: int = 64,
+        features: int = 4,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        buffer_fraction: float = 0.05,
+        p: float = 2.0,
+        data_stride: Optional[int] = None,
+    ) -> None:
+        if not 0 < buffer_fraction <= 1:
+            raise ConfigurationError(
+                f"buffer_fraction must be in (0, 1], got {buffer_fraction}"
+            )
+        self.omega = omega
+        self.features = features
+        self.data_stride = omega if data_stride is None else data_stride
+        self.p = p
+        self.buffer_fraction = buffer_fraction
+        self.pager = Pager(page_size=page_size)
+        self.buffer = BufferPool(self.pager, capacity_pages=1)
+        self.store = SequenceStore(self.pager, self.buffer)
+        self.index: Optional[DualMatchIndex] = None
+        self._engines: Dict[str, Engine] = {}
+        self._sliding_index = None
+
+    # ------------------------------------------------------------------
+    # Loading and building
+    # ------------------------------------------------------------------
+
+    def insert(self, sid: int, values: Sequence[float]) -> None:
+        """Add one data sequence.  Must precede :meth:`build`."""
+        if self.index is not None:
+            raise ConfigurationError(
+                "insert() after build() is not supported; create a new "
+                "database and rebuild"
+            )
+        self.store.add_sequence(sid, values)
+
+    def build(self, psm: bool = False) -> None:
+        """Build the DualMatch index (and optionally PSM's sliding index).
+
+        Also sizes the LRU buffer to ``buffer_fraction`` of the final
+        page count and clears it, so searches start from a cold cache.
+        """
+        if self.store.num_sequences == 0:
+            raise ConfigurationError("no sequences inserted before build()")
+        self.index = build_index(
+            self.store,
+            omega=self.omega,
+            features=self.features,
+            p=self.p,
+            data_stride=self.data_stride,
+        )
+        if psm:
+            self._sliding_index = build_sliding_index(
+                self.store, omega=self.omega, features=self.features, p=self.p
+            )
+        self.resize_buffer(self.buffer_fraction)
+        self.reset_cache()
+
+    def resize_buffer(self, fraction: float) -> None:
+        """Re-size the buffer pool to a fraction of all allocated pages."""
+        if not 0 < fraction <= 1:
+            raise ConfigurationError(
+                f"fraction must be in (0, 1], got {fraction}"
+            )
+        self.buffer_fraction = fraction
+        capacity = max(1, int(self.pager.num_pages * fraction))
+        self.buffer.resize(capacity)
+
+    def reset_cache(self) -> None:
+        """Empty the buffer pool and zero the I/O counters (cold start)."""
+        self.buffer.clear()
+        self.buffer.stats.reset()
+        self.pager.stats.reset()
+
+    # ------------------------------------------------------------------
+    # Searching
+    # ------------------------------------------------------------------
+
+    def _engine(self, method: str, cost_config: Optional[CostDensityConfig]):
+        if self.index is None:
+            raise IndexNotBuiltError("call build() before search()")
+        if method not in _METHODS:
+            raise ConfigurationError(
+                f"unknown method {method!r}; expected one of {_METHODS}"
+            )
+        if method == "psm":
+            if self._sliding_index is None:
+                raise IndexNotBuiltError(
+                    "psm requires build(psm=True) for the sliding index"
+                )
+            return PsmEngine(self._sliding_index)
+        if method == "ru-cost" and cost_config is not None:
+            return RankedUnionEngine(
+                self.index, scheduling="cost-aware", cost_config=cost_config
+            )
+        cached = self._engines.get(method)
+        if cached is None:
+            if method == "seqscan":
+                cached = SeqScanEngine(self.index)
+            elif method == "hlmj":
+                cached = HlmjEngine(self.index)
+            elif method == "hlmj-wg":
+                cached = HlmjEngine(self.index, use_window_group=True)
+            elif method == "ru":
+                cached = RankedUnionEngine(self.index, scheduling="max-delta")
+            else:
+                cached = RankedUnionEngine(
+                    self.index, scheduling="cost-aware"
+                )
+            self._engines[method] = cached
+        return cached
+
+    def search(
+        self,
+        query: Sequence[float],
+        k: int = 10,
+        rho: Optional[int] = None,
+        method: str = "ru-cost",
+        deferred: bool = False,
+        cost_config: Optional[CostDensityConfig] = None,
+    ) -> SearchResult:
+        """Find the ``k`` subsequences nearest to ``query`` under DTW.
+
+        Parameters
+        ----------
+        query:
+            Query sequence; must satisfy ``len >= 2 * omega - 1``.
+        k:
+            Number of results.
+        rho:
+            Warping width; defaults to 5 % of the query length (the
+            paper's setting).
+        method:
+            Engine name (see module docstring).
+        deferred:
+            Use the deferred retrieval mechanism (the "(D)" variants).
+        cost_config:
+            RU-COST tuning overrides (``method="ru-cost"`` only).
+        """
+        if rho is None:
+            rho = max(1, int(0.05 * len(query)))
+        engine = self._engine(method, cost_config)
+        config = EngineConfig(k=k, rho=rho, deferred=deferred, p=self.p)
+        return engine.search(query, config)
+
+    def search_scaled(
+        self,
+        query: Sequence[float],
+        k: int = 10,
+        scales: Sequence[float] = (0.5, 1.0, 2.0),
+        rho_fraction: float = 0.05,
+        method: str = "ru-cost",
+        deferred: bool = False,
+    ) -> SearchResult:
+        """Top-k across several query scales (variable-length matching).
+
+        The paper's remedy for matching subsequences of length
+        ``l != Len(Q)``: the query is resampled to each scaled length,
+        one ranked search runs per scale, and results merge under the
+        length-normalised distance of :mod:`repro.core.scaling` (raw
+        DTW grows with length, so unnormalised merging would always
+        favour the shortest scale).  Matches keep their per-scale
+        ``length``; ``Match.distance`` is the *normalised* value.
+
+        Scales whose rounded length violates ``len >= 2*omega - 1`` are
+        skipped; stats are summed over the scales actually run.
+        """
+        from repro.core.scaling import (
+            normalized_distance,
+            resample,
+            scale_lengths,
+        )
+
+        lengths = scale_lengths(len(query), scales, self.omega)
+        merged: List[Match] = []
+        totals = QueryStats()
+        for length in lengths:
+            scaled_query = resample(query, length)
+            rho = max(1, int(rho_fraction * length))
+            result = self.search(
+                scaled_query,
+                k=k,
+                rho=rho,
+                method=method,
+                deferred=deferred,
+            )
+            totals.merge(result.stats)
+            for match in result.matches:
+                merged.append(
+                    Match(
+                        distance=normalized_distance(
+                            match.distance, length, self.p
+                        ),
+                        sid=match.sid,
+                        start=match.start,
+                        length=match.length,
+                    )
+                )
+        merged.sort()
+        return SearchResult(matches=merged[:k], stats=totals)
+
+    def range_search(
+        self,
+        query: Sequence[float],
+        epsilon: float,
+        rho: Optional[int] = None,
+    ) -> SearchResult:
+        """All subsequences within DTW distance ``epsilon`` of ``query``.
+
+        The classical range subsequence matching query of the FRM /
+        DualMatch lineage the paper builds on; exact under the banded
+        DTW model.  Results are sorted best-first.
+        """
+        from repro.engines.range_search import RangeSearchEngine
+
+        if self.index is None:
+            raise IndexNotBuiltError("call build() before range_search()")
+        if rho is None:
+            rho = max(1, int(0.05 * len(query)))
+        engine = RangeSearchEngine(self.index)
+        return engine.search(query, epsilon=epsilon, rho=rho, p=self.p)
+
+    def iter_matches(
+        self,
+        query: Sequence[float],
+        k: int = 10,
+        rho: Optional[int] = None,
+        scheduling: str = "max-delta",
+    ):
+        """Stream up to ``k`` matches lazily, best first.
+
+        Exposes the extended iterator model (Definition 5) directly:
+        the ranked-union operator tree is pulled one ``GetNext()`` at a
+        time, and each confirmed result is yielded as soon as its rank
+        is settled — the first match typically arrives long before the
+        k-th is resolved.  Consumers may stop early; no further index
+        work happens after the generator is abandoned.
+
+        Non-deferred only (deferral batches retrievals, which is
+        incompatible with incremental emission).
+        """
+        from repro.core.metrics import StatsRecorder
+        from repro.core.windows import QueryWindowSet
+        from repro.engines.base import CandidateEvaluator
+        from repro.engines.operators import Status
+        from repro.engines.ranked_union import PhiOperator, UnionOperator
+
+        if self.index is None:
+            raise IndexNotBuiltError("call build() before iter_matches()")
+        if rho is None:
+            rho = max(1, int(0.05 * len(query)))
+        config = EngineConfig(k=k, rho=rho, p=self.p)
+        window_set = QueryWindowSet.from_query(
+            query,
+            omega=self.omega,
+            features=self.features,
+            rho=rho,
+            p=self.p,
+            data_stride=self.index.data_stride,
+        )
+        recorder = StatsRecorder(self.pager, self.buffer).start()
+        evaluator = CandidateEvaluator(
+            index=self.index,
+            envelope=window_set.envelope,
+            query=window_set.query,
+            config=config,
+            stats=recorder.stats,
+        )
+        children = [
+            PhiOperator(
+                class_index=class_index,
+                window_set=window_set,
+                index=self.index,
+                evaluator=evaluator,
+                config=config,
+                scheduling=scheduling,
+            )
+            for class_index in range(window_set.num_classes)
+            if window_set.classes[class_index]
+        ]
+        union = UnionOperator(children, evaluator)
+        emitted = 0
+        while emitted < k:
+            status, payload = union.get_next()
+            if status == Status.EOR:
+                break
+            if status == Status.TUPLE:
+                emitted += 1
+                yield Match(
+                    distance=payload.distance_pow ** (1.0 / self.p),
+                    sid=payload.sid,
+                    start=payload.start,
+                    length=window_set.length,
+                )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, directory) -> None:
+        """Persist the built database to a directory.
+
+        See :mod:`repro.storage.persistence` for the format; a reloaded
+        database reproduces identical results *and* identical page
+        access counts.
+        """
+        from repro.storage.persistence import save_database
+
+        save_database(self, directory)
+
+    @classmethod
+    def load(cls, directory, psm: bool = False) -> "SubsequenceDatabase":
+        """Reconstruct a database saved with :meth:`save`."""
+        from repro.storage.persistence import load_database
+
+        return load_database(directory, psm=psm)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def describe(self) -> Dict[str, float]:
+        """Shape of the stored data and index (Table 2-style summary)."""
+        if self.index is None:
+            raise IndexNotBuiltError("call build() before describe()")
+        summary = self.index.describe()
+        summary["buffer_pages"] = self.buffer.capacity
+        summary["total_pages"] = self.pager.num_pages
+        return summary

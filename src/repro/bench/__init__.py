@@ -1,0 +1,25 @@
+"""Benchmark harness.
+
+:mod:`repro.bench.harness` builds databases and runs query workloads
+with per-engine metric aggregation; :mod:`repro.bench.reporting` formats
+paper-style tables and series.  The actual figure/table reproductions
+live in ``benchmarks/`` at the repository root, one pytest-benchmark
+module per figure.
+"""
+
+from repro.bench.harness import (
+    EngineSpec,
+    Harness,
+    WorkloadResult,
+    modeled_wall_time_s,
+)
+from repro.bench.reporting import format_series_table, format_speedups
+
+__all__ = [
+    "Harness",
+    "EngineSpec",
+    "WorkloadResult",
+    "modeled_wall_time_s",
+    "format_series_table",
+    "format_speedups",
+]

@@ -1,0 +1,93 @@
+"""ASCII line charts for benchmark series.
+
+The paper's figures are log-scale line plots; this module renders the
+same series as terminal charts so the shape — who wins, where the gaps
+widen — is visible directly in benchmark output and EXPERIMENTS.md
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log_positions(
+    values: Sequence[float], height: int, low: float, high: float
+) -> List[int]:
+    """Row index per value on a shared log scale (0 = bottom)."""
+    log_low = math.log10(low)
+    span = max(math.log10(high) - log_low, 1e-9)
+    rows = []
+    for value in values:
+        if value <= 0 or not math.isfinite(value):
+            rows.append(0)
+            continue
+        fraction = (math.log10(value) - log_low) / span
+        fraction = min(max(fraction, 0.0), 1.0)
+        rows.append(int(round(fraction * (height - 1))))
+    return rows
+
+
+def ascii_chart(
+    title: str,
+    x_labels: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    column_width: int = 12,
+) -> str:
+    """Render named series over shared x positions, log-scaled y.
+
+    >>> print(ascii_chart("t", [1, 2], {"a": [1.0, 100.0]}))  # doctest: +SKIP
+    """
+    names = list(series)
+    all_values = [v for values in series.values() for v in values]
+    finite = [v for v in all_values if v > 0 and math.isfinite(v)]
+    if not finite:
+        return f"{title}\n(no positive data)"
+    low = min(finite)
+    high = max(finite)
+
+    grid = [
+        [" "] * (len(x_labels) * column_width) for _ in range(height)
+    ]
+    for index, name in enumerate(names):
+        marker = _MARKERS[index % len(_MARKERS)]
+        rows = _log_positions(series[name], height, low, high)
+        for x_index, row in enumerate(rows):
+            column = x_index * column_width + column_width // 2
+            grid[height - 1 - row][column] = marker
+
+    lines = [title]
+    lines.append(f"{high:10.3g} +" + "-" * (len(x_labels) * column_width))
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{low:10.3g} +" + "-" * (len(x_labels) * column_width))
+    axis = " " * 12
+    for label in x_labels:
+        axis += f"{str(label):^{column_width}s}"
+    lines.append(axis)
+    legend = "  ".join(
+        f"{_MARKERS[index % len(_MARKERS)]}={name}"
+        for index, name in enumerate(names)
+    )
+    lines.append(" " * 12 + legend + "   (log scale)")
+    return "\n".join(lines)
+
+
+def chart_from_results(
+    title: str,
+    rows: Mapping[object, Mapping[str, object]],
+    metric: str,
+    height: int = 12,
+) -> str:
+    """Chart a metric from a ``{sweep value -> {label -> result}}`` map."""
+    x_labels = list(rows)
+    labels = list(next(iter(rows.values())).keys())
+    series = {
+        label: [rows[x][label].metric(metric) for x in x_labels]
+        for label in labels
+    }
+    return ascii_chart(title, x_labels, series, height=height)

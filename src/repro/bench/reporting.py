@@ -1,0 +1,74 @@
+"""Formatting helpers for paper-style tables and series.
+
+The figure benchmarks print one table per metric: rows are the sweep
+values (``k``, buffer size, window size, ...), columns are engines —
+the same series the paper plots.  ``format_speedups`` prints the
+"RU-COST(D) outperforms X by N times" ratios the paper's prose quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.bench.harness import WorkloadResult
+
+
+def _format_value(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.4f}"
+
+
+def format_series_table(
+    title: str,
+    sweep_label: str,
+    rows: Mapping[object, Mapping[str, WorkloadResult]],
+    metric: str,
+) -> str:
+    """Render one metric across a sweep as a fixed-width table.
+
+    ``rows`` maps sweep value -> (engine label -> result).
+    """
+    engine_labels = list(next(iter(rows.values())).keys())
+    width = max(12, *(len(label) + 2 for label in engine_labels))
+    header = f"{sweep_label:>10s} " + "".join(
+        f"{label:>{width}s}" for label in engine_labels
+    )
+    lines = [title, "-" * len(header), header, "-" * len(header)]
+    for sweep_value, results in rows.items():
+        cells = "".join(
+            f"{_format_value(results[label].metric(metric)):>{width}s}"
+            for label in engine_labels
+        )
+        lines.append(f"{str(sweep_value):>10s} {cells}")
+    lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+def format_speedups(
+    rows: Mapping[object, Mapping[str, WorkloadResult]],
+    metric: str,
+    reference: str,
+    others: Sequence[str],
+) -> str:
+    """Best-case ``other / reference`` ratios over the sweep.
+
+    Reproduces the paper's "by up to N times" claims: for each competitor
+    the maximum ratio across sweep values is reported.
+    """
+    best: Dict[str, float] = {}
+    for results in rows.values():
+        base = results[reference].metric(metric)
+        if base <= 0:
+            continue
+        for label in others:
+            ratio = results[label].metric(metric) / base
+            if ratio > best.get(label, 0.0):
+                best[label] = ratio
+    parts = [
+        f"{reference} vs {label}: up to {ratio:.1f}x"
+        for label, ratio in best.items()
+    ]
+    return f"[{metric}] " + "; ".join(parts) if parts else "(no data)"

@@ -1,0 +1,110 @@
+"""Consolidate benchmark result files into one report.
+
+``pytest benchmarks/ --benchmark-only`` appends each figure's tables to
+``benchmarks/results/<figure>.txt``; :func:`build_report` stitches them
+into a single document (used to refresh RESULTS.md after a run), and
+:func:`extract_speedups` pulls the "up to N×" headline lines for quick
+comparison against the paper's claims.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Dict, List, Union
+
+PathLike = Union[str, pathlib.Path]
+
+#: Figure ordering for the consolidated report.
+FIGURE_ORDER = [
+    "table2_datasets",
+    "table3_parameters",
+    "fig11_effect_of_k",
+    "fig12_dense_queries",
+    "fig13_pipe_query_types",
+    "fig14_buffer_size",
+    "fig15_window_size",
+    "fig16_query_length",
+    "fig17_other_datasets",
+    "fig18_psm_comparison",
+    "ablation_rucost",
+    "ablation_generalmatch",
+    "build_methods",
+]
+
+_SPEEDUP_LINE = re.compile(r"^\[(?P<metric>[\w_]+)\] (?P<body>.+)$")
+
+
+def load_results(results_dir: PathLike) -> Dict[str, str]:
+    """Read every ``<figure>.txt`` under the results directory."""
+    directory = pathlib.Path(results_dir)
+    results: Dict[str, str] = {}
+    if not directory.is_dir():
+        return results
+    for path in sorted(directory.glob("*.txt")):
+        results[path.stem] = path.read_text().rstrip()
+    return results
+
+
+def extract_speedups(results: Dict[str, str]) -> List[str]:
+    """All "up to N×" headline lines, prefixed with their figure."""
+    lines: List[str] = []
+    for figure in FIGURE_ORDER:
+        text = results.get(figure)
+        if text is None:
+            continue
+        for line in text.splitlines():
+            if _SPEEDUP_LINE.match(line.strip()):
+                lines.append(f"{figure}: {line.strip()}")
+    return lines
+
+
+def build_report(results_dir: PathLike, title: str = "Benchmark results") -> str:
+    """One markdown-ish document with every figure's recorded series."""
+    results = load_results(results_dir)
+    sections: List[str] = [f"# {title}", ""]
+    headlines = extract_speedups(results)
+    if headlines:
+        sections.append("## Headline ratios")
+        sections.extend(f"* {line}" for line in headlines)
+        sections.append("")
+    covered = set()
+    for figure in FIGURE_ORDER:
+        if figure not in results:
+            continue
+        covered.add(figure)
+        sections.append(f"## {figure}")
+        sections.append("```")
+        sections.append(results[figure])
+        sections.append("```")
+        sections.append("")
+    for figure, text in results.items():
+        if figure in covered:
+            continue
+        sections.append(f"## {figure}")
+        sections.append("```")
+        sections.append(text)
+        sections.append("```")
+        sections.append("")
+    if len(sections) <= 2:
+        sections.append("(no results recorded yet — run "
+                        "`pytest benchmarks/ --benchmark-only`)")
+    return "\n".join(sections)
+
+
+def main(argv=None) -> int:
+    """CLI: ``python -m repro.bench.summary [results_dir] [output]``."""
+    import sys
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    results_dir = args[0] if args else "benchmarks/results"
+    report = build_report(results_dir)
+    if len(args) > 1:
+        pathlib.Path(args[1]).write_text(report + "\n")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Core algorithmic layer.
+
+Implements the paper's mathematical machinery:
+
+* :mod:`repro.core.distance` — the constrained DTW distance (Eq. 1).
+* :mod:`repro.core.envelope` — query envelopes (Definition 1).
+* :mod:`repro.core.paa` — piecewise aggregate approximation.
+* :mod:`repro.core.lower_bounds` — the lower-bound chain
+  ``DTW >= LB_Keogh >= LB_PAA >= MINDIST`` (Lemma 1) plus the
+  MDMWP-distance (Definition 2) and MSEQ-distance (Definition 6).
+* :mod:`repro.core.windows` — DualMatch windowing and the matching
+  subsequence equivalence classes (Definition 4, Lemma 3).
+* :mod:`repro.core.metrics` — the paper's performance counters.
+* :mod:`repro.core.results` — match records and the top-k collector.
+
+The public :class:`~repro.api.SubsequenceDatabase` facade lives in
+:mod:`repro.api` (it wires core, storage, index, and engines together).
+"""
+
+from repro.core.distance import dtw_distance, dtw_pow, lp_distance
+from repro.core.envelope import Envelope, query_envelope
+from repro.core.metrics import QueryStats
+from repro.core.paa import paa, paa_envelope
+from repro.core.results import Match, TopKCollector
+from repro.core.windows import QueryWindow, QueryWindowSet
+
+__all__ = [
+    "dtw_distance",
+    "dtw_pow",
+    "lp_distance",
+    "Envelope",
+    "query_envelope",
+    "paa",
+    "paa_envelope",
+    "QueryWindow",
+    "QueryWindowSet",
+    "Match",
+    "TopKCollector",
+    "QueryStats",
+]

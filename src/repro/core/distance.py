@@ -1,0 +1,154 @@
+"""Dynamic time warping under the Sakoe–Chiba band (Eq. 1 of the paper).
+
+All internal comparisons in the library happen in *p-th-power space*
+(:func:`dtw_pow`, and the ``*_pow`` lower bounds), because the pruning
+logic constantly sums window-level distances; taking roots only at the API
+boundary keeps the lower-bound chain exact and avoids needless ``pow``
+round trips.  :func:`dtw_distance` is the user-facing rooted form.
+
+The implementation supports *early abandoning*: once every cell of a DP
+row exceeds a caller-supplied threshold, no warping path can finish below
+it, so the computation stops and returns ``inf``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import QueryError
+
+_INF = math.inf
+
+
+def _as_list(values: Sequence[float]) -> list:
+    """Plain-float list view; scalar Python arithmetic beats numpy here."""
+    if isinstance(values, np.ndarray):
+        return values.tolist()
+    return [float(v) for v in values]
+
+
+def lp_distance(a: Sequence[float], b: Sequence[float], p: float = 2.0) -> float:
+    """The L_p distance between equal-length sequences.
+
+    ``DTW_rho`` degenerates to this when ``rho == 0``.
+    """
+    array_a = np.asarray(a, dtype=np.float64)
+    array_b = np.asarray(b, dtype=np.float64)
+    if array_a.shape != array_b.shape:
+        raise QueryError(
+            f"L_p distance needs equal lengths, got {array_a.shape} vs "
+            f"{array_b.shape}"
+        )
+    gaps = np.abs(array_a - array_b)
+    if p == 2.0:
+        return float(math.sqrt(float(np.dot(gaps, gaps))))
+    return float(np.sum(gaps**p) ** (1.0 / p))
+
+
+def dtw_pow(
+    s: Sequence[float],
+    q: Sequence[float],
+    rho: int,
+    p: float = 2.0,
+    threshold_pow: float = _INF,
+) -> float:
+    """``DTW_rho(S, Q) ** p`` with band constraint and early abandoning.
+
+    Parameters
+    ----------
+    s, q:
+        Data and query sequences.  The paper defines DTW for equal
+        lengths; unequal lengths are accepted when the band still permits
+        a complete path (``|len(s) - len(q)| <= rho``).
+    rho:
+        Sakoe–Chiba warping width: matrix entry ``(i, j)`` is infinite
+        when ``|i - j| > rho``.
+    p:
+        Norm order (the paper's ``p``; 2 by default).
+    threshold_pow:
+        Early-abandon threshold *in p-th-power space*.  If every cell of
+        some DP row exceeds it, ``inf`` is returned immediately.
+
+    Returns
+    -------
+    float
+        The p-th power of the constrained DTW distance, or ``inf`` when
+        abandoned / no path exists.
+    """
+    if rho < 0:
+        raise QueryError(f"warping width rho must be >= 0, got {rho}")
+    n = len(q)
+    m = len(s)
+    if n == 0 and m == 0:
+        return 0.0
+    if n == 0 or m == 0:
+        return _INF
+    if abs(n - m) > rho:
+        return _INF
+
+    qs = _as_list(q)
+    ss = _as_list(s)
+    squared = p == 2.0
+
+    # prev[j] holds row i-1 of the DP matrix; positions outside the band
+    # stay infinite.  Row i covers data columns [i - rho, i + rho].
+    prev = [_INF] * m
+    for i in range(n):
+        lo = i - rho
+        if lo < 0:
+            lo = 0
+        hi = i + rho
+        if hi >= m:
+            hi = m - 1
+        cur = [_INF] * m
+        qi = qs[i]
+        row_min = _INF
+        left = _INF  # cur[j - 1], the within-row dependency
+        for j in range(lo, hi + 1):
+            gap = ss[j] - qi
+            if gap < 0.0:
+                gap = -gap
+            cost = gap * gap if squared else gap**p
+            if i == 0 and j == 0:
+                best = 0.0
+            else:
+                best = prev[j]  # vertical move
+                diag = prev[j - 1] if j > 0 else _INF
+                if diag < best:
+                    best = diag
+                if left < best:
+                    best = left
+            value = cost + best
+            cur[j] = value
+            left = value
+            if value < row_min:
+                row_min = value
+        if row_min > threshold_pow:
+            return _INF
+        prev = cur
+    return prev[m - 1]
+
+
+def dtw_distance(
+    s: Sequence[float],
+    q: Sequence[float],
+    rho: int,
+    p: float = 2.0,
+    threshold: Optional[float] = None,
+) -> float:
+    """The constrained DTW distance ``DTW_rho(S, Q)`` (rooted form).
+
+    Parameters mirror :func:`dtw_pow`; ``threshold`` (if given) is in
+    distance space and enables early abandoning.
+
+    >>> dtw_distance([1.0, 2.0, 3.0], [1.0, 2.0, 3.0], rho=1)
+    0.0
+    """
+    threshold_pow = _INF if threshold is None else threshold**p
+    value = dtw_pow(s, q, rho, p=p, threshold_pow=threshold_pow)
+    if value == _INF:
+        return _INF
+    return value ** (1.0 / p)

@@ -1,0 +1,199 @@
+"""The lower-bound chain of Lemma 1 plus the paper's pruning distances.
+
+For a query envelope ``E(Q)`` and a data (sub)sequence ``S``::
+
+    DTW_rho(Q, S)  >=  LB_Keogh(E(Q), S)  >=  LB_PAA(P(E(Q)), P(S))
+                   >=  MINDIST(P(E(Q)), MBR containing P(S))
+
+On top of this chain the paper defines two composite bounds:
+
+* the **MDMWP-distance** (Definition 2, from HLMJ [12]):
+  ``(r * LB_PAA(q_m, s_m)^p)^(1/p)`` where ``(q_m, s_m)`` is the
+  minimum-distance matching window pair and ``r`` the guaranteed number
+  of disjoint windows inside any candidate;
+* the **MSEQ-distance** (Definition 6): the p-norm combination of the
+  per-priority-queue frontier distances within one equivalence class.
+
+Everything here works in p-th-power space (``*_pow`` functions); rooted
+convenience wrappers are provided for the public API.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.envelope import Envelope
+from repro.exceptions import QueryError
+
+_INF = math.inf
+
+
+def _gaps_outside_envelope(
+    lower: np.ndarray, upper: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """Per-element distance from ``values`` to the band ``[lower, upper]``."""
+    above = values - upper
+    below = lower - values
+    gaps = np.maximum(above, below)
+    np.maximum(gaps, 0.0, out=gaps)
+    return gaps
+
+
+def _pow_sum(gaps: np.ndarray, p: float) -> float:
+    if p == 2.0:
+        return float(np.dot(gaps, gaps))
+    return float(np.sum(gaps**p))
+
+
+def lb_keogh_pow(envelope: Envelope, values: Sequence[float], p: float = 2.0) -> float:
+    """``LB_Keogh(E(Q), S) ** p`` — the tight envelope bound of [13]."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size != len(envelope):
+        raise QueryError(
+            f"LB_Keogh needs equal lengths: envelope {len(envelope)}, "
+            f"sequence {array.size}"
+        )
+    gaps = _gaps_outside_envelope(envelope.lower, envelope.upper, array)
+    return _pow_sum(gaps, p)
+
+
+def lb_keogh(envelope: Envelope, values: Sequence[float], p: float = 2.0) -> float:
+    """Rooted ``LB_Keogh`` (the paper's Section 2 definition)."""
+    return lb_keogh_pow(envelope, values, p) ** (1.0 / p)
+
+
+def lb_paa_pow(
+    paa_lower: np.ndarray,
+    paa_upper: np.ndarray,
+    paa_values: np.ndarray,
+    seg_len: int,
+    p: float = 2.0,
+) -> float:
+    """``LB_PAA(P(E(Q)), P(S)) ** p`` (Zhu & Shasha [24]).
+
+    Each PAA dimension summarises ``seg_len`` raw values; the power-mean
+    inequality gives ``seg_len * |mean gap|^p <= sum |gap_i|^p`` per
+    segment, hence the ``seg_len`` scaling keeps the bound below
+    ``LB_Keogh ** p``.
+    """
+    if seg_len < 1:
+        raise QueryError(f"seg_len must be >= 1, got {seg_len}")
+    gaps = _gaps_outside_envelope(paa_lower, paa_upper, paa_values)
+    return seg_len * _pow_sum(gaps, p)
+
+
+def lb_paa(
+    paa_lower: np.ndarray,
+    paa_upper: np.ndarray,
+    paa_values: np.ndarray,
+    seg_len: int,
+    p: float = 2.0,
+) -> float:
+    """Rooted ``LB_PAA``."""
+    return lb_paa_pow(paa_lower, paa_upper, paa_values, seg_len, p) ** (1.0 / p)
+
+
+def mindist_pow(
+    paa_lower: np.ndarray,
+    paa_upper: np.ndarray,
+    rect_low: np.ndarray,
+    rect_high: np.ndarray,
+    seg_len: int,
+    p: float = 2.0,
+) -> float:
+    """``MINDIST(P(E(q)), MBR) ** p`` — Definition 6's MBR case.
+
+    Per dimension this is the gap between the envelope interval
+    ``[L_j, U_j]`` and the MBR interval ``[lo_j, hi_j]`` (zero when they
+    overlap); it lower-bounds ``lb_paa_pow`` for every point inside the
+    MBR, which makes best-first R*-tree descent admissible.
+    """
+    gap_above = rect_low - paa_upper  # MBR entirely above the envelope
+    gap_below = paa_lower - rect_high  # MBR entirely below the envelope
+    gaps = np.maximum(gap_above, gap_below)
+    np.maximum(gaps, 0.0, out=gaps)
+    return seg_len * _pow_sum(gaps, p)
+
+
+def maxdist_pow(
+    paa_lower: np.ndarray,
+    paa_upper: np.ndarray,
+    rect_low: np.ndarray,
+    rect_high: np.ndarray,
+    seg_len: int,
+    p: float = 2.0,
+) -> float:
+    """``MAXDIST(P(E(q)), MBR) ** p`` — upper bound over points in the MBR.
+
+    The per-dimension gap to the envelope band is convex in the point
+    coordinate, so its maximum over ``[lo_j, hi_j]`` is attained at an
+    endpoint.  RU-COST's pivot selection (Section 4) uses
+    ``[MINDIST, MAXDIST]`` ranges to approximate leaf-entry densities
+    without expanding nodes.
+    """
+    gaps_at_low = _gaps_outside_envelope(paa_lower, paa_upper, rect_low)
+    gaps_at_high = _gaps_outside_envelope(paa_lower, paa_upper, rect_high)
+    gaps = np.maximum(gaps_at_low, gaps_at_high)
+    return seg_len * _pow_sum(gaps, p)
+
+
+def mdmwp_pow(min_pair_pow: float, r: int) -> float:
+    """``MDMWP-distance ** p`` (Definition 2): ``r * d(q_m, s_m)^p``.
+
+    ``min_pair_pow`` is the p-th power of the minimum matching-window-pair
+    distance; ``r`` is the guaranteed number of complete disjoint windows
+    in any candidate, ``floor((Len(Q) + 1) / omega) - 1``.
+    """
+    if r < 1:
+        raise QueryError(f"MDMWP window count r must be >= 1, got {r}")
+    return r * min_pair_pow
+
+
+def min_disjoint_windows(
+    query_length: int, omega: int, data_stride: Optional[int] = None
+) -> int:
+    """Definition 2's ``r``, generalized to a data-window stride ``J``.
+
+    The minimum number of *class* windows (disjoint, length ``omega``,
+    pairwise ``omega`` apart) contained in any data subsequence of
+    length ``Len(Q)``, regardless of alignment.  The worst alignment
+    leaves ``J - 1`` samples before the first grid window, giving
+    ``floor((Len(Q) - omega - J + 1) / omega) + 1``; with ``J == omega``
+    (DualMatch) this is the paper's ``floor((Len(Q) + 1) / omega) - 1``.
+    """
+    if omega < 1:
+        raise QueryError(f"omega must be >= 1, got {omega}")
+    stride = omega if data_stride is None else data_stride
+    if stride < 1:
+        raise QueryError(f"data_stride must be >= 1, got {stride}")
+    return (query_length - omega - stride + 1) // omega + 1
+
+
+def mseq_distance_pow(frontier_pows: Iterable[float]) -> float:
+    """``MSEQ-distance ** p`` (Definition 6).
+
+    ``frontier_pows`` holds, for every priority queue of one equivalence
+    class, the p-th power of the relevant term: the popped pair's own
+    bound for the queue being consumed, and the current top-entry
+    distances for the sibling queues.  The combination is a plain sum in
+    power space.
+    """
+    total = 0.0
+    for value in frontier_pows:
+        if value == _INF:
+            return _INF
+        total += value
+    return total
+
+
+def root(value_pow: float, p: float = 2.0) -> float:
+    """Convert a p-th-power distance back to distance space."""
+    if value_pow == _INF:
+        return _INF
+    if value_pow < 0.0:
+        # Guard against tiny negative values from float cancellation.
+        value_pow = 0.0
+    return value_pow ** (1.0 / p)

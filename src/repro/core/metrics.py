@@ -1,0 +1,147 @@
+"""Performance counters matching the paper's Section 6 metrics.
+
+The paper reports three metrics per query — number of candidates, number
+of page accesses, wall clock time — plus, for PSM, bloom filter calls.
+:class:`QueryStats` carries those and some finer-grained counters that
+the ablation benches use.  :class:`StatsRecorder` snapshots the shared
+pager/buffer counters around one query so engines report *deltas*.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+
+
+@dataclass
+class QueryStats:
+    """Counters for one executed query."""
+
+    #: Candidate subsequences whose full values were retrieved (the
+    #: paper's "number of candidates").
+    candidates: int = 0
+    #: Physical page reads during the query (the paper's "page accesses").
+    page_accesses: int = 0
+    #: Physical reads that targeted the page right after the previous
+    #: one (cheap on spinning disks; produced by deferred retrieval and
+    #: sequential scans).
+    sequential_page_accesses: int = 0
+    #: Physical reads that required a seek.
+    random_page_accesses: int = 0
+    #: Buffer requests (hits + misses).
+    logical_reads: int = 0
+    #: Wall clock seconds.
+    wall_time_s: float = 0.0
+    #: DTW computations actually run (candidates minus LB_Keogh prunes).
+    dtw_computations: int = 0
+    #: LB_Keogh evaluations.
+    lb_keogh_computations: int = 0
+    #: Priority-queue pops (HLMJ's global queue or RU's per-window queues).
+    heap_pops: int = 0
+    #: R*-tree node expansions.
+    node_expansions: int = 0
+    #: Bloom filter invocations (PSM only).
+    bloom_calls: int = 0
+    #: Deferred-retrieval buffer flushes ("(D)" variants only).
+    deferred_flushes: int = 0
+    #: Candidates pruned by index-level lower bounds before retrieval.
+    pruned_by_lower_bound: int = 0
+    #: Candidates pruned by LB_Keogh after retrieval, before DTW.
+    pruned_by_lb_keogh: int = 0
+    #: Duplicate candidates suppressed by the seen-set.
+    duplicates_suppressed: int = 0
+    #: Window-group distance evaluations (HLMJ's optional tighter bound).
+    window_group_evaluations: int = 0
+    #: 1 when an operation budget cut the query short (PSM's graceful
+    #: stop — results are then a best-effort lower bound, not exact).
+    budget_exhausted: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict for reporting layers."""
+        return {
+            "candidates": self.candidates,
+            "page_accesses": self.page_accesses,
+            "sequential_page_accesses": self.sequential_page_accesses,
+            "random_page_accesses": self.random_page_accesses,
+            "logical_reads": self.logical_reads,
+            "wall_time_s": self.wall_time_s,
+            "dtw_computations": self.dtw_computations,
+            "lb_keogh_computations": self.lb_keogh_computations,
+            "heap_pops": self.heap_pops,
+            "node_expansions": self.node_expansions,
+            "bloom_calls": self.bloom_calls,
+            "deferred_flushes": self.deferred_flushes,
+            "pruned_by_lower_bound": self.pruned_by_lower_bound,
+            "pruned_by_lb_keogh": self.pruned_by_lb_keogh,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "window_group_evaluations": self.window_group_evaluations,
+            "budget_exhausted": self.budget_exhausted,
+        }
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate another query's counters into this one (for means)."""
+        for key, value in other.as_dict().items():
+            setattr(self, key, getattr(self, key) + value)
+
+    def scaled(self, divisor: float) -> "QueryStats":
+        """Element-wise division — used to average over a query set."""
+        if divisor <= 0:
+            raise ValueError(f"divisor must be positive, got {divisor}")
+        averaged = QueryStats()
+        for key, value in self.as_dict().items():
+            setattr(averaged, key, value / divisor)
+        return averaged
+
+
+class StatsRecorder:
+    """Context helper that turns shared storage counters into deltas.
+
+    Usage::
+
+        recorder = StatsRecorder(pager, buffer)
+        recorder.start()
+        ...  # run the query, incrementing recorder.stats counters
+        stats = recorder.finish()
+    """
+
+    def __init__(self, pager: Pager, buffer: BufferPool) -> None:
+        self._pager = pager
+        self._buffer = buffer
+        self.stats = QueryStats()
+        self._reads_at_start = 0
+        self._sequential_at_start = 0
+        self._random_at_start = 0
+        self._logical_at_start = 0
+        self._started_at: Optional[float] = None
+
+    def start(self) -> "StatsRecorder":
+        self.stats = QueryStats()
+        self._reads_at_start = self._pager.stats.physical_reads
+        self._sequential_at_start = self._pager.stats.sequential_reads
+        self._random_at_start = self._pager.stats.random_reads
+        self._logical_at_start = self._buffer.stats.logical_reads
+        self._started_at = time.perf_counter()
+        return self
+
+    def finish(self) -> QueryStats:
+        if self._started_at is None:
+            raise RuntimeError("StatsRecorder.finish() before start()")
+        self.stats.wall_time_s = time.perf_counter() - self._started_at
+        self.stats.page_accesses = (
+            self._pager.stats.physical_reads - self._reads_at_start
+        )
+        self.stats.sequential_page_accesses = (
+            self._pager.stats.sequential_reads - self._sequential_at_start
+        )
+        self.stats.random_page_accesses = (
+            self._pager.stats.random_reads - self._random_at_start
+        )
+        self.stats.logical_reads = (
+            self._buffer.stats.logical_reads - self._logical_at_start
+        )
+        self._started_at = None
+        return self.stats

@@ -1,0 +1,55 @@
+"""Piecewise aggregate approximation (PAA).
+
+PAA reduces a length-``N`` sequence to ``f`` dimensions by averaging
+``N / f`` equal segments.  In this system every *window* (length
+``omega``) is PAA-transformed to an ``f``-dimensional point before being
+stored in the R*-tree, and query-window envelopes are PAA-transformed
+half by half (the paper's ``P(E(q))``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.envelope import Envelope
+from repro.exceptions import ConfigurationError, QueryError
+
+
+def segment_length(window_size: int, features: int) -> int:
+    """``N / f`` — the values averaged per PAA dimension.
+
+    The paper's windows always divide evenly; we enforce it so that
+    lower-bound scaling factors stay exact.
+    """
+    if features < 1:
+        raise ConfigurationError(f"features must be >= 1, got {features}")
+    if window_size < features or window_size % features != 0:
+        raise ConfigurationError(
+            f"window size {window_size} must be a positive multiple of the "
+            f"feature count {features}"
+        )
+    return window_size // features
+
+
+def paa(values: Sequence[float], features: int) -> np.ndarray:
+    """PAA of a sequence: ``f`` segment means.
+
+    >>> paa([1.0, 3.0, 5.0, 7.0], 2).tolist()
+    [2.0, 6.0]
+    """
+    array = np.ascontiguousarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise QueryError(f"PAA input must be 1-D, got shape {array.shape}")
+    seg = segment_length(array.size, features)
+    return array.reshape(features, seg).mean(axis=1)
+
+
+def paa_envelope(envelope: Envelope, features: int) -> Tuple[np.ndarray, np.ndarray]:
+    """PAA of a query envelope: ``(paa_lower, paa_upper)``.
+
+    Applies :func:`paa` to each half, as in the paper's definition of
+    ``P(E(Q))``.
+    """
+    return paa(envelope.lower, features), paa(envelope.upper, features)

@@ -1,0 +1,51 @@
+"""Gold-standard brute force used by the test suite.
+
+Computes banded DTW at every offset with no index, no lower bounds, and
+no I/O accounting.  Every engine must return the same distance multiset
+as this function (up to floating-point tolerance); the equivalence tests
+in ``tests/`` enforce it, including via hypothesis-generated inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.distance import dtw_pow
+from repro.core.results import Match
+from repro.storage.sequences import SequenceStore
+
+
+def brute_force_topk(
+    store: SequenceStore,
+    query: Sequence[float],
+    k: int,
+    rho: int,
+    p: float = 2.0,
+) -> List[Match]:
+    """Exact top-k subsequences by exhaustive banded DTW.
+
+    Deliberately unoptimised (no LB_Keogh, no early abandon) so that it
+    cannot share a bug with the engines it validates.
+    """
+    array = np.ascontiguousarray(query, dtype=np.float64)
+    length = array.size
+    scored: List[tuple] = []
+    for sid, values in store.iter_sequences():
+        for start in range(values.size - length + 1):
+            distance_pow = dtw_pow(
+                values[start : start + length], array, rho, p=p
+            )
+            scored.append((distance_pow, sid, start))
+    best = heapq.nsmallest(k, scored)
+    return [
+        Match(
+            distance=distance_pow ** (1.0 / p),
+            sid=sid,
+            start=start,
+            length=length,
+        )
+        for distance_pow, sid, start in best
+    ]

@@ -1,0 +1,121 @@
+"""Match records and the top-k collector shared by all engines.
+
+Distances are tracked internally in p-th-power space (consistent with the
+rest of the library); :class:`Match` exposes both forms.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.exceptions import QueryError
+
+
+@dataclass(frozen=True, order=True)
+class Match:
+    """One ranked result: a data subsequence and its DTW distance.
+
+    Ordering is by ``(distance, sid, start)`` so result lists are stable
+    under ties.
+    """
+
+    distance: float
+    sid: int
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        """Exclusive end offset of the matched subsequence."""
+        return self.start + self.length
+
+    def key(self) -> Tuple[int, int]:
+        """Identity of the underlying subsequence."""
+        return (self.sid, self.start)
+
+
+class TopKCollector:
+    """Maintains the best ``k`` matches seen so far and ``delta_cur``.
+
+    ``delta_cur`` — the paper's name for the DTW distance of the current
+    k-th best subsequence — is the pruning threshold every engine compares
+    lower bounds against.  It is ``inf`` until ``k`` matches have been
+    collected.
+
+    The collector works in *p-th-power space*: :meth:`offer_pow` takes and
+    :attr:`threshold_pow` returns powered distances, avoiding root
+    round-trips inside engine hot loops.
+    """
+
+    def __init__(self, k: int, p: float = 2.0) -> None:
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._p = p
+        # Max-heap via negated powered distance; ties broken on (sid,
+        # start) so behaviour is deterministic.
+        self._heap: List[Tuple[float, int, int, int]] = []
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._heap) >= self._k
+
+    @property
+    def threshold_pow(self) -> float:
+        """``delta_cur ** p`` — infinite until ``k`` matches exist."""
+        if len(self._heap) < self._k:
+            return math.inf
+        return -self._heap[0][0]
+
+    @property
+    def threshold(self) -> float:
+        """``delta_cur`` in distance space."""
+        pow_value = self.threshold_pow
+        if pow_value == math.inf:
+            return math.inf
+        return pow_value ** (1.0 / self._p)
+
+    def offer_pow(self, distance_pow: float, sid: int, start: int) -> bool:
+        """Offer a match with a powered distance; returns acceptance.
+
+        A match is accepted when the collector is not yet full or the
+        distance strictly improves on the current k-th best (ties are
+        resolved in favour of the incumbent, matching ``<=`` pruning in
+        the paper's algorithms).
+        """
+        if distance_pow == math.inf:
+            return False
+        entry = (-distance_pow, -sid, -start, 0)
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, entry)
+            return True
+        if distance_pow >= -self._heap[0][0]:
+            return False
+        heapq.heapreplace(self._heap, entry)
+        return True
+
+    def matches(self, length: int) -> List[Match]:
+        """The collected matches, best first, with rooted distances."""
+        ordered = sorted(
+            (-neg_pow, -neg_sid, -neg_start)
+            for neg_pow, neg_sid, neg_start, _ in self._heap
+        )
+        return [
+            Match(
+                distance=pow_value ** (1.0 / self._p),
+                sid=sid,
+                start=start,
+                length=length,
+            )
+            for pow_value, sid, start in ordered
+        ]

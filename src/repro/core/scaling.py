@@ -1,0 +1,76 @@
+"""Query scaling for variable-length matching.
+
+Problem Definition 1 fixes the match length to ``Len(Q)``; the paper
+notes that "in order to match data subsequences of length l != |Q|, one
+can scale Q with reasonable scale factors".  This module provides that
+mechanism: linear-interpolation resampling of the query to a set of
+target lengths, plus a length-normalised distance so results from
+different scales are comparable when merged.
+
+Normalisation: raw ``DTW_rho`` grows with sequence length (it sums one
+cost term per step), so top-k across scales would systematically favour
+short scales.  We compare by ``distance / length ** (1/p)`` — the
+per-step root-mean cost under the ``p``-norm — which is scale-free for
+self-similar signals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import QueryError
+
+
+def resample(query: Sequence[float], length: int) -> np.ndarray:
+    """Linearly resample ``query`` to ``length`` samples.
+
+    >>> resample([0.0, 2.0], 3).tolist()
+    [0.0, 1.0, 2.0]
+    """
+    array = np.ascontiguousarray(query, dtype=np.float64)
+    if array.ndim != 1 or array.size < 2:
+        raise QueryError(
+            f"resample needs a 1-D query of length >= 2, got shape "
+            f"{array.shape}"
+        )
+    if length < 2:
+        raise QueryError(f"target length must be >= 2, got {length}")
+    if length == array.size:
+        return array.copy()
+    positions = np.linspace(0.0, array.size - 1, num=length)
+    return np.interp(positions, np.arange(array.size), array)
+
+
+def scale_lengths(
+    base_length: int,
+    factors: Sequence[float],
+    omega: int,
+) -> List[int]:
+    """Valid target lengths for a set of scale factors.
+
+    Lengths are rounded to the nearest integer and filtered to satisfy
+    the DualMatch constraint ``length >= 2 * omega - 1``; duplicates are
+    dropped while preserving order.
+    """
+    lengths: List[int] = []
+    for factor in factors:
+        if factor <= 0:
+            raise QueryError(f"scale factor must be > 0, got {factor}")
+        length = int(round(base_length * factor))
+        if length >= 2 * omega - 1 and length not in lengths:
+            lengths.append(length)
+    if not lengths:
+        raise QueryError(
+            f"no scale factor yields a length >= 2 * omega - 1 = "
+            f"{2 * omega - 1}"
+        )
+    return lengths
+
+
+def normalized_distance(distance: float, length: int, p: float = 2.0) -> float:
+    """Per-step distance, comparable across match lengths."""
+    if length < 1:
+        raise QueryError(f"length must be >= 1, got {length}")
+    return distance / length ** (1.0 / p)

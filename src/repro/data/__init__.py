@@ -1,0 +1,42 @@
+"""Datasets and query workloads.
+
+The paper evaluates on five datasets (Table 2): UCR, PIPE, WALK, STOCK,
+and MUSIC.  The originals are not redistributable, so
+:mod:`repro.data.generators` provides synthetic stand-ins that preserve
+the *indexing-relevant* structure of each source — in particular the
+mixture of dense and sparse regions in PAA space that triggers the
+MDMWP-scheduling problem (see DESIGN.md, "Substitutions").
+
+:mod:`repro.data.queries` builds the paper's query workloads:
+UCR-REGULAR (random extracted subsequences), UCR-DENSE (queries mixing
+dense- and sparse-region windows), and the PIPE-BEND/VALVE/TEE pattern
+queries.
+"""
+
+from repro.data.datasets import DATASET_NAMES, Dataset, load_dataset
+from repro.data.generators import (
+    music_like,
+    pipe_like,
+    stock_like,
+    ucr_like,
+    walk_like,
+)
+from repro.data.queries import (
+    dense_queries,
+    pattern_queries,
+    regular_queries,
+)
+
+__all__ = [
+    "Dataset",
+    "DATASET_NAMES",
+    "load_dataset",
+    "ucr_like",
+    "pipe_like",
+    "walk_like",
+    "stock_like",
+    "music_like",
+    "regular_queries",
+    "dense_queries",
+    "pattern_queries",
+]

@@ -1,0 +1,100 @@
+"""Dataset registry mirroring Table 2 of the paper.
+
+``load_dataset`` produces a named :class:`Dataset` at a requested size.
+Paper sizes (in thousands of points): UCR 1,056 / PIPE 24,307 /
+WALK 1,000 / STOCK 328 / MUSIC 2,373.  The default ``scale`` of 1/64
+keeps the *relative* sizes of the paper while making pure-Python sweeps
+tractable; benches pass explicit sizes where they need to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data import generators
+from repro.exceptions import ConfigurationError
+
+#: Paper sizes in data points (Table 2, "Size (x1,000)").
+PAPER_SIZES: Dict[str, int] = {
+    "UCR": 1_056_000,
+    "PIPE": 24_307_000,
+    "WALK": 1_000_000,
+    "STOCK": 328_000,
+    "MUSIC": 2_373_000,
+}
+
+DATASET_NAMES = tuple(PAPER_SIZES)
+
+DEFAULT_SCALE = 1.0 / 64.0
+
+#: Floor so even STOCK at small scales stays index-worthy.
+_MIN_SIZE = 8_192
+
+
+@dataclass
+class Dataset:
+    """One loaded dataset: the sequence plus provenance metadata."""
+
+    name: str
+    values: np.ndarray
+    seed: int
+    #: Injected-pattern offsets (PIPE only; empty otherwise).
+    markers: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return int(self.values.size)
+
+    def describe(self) -> Dict[str, object]:
+        """Row for the Table 2 reproduction."""
+        return {
+            "name": self.name,
+            "size": self.size,
+            "paper_size": PAPER_SIZES[self.name],
+            "scale": self.size / PAPER_SIZES[self.name],
+            "markers": {k: len(v) for k, v in self.markers.items()},
+        }
+
+
+def scaled_size(name: str, scale: float = DEFAULT_SCALE) -> int:
+    """Paper size scaled down, floored at a usable minimum."""
+    if name not in PAPER_SIZES:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; expected one of {DATASET_NAMES}"
+        )
+    return max(_MIN_SIZE, int(PAPER_SIZES[name] * scale))
+
+
+def load_dataset(
+    name: str,
+    size: Optional[int] = None,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+) -> Dataset:
+    """Generate a dataset by name at ``size`` points (or scaled default).
+
+    >>> ds = load_dataset("WALK", size=10_000)
+    >>> ds.size
+    10000
+    """
+    if name not in PAPER_SIZES:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; expected one of {DATASET_NAMES}"
+        )
+    if size is None:
+        size = scaled_size(name, scale)
+    markers: Dict[str, List[int]] = {}
+    if name == "UCR":
+        values = generators.ucr_like(size, seed)
+    elif name == "PIPE":
+        values, markers = generators.pipe_like(size, seed)
+    elif name == "WALK":
+        values = generators.walk_like(size, seed)
+    elif name == "STOCK":
+        values = generators.stock_like(size, seed)
+    else:
+        values = generators.music_like(size, seed)
+    return Dataset(name=name, values=values, seed=seed, markers=markers)

@@ -1,0 +1,249 @@
+"""Synthetic stand-ins for the paper's five datasets (Table 2).
+
+Each generator is deterministic in its seed and produces one long data
+sequence (the paper likewise uses one long sequence per dataset, noting
+it "has the same effect as one consisting of multiple data sequences").
+
+What each stand-in preserves (see DESIGN.md for the substitution table):
+
+* ``ucr_like`` — concatenated motif families of varying repetitiveness,
+  like the UCR archive's mix of ECG/shape/sensor data.  Highly repeated
+  families create *dense* PAA clusters; one-off excursions create
+  *sparse* points, so both REGULAR and DENSE query workloads exist.
+* ``pipe_like`` — a quasi-periodic inspection signal with long dense
+  stretches plus three injected irregular pattern families (BEND, VALVE,
+  TEE) whose positions are returned as markers; queries built around
+  them map into dense *and* sparse regions simultaneously, the paper's
+  worst case for HLMJ.
+* ``walk_like`` — a Gaussian random walk (same model as the original).
+* ``stock_like`` — a log-price walk with volatility clustering.
+* ``music_like`` — piecewise-constant note levels with vibrato and
+  transition glides, as in query-by-humming pitch contours.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Marker dictionary: pattern family name -> start offsets.
+Markers = Dict[str, List[int]]
+
+
+def _check_size(n: int) -> None:
+    if n < 64:
+        raise ConfigurationError(f"dataset size must be >= 64, got {n}")
+
+
+def _smooth_template(rng: np.random.Generator, length: int) -> np.ndarray:
+    """A random smooth shape: integrated noise, low-pass filtered."""
+    raw = rng.standard_normal(length).cumsum()
+    kernel = np.ones(max(2, length // 16))
+    kernel /= kernel.size
+    smooth = np.convolve(raw, kernel, mode="same")
+    spread = smooth.max() - smooth.min()
+    if spread > 0:
+        smooth = (smooth - smooth.min()) / spread
+    return smooth
+
+
+def ucr_like(n: int, seed: int = 0) -> np.ndarray:
+    """UCR-archive-like mixture of motif families.
+
+    The sequence is a concatenation of segments.  Each segment belongs
+    to a *family*: a smooth template repeated with small jitter.  A few
+    families repeat many times (dense PAA clusters); interleaved
+    "excursion" segments are unique shapes (sparse points).
+    """
+    _check_size(n)
+    rng = np.random.default_rng(seed)
+    num_families = 8
+    family_templates = [
+        _smooth_template(rng, int(rng.integers(96, 256)))
+        for _ in range(num_families)
+    ]
+    # Two families dominate and repeat with small jitter: their windows
+    # form tight PAA clusters (the dense regions of Figure 2) while
+    # still leaving top-k answers discriminative.  The remaining
+    # families carry larger jitter; excursions are one-of-a-kind.
+    family_weights = np.array([4.0, 3.0] + [1.0] * (num_families - 2))
+    family_weights /= family_weights.sum()
+    family_jitter = np.array([0.03, 0.05] + [0.1] * (num_families - 2))
+    family_amp_spread = np.array(
+        [0.05, 0.08] + [0.25] * (num_families - 2)
+    )
+
+    pieces: List[np.ndarray] = []
+    total = 0
+    level = 0.0
+    while total < n:
+        if rng.random() < 0.25:
+            # Unique excursion: a one-off wandering segment — its
+            # windows are one-of-a-kind (sparse PAA points).
+            length = int(rng.integers(128, 384))
+            piece = level + rng.standard_normal(length).cumsum() * 0.6
+            level = float(piece[-1])
+        else:
+            family = int(rng.choice(num_families, p=family_weights))
+            template = family_templates[family]
+            amplitude = 2.0 * (
+                1.0 + family_amp_spread[family] * rng.standard_normal()
+            )
+            jitter = family_jitter[family] * rng.standard_normal(
+                template.size
+            )
+            # Dense families return to a fixed level so repeats are
+            # near-identical in absolute value, not just in shape.
+            base = 0.0 if family < 2 else level
+            piece = base + amplitude * template + jitter
+            level = float(piece[-1])
+        pieces.append(piece)
+        total += piece.size
+    return np.concatenate(pieces)[:n]
+
+
+#: Injected PIPE pattern lengths; queries are built around these.
+_PIPE_PATTERN_LENGTH = 192
+
+
+def _pipe_bend(rng: np.random.Generator) -> np.ndarray:
+    """A smooth wide bump (pipeline bend signature)."""
+    x = np.linspace(-3.0, 3.0, _PIPE_PATTERN_LENGTH)
+    bump = 4.0 * np.exp(-x * x)
+    return bump + 0.05 * rng.standard_normal(x.size)
+
+
+def _pipe_valve(rng: np.random.Generator) -> np.ndarray:
+    """Valve chatter: a burst of wide pressure pulses.
+
+    Pulses are wider than twice the benchmark warping width so they
+    survive both PAA averaging and envelope widening.  (Features
+    narrower than ``2 * rho`` are invisible to envelope-based lower
+    bounds — for *every* engine, including the paper's — so a
+    spike-train signature would make the experiment meaningless.)
+    """
+    pattern = 0.1 * rng.standard_normal(_PIPE_PATTERN_LENGTH)
+    pulse_width = 24
+    for index, pulse_at in enumerate(
+        np.linspace(16, _PIPE_PATTERN_LENGTH - pulse_width - 16, 4)
+    ):
+        start = int(pulse_at)
+        level = 4.0 if index % 2 == 0 else -3.0
+        pattern[start : start + pulse_width] += level * (
+            1.0 + 0.1 * rng.standard_normal()
+        )
+    return pattern
+
+
+def _pipe_tee(rng: np.random.Generator) -> np.ndarray:
+    """A level shift with ringing (tee-junction signature)."""
+    half = _PIPE_PATTERN_LENGTH // 2
+    x = np.arange(_PIPE_PATTERN_LENGTH, dtype=np.float64)
+    step = np.where(x < half, 0.0, 3.0)
+    ringing = 1.5 * np.exp(-(x - half) / 24.0) * np.sin((x - half) / 3.0)
+    ringing[: half] = 0.0
+    return step + ringing + 0.05 * rng.standard_normal(x.size)
+
+
+def pipe_like(n: int, seed: int = 0) -> Tuple[np.ndarray, Markers]:
+    """Gas-pipeline-inspection-like signal with injected patterns.
+
+    Returns ``(values, markers)`` where ``markers`` maps pattern family
+    ("BEND", "VALVE", "TEE") to the list of injection offsets.  The
+    carrier is a strongly periodic signal — pipe joints repeating every
+    few dozen samples — whose windows all collapse into a few dense PAA
+    clusters, exactly the regime where HLMJ's global queue drowns.
+    """
+    _check_size(n)
+    rng = np.random.default_rng(seed)
+    x = np.arange(n, dtype=np.float64)
+    carrier = (
+        1.2 * np.sin(2.0 * np.pi * x / 48.0)
+        + 0.4 * np.sin(2.0 * np.pi * x / 12.0)
+        + 0.05 * rng.standard_normal(n)
+    )
+    makers = {"BEND": _pipe_bend, "VALVE": _pipe_valve, "TEE": _pipe_tee}
+    markers: Markers = {name: [] for name in makers}
+    # Inject each family a handful of times, spaced out.
+    num_injections = max(3, n // 8192)
+    slots = np.linspace(
+        _PIPE_PATTERN_LENGTH,
+        n - 2 * _PIPE_PATTERN_LENGTH,
+        num=3 * num_injections,
+        dtype=int,
+    )
+    rng.shuffle(slots)
+    for index, offset in enumerate(slots):
+        name = ("BEND", "VALVE", "TEE")[index % 3]
+        pattern = makers[name](rng)
+        carrier[offset : offset + pattern.size] += pattern
+        markers[name].append(int(offset))
+    for name in markers:
+        markers[name].sort()
+    return carrier, markers
+
+
+def walk_like(n: int, seed: int = 0) -> np.ndarray:
+    """Gaussian random walk (the WALK dataset's generative model)."""
+    _check_size(n)
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n).cumsum()
+
+
+def stock_like(n: int, seed: int = 0) -> np.ndarray:
+    """Log-price walk with volatility clustering (STOCK stand-in)."""
+    _check_size(n)
+    rng = np.random.default_rng(seed)
+    volatility = np.empty(n)
+    vol = 0.01
+    for index in range(n):
+        vol = 0.95 * vol + 0.05 * (0.01 + 0.04 * rng.random())
+        volatility[index] = vol
+    returns = volatility * rng.standard_normal(n)
+    drift = 0.0001
+    return 100.0 * np.exp((returns + drift).cumsum())
+
+
+def music_like(n: int, seed: int = 0) -> np.ndarray:
+    """Piecewise-constant pitch contour with vibrato (MUSIC stand-in).
+
+    A slow tuning drift is superimposed so that repeats of the same
+    note sequence are close but not byte-identical — real pitch
+    trackers drift too, and without it the quantized scale collapses
+    most windows into a handful of identical PAA points, which would
+    deny *every* index method any selectivity.
+    """
+    _check_size(n)
+    rng = np.random.default_rng(seed)
+    values = np.empty(n)
+    position = 0
+    degree = 0
+    scale = np.array([0, 2, 4, 5, 7, 9, 11], dtype=np.float64)
+    while position < n:
+        duration = int(rng.integers(16, 64))
+        degree = int(np.clip(degree + rng.integers(-3, 4), -10, 10))
+        octave, step = divmod(degree, len(scale))
+        # Sung notes land slightly off-pitch with varying vibrato —
+        # that intonation error is what keeps repeats of a melodic
+        # figure distinguishable in a real F0 track.
+        pitch = (
+            12.0 * octave
+            + scale[step]
+            + 0.3 * rng.standard_normal()
+        )
+        end = min(n, position + duration)
+        span = np.arange(end - position)
+        depth = 0.1 + 0.15 * rng.random()
+        vibrato = depth * np.sin(
+            2.0 * np.pi * span / rng.uniform(6.0, 10.0)
+        )
+        values[position:end] = pitch + vibrato
+        position = end
+    # Short glides between notes plus pitch-tracking noise and drift.
+    kernel = np.ones(4) / 4.0
+    glided = np.convolve(values, kernel, mode="same")
+    drift = 0.02 * rng.standard_normal(n).cumsum()
+    return glided + drift + 0.05 * rng.standard_normal(n)

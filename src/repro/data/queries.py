@@ -1,0 +1,183 @@
+"""Query workload generators (Experiments 1, 2, and the PIPE queries).
+
+* :func:`regular_queries` — the paper's standard workload: subsequences
+  of length ``Len(Q)`` extracted at random offsets [7, 12, 16].
+* :func:`dense_queries` — the UCR-DENSE workload of Experiment 2: each
+  query is stitched from a subsequence whose windows map into a *dense*
+  region of PAA space and one whose windows map into a *sparse* region,
+  manufacturing the MDMWP-scheduling pathology of Figure 2.
+* :func:`pattern_queries` — the PIPE-BEND/VALVE/TEE workloads: queries
+  cut around injected pattern instances, so their windows mix the dense
+  periodic carrier with the sparse irregular pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.paa import paa
+from repro.data.datasets import Dataset
+from repro.exceptions import ConfigurationError
+
+
+def _check(values: np.ndarray, length: int, count: int) -> None:
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    if length < 2 or length > values.size:
+        raise ConfigurationError(
+            f"query length {length} invalid for data of size {values.size}"
+        )
+
+
+def regular_queries(
+    values: np.ndarray,
+    length: int,
+    count: int,
+    seed: int = 0,
+    omega: int = 0,
+    features: int = 4,
+    max_density_quantile: float = 0.25,
+) -> List[np.ndarray]:
+    """``count`` random extracted subsequences of ``length``.
+
+    When ``omega`` is given, offsets whose covered windows exceed the
+    ``max_density_quantile`` of the window-density distribution are
+    rejected; this reproduces the paper's characterisation of
+    UCR-REGULAR as a query set "having no very dense windows"
+    (Section 6.2).  With ``omega=0`` sampling is fully uniform.
+    """
+    _check(values, length, count)
+    rng = np.random.default_rng(seed)
+    if omega <= 0:
+        starts = rng.integers(0, values.size - length + 1, size=count)
+        return [values[start : start + length].copy() for start in starts]
+    densities = window_densities(values, omega, features)
+    cutoff = float(np.quantile(densities, max_density_quantile))
+    queries: List[np.ndarray] = []
+    attempts = 0
+    while len(queries) < count:
+        start = int(rng.integers(0, values.size - length + 1))
+        attempts += 1
+        first = start // omega
+        last = min(densities.size - 1, (start + length - 1) // omega)
+        if (
+            attempts < 200 * count
+            and densities[first : last + 1].max() > cutoff
+        ):
+            continue
+        queries.append(values[start : start + length].copy())
+    return queries
+
+
+def window_densities(
+    values: np.ndarray, omega: int, features: int
+) -> np.ndarray:
+    """Per-disjoint-window density of the PAA point cloud.
+
+    Each window's PAA point is hashed to a grid cell (cell size = half a
+    per-dimension standard deviation); a window's density is its cell's
+    population.  This is the notion of "dense region" behind Figure 2
+    and the UCR-DENSE workload.
+    """
+    num_windows = values.size // omega
+    if num_windows < 2:
+        raise ConfigurationError(
+            f"need >= 2 windows, got {num_windows} (omega={omega})"
+        )
+    points = np.stack(
+        [
+            paa(values[index * omega : (index + 1) * omega], features)
+            for index in range(num_windows)
+        ]
+    )
+    spread = points.std(axis=0)
+    spread[spread == 0.0] = 1.0
+    cells = np.floor(points / (0.5 * spread)).astype(np.int64)
+    population: Dict[Tuple[int, ...], int] = {}
+    keys = [tuple(cell) for cell in cells]
+    for key in keys:
+        population[key] = population.get(key, 0) + 1
+    return np.array([population[key] for key in keys], dtype=np.float64)
+
+
+def dense_queries(
+    values: np.ndarray,
+    length: int,
+    count: int,
+    omega: int,
+    features: int,
+    seed: int = 0,
+) -> List[np.ndarray]:
+    """The UCR-DENSE workload: queries mixing dense and sparse windows.
+
+    Real extracted subsequences are chosen to straddle a boundary
+    between a dense PAA cluster and a sparse region: some of their
+    windows map into a dense index region (flooding HLMJ's global
+    queue) while others map into a sparse one (whose consumption would
+    grow the lower bound fast) — exactly the Figure 2 pathology.
+    Because the queries are genuine subsequences, exact matches exist
+    and ``delta_cur`` behaves as in the paper's extracted-query setup.
+    """
+    _check(values, length, count)
+    rng = np.random.default_rng(seed)
+    densities = window_densities(values, omega, features)
+    windows_per_query = length // omega
+    if windows_per_query < 2:
+        raise ConfigurationError(
+            f"query length {length} spans fewer than 2 windows of size "
+            f"{omega}; cannot mix dense and sparse windows"
+        )
+    half = max(1, windows_per_query // 2)
+    num_starts = densities.size - windows_per_query + 1
+    if num_starts < 1:
+        raise ConfigurationError("data too short for the query length")
+    # Score each aligned start by the contrast between its densest and
+    # sparsest halves; high contrast = the mixed-density pathology.
+    scores = np.empty(num_starts)
+    for start in range(num_starts):
+        block = densities[start : start + windows_per_query]
+        first = block[:half].mean()
+        second = block[half:].mean()
+        high, low = max(first, second), min(first, second)
+        scores[start] = high / (low + 1.0)
+    ranked = np.argsort(scores)[::-1]
+    pool = ranked[: max(count * 4, 8)]
+    chosen = rng.choice(pool, size=count, replace=count > pool.size)
+    return [
+        values[start * omega : start * omega + length].copy()
+        for start in (int(index) for index in chosen)
+    ]
+
+
+def pattern_queries(
+    dataset: Dataset,
+    family: str,
+    length: int,
+    count: int,
+    seed: int = 0,
+) -> List[np.ndarray]:
+    """PIPE-style queries cut around injected pattern instances.
+
+    ``family`` is one of the dataset's marker families ("BEND", "VALVE",
+    "TEE" for PIPE).  Each query centres one injected instance inside
+    surrounding carrier signal.
+    """
+    values = dataset.values
+    _check(values, length, count)
+    offsets = dataset.markers.get(family)
+    if not offsets:
+        raise ConfigurationError(
+            f"dataset {dataset.name!r} has no markers for family "
+            f"{family!r}; available: {sorted(dataset.markers)}"
+        )
+    rng = np.random.default_rng(seed)
+    queries: List[np.ndarray] = []
+    for _ in range(count):
+        marker = int(rng.choice(offsets))
+        start = min(
+            max(0, marker - length // 4), values.size - length
+        )
+        queries.append(values[start : start + length].copy())
+    return queries

@@ -1,0 +1,40 @@
+"""Query engines.
+
+Five engines implement Problem Definition 1 (exact top-k subsequence
+matching under banded DTW); all of them must return the same distance
+multiset:
+
+* :mod:`repro.engines.seqscan` — LB_Keogh-filtered sequential scan.
+* :mod:`repro.engines.hlmj` — the HLMJ baseline [12]: one global priority
+  queue with MDMWP-distance pruning.
+* :mod:`repro.engines.psm` — the adapted PSM baseline [22]: progressive
+  index merge with bloom-filter join signatures.
+* :mod:`repro.engines.ranked_union` — the paper's contribution: the
+  ranked-union operator tree (``∪_r`` over one ``Φ_i`` per MSEQ), with
+  pluggable priority-queue scheduling.  ``RU`` uses the default max-delta
+  strategy; ``RU-COST`` uses cost-aware density-based scheduling with
+  selective expansion (:mod:`repro.engines.cost_density`).
+
+Shared plumbing lives in :mod:`repro.engines.base` (candidate evaluation,
+deferred retrieval, stats) and :mod:`repro.engines.operators` (the
+extended iterator protocol of Definition 5).
+"""
+
+from repro.engines.base import Engine, EngineConfig, SearchResult
+from repro.engines.hlmj import HlmjEngine
+from repro.engines.psm import PsmEngine, build_sliding_index
+from repro.engines.range_search import RangeSearchEngine
+from repro.engines.ranked_union import RankedUnionEngine
+from repro.engines.seqscan import SeqScanEngine
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "SearchResult",
+    "SeqScanEngine",
+    "HlmjEngine",
+    "PsmEngine",
+    "build_sliding_index",
+    "RangeSearchEngine",
+    "RankedUnionEngine",
+]

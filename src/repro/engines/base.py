@@ -1,0 +1,255 @@
+"""Shared engine plumbing.
+
+:class:`CandidateEvaluator` centralises everything that happens once an
+engine decides a candidate subsequence is worth looking at:
+
+* duplicate suppression (a candidate is reachable through many matching
+  window pairs — Section 2 of the paper);
+* index-level lower-bound pruning against ``delta_cur``;
+* the deferred retrieval path ("(D)" variants) versus immediate
+  retrieval;
+* the retrieval pipeline itself: fault candidate pages through the
+  buffer pool, cascade ``LB_Keogh`` then early-abandoning ``DTW_rho``,
+  and offer survivors to the shared top-k collector.
+
+Keeping this in one place guarantees that all five engines measure
+candidates, page accesses, and prunes identically, so the benchmark
+comparisons test *scheduling and bounds*, not bookkeeping differences.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.distance import dtw_pow
+from repro.core.envelope import Envelope
+from repro.core.lower_bounds import lb_keogh_pow
+from repro.core.metrics import QueryStats, StatsRecorder
+from repro.core.results import Match, TopKCollector
+from repro.core.windows import QueryWindowSet
+from repro.exceptions import ConfigurationError
+from repro.index.builder import DualMatchIndex
+from repro.storage.deferred import CandidateRequest, DeferredRetrievalBuffer
+
+#: Bytes per stored value, used to express the deferred budget as a
+#: fraction of database size (the paper uses 0.5 %).
+_VALUE_BYTES = 8
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Search-time knobs shared by every engine.
+
+    Attributes
+    ----------
+    k:
+        Number of results.
+    rho:
+        Warping width.  The benchmarks use the paper's 5 % of ``Len(Q)``.
+    deferred:
+        Enable the deferred retrieval mechanism (the "(D)" variants).
+    deferred_fraction:
+        Memory budget for delayed requests as a fraction of database
+        bytes (paper: 0.005).
+    p:
+        Norm order.
+    """
+
+    k: int
+    rho: int
+    deferred: bool = False
+    deferred_fraction: float = 0.005
+    p: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if self.rho < 0:
+            raise ConfigurationError(f"rho must be >= 0, got {self.rho}")
+        if not 0 < self.deferred_fraction <= 1:
+            raise ConfigurationError(
+                f"deferred_fraction must be in (0, 1], got "
+                f"{self.deferred_fraction}"
+            )
+
+
+@dataclass
+class SearchResult:
+    """Matches plus the per-query counters the paper reports."""
+
+    matches: List[Match]
+    stats: QueryStats
+
+    @property
+    def distances(self) -> List[float]:
+        return [match.distance for match in self.matches]
+
+
+class CandidateEvaluator:
+    """Retrieval, pruning, and top-k maintenance for one query run."""
+
+    def __init__(
+        self,
+        index: DualMatchIndex,
+        envelope: Envelope,
+        query: np.ndarray,
+        config: EngineConfig,
+        stats: QueryStats,
+    ) -> None:
+        self._index = index
+        self._envelope = envelope
+        self._query = query
+        self._config = config
+        self.stats = stats
+        self.collector = TopKCollector(config.k, p=config.p)
+        self._seen: Set[Tuple[int, int]] = set()
+        self._deferred: Optional[DeferredRetrievalBuffer] = None
+        if config.deferred:
+            database_bytes = index.store.total_values * _VALUE_BYTES
+            self._deferred = DeferredRetrievalBuffer(
+                DeferredRetrievalBuffer.capacity_for_database(
+                    database_bytes, config.deferred_fraction
+                )
+            )
+
+    @property
+    def threshold_pow(self) -> float:
+        """``delta_cur ** p`` — the current pruning threshold."""
+        return self.collector.threshold_pow
+
+    @property
+    def query_length(self) -> int:
+        return int(self._query.size)
+
+    def already_seen(self, sid: int, start: int) -> bool:
+        """Whether a candidate was already submitted (no side effects)."""
+        return (sid, start) in self._seen
+
+    def submit(
+        self, sid: int, start: int, lower_bound_pow: float
+    ) -> Optional[float]:
+        """Route one candidate: dedupe, prune, defer or evaluate.
+
+        ``lower_bound_pow`` is the index-level lower bound (p-th power)
+        that admitted the candidate — MDMWP for HLMJ, MSEQ-distance for
+        the ranked-union engines, the join-state score for PSM.
+
+        Returns the candidate's DTW distance (p-th power) when it was
+        evaluated immediately and survived the LB_Keogh cascade; ``None``
+        when it was a duplicate, pruned, deferred, or LB_Keogh-killed.
+        The ``Φ`` operator uses the returned distance to feed its local
+        candidate queue (``candMinQ_Φ`` in the paper).
+        """
+        key = (sid, start)
+        if key in self._seen:
+            self.stats.duplicates_suppressed += 1
+            return None
+        self._seen.add(key)
+        if lower_bound_pow > self.threshold_pow:
+            self.stats.pruned_by_lower_bound += 1
+            return None
+        if self._deferred is not None:
+            self._deferred.add(
+                CandidateRequest(
+                    sid=sid,
+                    start=start,
+                    length=self.query_length,
+                    lower_bound=lower_bound_pow,
+                )
+            )
+            if self._deferred.is_full:
+                self.flush()
+            return None
+        return self._evaluate(sid, start)
+
+    def _evaluate(self, sid: int, start: int) -> Optional[float]:
+        """Retrieve one candidate and run the LB_Keogh -> DTW cascade."""
+        values = self._index.store.get_subsequence(
+            sid, start, self.query_length
+        )
+        self.stats.candidates += 1
+        threshold_pow = self.threshold_pow
+        self.stats.lb_keogh_computations += 1
+        keogh_pow = lb_keogh_pow(self._envelope, values, self._config.p)
+        if keogh_pow > threshold_pow:
+            self.stats.pruned_by_lb_keogh += 1
+            return None
+        self.stats.dtw_computations += 1
+        distance_pow = dtw_pow(
+            values,
+            self._query,
+            self._config.rho,
+            p=self._config.p,
+            threshold_pow=threshold_pow,
+        )
+        self.collector.offer_pow(distance_pow, sid, start)
+        return distance_pow
+
+    def flush(self) -> None:
+        """Drain the deferred buffer (storage order, threshold re-check)."""
+        if self._deferred is None or len(self._deferred) == 0:
+            return
+        self.stats.deferred_flushes += 1
+        for request in self._deferred.drain(threshold=self.threshold_pow):
+            self._evaluate(request.sid, request.start)
+
+    def finalize(self) -> None:
+        """Flush any remaining deferred requests before returning results."""
+        self.flush()
+
+
+class Engine(abc.ABC):
+    """Base class: owns the index and the search template.
+
+    Subclasses implement :meth:`_run`, which drives their traversal and
+    submits candidates through the provided evaluator.
+    """
+
+    #: Short name used in benchmark tables ("HLMJ", "RU-COST", ...).
+    name: str = "engine"
+
+    def __init__(self, index: DualMatchIndex) -> None:
+        self.index = index
+
+    def search(
+        self, query: Sequence[float], config: EngineConfig
+    ) -> SearchResult:
+        """Run one top-k query and return matches plus counters."""
+        window_set = QueryWindowSet.from_query(
+            query,
+            omega=self.index.omega,
+            features=self.index.features,
+            rho=config.rho,
+            p=config.p,
+            data_stride=getattr(self.index, "data_stride", None),
+        )
+        recorder = StatsRecorder(
+            self.index.store.pager, self.index.store.buffer
+        ).start()
+        evaluator = CandidateEvaluator(
+            index=self.index,
+            envelope=window_set.envelope,
+            query=window_set.query,
+            config=config,
+            stats=recorder.stats,
+        )
+        self._run(window_set, evaluator, config)
+        evaluator.finalize()
+        stats = recorder.finish()
+        return SearchResult(
+            matches=evaluator.collector.matches(window_set.length),
+            stats=stats,
+        )
+
+    @abc.abstractmethod
+    def _run(
+        self,
+        window_set: QueryWindowSet,
+        evaluator: CandidateEvaluator,
+        config: EngineConfig,
+    ) -> None:
+        """Traverse the index / data and submit candidates."""

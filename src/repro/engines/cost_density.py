@@ -1,0 +1,481 @@
+"""RU-COST: cost-aware density-based scheduling with selective expansion.
+
+Implements Section 4 of the paper.  For each priority queue the
+*cost-aware density* (Definition 7) is::
+
+              alpha * NUM_IO(le_1..le_h) + beta * h
+    CDens = ------------------------------------------
+              LB_PAA(le_h)  -  LB_PAA(le_p)
+
+where ``le_1..le_h`` are the queue's next ``h`` leaf entries, ``le_p``
+the last popped leaf entry, and ``NUM_IO`` counts candidate pages that
+would miss the buffer (probed through the residence bitmap, never read).
+Popping from the *least dense* queue grows the MSEQ-distance fastest per
+unit of I/O — the fix for the MDMWP scheduling problem.
+
+Computing ``CDens`` exactly requires knowing the next ``h`` leaf
+entries, which may hide behind unexpanded MBRs.  The scheduler therefore:
+
+1. picks a **pivot** queue by a cheap density estimate built from the
+   ``[MINDIST, MAXDIST]`` ranges already carried by queue entries
+   (uniform-distribution assumption, as in the paper);
+2. resolves the pivot's exact ``CDens`` (expanding only its own nodes);
+3. for every other queue computes ``LB_CDens`` (Definition 8) from the
+   *current* queue contents — a proven lower bound (Lemma 7) — and
+   **selectively expands** only queues whose bound stays below the
+   pivot's density, adopting any queue whose exact density beats the
+   pivot.
+
+The lookahead ``h`` defaults to the index blocking factor, which the
+paper found uniformly stable; ``adaptive_h`` enables the
+start-small-and-grow variant the paper mentions as future work
+(ablation benches exercise both).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.lower_bounds import root
+from repro.core.windows import candidate_in_bounds, candidate_start
+from repro.engines.queues import LEAF, NODE, QueueEntry, WindowQueue
+from repro.exceptions import ConfigurationError
+from repro.index.rstar import LeafRecord
+from repro.storage.sequences import SequenceStore
+
+#: A density key: (density value, denominator).  Comparison is
+#: lexicographic — the paper breaks zero-density ties on the smaller
+#: denominator.
+DensityKey = Tuple[float, float]
+
+_WORST: DensityKey = (math.inf, math.inf)
+
+
+@dataclass(frozen=True)
+class CostDensityConfig:
+    """Tuning knobs for RU-COST (paper defaults: alpha=1, beta=0)."""
+
+    alpha: float = 1.0
+    beta: float = 0.0
+    #: Lookahead depth ``h``; ``None`` means the index blocking factor.
+    lookahead_h: Optional[int] = None
+    #: Start with ``h = 1`` and double per selection up to the blocking
+    #: factor (the paper's future-work adaptive variant; ablation only).
+    adaptive_h: bool = False
+    #: Disable to fall back to exact densities everywhere (ablation).
+    selective_expansion: bool = True
+    #: Node expansions the scheduler may perform per queue per select
+    #: call.  Bounds the scheduling overhead: at scale the expansions
+    #: amortise (expanded entries stay in the queue), while on small
+    #: workloads the *effective* lookahead simply shrinks below ``h``
+    #: instead of force-expanding every queue.
+    max_expansions_per_select: int = 1
+    #: Pops consumed from a selected queue before densities are
+    #: re-evaluated (see CostAwareStrategy).
+    sticky_pops: int = 12
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ConfigurationError(
+                f"alpha/beta must be non-negative, got {self.alpha}, "
+                f"{self.beta}"
+            )
+        if self.lookahead_h is not None and self.lookahead_h < 1:
+            raise ConfigurationError(
+                f"lookahead_h must be >= 1, got {self.lookahead_h}"
+            )
+        if self.max_expansions_per_select < 0:
+            raise ConfigurationError(
+                f"max_expansions_per_select must be >= 0, got "
+                f"{self.max_expansions_per_select}"
+            )
+
+
+class CostAwareDensityScheduler:
+    """Selects the next queue to pop using cost-aware densities."""
+
+    def __init__(
+        self,
+        store: SequenceStore,
+        query_length: int,
+        omega: int,
+        blocking_factor: int,
+        p: float,
+        config: CostDensityConfig,
+        cap_for: Callable[[WindowQueue], float],
+    ) -> None:
+        self._store = store
+        self._query_length = query_length
+        self._omega = omega
+        self._p = p
+        self._config = config
+        self._cap_for = cap_for
+        self._h_max = (
+            config.lookahead_h
+            if config.lookahead_h is not None
+            else blocking_factor
+        )
+        self._h_current = 1 if config.adaptive_h else self._h_max
+        # Per-queue caches keyed by id(queue); values carry the queue
+        # version (and lookahead) they were computed under.
+        self._lb_cache: Dict[int, Tuple[int, int, DensityKey]] = {}
+        self._exact_cache: Dict[int, Tuple[int, int, DensityKey, int]] = {}
+        self._approx_cache: Dict[int, Tuple[int, float]] = {}
+        self._prefix_cache: Dict[int, Tuple[int, int, tuple]] = {}
+        # Candidate-page layout is immutable per (sid, window, offset).
+        self._pages_cache: Dict[Tuple[int, int, int], Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+
+    def select(self, queues: Sequence[WindowQueue]) -> WindowQueue:
+        """Choose the queue to pop next (Section 4's RU-COST policy)."""
+        live = [queue for queue in queues if not queue.is_empty]
+        if not live:
+            raise ConfigurationError("select() called with no live queues")
+        if len(live) == 1:
+            return live[0]
+        h = self._advance_h()
+
+        if not self._config.selective_expansion:
+            # Ablation path: exact density everywhere.
+            return min(live, key=lambda queue: self._exact_cdens(queue, h))
+
+        pivot = min(live, key=self._approx_density)
+        pivot_key, resolved = self._exact_cdens_resolved(pivot, h)
+        # Compare every queue at the lookahead the pivot actually
+        # resolved within its expansion budget; on large workloads this
+        # is ``h`` itself, on small ones it degrades gracefully.
+        h_eff = max(1, min(h, resolved))
+        improved = True
+        while improved:
+            improved = False
+            for queue in live:
+                if queue is pivot or queue.is_empty:
+                    continue
+                budget = self._config.max_expansions_per_select
+                while self._lb_cdens(queue, h_eff) < pivot_key:
+                    if self._prefix_resolved(queue, h_eff):
+                        exact_key = self._exact_cdens(queue, h_eff)
+                        if exact_key < pivot_key:
+                            pivot, pivot_key = queue, exact_key
+                            improved = True
+                        break
+                    if budget <= 0:
+                        break
+                    if not queue.expand_first_node(self._cap_for(queue)):
+                        break
+                    budget -= 1
+                    if queue.is_empty:
+                        break
+        if pivot.is_empty:
+            # Expansion pruning may have emptied the pivot; fall back to
+            # any surviving queue with the best bound.
+            survivors = [queue for queue in live if not queue.is_empty]
+            if not survivors:
+                return live[0]
+            return min(
+                survivors, key=lambda queue: self._lb_cdens(queue, h_eff)
+            )
+        return pivot
+
+    def _advance_h(self) -> int:
+        if not self._config.adaptive_h:
+            return self._h_max
+        h = self._h_current
+        self._h_current = min(self._h_max, self._h_current * 2)
+        return h
+
+    # ------------------------------------------------------------------
+    # NUM_IO — bitmap-based candidate page counting
+    # ------------------------------------------------------------------
+
+    def _candidate_pages(
+        self, record: LeafRecord, sliding_offset: int
+    ) -> Tuple[int, ...]:
+        key = (record.sid, record.window_index, sliding_offset)
+        cached = self._pages_cache.get(key)
+        if cached is not None:
+            return cached
+        start = candidate_start(
+            record.window_index, sliding_offset, self._omega
+        )
+        if not candidate_in_bounds(
+            start, self._query_length, self._store.length(record.sid)
+        ):
+            pages: Tuple[int, ...] = ()
+        else:
+            pages = tuple(
+                self._store.pages_for_range(
+                    record.sid, start, self._query_length
+                )
+            )
+        self._pages_cache[key] = pages
+        return pages
+
+    def _num_io(
+        self, leaves: Sequence[QueueEntry], sliding_offset: int
+    ) -> int:
+        pages: Set[int] = set()
+        for _dist, _seq, _kind, payload, _far in leaves:
+            pages.update(
+                self._candidate_pages(payload, sliding_offset)
+            )  # type: ignore[arg-type]
+        return self._store.buffer.count_non_resident(pages)
+
+    # ------------------------------------------------------------------
+    # Density computations
+    # ------------------------------------------------------------------
+
+    def _density_key(self, cost: float, denominator: float) -> DensityKey:
+        if denominator <= 1e-12:
+            # Zero spread: infinitely dense unless also zero cost, in
+            # which case the smallest-denominator tie-break applies.
+            return (math.inf, 0.0) if cost > 0 else (0.0, 0.0)
+        return (cost / denominator, denominator)
+
+    def _scan_prefix(
+        self, queue: WindowQueue, h: int
+    ) -> Tuple[List[QueueEntry], bool, List[QueueEntry]]:
+        """Scan sorted entries until ``h`` leaves are seen.
+
+        Returns ``(leaves, saw_node_before_hth_leaf, pre_node_leaves)``
+        where ``pre_node_leaves`` are leaves ordered before the first
+        node entry (Definition 8's ``le'_1..le'_{m-1}``).
+        """
+        cached = self._prefix_cache.get(id(queue))
+        if (
+            cached is not None
+            and cached[0] == queue.version
+            and cached[1] == h
+        ):
+            return cached[2]  # type: ignore[return-value]
+        result = self._scan_prefix_uncached(queue, h)
+        self._prefix_cache[id(queue)] = (queue.version, h, result)
+        return result
+
+    def _scan_prefix_uncached(
+        self, queue: WindowQueue, h: int
+    ) -> Tuple[List[QueueEntry], bool, List[QueueEntry]]:
+        limit = max(2 * h, 8)
+        while True:
+            prefix = queue.sorted_prefix(limit)
+            leaves: List[QueueEntry] = []
+            pre_node_leaves: List[QueueEntry] = []
+            saw_node = False
+            for entry in prefix:
+                if entry[2] == NODE:
+                    saw_node = True
+                else:
+                    leaves.append(entry)
+                    if not saw_node:
+                        pre_node_leaves.append(entry)
+                    if len(leaves) == h:
+                        return leaves, saw_node, pre_node_leaves
+            if len(prefix) >= len(queue):
+                return leaves, saw_node, pre_node_leaves
+            limit *= 2
+
+    def _prefix_resolved(self, queue: WindowQueue, h: int) -> bool:
+        """True when no node entry hides among the next ``h`` leaves."""
+        leaves, saw_node, _pre = self._scan_prefix(queue, h)
+        if len(leaves) < h:
+            # Fewer than h leaves known; resolved only if no nodes remain.
+            return not any(
+                entry[2] == NODE for entry in queue.iter_entries()
+            )
+        return not saw_node
+
+    def _density_from_leaves(
+        self, queue: WindowQueue, leaves: Sequence[QueueEntry]
+    ) -> DensityKey:
+        if not leaves:
+            return _WORST
+        offset = queue.window.sliding_offset
+        cost = (
+            self._config.alpha * self._num_io(leaves, offset)
+            + self._config.beta * len(leaves)
+        )
+        denominator = root(leaves[-1][0], self._p) - root(
+            queue.last_popped_leaf_pow, self._p
+        )
+        return self._density_key(cost, denominator)
+
+    def _exact_cdens_resolved(
+        self, queue: WindowQueue, h: int
+    ) -> Tuple[DensityKey, int]:
+        """Definition 7 under the expansion budget.
+
+        Expands the queue's own nearest nodes (counted I/O, at most
+        ``max_expansions_per_select``) until the top-``h`` leaf entries
+        are in the clear or the budget runs out, then evaluates the
+        density over the leaves actually resolved.  Returns the density
+        key and the resolved leaf count (the effective lookahead).
+        """
+        cached = self._exact_cache.get(id(queue))
+        if (
+            cached is not None
+            and cached[0] == queue.version
+            and cached[1] == h
+        ):
+            return cached[2], cached[3]
+        budget = self._config.max_expansions_per_select
+        while budget > 0 and not self._prefix_resolved(queue, h):
+            if not queue.expand_first_node(self._cap_for(queue)):
+                break
+            budget -= 1
+            if queue.is_empty:
+                break
+        # Leaves before the first remaining node are the pops whose
+        # order is already final (Lemma 7's argument).
+        leaves, saw_node, pre_node_leaves = self._scan_prefix(queue, h)
+        resolved = pre_node_leaves if saw_node else leaves
+        key = self._density_from_leaves(queue, resolved)
+        self._exact_cache[id(queue)] = (
+            queue.version,
+            h,
+            key,
+            len(resolved),
+        )
+        return key, len(resolved)
+
+    def _exact_cdens(self, queue: WindowQueue, h: int) -> DensityKey:
+        """Density over the resolvable lookahead (budgeted Definition 7)."""
+        key, _resolved = self._exact_cdens_resolved(queue, h)
+        return key
+
+    def _lb_cdens(self, queue: WindowQueue, h: int) -> DensityKey:
+        """Definition 8 — a lower bound on :meth:`_exact_cdens` (Lemma 7)."""
+        cached = self._lb_cache.get(id(queue))
+        if (
+            cached is not None
+            and cached[0] == queue.version
+            and cached[1] == h
+        ):
+            return cached[2]
+        leaves, _saw_node, pre_node_leaves = self._scan_prefix(queue, h)
+        if len(leaves) < h and any(
+            entry[2] == NODE for entry in queue.iter_entries()
+        ):
+            # The h-th leaf is unknown and could be arbitrarily far, so
+            # the only safe lower bound is zero density (expansion
+            # pressure); the per-select expansion budget keeps this from
+            # degenerating into full expansion.
+            key: DensityKey = (0.0, math.inf)
+        elif not leaves:
+            key = _WORST
+        else:
+            offset = queue.window.sliding_offset
+            cost = (
+                self._config.alpha * self._num_io(pre_node_leaves, offset)
+                + self._config.beta * h
+            )
+            denominator = root(leaves[-1][0], self._p) - root(
+                queue.last_popped_leaf_pow, self._p
+            )
+            key = self._density_key(cost, denominator)
+        self._lb_cache[id(queue)] = (queue.version, h, key)
+        return key
+
+    # ------------------------------------------------------------------
+    # Pivot approximation (no expansion, no I/O)
+    # ------------------------------------------------------------------
+
+    def _approx_density(self, queue: WindowQueue) -> float:
+        """Estimate density from [MINDIST, MAXDIST] ranges.
+
+        Every node entry is assumed to hold ``h_max`` leaf entries spread
+        uniformly over its distance range (the paper's uniformity
+        assumption); leaf entries count as themselves.  The estimated
+        distance of the ``h``-th leaf gives the density denominator; the
+        numerator is the pessimistic ``alpha * h + beta * h``.
+        """
+        cached = self._approx_cache.get(id(queue))
+        if cached is not None and cached[0] == queue.version:
+            return cached[1]
+        h = self._h_max
+        # Only the nearest entries can shape the h-th-leaf estimate; a
+        # bounded prefix keeps the estimator O(h log n) per refresh.
+        prefix = queue.sorted_prefix(max(4 * h, 16))
+        ranges: List[Tuple[float, float, float]] = []
+        for dist_pow, _seq, kind, _payload, far_pow in prefix:
+            low = root(dist_pow, self._p)
+            high = low if kind == LEAF else root(far_pow, self._p)
+            count = 1.0 if kind == LEAF else float(self._h_max)
+            ranges.append((low, high, count))
+        estimate = self._estimate_hth_distance(ranges, h)
+        anchor = root(queue.last_popped_leaf_pow, self._p)
+        spread = estimate - anchor
+        if spread <= 1e-12:
+            value = math.inf
+        else:
+            value = (
+                self._config.alpha * h + self._config.beta * h
+            ) / spread
+        self._approx_cache[id(queue)] = (queue.version, value)
+        return value
+
+    @staticmethod
+    def _estimate_hth_distance(
+        ranges: List[Tuple[float, float, float]], h: int
+    ) -> float:
+        """Distance at which the expected leaf count reaches ``h``.
+
+        ``ranges`` holds ``(low, high, expected_count)`` triples with
+        counts assumed uniform over ``[low, high]``.
+        """
+        if not ranges:
+            return math.inf
+        # Sweep over endpoints, maintaining the total density (count per
+        # unit distance) of the ranges active at the sweep position.
+        events: List[Tuple[float, float]] = []  # (position, density delta)
+        point_mass: List[Tuple[float, float]] = []  # degenerate ranges
+        for low, high, count in ranges:
+            if high <= low or not math.isfinite(high):
+                # Degenerate or unbounded range (e.g. the root entry,
+                # whose MAXDIST is unknown): treat the expected leaves
+                # as sitting at the lower edge — conservative for pivot
+                # selection.
+                point_mass.append((low, count))
+                continue
+            density = count / (high - low)
+            events.append((low, density))
+            events.append((high, -density))
+        events.sort()
+        point_mass.sort()
+
+        mass = 0.0
+        density = 0.0
+        position = events[0][0] if events else point_mass[0][0]
+        event_index = 0
+        point_index = 0
+        while event_index < len(events) or point_index < len(point_mass):
+            next_event = (
+                events[event_index][0]
+                if event_index < len(events)
+                else math.inf
+            )
+            next_point = (
+                point_mass[point_index][0]
+                if point_index < len(point_mass)
+                else math.inf
+            )
+            target = min(next_event, next_point)
+            if density > 0.0 and target > position:
+                gained = density * (target - position)
+                if mass + gained >= h:
+                    return position + (h - mass) / density
+                mass += gained
+            position = max(position, target)
+            if next_point <= next_event:
+                mass += point_mass[point_index][1]
+                point_index += 1
+            else:
+                density += events[event_index][1]
+                event_index += 1
+            if mass >= h:
+                return position
+        return position

@@ -1,0 +1,192 @@
+"""HLMJ: the prior state of the art (Han et al., VLDB 2007 [12]).
+
+One **global** minimum priority queue holds matching pairs of every
+sliding query window with R*-tree nodes and leaf entries, ordered by
+their index-level distance (MINDIST for nodes, ``LB_PAA`` for points).
+When a leaf pair is popped, its **MDMWP-distance** — ``(r * d^p)^(1/p)``
+with ``r`` the guaranteed number of disjoint windows inside a candidate
+(Definition 2) — is compared against ``delta_cur``; because pops come out
+in non-decreasing ``d``, the first pop whose MDMWP-distance exceeds
+``delta_cur`` terminates the whole search.
+
+This engine exists to reproduce the paper's motivating pathology: when
+some query windows land in dense index regions and others in sparse
+ones, the global queue drowns in dense-region pairs and the
+MDMWP-distance grows very slowly (Figure 2; Experiments 2 and 4).
+
+``use_window_group=True`` additionally enables [12]'s tighter
+*window-group distance*: before retrieving a candidate, the LB_PAA
+terms of **all** disjoint windows it contains are summed using the
+in-memory window-point table (the transformed windows the original
+system keeps alongside its index).  This prunes more candidates per
+pop but cannot fix the scheduling order itself — the ablation bench
+quantifies both effects.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Tuple
+
+from repro.core.lower_bounds import (
+    lb_paa_pow,
+    min_disjoint_windows,
+    mindist_pow,
+)
+from repro.core.windows import (
+    QueryWindowSet,
+    candidate_in_bounds,
+    candidate_start,
+)
+from repro.engines.base import CandidateEvaluator, Engine, EngineConfig
+
+_NODE = 0
+_LEAF = 1
+
+
+class HlmjEngine(Engine):
+    """Global-priority-queue ranked matching with MDMWP pruning.
+
+    Parameters
+    ----------
+    index:
+        The DualMatch index.
+    use_window_group:
+        Enable [12]'s window-group distance as an additional
+        per-candidate prune (see module docstring).
+    """
+
+    name = "HLMJ"
+
+    def __init__(self, index, use_window_group: bool = False) -> None:
+        super().__init__(index)
+        self.use_window_group = use_window_group
+        if use_window_group:
+            self.name = "HLMJ-WG"
+
+    def _window_group_pow(
+        self,
+        window_set: QueryWindowSet,
+        sid: int,
+        start: int,
+        stats,
+        p: float,
+    ) -> float:
+        """Sum of LB_PAA terms over every class window the candidate
+        fully contains (the window-group distance, p-th power)."""
+        table = self.index.window_point_table()
+        omega = self.index.omega
+        stride = self.index.data_stride
+        seg_len = self.index.seg_len
+        stats.window_group_evaluations += 1
+        # The candidate's class residue: offset of its first grid window.
+        residue = (-start) % stride
+        total = 0.0
+        offset = residue
+        while offset + omega <= window_set.length:
+            data_window = (start + offset) // stride
+            point = table.get((sid, data_window))
+            if point is not None:
+                window = window_set.window_at(offset)
+                total += lb_paa_pow(
+                    window.paa_lower,
+                    window.paa_upper,
+                    point,
+                    seg_len,
+                    p,
+                )
+            offset += omega
+        return total
+
+    def _run(
+        self,
+        window_set: QueryWindowSet,
+        evaluator: CandidateEvaluator,
+        config: EngineConfig,
+    ) -> None:
+        tree = self.index.tree
+        store = self.index.store
+        seg_len = self.index.seg_len
+        stats = evaluator.stats
+        r = min_disjoint_windows(
+            window_set.length, self.index.omega, self.index.data_stride
+        )
+        tiebreak = itertools.count()
+
+        # Heap entries: (dist_pow, seq, window_pos, kind, payload).
+        # Seed every sliding window paired with the root node; the root
+        # MINDIST is 0 by convention (its MBR covers everything relevant).
+        heap: List[Tuple[float, int, int, int, object]] = [
+            (0.0, next(tiebreak), index, _NODE, tree.root_page)
+            for index, _window in enumerate(window_set.windows)
+        ]
+        heapq.heapify(heap)
+
+        while heap:
+            dist_pow, _seq, window_pos, kind, payload = heapq.heappop(heap)
+            stats.heap_pops += 1
+            # MDMWP-distance of everything still enqueued is at least
+            # r * dist_pow, so one failed check ends the search.
+            if r * dist_pow > evaluator.threshold_pow:
+                break
+            window = window_set.windows[window_pos]
+            if kind == _NODE:
+                node = tree.read_node(payload)
+                stats.node_expansions += 1
+                threshold_pow = evaluator.threshold_pow
+                for entry in node.entries:
+                    if node.is_leaf:
+                        child_pow = lb_paa_pow(
+                            window.paa_lower,
+                            window.paa_upper,
+                            entry.low,
+                            seg_len,
+                            config.p,
+                        )
+                        child_kind = _LEAF
+                        child_payload: object = entry.record
+                    else:
+                        child_pow = mindist_pow(
+                            window.paa_lower,
+                            window.paa_upper,
+                            entry.low,
+                            entry.high,
+                            seg_len,
+                            config.p,
+                        )
+                        child_kind = _NODE
+                        child_payload = entry.child_page
+                    if r * child_pow > threshold_pow:
+                        continue
+                    heapq.heappush(
+                        heap,
+                        (
+                            child_pow,
+                            next(tiebreak),
+                            window_pos,
+                            child_kind,
+                            child_payload,
+                        ),
+                    )
+                continue
+            record = payload
+            start = candidate_start(
+                record.window_index,
+                window.sliding_offset,
+                self.index.data_stride,
+            )
+            if not candidate_in_bounds(
+                start, window_set.length, store.length(record.sid)
+            ):
+                continue
+            bound_pow = r * dist_pow
+            if self.use_window_group and not evaluator.already_seen(
+                record.sid, start
+            ):
+                group_pow = self._window_group_pow(
+                    window_set, record.sid, start, stats, config.p
+                )
+                if group_pow > bound_pow:
+                    bound_pow = group_pow
+            evaluator.submit(record.sid, start, bound_pow)

@@ -1,0 +1,170 @@
+"""Per-query-window priority queues for the ranked-union operators.
+
+Each ``MSEQ_{i,j}`` gets one :class:`WindowQueue` — the "dynamically
+generated and sorted list" of the paper's ranked-union view.  A queue
+holds matching pairs of its query window with R*-tree nodes (scored by
+MINDIST) and leaf entries (scored by ``LB_PAA``), in non-decreasing
+p-th-power distance order.
+
+Every entry also carries its MAXDIST (equal to the distance for leaf
+entries): RU-COST's pivot selection approximates leaf-entry densities
+from ``[MINDIST, MAXDIST]`` ranges without expanding nodes (Section 4).
+
+The queue exposes exactly what the schedulers in
+:mod:`repro.engines.scheduling` and :mod:`repro.engines.cost_density`
+need: the current top, popping, node expansion with a pruning cap, a
+sorted-prefix scan for lookahead, and the last-popped-leaf distance that
+anchors the density denominators of Definitions 7 and 8.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.lower_bounds import lb_paa_pow, maxdist_pow, mindist_pow
+from repro.core.metrics import QueryStats
+from repro.core.windows import QueryWindow
+from repro.index.rstar import LeafRecord, RStarTree
+
+NODE = 0
+LEAF = 1
+
+#: Heap entry: (dist_pow, tiebreak, kind, payload, maxdist_pow).
+QueueEntry = Tuple[float, int, int, object, float]
+
+_counter = itertools.count()
+
+
+class WindowQueue:
+    """Priority queue of matching pairs for one query window."""
+
+    def __init__(
+        self,
+        window: QueryWindow,
+        tree: RStarTree,
+        seg_len: int,
+        p: float,
+        stats: QueryStats,
+    ) -> None:
+        self.window = window
+        self._tree = tree
+        self._seg_len = seg_len
+        self._p = p
+        self._stats = stats
+        self._heap: List[QueueEntry] = [
+            (0.0, next(_counter), NODE, tree.root_page, math.inf)
+        ]
+        #: LB_PAA (p-th power) of the most recently popped leaf entry —
+        #: ``le_p`` in Definitions 7 and 8.
+        self.last_popped_leaf_pow = 0.0
+        #: Top distance at the moment this queue was last selected; used
+        #: by the max-delta default strategy.
+        self.reference_top_pow = 0.0
+        #: Bumped on every mutation so schedulers can cache per-version.
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._heap
+
+    def top_pow(self) -> float:
+        """Distance of the entry to be popped next (``inf`` if empty)."""
+        return self._heap[0][0] if self._heap else math.inf
+
+    def pop(self) -> QueueEntry:
+        """Pop the minimum entry, updating pop-side bookkeeping."""
+        entry = heapq.heappop(self._heap)
+        self.version += 1
+        if entry[2] == LEAF:
+            self.last_popped_leaf_pow = entry[0]
+        return entry
+
+    def _score_and_push(self, node, cap_pow: float) -> None:
+        for entry in node.entries:
+            if node.is_leaf:
+                dist_pow = lb_paa_pow(
+                    self.window.paa_lower,
+                    self.window.paa_upper,
+                    entry.low,
+                    self._seg_len,
+                    self._p,
+                )
+                if dist_pow > cap_pow:
+                    continue
+                heapq.heappush(
+                    self._heap,
+                    (dist_pow, next(_counter), LEAF, entry.record, dist_pow),
+                )
+                continue
+            dist_pow = mindist_pow(
+                self.window.paa_lower,
+                self.window.paa_upper,
+                entry.low,
+                entry.high,
+                self._seg_len,
+                self._p,
+            )
+            if dist_pow > cap_pow:
+                continue
+            far_pow = maxdist_pow(
+                self.window.paa_lower,
+                self.window.paa_upper,
+                entry.low,
+                entry.high,
+                self._seg_len,
+                self._p,
+            )
+            heapq.heappush(
+                self._heap,
+                (dist_pow, next(_counter), NODE, entry.child_page, far_pow),
+            )
+
+    def expand_node(self, page_id: int, cap_pow: float = math.inf) -> None:
+        """Read one node (counted I/O) and push its scored children.
+
+        Children whose pair distance exceeds ``cap_pow`` — the headroom
+        ``delta_cur^p`` minus the sibling-queue frontier (the push-time
+        MSEQ prune of Section 3.2.2) — are dropped.
+        """
+        node = self._tree.read_node(page_id)
+        self._stats.node_expansions += 1
+        self._score_and_push(node, cap_pow)
+        self.version += 1
+
+    def expand_first_node(self, cap_pow: float = math.inf) -> bool:
+        """Expand the nearest *node* entry in place (selective expansion).
+
+        Used by RU-COST to refine ``LB_CDens`` without popping: the first
+        node entry (in distance order) is removed and replaced by its
+        children.  Returns ``False`` when the queue holds no node entry.
+        """
+        best: Optional[QueueEntry] = None
+        for entry in self._heap:
+            if entry[2] == NODE and (best is None or entry < best):
+                best = entry
+        if best is None:
+            return False
+        self._heap.remove(best)
+        heapq.heapify(self._heap)
+        self.expand_node(best[3], cap_pow)  # type: ignore[arg-type]
+        return True
+
+    def sorted_prefix(self, limit: int) -> List[QueueEntry]:
+        """The ``limit`` nearest entries in distance order (no mutation)."""
+        return heapq.nsmallest(limit, self._heap)
+
+    def iter_entries(self) -> Iterator[QueueEntry]:
+        """All enqueued entries, unordered (pivot estimation scans)."""
+        return iter(self._heap)
+
+    def iter_leaf_records(self) -> Iterator[Tuple[float, LeafRecord]]:
+        """All leaf pairs currently enqueued, unordered (diagnostics)."""
+        for dist_pow, _seq, kind, payload, _far in self._heap:
+            if kind == LEAF:
+                yield dist_pow, payload  # type: ignore[misc]

@@ -1,0 +1,352 @@
+"""The ranked-union framework — the paper's contribution (Section 3).
+
+A ranked subsequence matching query is evaluated as a **ranked union**
+over ``ω`` subqueries, one per matching subsequence equivalence class
+(MSEQ).  Two operators follow the extended iterator model:
+
+* :class:`PhiOperator` (``Φ_i``) owns one priority queue per query
+  window of its class and produces candidates for that class.  Every
+  consumption step yields either a fully-evaluated candidate (TUPLE) or
+  a refreshed **MSEQ-distance** lower bound (LB) — the sum, in p-th
+  power space, of the per-queue frontier distances (Definition 6,
+  admissible by Lemma 4).
+* :class:`UnionOperator` (``∪_r``) repeatedly advances the child with
+  the smallest current lower bound (optimal by Lemma 6) and stops as
+  soon as ``delta_cur`` is at most every child's bound — the paper's
+  termination rule.
+
+:class:`RankedUnionEngine` drives the operator tree to exhaustion of the
+top-k result.  Its ``scheduling`` parameter selects the
+``SelectPriorityQueue()`` policy: ``"max-delta"`` is the paper's **RU**,
+``"cost-aware"`` is **RU-COST**.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional
+
+from repro.core.windows import (
+    QueryWindowSet,
+    candidate_in_bounds,
+    candidate_start,
+)
+from repro.engines.base import CandidateEvaluator, Engine, EngineConfig
+from repro.engines.cost_density import CostDensityConfig
+from repro.engines.operators import (
+    ExtendedIterator,
+    RankedTuple,
+    Status,
+    StepResult,
+)
+from repro.engines.queues import NODE, WindowQueue
+from repro.engines.scheduling import make_strategy
+from repro.exceptions import ConfigurationError
+from repro.index.builder import DualMatchIndex
+
+_INF = math.inf
+
+
+def _cap_pow(threshold_pow: float, sibling_pow: float) -> float:
+    """Push-time pruning headroom: ``delta^p`` minus the sibling frontier.
+
+    Handles the infinities explicitly: with no threshold yet everything
+    is admitted; with an exhausted sibling queue nothing new can join the
+    top-k, so everything is pruned.
+    """
+    if sibling_pow == _INF:
+        return -_INF
+    if threshold_pow == _INF:
+        return _INF
+    return threshold_pow - sibling_pow
+
+
+class PhiOperator(ExtendedIterator):
+    """``Φ_i`` — the ranked subsequence matching subquery operator."""
+
+    def __init__(
+        self,
+        class_index: int,
+        window_set: QueryWindowSet,
+        index: DualMatchIndex,
+        evaluator: CandidateEvaluator,
+        config: EngineConfig,
+        scheduling: str,
+        cost_config: Optional[CostDensityConfig] = None,
+    ) -> None:
+        self.class_index = class_index
+        self._index = index
+        self._evaluator = evaluator
+        self._config = config
+        self._query_length = window_set.length
+        self.queues = [
+            WindowQueue(
+                window=window,
+                tree=index.tree,
+                seg_len=index.seg_len,
+                p=config.p,
+                stats=evaluator.stats,
+            )
+            for window in window_set.classes[class_index]
+        ]
+        #: ``candMinQ_Φ``: fully evaluated candidates awaiting emission,
+        #: as (dtw_pow, sid, start).
+        self._cand_heap: List[tuple] = []
+        self._strategy = make_strategy(
+            scheduling,
+            store=index.store,
+            query_length=window_set.length,
+            omega=index.data_stride,
+            blocking_factor=index.tree.blocking_factor,
+            p=config.p,
+            cost_config=cost_config,
+            cap_for=self._cap_for,
+        )
+
+    # -- lower bounds ---------------------------------------------------
+
+    def frontier_pow(self) -> float:
+        """``MSEQ-dist_next``: sum of all queue tops (Definition 6).
+
+        Infinite when any queue has run dry — every candidate of this
+        class then has already been generated, pruned, or provably
+        excluded, so no *new* candidate can appear.
+        """
+        total = 0.0
+        for queue in self.queues:
+            top = queue.top_pow()
+            if top == _INF:
+                return _INF
+            total += top
+        return total
+
+    def sibling_sum_pow(self, exclude: WindowQueue) -> float:
+        """Sum of the *other* queues' tops — the Lemma 4 sibling terms."""
+        total = 0.0
+        for queue in self.queues:
+            if queue is exclude:
+                continue
+            top = queue.top_pow()
+            if top == _INF:
+                return _INF
+            total += top
+        return total
+
+    def current_lower_bound_pow(self) -> float:
+        """``CLB_i``: cheapest thing this operator can still produce."""
+        frontier = self.frontier_pow()
+        if self._cand_heap:
+            return min(self._cand_heap[0][0], frontier)
+        return frontier
+
+    def _cap_for(self, queue: WindowQueue) -> float:
+        return _cap_pow(
+            self._evaluator.threshold_pow, self.sibling_sum_pow(queue)
+        )
+
+    # -- iterator protocol ------------------------------------------------
+
+    def get_next(self) -> StepResult:
+        frontier = self.frontier_pow()
+        if self._cand_heap and self._cand_heap[0][0] <= frontier:
+            return Status.TUPLE, self._pop_candidate()
+        if frontier == _INF:
+            if self._cand_heap:
+                return Status.TUPLE, self._pop_candidate()
+            return Status.EOR, None
+
+        queue = self._strategy.select(self.queues)
+        if queue.is_empty:
+            # A cost-aware expansion may have pruned the queue empty
+            # between selection bookkeeping and the pop.
+            return Status.LB, self.current_lower_bound_pow()
+        dist_pow, _seq, kind, payload, _far = queue.pop()
+        self._evaluator.stats.heap_pops += 1
+        sibling_pow = self.sibling_sum_pow(queue)
+        if kind == NODE:
+            queue.expand_node(
+                payload,  # type: ignore[arg-type]
+                _cap_pow(self._evaluator.threshold_pow, sibling_pow),
+            )
+        else:
+            self._consume_leaf_pair(queue, dist_pow, sibling_pow, payload)
+        self._strategy.after_pop(queue)
+        return Status.LB, self.current_lower_bound_pow()
+
+    def _consume_leaf_pair(
+        self, queue: WindowQueue, dist_pow: float, sibling_pow: float, record
+    ) -> None:
+        start = candidate_start(
+            record.window_index,
+            queue.window.sliding_offset,
+            self._index.data_stride,
+        )
+        if not candidate_in_bounds(
+            start,
+            self._query_length,
+            self._index.store.length(record.sid),
+        ):
+            return
+        bound_pow = (
+            _INF if sibling_pow == _INF else dist_pow + sibling_pow
+        )
+        result_pow = self._evaluator.submit(record.sid, start, bound_pow)
+        if (
+            result_pow is not None
+            and result_pow <= self._evaluator.threshold_pow
+        ):
+            heapq.heappush(
+                self._cand_heap, (result_pow, record.sid, start)
+            )
+
+    def _pop_candidate(self) -> RankedTuple:
+        distance_pow, sid, start = heapq.heappop(self._cand_heap)
+        return RankedTuple(distance_pow=distance_pow, sid=sid, start=start)
+
+    def drain_candidates(self) -> List[tuple]:
+        """Hand over all pending evaluated candidates (stop-time flush).
+
+        When ``∪_r`` reaches its termination condition, candidates whose
+        distance ties the current ``delta_cur`` can still sit in this
+        operator's ``candMinQ``; the union pulls them so emission stays
+        complete.
+        """
+        pending, self._cand_heap = self._cand_heap, []
+        return pending
+
+
+class UnionOperator(ExtendedIterator):
+    """``∪_r`` — the multi-way ranked union operator."""
+
+    def __init__(
+        self, children: List[PhiOperator], evaluator: CandidateEvaluator
+    ) -> None:
+        self._children = children
+        self._evaluator = evaluator
+        #: ``CLB`` per child; infinite marks EOR.
+        self._clbs = [0.0] * len(children)
+        self._dead = [False] * len(children)
+        #: ``candMinQ_∪r``: tuples received from children, by distance.
+        self._cand_heap: List[tuple] = []
+        self._children_drained = False
+
+    def _min_alive_clb(self) -> float:
+        alive = [
+            clb
+            for clb, dead in zip(self._clbs, self._dead)
+            if not dead
+        ]
+        return min(alive) if alive else _INF
+
+    def get_next(self) -> StepResult:
+        while True:
+            min_clb = self._min_alive_clb()
+            collector = self._evaluator.collector
+            stop = min_clb == _INF or (
+                collector.is_full and min_clb >= collector.threshold_pow
+            )
+            if stop and not self._children_drained:
+                # Children may still hold evaluated candidates whose
+                # distance ties delta_cur; flush them before ending.
+                self._children_drained = True
+                for child in self._children:
+                    for entry in child.drain_candidates():
+                        heapq.heappush(self._cand_heap, entry)
+            if self._cand_heap and (
+                self._cand_heap[0][0] <= min_clb or stop
+            ):
+                distance_pow, sid, start = heapq.heappop(self._cand_heap)
+                return Status.TUPLE, RankedTuple(
+                    distance_pow=distance_pow, sid=sid, start=start
+                )
+            if stop:
+                return Status.EOR, None
+
+            child_index = min(
+                (
+                    index
+                    for index in range(len(self._children))
+                    if not self._dead[index]
+                ),
+                key=lambda index: self._clbs[index],
+            )
+            child = self._children[child_index]
+            status, payload = child.get_next()
+            if status == Status.TUPLE:
+                heapq.heappush(
+                    self._cand_heap,
+                    (payload.distance_pow, payload.sid, payload.start),
+                )
+                self._clbs[child_index] = child.current_lower_bound_pow()
+            elif status == Status.LB:
+                self._clbs[child_index] = payload
+            else:
+                self._dead[child_index] = True
+                self._clbs[child_index] = _INF
+
+
+class RankedUnionEngine(Engine):
+    """RU / RU-COST: ranked union over MSEQ subqueries.
+
+    Parameters
+    ----------
+    index:
+        The DualMatch index.
+    scheduling:
+        ``SelectPriorityQueue()`` policy: ``"max-delta"`` (RU, default),
+        ``"cost-aware"`` (RU-COST), ``"global-min"``, ``"round-robin"``.
+    cost_config:
+        RU-COST tuning (lookahead, alpha/beta, selective expansion).
+    """
+
+    def __init__(
+        self,
+        index: DualMatchIndex,
+        scheduling: str = "max-delta",
+        cost_config: Optional[CostDensityConfig] = None,
+    ) -> None:
+        super().__init__(index)
+        if scheduling not in (
+            "max-delta",
+            "cost-aware",
+            "global-min",
+            "round-robin",
+        ):
+            raise ConfigurationError(
+                f"unknown scheduling policy {scheduling!r}"
+            )
+        self.scheduling = scheduling
+        self.cost_config = cost_config
+        self.name = "RU-COST" if scheduling == "cost-aware" else "RU"
+        if scheduling in ("global-min", "round-robin"):
+            self.name = f"RU[{scheduling}]"
+
+    def _run(
+        self,
+        window_set: QueryWindowSet,
+        evaluator: CandidateEvaluator,
+        config: EngineConfig,
+    ) -> None:
+        children = [
+            PhiOperator(
+                class_index=class_index,
+                window_set=window_set,
+                index=self.index,
+                evaluator=evaluator,
+                config=config,
+                scheduling=self.scheduling,
+                cost_config=self.cost_config,
+            )
+            for class_index in range(window_set.num_classes)
+            if window_set.classes[class_index]
+        ]
+        union = UnionOperator(children, evaluator)
+        union.start()
+        while True:
+            status, _payload = union.get_next()
+            # Emitted tuples are already in the shared collector; the
+            # engine only needs to drive the operator tree to EOR.
+            if status == Status.EOR:
+                break
+        union.end()

@@ -1,0 +1,175 @@
+"""Priority-queue selection strategies for the ``Φ`` operator.
+
+``Φ_i.GetNext()`` must decide which of its per-window priority queues to
+consume (``SelectPriorityQueue()`` in the paper).  Four strategies are
+provided:
+
+* :class:`MaxDeltaStrategy` — the paper's **RU** default, adopted from
+  the multi-feature ranking heuristics of Güntzer et al. [10]: pick the
+  queue whose top distance grew the most since it was last selected.
+* :class:`GlobalMinStrategy` — pop the globally smallest pair first;
+  this reproduces HLMJ's MDMWP ordering *inside* the ranked-union
+  framework (used by Lemma 5's analysis and the ablation bench).
+* :class:`RoundRobinStrategy` — naive fairness baseline (ablation).
+* :class:`CostAwareStrategy` — **RU-COST** (Section 4), delegating to
+  :class:`~repro.engines.cost_density.CostAwareDensityScheduler`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Callable, Optional, Sequence
+
+from repro.engines.cost_density import (
+    CostAwareDensityScheduler,
+    CostDensityConfig,
+)
+from repro.engines.queues import WindowQueue
+from repro.exceptions import ConfigurationError
+
+
+class SchedulingStrategy(abc.ABC):
+    """Chooses which live queue the owning ``Φ`` pops next."""
+
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def select(self, queues: Sequence[WindowQueue]) -> WindowQueue:
+        """Pick one of the (all non-empty) queues."""
+
+    def after_pop(self, queue: WindowQueue) -> None:
+        """Hook invoked after the selected queue was popped."""
+
+
+class MaxDeltaStrategy(SchedulingStrategy):
+    """Pick the queue whose top grew the most since its last selection."""
+
+    name = "max-delta"
+
+    def select(self, queues: Sequence[WindowQueue]) -> WindowQueue:
+        best = queues[0]
+        best_delta = -math.inf
+        for queue in queues:
+            top = queue.top_pow()
+            delta = top - queue.reference_top_pow
+            if delta > best_delta:
+                best_delta = delta
+                best = queue
+        return best
+
+    def after_pop(self, queue: WindowQueue) -> None:
+        queue.reference_top_pow = queue.top_pow()
+
+
+class GlobalMinStrategy(SchedulingStrategy):
+    """Pop the smallest pair overall — HLMJ's order inside ranked union."""
+
+    name = "global-min"
+
+    def select(self, queues: Sequence[WindowQueue]) -> WindowQueue:
+        return min(queues, key=lambda queue: queue.top_pow())
+
+
+class RoundRobinStrategy(SchedulingStrategy):
+    """Cycle through the queues regardless of content."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(self, queues: Sequence[WindowQueue]) -> WindowQueue:
+        queue = queues[self._cursor % len(queues)]
+        self._cursor += 1
+        return queue
+
+
+class CostAwareStrategy(SchedulingStrategy):
+    """RU-COST: delegate to the cost-aware density scheduler.
+
+    The densest-queue decision is *sticky*: once selected, a queue is
+    consumed for up to ``sticky_pops`` pops before the (comparatively
+    expensive, occasionally I/O-incurring) density machinery re-runs.
+    Densities drift slowly between consecutive pops, so stickiness cuts
+    the scheduling overhead without changing which region of the queue
+    space gets consumed.
+    """
+
+    name = "cost-aware"
+
+    def __init__(
+        self, scheduler: CostAwareDensityScheduler, sticky_pops: int = 4
+    ) -> None:
+        self._scheduler = scheduler
+        self._sticky_pops = max(1, sticky_pops)
+        self._current: Optional[WindowQueue] = None
+        self._remaining = 0
+
+    def select(self, queues: Sequence[WindowQueue]) -> WindowQueue:
+        if (
+            self._current is not None
+            and self._remaining > 0
+            and not self._current.is_empty
+            and any(queue is self._current for queue in queues)
+        ):
+            self._remaining -= 1
+            return self._current
+        chosen = self._scheduler.select(queues)
+        self._current = chosen
+        self._remaining = self._sticky_pops - 1
+        return chosen
+
+
+#: A factory receives the Φ-level context it may need and returns a fresh
+#: strategy instance (strategies keep per-Φ state).
+StrategyFactory = Callable[..., SchedulingStrategy]
+
+_SIMPLE_STRATEGIES = {
+    "max-delta": MaxDeltaStrategy,
+    "global-min": GlobalMinStrategy,
+    "round-robin": RoundRobinStrategy,
+}
+
+
+def make_strategy(
+    name: str,
+    store=None,
+    query_length: Optional[int] = None,
+    omega: Optional[int] = None,
+    blocking_factor: Optional[int] = None,
+    p: float = 2.0,
+    cost_config: Optional[CostDensityConfig] = None,
+    cap_for: Optional[Callable[[WindowQueue], float]] = None,
+) -> SchedulingStrategy:
+    """Instantiate a scheduling strategy by name.
+
+    ``"cost-aware"`` additionally requires the storage context used for
+    ``NUM_IO`` estimation (``store``, ``query_length``, ``omega``,
+    ``blocking_factor``, ``cap_for``).
+    """
+    if name in _SIMPLE_STRATEGIES:
+        return _SIMPLE_STRATEGIES[name]()
+    if name == "cost-aware":
+        if None in (store, query_length, omega, blocking_factor, cap_for):
+            raise ConfigurationError(
+                "cost-aware strategy needs store, query_length, omega, "
+                "blocking_factor, and cap_for"
+            )
+        resolved_config = cost_config or CostDensityConfig()
+        scheduler = CostAwareDensityScheduler(
+            store=store,
+            query_length=query_length,
+            omega=omega,
+            blocking_factor=blocking_factor,
+            p=p,
+            config=resolved_config,
+            cap_for=cap_for,
+        )
+        return CostAwareStrategy(
+            scheduler, sticky_pops=resolved_config.sticky_pops
+        )
+    raise ConfigurationError(
+        f"unknown scheduling strategy {name!r}; expected one of "
+        f"{sorted(_SIMPLE_STRATEGIES) + ['cost-aware']}"
+    )

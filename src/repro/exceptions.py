@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class PageError(StorageError):
+    """A page id is unknown, out of range, or a page payload is malformed."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool was misconfigured or misused (e.g. zero capacity)."""
+
+
+class SequenceNotFoundError(StorageError):
+    """A sequence id was requested that is not present in the store."""
+
+
+class IndexError_(ReproError):
+    """Base class for R*-tree failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`, which the library never raises intentionally.
+    """
+
+
+class IndexNotBuiltError(IndexError_):
+    """A search was issued before the index was built."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or incompatible with the index configuration."""
+
+
+class QueryTooShortError(QueryError):
+    """The query is too short for the configured window size.
+
+    DualMatch windowing requires ``Len(Q) >= 2 * omega - 1`` so that every
+    candidate subsequence fully contains at least one disjoint data window
+    (``r >= 1`` in Definition 2 of the paper).
+    """
+
+
+class ConfigurationError(ReproError):
+    """A component received an invalid configuration value."""
+
+
+class BudgetExceededError(ReproError):
+    """An engine exceeded its operation budget (used to cap PSM blow-ups)."""

@@ -1,0 +1,26 @@
+"""Index substrate.
+
+* :mod:`repro.index.geometry` — MBR arithmetic shared by the tree and the
+  engines' MINDIST computations.
+* :mod:`repro.index.rstar` — a from-scratch R*-tree (Beckmann et al.):
+  choose-subtree by overlap enlargement, margin-driven split axis, forced
+  reinsertion.  One node per page; traversals are counted through the
+  buffer pool.
+* :mod:`repro.index.builder` — DualMatch index construction: disjoint data
+  windows, PAA transform, insertion into the tree.
+* :mod:`repro.index.bloom` — the bloom filter used by the PSM baseline's
+  join signatures.
+"""
+
+from repro.index.bloom import BloomFilter
+from repro.index.builder import DualMatchIndex, build_index
+from repro.index.rstar import LeafRecord, RStarNode, RStarTree
+
+__all__ = [
+    "BloomFilter",
+    "RStarTree",
+    "RStarNode",
+    "LeafRecord",
+    "DualMatchIndex",
+    "build_index",
+]

@@ -1,0 +1,78 @@
+"""Bloom filter used by the PSM baseline's join signatures.
+
+Xin et al. [22] screen candidate join states with signatures kept in a
+bloom filter; the SIGMOD'11 paper reports that computing those signatures
+requires prohibitive numbers of bloom filter calls once more than three
+indexes are joined.  The filter counts every :meth:`might_contain`
+invocation so the benchmarks can reproduce that blow-up (Experiment 6).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.exceptions import ConfigurationError
+
+_SEEDS = (0x9E3779B97F4A7C15, 0xC2B2AE3D27D4EB4F, 0x165667B19E3779F9)
+
+
+class BloomFilter:
+    """A counting-instrumented bloom filter over hashable keys.
+
+    Parameters
+    ----------
+    num_bits:
+        Size of the bit array.  Rounded up to at least 64.
+    num_hashes:
+        Number of hash probes per key (1–3 supported; 3 default).
+    """
+
+    def __init__(self, num_bits: int, num_hashes: int = 3) -> None:
+        if num_bits < 1:
+            raise ConfigurationError(f"num_bits must be >= 1, got {num_bits}")
+        if not 1 <= num_hashes <= len(_SEEDS):
+            raise ConfigurationError(
+                f"num_hashes must be in [1, {len(_SEEDS)}], got {num_hashes}"
+            )
+        self._num_bits = max(64, num_bits)
+        self._num_hashes = num_hashes
+        self._bits = 0
+        self.items_added = 0
+        self.probe_calls = 0
+
+    @property
+    def num_bits(self) -> int:
+        return self._num_bits
+
+    def _positions(self, key: Hashable) -> Iterable[int]:
+        base = hash(key) & 0xFFFFFFFFFFFFFFFF
+        for seed in _SEEDS[: self._num_hashes]:
+            mixed = (base ^ seed) * 0x2545F4914F6CDD1D
+            mixed &= 0xFFFFFFFFFFFFFFFF
+            yield mixed % self._num_bits
+
+    def add(self, key: Hashable) -> None:
+        """Insert a key."""
+        for position in self._positions(key):
+            self._bits |= 1 << position
+        self.items_added += 1
+
+    def might_contain(self, key: Hashable) -> bool:
+        """Probabilistic membership probe (counted).
+
+        Returns ``False`` only when the key was definitely never added.
+        """
+        self.probe_calls += 1
+        for position in self._positions(key):
+            if not (self._bits >> position) & 1:
+                return False
+        return True
+
+    @classmethod
+    def with_capacity(cls, expected_items: int, bits_per_item: int = 10) -> "BloomFilter":
+        """Size a filter for an expected item count (~1 % FPR at 10 bpi)."""
+        if expected_items < 1:
+            raise ConfigurationError(
+                f"expected_items must be >= 1, got {expected_items}"
+            )
+        return cls(num_bits=expected_items * bits_per_item)

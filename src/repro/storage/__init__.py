@@ -1,0 +1,40 @@
+"""Page-based storage substrate.
+
+The paper measures algorithms primarily by the number of disk page
+accesses, so the storage layer is built around explicit pages:
+
+* :mod:`repro.storage.page` — page identity, kinds, and geometry helpers
+  (how many values / index entries fit in one page).
+* :mod:`repro.storage.pager` — the physical page store with read/write
+  counters (the simulated disk).
+* :mod:`repro.storage.buffer` — an LRU buffer pool with a page-residence
+  bitmap (used by RU-COST's ``NUM_IO`` estimator).
+* :mod:`repro.storage.sequences` — a heap file of time-series values,
+  packed into pages, with subsequence retrieval through the buffer pool.
+* :mod:`repro.storage.deferred` — the deferred retrieval mechanism of
+  Han et al. [12] that batches random subsequence requests into
+  quasi-sequential sweeps.
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.deferred import CandidateRequest, DeferredRetrievalBuffer
+from repro.storage.page import (
+    PAGE_SIZE_DEFAULT,
+    PageKind,
+    index_entries_per_page,
+    values_per_page,
+)
+from repro.storage.pager import Pager
+from repro.storage.sequences import SequenceStore
+
+__all__ = [
+    "PAGE_SIZE_DEFAULT",
+    "PageKind",
+    "values_per_page",
+    "index_entries_per_page",
+    "Pager",
+    "BufferPool",
+    "SequenceStore",
+    "CandidateRequest",
+    "DeferredRetrievalBuffer",
+]

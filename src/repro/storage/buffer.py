@@ -1,0 +1,137 @@
+"""LRU buffer pool with a page-residence bitmap.
+
+The paper's experimental setup uses an LRU buffer whose size is a
+percentage of the database (Table 3: 1 %–10 %, default 5 %).  RU-COST
+additionally needs a cheap way to ask "is this page currently buffered?"
+without disturbing recency — the paper allocates a bitmap over pages for
+exactly this purpose (Section 4, ``NUM_IO``).  :meth:`BufferPool.resident`
+is that bitmap probe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.exceptions import BufferPoolError
+from repro.storage.pager import Pager
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss counters for one buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def logical_reads(self) -> int:
+        """Total page requests served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of requests served without physical I/O."""
+        total = self.logical_reads
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class BufferPool:
+    """A fixed-capacity LRU cache of pages in front of a :class:`Pager`.
+
+    Parameters
+    ----------
+    pager:
+        The physical page store.
+    capacity_pages:
+        Maximum number of resident pages.  Must be at least 1.
+    """
+
+    def __init__(self, pager: Pager, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise BufferPoolError(
+                f"buffer capacity must be >= 1 page, got {capacity_pages}"
+            )
+        self._pager = pager
+        self._capacity = capacity_pages
+        self._frames: "OrderedDict[int, Any]" = OrderedDict()
+        self.stats = BufferStats()
+
+    @property
+    def pager(self) -> Pager:
+        """The physical page store behind this pool."""
+        return self._pager
+
+    @property
+    def capacity(self) -> int:
+        """Configured capacity in pages."""
+        return self._capacity
+
+    @property
+    def num_resident(self) -> int:
+        """Number of pages currently buffered."""
+        return len(self._frames)
+
+    def get(self, page_id: int) -> Any:
+        """Return a page payload, faulting it in from the pager on a miss."""
+        if page_id in self._frames:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_id)
+            return self._frames[page_id]
+        self.stats.misses += 1
+        payload = self._pager.read(page_id)
+        self._frames[page_id] = payload
+        if len(self._frames) > self._capacity:
+            self._frames.popitem(last=False)
+            self.stats.evictions += 1
+        return payload
+
+    def resident(self, page_id: int) -> bool:
+        """Bitmap probe: is the page buffered?  Does not touch LRU order.
+
+        RU-COST uses this to count, for a prospective batch of leaf
+        entries, how many subsequence pages would actually hit the disk
+        (``NUM_IO`` in Definition 7) without performing the reads.
+        """
+        return page_id in self._frames
+
+    def count_non_resident(self, page_ids: Iterable[int]) -> int:
+        """Number of *distinct* pages in ``page_ids`` that would miss."""
+        return sum(
+            1 for page_id in set(page_ids) if page_id not in self._frames
+        )
+
+    def put(self, page_id: int, payload: Any) -> None:
+        """Install a payload (write-through), evicting LRU if needed."""
+        self._pager.write(page_id, payload)
+        self._frames[page_id] = payload
+        self._frames.move_to_end(page_id)
+        if len(self._frames) > self._capacity:
+            self._frames.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a page from the pool if resident (used after rebuilds)."""
+        self._frames.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Empty the pool (cold-cache state for a fresh experiment run)."""
+        self._frames.clear()
+
+    def resize(self, capacity_pages: int) -> None:
+        """Change capacity, evicting LRU pages if shrinking."""
+        if capacity_pages < 1:
+            raise BufferPoolError(
+                f"buffer capacity must be >= 1 page, got {capacity_pages}"
+            )
+        self._capacity = capacity_pages
+        while len(self._frames) > self._capacity:
+            self._frames.popitem(last=False)
+            self.stats.evictions += 1

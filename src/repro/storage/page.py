@@ -1,0 +1,81 @@
+"""Page identity and geometry.
+
+The storage engine simulates a disk made of fixed-size pages (4 KB by
+default, as in the paper's experimental setup).  Pages are not
+byte-serialized — payloads are kept as Python objects — but all *capacity*
+decisions (how many float64 values fit in a data page, how many R*-tree
+entries fit in an index node) are derived from the configured byte size so
+that the page-access counts reported by the benchmarks have the same
+geometry as the paper's 4 KB-page testbed.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.exceptions import ConfigurationError
+
+PAGE_SIZE_DEFAULT = 4096
+"""Default page size in bytes (the paper uses 4 KB pages)."""
+
+_FLOAT64_BYTES = 8
+_PAGE_HEADER_BYTES = 32
+"""Bytes reserved per page for a header (ids, counts, LSN-style fields)."""
+
+_INDEX_ENTRY_OVERHEAD_BYTES = 12
+"""Per-entry overhead in an index node: child page id / record id + flags."""
+
+
+class PageKind(enum.Enum):
+    """What a page stores; used for accounting and debugging."""
+
+    DATA = "data"
+    INDEX_LEAF = "index_leaf"
+    INDEX_INTERNAL = "index_internal"
+    FREE = "free"
+
+
+def _check_page_size(page_size: int) -> None:
+    if page_size < 128:
+        raise ConfigurationError(
+            f"page_size must be at least 128 bytes, got {page_size}"
+        )
+
+
+def values_per_page(page_size: int = PAGE_SIZE_DEFAULT) -> int:
+    """Number of float64 time-series values a data page can hold.
+
+    >>> values_per_page(4096)
+    508
+    """
+    _check_page_size(page_size)
+    return (page_size - _PAGE_HEADER_BYTES) // _FLOAT64_BYTES
+
+
+def index_entries_per_page(
+    dimensions: int, page_size: int = PAGE_SIZE_DEFAULT
+) -> int:
+    """Fan-out of an R*-tree node stored in one page.
+
+    Each entry holds a ``dimensions``-dimensional MBR (two float64 vectors)
+    plus a child pointer / record id.  This value doubles as the *blocking
+    factor* that RU-COST uses for its lookahead ``h`` (Section 4 of the
+    paper: "if h is set to the blocking factor of index pages, the overall
+    performance is very stable").
+
+    >>> index_entries_per_page(4, 4096)
+    53
+    """
+    _check_page_size(page_size)
+    if dimensions < 1:
+        raise ConfigurationError(
+            f"dimensions must be positive, got {dimensions}"
+        )
+    entry_bytes = 2 * dimensions * _FLOAT64_BYTES + _INDEX_ENTRY_OVERHEAD_BYTES
+    fanout = (page_size - _PAGE_HEADER_BYTES) // entry_bytes
+    if fanout < 2:
+        raise ConfigurationError(
+            f"page_size {page_size} too small for {dimensions}-dimensional "
+            f"index entries (fan-out would be {fanout})"
+        )
+    return fanout

@@ -1,0 +1,247 @@
+"""Save and load a built database.
+
+A :class:`~repro.api.SubsequenceDatabase` persists to a directory of
+three files:
+
+* ``meta.json`` — configuration, sequence placement, page kinds, tree
+  shape;
+* ``values.npz`` — the raw sequence values;
+* ``index.npz`` — every R*-tree node flattened into columnar arrays.
+
+The load path reconstructs the pager **page-for-page** (same page ids,
+same node contents), so a reloaded database produces identical query
+results *and identical I/O counts* — benchmarks are reproducible across
+save/load.  PSM's auxiliary sliding index is not serialized; it is
+rebuilt deterministically on demand (``load(..., psm=True)``).
+
+This module reaches into the private state of the storage and index
+classes; it lives inside the package precisely so that no other code
+has to.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.index.rstar import Entry, LeafRecord, RStarNode, RStarTree
+from repro.storage.page import PageKind
+from repro.storage.pager import Pager
+from repro.storage.sequences import SequenceMeta
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_database(db, directory: PathLike) -> None:
+    """Serialize a built database into ``directory`` (created if absent)."""
+    if db.index is None:
+        raise ConfigurationError("cannot save before build()")
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    tree = db.index.tree
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "omega": db.omega,
+        "features": db.features,
+        "data_stride": db.index.data_stride,
+        "p": db.p,
+        "buffer_fraction": db.buffer_fraction,
+        "page_size": db.pager.page_size,
+        "root_page": tree.root_page,
+        "max_entries": tree.max_entries,
+        "tree_size": len(tree),
+        "page_kinds": [db.pager.kind_of(i).value for i in range(db.pager.num_pages)],
+        "sequences": [
+            {
+                "sid": m.sid,
+                "length": m.length,
+                "first_page": m.first_page,
+                "num_pages": m.num_pages,
+            }
+            for m in (db.store.meta(sid) for sid in db.store.sequence_ids())
+        ],
+    }
+    with open(path / "meta.json", "w") as handle:
+        json.dump(meta, handle)
+
+    np.savez_compressed(
+        path / "values.npz",
+        **{
+            f"sid_{sid}": db.store.peek_full_sequence(sid)
+            for sid in db.store.sequence_ids()
+        },
+    )
+
+    node_pages: List[int] = []
+    node_levels: List[int] = []
+    node_counts: List[int] = []
+    lows: List[np.ndarray] = []
+    highs: List[np.ndarray] = []
+    children: List[int] = []
+    record_sids: List[int] = []
+    record_windows: List[int] = []
+    for page_id in range(db.pager.num_pages):
+        kind = db.pager.kind_of(page_id)
+        if kind not in (PageKind.INDEX_LEAF, PageKind.INDEX_INTERNAL):
+            continue
+        node: RStarNode = db.pager.peek(page_id)
+        node_pages.append(page_id)
+        node_levels.append(node.level)
+        node_counts.append(len(node.entries))
+        for entry in node.entries:
+            lows.append(entry.low)
+            highs.append(entry.high)
+            if entry.record is not None:
+                children.append(-1)
+                record_sids.append(entry.record.sid)
+                record_windows.append(entry.record.window_index)
+            else:
+                children.append(entry.child_page)
+                record_sids.append(-1)
+                record_windows.append(-1)
+    np.savez_compressed(
+        path / "index.npz",
+        node_pages=np.asarray(node_pages, dtype=np.int64),
+        node_levels=np.asarray(node_levels, dtype=np.int64),
+        node_counts=np.asarray(node_counts, dtype=np.int64),
+        lows=(
+            np.stack(lows)
+            if lows
+            else np.zeros((0, db.features), dtype=np.float64)
+        ),
+        highs=(
+            np.stack(highs)
+            if highs
+            else np.zeros((0, db.features), dtype=np.float64)
+        ),
+        children=np.asarray(children, dtype=np.int64),
+        record_sids=np.asarray(record_sids, dtype=np.int64),
+        record_windows=np.asarray(record_windows, dtype=np.int64),
+    )
+
+
+def load_database(directory: PathLike, psm: bool = False):
+    """Reconstruct a database saved by :func:`save_database`."""
+    from repro.api import SubsequenceDatabase
+    from repro.index.builder import DualMatchIndex
+    from repro.storage.sequences import SequenceStore
+
+    path = pathlib.Path(directory)
+    with open(path / "meta.json") as handle:
+        meta = json.load(handle)
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported database format version "
+            f"{meta.get('format_version')!r}"
+        )
+
+    values = np.load(path / "values.npz")
+    index_data = np.load(path / "index.npz")
+
+    db = SubsequenceDatabase(
+        omega=meta["omega"],
+        features=meta["features"],
+        page_size=meta["page_size"],
+        buffer_fraction=meta["buffer_fraction"],
+        p=meta["p"],
+        data_stride=meta.get("data_stride"),
+    )
+    pager: Pager = db.pager
+    kinds = [PageKind(value) for value in meta["page_kinds"]]
+
+    # Rebuild node objects keyed by their original page id.
+    nodes: Dict[int, RStarNode] = {}
+    cursor = 0
+    for page_id, level, count in zip(
+        index_data["node_pages"],
+        index_data["node_levels"],
+        index_data["node_counts"],
+    ):
+        entries = []
+        for offset in range(cursor, cursor + int(count)):
+            low = index_data["lows"][offset]
+            high = index_data["highs"][offset]
+            child = int(index_data["children"][offset])
+            if child < 0:
+                record = LeafRecord(
+                    sid=int(index_data["record_sids"][offset]),
+                    window_index=int(index_data["record_windows"][offset]),
+                )
+                entries.append(Entry(low=low, high=high, record=record))
+            else:
+                entries.append(Entry(low=low, high=high, child_page=child))
+        cursor += int(count)
+        nodes[int(page_id)] = RStarNode(level=int(level), entries=entries)
+
+    # Replay page allocation in original order: data pages are slices
+    # of the sequence arrays; index pages are the rebuilt nodes.
+    arrays = {
+        seq["sid"]: np.ascontiguousarray(
+            values[f"sid_{seq['sid']}"], dtype=np.float64
+        )
+        for seq in meta["sequences"]
+    }
+    for array in arrays.values():
+        array.setflags(write=False)
+    page_owner: Dict[int, tuple] = {}
+    from repro.storage.page import values_per_page
+
+    per_page = values_per_page(meta["page_size"])
+    for seq in meta["sequences"]:
+        for index in range(seq["num_pages"]):
+            page_owner[seq["first_page"] + index] = (
+                seq["sid"],
+                index * per_page,
+            )
+    for page_id, kind in enumerate(kinds):
+        if kind == PageKind.DATA:
+            sid, offset = page_owner[page_id]
+            payload = arrays[sid][offset : offset + per_page]
+        else:
+            payload = nodes[page_id]
+        allocated = pager.allocate(kind, payload)
+        assert allocated == page_id
+
+    store: SequenceStore = db.store
+    for seq in meta["sequences"]:
+        store._meta[seq["sid"]] = SequenceMeta(  # noqa: SLF001
+            sid=seq["sid"],
+            length=seq["length"],
+            first_page=seq["first_page"],
+            num_pages=seq["num_pages"],
+        )
+        store._arrays[seq["sid"]] = arrays[seq["sid"]]  # noqa: SLF001
+
+    tree = RStarTree.__new__(RStarTree)
+    tree._pager = pager  # noqa: SLF001
+    tree._buffer = db.buffer  # noqa: SLF001
+    tree.dimensions = meta["features"]
+    tree.max_entries = meta["max_entries"]
+    tree.min_entries = max(2, int(meta["max_entries"] * 0.4))
+    tree._size = meta["tree_size"]  # noqa: SLF001
+    tree.root_page = meta["root_page"]
+
+    db.index = DualMatchIndex(
+        tree=tree,
+        store=store,
+        omega=meta["omega"],
+        features=meta["features"],
+        p=meta["p"],
+        data_stride=meta.get("data_stride"),
+    )
+    if psm:
+        from repro.engines.psm import build_sliding_index
+
+        db._sliding_index = build_sliding_index(  # noqa: SLF001
+            store, omega=meta["omega"], features=meta["features"], p=meta["p"]
+        )
+    db.resize_buffer(meta["buffer_fraction"])
+    db.reset_cache()
+    return db

@@ -1,0 +1,202 @@
+"""Paged heap file of time-series values.
+
+A :class:`SequenceStore` lays every data sequence out across fixed-size
+data pages (each sequence starts on a fresh page).  Subsequence retrieval
+faults the covering pages through the buffer pool, so the physical-read
+counters reflect exactly the page accesses the paper measures.
+
+Offsets are **0-based** throughout the library; the paper's 1-based
+``S[i:j]`` notation is translated at the documentation level only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import PageError, SequenceNotFoundError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import PageKind, values_per_page
+from repro.storage.pager import Pager
+
+
+@dataclass(frozen=True)
+class SequenceMeta:
+    """Placement of one sequence in the page file."""
+
+    sid: int
+    length: int
+    first_page: int
+    num_pages: int
+
+
+class SequenceStore:
+    """Store and retrieve time-series sequences with page accounting.
+
+    Parameters
+    ----------
+    pager:
+        Physical page store shared with the index.
+    buffer:
+        Buffer pool that all counted reads go through.
+    """
+
+    def __init__(self, pager: Pager, buffer: BufferPool) -> None:
+        self._pager = pager
+        self._buffer = buffer
+        self._values_per_page = values_per_page(pager.page_size)
+        self._meta: Dict[int, SequenceMeta] = {}
+        self._arrays: Dict[int, np.ndarray] = {}
+
+    @property
+    def buffer(self) -> BufferPool:
+        """The buffer pool in front of this store."""
+        return self._buffer
+
+    @property
+    def pager(self) -> Pager:
+        """The physical page store."""
+        return self._pager
+
+    @property
+    def values_per_page(self) -> int:
+        """Number of float64 values per data page."""
+        return self._values_per_page
+
+    @property
+    def num_sequences(self) -> int:
+        return len(self._meta)
+
+    @property
+    def total_values(self) -> int:
+        """Total number of stored values across all sequences."""
+        return sum(meta.length for meta in self._meta.values())
+
+    @property
+    def total_data_pages(self) -> int:
+        """Total number of data pages allocated for sequences."""
+        return sum(meta.num_pages for meta in self._meta.values())
+
+    def sequence_ids(self) -> List[int]:
+        """All stored sequence ids, in insertion order."""
+        return list(self._meta)
+
+    def add_sequence(self, sid: int, values: Sequence[float]) -> SequenceMeta:
+        """Append a sequence to the store, packing it into data pages."""
+        if sid in self._meta:
+            raise PageError(f"sequence id {sid} already stored")
+        array = np.ascontiguousarray(values, dtype=np.float64)
+        if array.ndim != 1:
+            raise PageError(
+                f"sequence {sid} must be one-dimensional, got shape "
+                f"{array.shape}"
+            )
+        if array.size == 0:
+            raise PageError(f"sequence {sid} is empty")
+        if not np.all(np.isfinite(array)):
+            raise PageError(
+                f"sequence {sid} contains NaN or infinite values; the "
+                f"distance bounds assume finite reals"
+            )
+        array.setflags(write=False)
+        first_page = -1
+        num_pages = 0
+        for offset in range(0, array.size, self._values_per_page):
+            chunk = array[offset : offset + self._values_per_page]
+            page_id = self._pager.allocate(PageKind.DATA, chunk)
+            if first_page < 0:
+                first_page = page_id
+            num_pages += 1
+        meta = SequenceMeta(
+            sid=sid,
+            length=array.size,
+            first_page=first_page,
+            num_pages=num_pages,
+        )
+        self._meta[sid] = meta
+        self._arrays[sid] = array
+        return meta
+
+    def _require(self, sid: int) -> SequenceMeta:
+        try:
+            return self._meta[sid]
+        except KeyError:
+            raise SequenceNotFoundError(
+                f"sequence id {sid} is not in the store"
+            ) from None
+
+    def length(self, sid: int) -> int:
+        """Length of sequence ``sid``."""
+        return self._require(sid).length
+
+    def meta(self, sid: int) -> SequenceMeta:
+        """Placement metadata of sequence ``sid``."""
+        return self._require(sid)
+
+    def pages_for_range(self, sid: int, start: int, length: int) -> List[int]:
+        """Page ids covering ``[start, start+length)`` of sequence ``sid``.
+
+        Pure arithmetic — performs no I/O.  RU-COST's ``NUM_IO`` estimator
+        combines this with :meth:`BufferPool.count_non_resident`.
+        """
+        meta = self._require(sid)
+        self._check_range(meta, start, length)
+        first = meta.first_page + start // self._values_per_page
+        last = meta.first_page + (start + length - 1) // self._values_per_page
+        return list(range(first, last + 1))
+
+    @staticmethod
+    def _check_range(meta: SequenceMeta, start: int, length: int) -> None:
+        if length <= 0:
+            raise PageError(f"subsequence length must be > 0, got {length}")
+        if start < 0 or start + length > meta.length:
+            raise PageError(
+                f"range [{start}, {start + length}) out of bounds for "
+                f"sequence {meta.sid} of length {meta.length}"
+            )
+
+    def get_subsequence(self, sid: int, start: int, length: int) -> np.ndarray:
+        """Read ``length`` values of ``sid`` beginning at ``start``.
+
+        All covering pages are faulted through the buffer pool so hit/miss
+        accounting matches the paper's page-access metric.  Returns a
+        read-only view.
+        """
+        meta = self._require(sid)
+        self._check_range(meta, start, length)
+        for page_id in self.pages_for_range(sid, start, length):
+            self._buffer.get(page_id)
+        return self._arrays[sid][start : start + length]
+
+    def read_full_sequence(self, sid: int) -> np.ndarray:
+        """Read an entire sequence sequentially through the buffer pool.
+
+        Used by the SeqScan baseline: every data page is requested in file
+        order, which with a small buffer degenerates to one physical read
+        per page — the constant cost the paper reports for SeqScan.
+        """
+        meta = self._require(sid)
+        for page_id in range(meta.first_page, meta.first_page + meta.num_pages):
+            self._buffer.get(page_id)
+        return self._arrays[sid]
+
+    def peek_subsequence(self, sid: int, start: int, length: int) -> np.ndarray:
+        """Read a subsequence without any I/O accounting.
+
+        Reserved for gold-standard brute-force checks in tests and for
+        index construction (which the paper performs offline).
+        """
+        meta = self._require(sid)
+        self._check_range(meta, start, length)
+        return self._arrays[sid][start : start + length]
+
+    def peek_full_sequence(self, sid: int) -> np.ndarray:
+        """Whole sequence without I/O accounting (offline/index build)."""
+        return self._arrays[self._require(sid).sid]
+
+    def iter_sequences(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Iterate ``(sid, values)`` without I/O accounting (offline)."""
+        for sid in self._meta:
+            yield sid, self._arrays[sid]

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+The session-scoped databases are intentionally small (a few thousand
+points) so the full suite runs in well under a minute while still
+exercising multi-level R*-trees, buffer eviction, and deferred flushes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SubsequenceDatabase
+from repro.core.reference import brute_force_topk
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+from repro.storage.sequences import SequenceStore
+
+
+def make_walk(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n).cumsum()
+
+
+@pytest.fixture(scope="session")
+def walk_db() -> SubsequenceDatabase:
+    """Two random-walk sequences, omega=16, f=4, multi-level tree."""
+    db = SubsequenceDatabase(omega=16, features=4, buffer_fraction=0.1)
+    db.insert(0, make_walk(3000, seed=11))
+    db.insert(1, make_walk(2200, seed=12))
+    db.build()
+    return db
+
+
+@pytest.fixture(scope="session")
+def psm_db() -> SubsequenceDatabase:
+    """A smaller database that also carries PSM's sliding index."""
+    db = SubsequenceDatabase(omega=8, features=4, buffer_fraction=0.1)
+    db.insert(0, make_walk(900, seed=21))
+    db.insert(1, make_walk(700, seed=22))
+    db.build(psm=True)
+    return db
+
+
+@pytest.fixture()
+def fresh_store():
+    """An empty pager/buffer/store triple for storage-layer tests."""
+    pager = Pager(page_size=512)
+    buffer = BufferPool(pager, capacity_pages=4)
+    return pager, buffer, SequenceStore(pager, buffer)
+
+
+def gold_topk(db: SubsequenceDatabase, query, k: int, rho: int):
+    """Brute-force distances, rounded for robust comparison."""
+    return [
+        round(match.distance, 6)
+        for match in brute_force_topk(db.store, query, k, rho)
+    ]
+
+
+def engine_distances(result) -> list:
+    return [round(match.distance, 6) for match in result.matches]

@@ -1,0 +1,64 @@
+"""Unit tests for the bloom filter (repro.index.bloom)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.index.bloom import BloomFilter
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(num_bits=4096)
+        keys = [(sid, offset) for sid in range(4) for offset in range(50)]
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.might_contain(key) for key in keys)
+
+    def test_absent_keys_mostly_rejected(self):
+        bloom = BloomFilter.with_capacity(200)
+        for offset in range(200):
+            bloom.add((0, offset))
+        false_positives = sum(
+            bloom.might_contain((1, offset)) for offset in range(1000)
+        )
+        # ~1 % FPR at 10 bits/key; allow generous slack.
+        assert false_positives < 100
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(num_bits=128)
+        assert not bloom.might_contain("anything")
+
+
+class TestCounting:
+    def test_probe_calls_counted(self):
+        bloom = BloomFilter(num_bits=128)
+        bloom.add("a")
+        bloom.might_contain("a")
+        bloom.might_contain("b")
+        assert bloom.probe_calls == 2
+        assert bloom.items_added == 1
+
+    def test_add_does_not_count_probes(self):
+        bloom = BloomFilter(num_bits=128)
+        bloom.add("a")
+        assert bloom.probe_calls == 0
+
+
+class TestConfiguration:
+    def test_min_bits_enforced(self):
+        assert BloomFilter(num_bits=1).num_bits == 64
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(num_bits=0)
+        with pytest.raises(ConfigurationError):
+            BloomFilter(num_bits=64, num_hashes=0)
+        with pytest.raises(ConfigurationError):
+            BloomFilter(num_bits=64, num_hashes=9)
+        with pytest.raises(ConfigurationError):
+            BloomFilter.with_capacity(0)
+
+    def test_with_capacity_sizes_bits(self):
+        assert BloomFilter.with_capacity(100, bits_per_item=10).num_bits == (
+            1000
+        )

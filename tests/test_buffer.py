@@ -1,0 +1,111 @@
+"""Unit tests for the LRU buffer pool (repro.storage.buffer)."""
+
+import pytest
+
+from repro.exceptions import BufferPoolError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import PageKind
+from repro.storage.pager import Pager
+
+
+@pytest.fixture()
+def setup():
+    pager = Pager(page_size=512)
+    pages = [pager.allocate(PageKind.DATA, f"p{i}") for i in range(8)]
+    return pager, BufferPool(pager, capacity_pages=3), pages
+
+
+class TestBasics:
+    def test_miss_then_hit(self, setup):
+        pager, pool, pages = setup
+        assert pool.get(pages[0]) == "p0"
+        assert pool.get(pages[0]) == "p0"
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+        assert pager.stats.physical_reads == 1
+
+    def test_capacity_enforced(self, setup):
+        _pager, pool, pages = setup
+        for page in pages[:5]:
+            pool.get(page)
+        assert pool.num_resident == 3
+        assert pool.stats.evictions == 2
+
+    def test_lru_eviction_order(self, setup):
+        _pager, pool, pages = setup
+        pool.get(pages[0])
+        pool.get(pages[1])
+        pool.get(pages[2])
+        pool.get(pages[0])  # refresh page 0
+        pool.get(pages[3])  # must evict page 1 (least recently used)
+        assert pool.resident(pages[0])
+        assert not pool.resident(pages[1])
+        assert pool.resident(pages[2])
+        assert pool.resident(pages[3])
+
+    def test_zero_capacity_rejected(self, setup):
+        pager, _pool, _pages = setup
+        with pytest.raises(BufferPoolError):
+            BufferPool(pager, capacity_pages=0)
+
+    def test_hit_ratio(self, setup):
+        _pager, pool, pages = setup
+        pool.get(pages[0])
+        pool.get(pages[0])
+        pool.get(pages[0])
+        assert pool.stats.hit_ratio == pytest.approx(2 / 3)
+
+
+class TestBitmap:
+    def test_resident_probe_does_not_touch_lru(self, setup):
+        _pager, pool, pages = setup
+        pool.get(pages[0])
+        pool.get(pages[1])
+        pool.get(pages[2])
+        # Probing page 0 must NOT make it recently-used...
+        assert pool.resident(pages[0])
+        pool.get(pages[3])  # ...so it is the one evicted.
+        assert not pool.resident(pages[0])
+
+    def test_probe_does_not_count_io(self, setup):
+        pager, pool, pages = setup
+        pool.resident(pages[0])
+        assert pager.stats.physical_reads == 0
+        assert pool.stats.misses == 0
+
+    def test_count_non_resident_deduplicates(self, setup):
+        _pager, pool, pages = setup
+        pool.get(pages[0])
+        assert pool.count_non_resident([pages[0], pages[1], pages[1]]) == 1
+
+
+class TestMaintenance:
+    def test_put_is_write_through(self, setup):
+        pager, pool, pages = setup
+        pool.put(pages[0], "fresh")
+        assert pager.peek(pages[0]) == "fresh"
+        assert pool.get(pages[0]) == "fresh"
+        assert pool.stats.misses == 0  # already resident
+
+    def test_invalidate(self, setup):
+        _pager, pool, pages = setup
+        pool.get(pages[0])
+        pool.invalidate(pages[0])
+        assert not pool.resident(pages[0])
+        pool.invalidate(pages[0])  # idempotent
+
+    def test_clear(self, setup):
+        _pager, pool, pages = setup
+        pool.get(pages[0])
+        pool.clear()
+        assert pool.num_resident == 0
+
+    def test_resize_shrink_evicts(self, setup):
+        _pager, pool, pages = setup
+        for page in pages[:3]:
+            pool.get(page)
+        pool.resize(1)
+        assert pool.num_resident == 1
+        assert pool.capacity == 1
+        with pytest.raises(BufferPoolError):
+            pool.resize(0)

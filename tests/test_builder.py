@@ -1,0 +1,79 @@
+"""Unit tests for DualMatch index construction (repro.index.builder)."""
+
+import numpy as np
+import pytest
+
+from repro.core.paa import paa
+from repro.exceptions import ConfigurationError
+from repro.index.builder import build_index
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+from repro.storage.sequences import SequenceStore
+
+
+def make_store(lengths, seed=0, page_size=512):
+    pager = Pager(page_size=page_size)
+    buffer = BufferPool(pager, capacity_pages=8)
+    store = SequenceStore(pager, buffer)
+    rng = np.random.default_rng(seed)
+    for sid, length in enumerate(lengths):
+        store.add_sequence(sid, rng.standard_normal(length).cumsum())
+    return store
+
+
+class TestBuildIndex:
+    def test_window_count(self):
+        store = make_store([100, 64, 63])
+        index = build_index(store, omega=16, features=4)
+        # 100//16 + 64//16 + 63//16 = 6 + 4 + 3.
+        assert index.num_indexed_windows == 13
+        index.tree.check_invariants()
+
+    def test_leaf_points_are_window_paa(self):
+        store = make_store([64])
+        index = build_index(store, omega=16, features=4)
+        for entry in index.tree.iter_leaf_entries():
+            record = entry.record
+            window = store.peek_subsequence(
+                record.sid, record.window_index * 16, 16
+            )
+            np.testing.assert_allclose(entry.low, paa(window, 4))
+
+    def test_window_values_accessor(self):
+        store = make_store([64])
+        index = build_index(store, omega=16, features=4)
+        record = next(iter(index.tree.iter_leaf_entries())).record
+        values = index.window_values(record)
+        assert values.size == 16
+
+    def test_seg_len(self):
+        store = make_store([64])
+        index = build_index(store, omega=16, features=4)
+        assert index.seg_len == 4
+
+    def test_describe_fields(self):
+        store = make_store([200, 200])
+        index = build_index(store, omega=16, features=4)
+        info = index.describe()
+        assert info["sequences"] == 2
+        assert info["indexed_windows"] == 24
+        assert info["tree_height"] >= 1
+        assert info["total_values"] == 400
+
+    def test_invalid_omega(self):
+        store = make_store([64])
+        with pytest.raises(ConfigurationError):
+            build_index(store, omega=0, features=4)
+
+    def test_omega_must_divide_by_features(self):
+        store = make_store([64])
+        with pytest.raises(ConfigurationError):
+            build_index(store, omega=10, features=4)
+
+    def test_sequence_shorter_than_window_contributes_nothing(self):
+        store = make_store([8, 64])
+        index = build_index(store, omega=16, features=4)
+        sids = {
+            entry.record.sid for entry in index.tree.iter_leaf_entries()
+        }
+        assert sids == {1}

@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_demo_runs(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--dataset",
+                "WALK",
+                "--size",
+                "6000",
+                "--omega",
+                "16",
+                "--query-length",
+                "48",
+                "--k",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ru-cost" in out
+        assert "candidates" in out
+
+    def test_inventory_runs(self, capsys):
+        code = main(["inventory", "--scale", "0.001"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("UCR", "PIPE", "WALK", "STOCK", "MUSIC"):
+            assert name in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,161 @@
+"""Unit tests for RU-COST's density machinery (repro.engines.cost_density)."""
+
+import math
+
+import pytest
+
+from repro.engines.cost_density import (
+    CostAwareDensityScheduler,
+    CostDensityConfig,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = CostDensityConfig()
+        assert config.alpha == 1.0
+        assert config.beta == 0.0
+        assert config.lookahead_h is None  # blocking factor
+        assert config.selective_expansion
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostDensityConfig(alpha=-1.0)
+        with pytest.raises(ConfigurationError):
+            CostDensityConfig(lookahead_h=0)
+        with pytest.raises(ConfigurationError):
+            CostDensityConfig(max_expansions_per_select=-1)
+
+
+class TestEstimateHthDistance:
+    estimate = staticmethod(
+        CostAwareDensityScheduler._estimate_hth_distance
+    )
+
+    def test_uniform_single_range(self):
+        # 10 leaves uniform on [0, 10]: the 5th sits at distance 5.
+        assert self.estimate([(0.0, 10.0, 10.0)], 5) == pytest.approx(5.0)
+
+    def test_point_masses(self):
+        # 3 leaves exactly at 2.0; h=2 reached at 2.0.
+        assert self.estimate([(2.0, 2.0, 3.0)], 2) == pytest.approx(2.0)
+
+    def test_mixture(self):
+        ranges = [(0.0, 0.0, 1.0), (1.0, 3.0, 4.0)]
+        # 1 point at 0, then uniform density 2/unit on [1,3]; h=3 needs
+        # 2 more units of mass -> reached at 2.0.
+        assert self.estimate(ranges, 3) == pytest.approx(2.0)
+
+    def test_h_beyond_total_mass_returns_last_endpoint(self):
+        assert self.estimate([(0.0, 4.0, 2.0)], 100) == pytest.approx(4.0)
+
+    def test_empty_ranges(self):
+        assert self.estimate([], 5) == math.inf
+
+    def test_unbounded_range_treated_as_point_mass(self):
+        assert self.estimate([(1.5, math.inf, 10.0)], 5) == pytest.approx(
+            1.5
+        )
+
+
+class TestDensityKeyOrdering:
+    def test_zero_density_ties_break_on_denominator(self):
+        # The paper: among zero-density queues pick the smallest
+        # denominator.  Keys are (density, denominator) tuples.
+        sparse_key = (0.0, 5.0)
+        tight_key = (0.0, 1.0)
+        assert tight_key < sparse_key
+
+    def test_nonzero_density_dominates(self):
+        assert (0.0, 100.0) < (0.5, 0.1)
+
+
+class TestSchedulerOnRealQueues(object):
+    """Exercise density computation through a real RU-COST search."""
+
+    def test_lb_never_exceeds_exact(self, walk_db):
+        """Lemma 7, checked empirically on live queues."""
+        from repro.core.windows import QueryWindowSet
+        from repro.engines.base import CandidateEvaluator, EngineConfig
+        from repro.engines.queues import WindowQueue
+        from repro.core.metrics import QueryStats
+
+        query = walk_db.store.peek_subsequence(0, 500, 48).copy()
+        window_set = QueryWindowSet.from_query(
+            query, omega=16, features=4, rho=2
+        )
+        stats = QueryStats()
+        queues = [
+            WindowQueue(
+                window,
+                walk_db.index.tree,
+                walk_db.index.seg_len,
+                2.0,
+                stats,
+            )
+            for window in window_set.classes[0]
+        ]
+        scheduler = CostAwareDensityScheduler(
+            store=walk_db.store,
+            query_length=48,
+            omega=16,
+            blocking_factor=walk_db.index.tree.blocking_factor,
+            p=2.0,
+            config=CostDensityConfig(lookahead_h=4),
+            cap_for=lambda _queue: math.inf,
+        )
+        # Resolve each queue somewhat, then compare the bound pair.
+        for queue in queues:
+            for _ in range(3):
+                queue.expand_first_node()
+        for queue in queues:
+            lb = scheduler._lb_cdens(queue, 4)
+            exact = scheduler._exact_cdens(queue, 4)
+            assert lb <= exact
+
+    def test_select_returns_live_queue(self, walk_db):
+        from repro.core.windows import QueryWindowSet
+        from repro.engines.queues import WindowQueue
+        from repro.core.metrics import QueryStats
+
+        query = walk_db.store.peek_subsequence(0, 900, 48).copy()
+        window_set = QueryWindowSet.from_query(
+            query, omega=16, features=4, rho=2
+        )
+        stats = QueryStats()
+        queues = [
+            WindowQueue(
+                window,
+                walk_db.index.tree,
+                walk_db.index.seg_len,
+                2.0,
+                stats,
+            )
+            for window in window_set.classes[1]
+        ]
+        scheduler = CostAwareDensityScheduler(
+            store=walk_db.store,
+            query_length=48,
+            omega=16,
+            blocking_factor=8,
+            p=2.0,
+            config=CostDensityConfig(),
+            cap_for=lambda _queue: math.inf,
+        )
+        chosen = scheduler.select(queues)
+        assert chosen in queues
+        assert not chosen.is_empty
+
+    def test_select_requires_live_queue(self, walk_db):
+        scheduler = CostAwareDensityScheduler(
+            store=walk_db.store,
+            query_length=48,
+            omega=16,
+            blocking_factor=8,
+            p=2.0,
+            config=CostDensityConfig(),
+            cap_for=lambda _queue: math.inf,
+        )
+        with pytest.raises(ConfigurationError):
+            scheduler.select([])

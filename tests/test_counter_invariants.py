@@ -1,0 +1,81 @@
+"""Cross-engine accounting invariants.
+
+The benchmark conclusions are only as good as the counters; these tests
+pin down the arithmetic relations between them so instrumentation bugs
+cannot silently skew a figure.
+"""
+
+import pytest
+
+METHODS = ["seqscan", "hlmj", "hlmj-wg", "ru", "ru-cost"]
+
+
+def query_from(db, start, length, sid=0):
+    return db.store.peek_subsequence(sid, start, length).copy()
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("deferred", [False, True])
+class TestAccountingInvariants:
+    def test_candidate_pipeline_adds_up(self, walk_db, method, deferred):
+        query = query_from(walk_db, 555, 48)
+        stats = walk_db.search(
+            query, k=5, rho=2, method=method, deferred=deferred
+        ).stats
+        # Every retrieved candidate gets exactly one LB_Keogh check, and
+        # then either a DTW computation or an LB_Keogh prune.
+        assert stats.lb_keogh_computations == stats.candidates
+        assert (
+            stats.dtw_computations + stats.pruned_by_lb_keogh
+            == stats.candidates
+        )
+
+    def test_physical_versus_logical_reads(self, walk_db, method, deferred):
+        query = query_from(walk_db, 555, 48)
+        walk_db.reset_cache()
+        stats = walk_db.search(
+            query, k=5, rho=2, method=method, deferred=deferred
+        ).stats
+        assert stats.page_accesses <= stats.logical_reads
+        assert (
+            stats.sequential_page_accesses + stats.random_page_accesses
+            == stats.page_accesses
+        )
+
+    def test_wall_time_positive(self, walk_db, method, deferred):
+        query = query_from(walk_db, 555, 48)
+        stats = walk_db.search(
+            query, k=5, rho=2, method=method, deferred=deferred
+        ).stats
+        assert stats.wall_time_s > 0
+
+
+class TestIsolationBetweenQueries:
+    def test_stats_are_per_query_deltas(self, walk_db):
+        query = query_from(walk_db, 100, 48)
+        walk_db.reset_cache()
+        first = walk_db.search(query, k=3, rho=2, method="ru").stats
+        second = walk_db.search(query, k=3, rho=2, method="ru").stats
+        # The second run reuses the warm buffer: fewer physical reads,
+        # and definitely not cumulative ones.
+        assert second.page_accesses <= first.page_accesses
+        # Candidate counts are identical — pure function of the query.
+        assert second.candidates == first.candidates
+
+    def test_interleaved_engines_do_not_leak_counters(self, walk_db):
+        query = query_from(walk_db, 100, 48)
+        ru_first = walk_db.search(query, k=3, rho=2, method="ru").stats
+        walk_db.search(query, k=3, rho=2, method="hlmj")
+        ru_again = walk_db.search(query, k=3, rho=2, method="ru").stats
+        assert ru_again.candidates == ru_first.candidates
+        assert ru_again.heap_pops == ru_first.heap_pops
+
+    def test_deferred_and_plain_agree_on_matches(self, walk_db):
+        query = query_from(walk_db, 1500, 48)
+        plain = walk_db.search(query, k=8, rho=2, method="ru-cost")
+        deferred = walk_db.search(
+            query, k=8, rho=2, method="ru-cost", deferred=True
+        )
+        assert [m.key() for m in plain.matches] == [
+            m.key() for m in deferred.matches
+        ]

@@ -1,0 +1,169 @@
+"""Unit tests for datasets and query workloads (repro.data)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_NAMES,
+    load_dataset,
+    music_like,
+    pipe_like,
+    stock_like,
+    ucr_like,
+    walk_like,
+)
+from repro.data.datasets import PAPER_SIZES, scaled_size
+from repro.data.queries import (
+    dense_queries,
+    pattern_queries,
+    regular_queries,
+    window_densities,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "generator", [ucr_like, walk_like, stock_like, music_like]
+    )
+    def test_deterministic_in_seed(self, generator):
+        first = generator(2000, seed=5)
+        second = generator(2000, seed=5)
+        np.testing.assert_array_equal(first, second)
+        other = generator(2000, seed=6)
+        assert not np.array_equal(first, other)
+
+    @pytest.mark.parametrize(
+        "generator", [ucr_like, walk_like, stock_like, music_like]
+    )
+    def test_exact_size(self, generator):
+        assert generator(3001, seed=0).size == 3001
+
+    def test_pipe_returns_markers(self):
+        values, markers = pipe_like(20000, seed=0)
+        assert values.size == 20000
+        assert set(markers) == {"BEND", "VALVE", "TEE"}
+        assert all(offsets for offsets in markers.values())
+        # Markers point inside the sequence.
+        for offsets in markers.values():
+            assert all(0 <= off < 20000 for off in offsets)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            walk_like(10)
+
+    def test_ucr_has_dense_and_sparse_windows(self):
+        values = ucr_like(30000, seed=0)
+        densities = window_densities(values, 32, 4)
+        assert densities.max() > 20 * max(1.0, densities.min())
+
+    def test_stock_is_positive(self):
+        assert stock_like(5000, seed=1).min() > 0
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        for name in DATASET_NAMES:
+            dataset = load_dataset(name, size=9000, seed=1)
+            assert dataset.size == 9000
+            assert dataset.name == name
+
+    def test_scaled_size_preserves_ordering(self):
+        sizes = [scaled_size(name, 1 / 64) for name in DATASET_NAMES]
+        paper = [PAPER_SIZES[name] for name in DATASET_NAMES]
+        assert sorted(range(5), key=lambda i: sizes[i]) == sorted(
+            range(5), key=lambda i: paper[i]
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("EEG")
+        with pytest.raises(ConfigurationError):
+            scaled_size("EEG")
+
+    def test_describe(self):
+        info = load_dataset("PIPE", size=16000).describe()
+        assert info["name"] == "PIPE"
+        assert info["size"] == 16000
+        assert info["markers"]["BEND"] >= 1
+
+
+class TestQueryWorkloads:
+    @pytest.fixture(scope="class")
+    def ucr(self):
+        return load_dataset("UCR", size=30000, seed=3)
+
+    def test_regular_shapes_and_determinism(self, ucr):
+        queries = regular_queries(ucr.values, 96, 5, seed=1)
+        assert len(queries) == 5
+        assert all(q.size == 96 for q in queries)
+        again = regular_queries(ucr.values, 96, 5, seed=1)
+        for a, b in zip(queries, again):
+            np.testing.assert_array_equal(a, b)
+
+    def test_regular_queries_are_subsequences(self, ucr):
+        for query in regular_queries(ucr.values, 64, 3, seed=2):
+            # Must appear verbatim somewhere in the data.
+            matches = np.where(np.isclose(ucr.values, query[0]))[0]
+            assert any(
+                np.allclose(ucr.values[m : m + 64], query)
+                for m in matches
+                if m + 64 <= ucr.values.size
+            )
+
+    def test_density_screening_avoids_dense_windows(self, ucr):
+        densities = window_densities(ucr.values, 32, 4)
+        cutoff = np.quantile(densities, 0.25)
+        queries = regular_queries(
+            ucr.values, 96, 4, seed=4, omega=32, features=4
+        )
+        # Recovered starts must cover only low-density windows.
+        for query in queries:
+            starts = [
+                m
+                for m in np.where(np.isclose(ucr.values, query[0]))[0]
+                if m + 96 <= ucr.values.size
+                and np.allclose(ucr.values[m : m + 96], query)
+            ]
+            assert any(
+                densities[s // 32 : (s + 95) // 32 + 1].max() <= cutoff
+                for s in starts
+            )
+
+    def test_dense_queries_mix_densities(self, ucr):
+        densities = window_densities(ucr.values, 32, 4)
+        queries = dense_queries(
+            ucr.values, 128, 3, omega=32, features=4, seed=5
+        )
+        assert all(q.size == 128 for q in queries)
+
+    def test_dense_queries_need_two_windows(self, ucr):
+        with pytest.raises(ConfigurationError):
+            dense_queries(ucr.values, 40, 2, omega=32, features=4)
+
+    def test_pattern_queries(self):
+        pipe = load_dataset("PIPE", size=30000, seed=2)
+        queries = pattern_queries(pipe, "VALVE", 256, 3, seed=1)
+        assert all(q.size == 256 for q in queries)
+
+    def test_pattern_queries_unknown_family(self):
+        pipe = load_dataset("PIPE", size=30000, seed=2)
+        with pytest.raises(ConfigurationError):
+            pattern_queries(pipe, "ELBOW", 256, 1)
+
+    def test_pattern_queries_need_markers(self):
+        walk = load_dataset("WALK", size=9000, seed=2)
+        with pytest.raises(ConfigurationError):
+            pattern_queries(walk, "BEND", 128, 1)
+
+    def test_invalid_lengths(self, ucr):
+        with pytest.raises(ConfigurationError):
+            regular_queries(ucr.values, 1, 1)
+        with pytest.raises(ConfigurationError):
+            regular_queries(ucr.values, ucr.values.size + 1, 1)
+        with pytest.raises(ConfigurationError):
+            regular_queries(ucr.values, 64, 0)
+
+    def test_window_densities_requires_windows(self):
+        with pytest.raises(ConfigurationError):
+            window_densities(np.zeros(40), 32, 4)

@@ -1,0 +1,79 @@
+"""Unit tests for the deferred retrieval buffer (repro.storage.deferred)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.storage.deferred import CandidateRequest, DeferredRetrievalBuffer
+
+
+def request(sid, start, lb=0.0):
+    return CandidateRequest(sid=sid, start=start, length=4, lower_bound=lb)
+
+
+class TestCapacity:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            DeferredRetrievalBuffer(0)
+
+    def test_is_full(self):
+        buf = DeferredRetrievalBuffer(2)
+        buf.add(request(0, 0))
+        assert not buf.is_full
+        buf.add(request(0, 1))
+        assert buf.is_full
+
+    def test_capacity_for_database_follows_half_percent_rule(self):
+        # 1 MB database at 0.5% -> 5243 bytes -> 327 sixteen-byte slots.
+        assert DeferredRetrievalBuffer.capacity_for_database(2**20) == 327
+
+    def test_capacity_floor_is_one(self):
+        assert DeferredRetrievalBuffer.capacity_for_database(100) == 1
+
+    def test_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            DeferredRetrievalBuffer.capacity_for_database(1000, fraction=0)
+
+
+class TestDrain:
+    def test_storage_order(self):
+        buf = DeferredRetrievalBuffer(10)
+        buf.add(request(1, 50))
+        buf.add(request(0, 99))
+        buf.add(request(0, 3))
+        buf.add(request(1, 2))
+        drained = [(r.sid, r.start) for r in buf.drain()]
+        assert drained == [(0, 3), (0, 99), (1, 2), (1, 50)]
+
+    def test_drain_empties_buffer(self):
+        buf = DeferredRetrievalBuffer(10)
+        buf.add(request(0, 0))
+        list(buf.drain())
+        assert len(buf) == 0
+
+    def test_threshold_skips_stale_requests(self):
+        buf = DeferredRetrievalBuffer(10)
+        buf.add(request(0, 0, lb=1.0))
+        buf.add(request(0, 1, lb=9.0))
+        drained = list(buf.drain(threshold=5.0))
+        assert [r.start for r in drained] == [0]
+        assert buf.stats.requests_skipped == 1
+
+    def test_no_threshold_drains_everything(self):
+        buf = DeferredRetrievalBuffer(10)
+        buf.add(request(0, 0, lb=100.0))
+        assert len(list(buf.drain())) == 1
+
+    def test_stats_accumulate(self):
+        buf = DeferredRetrievalBuffer(10)
+        buf.add(request(0, 0))
+        buf.add(request(0, 1))
+        list(buf.drain())
+        buf.add(request(0, 2))
+        list(buf.drain())
+        assert buf.stats.requests_added == 3
+        assert buf.stats.flushes == 2
+        assert buf.stats.requests_drained == 3
+
+
+def test_request_sort_key():
+    assert request(2, 5).sort_key == (2, 5)

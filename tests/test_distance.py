@@ -1,0 +1,109 @@
+"""Unit tests for banded DTW and L_p distances (repro.core.distance)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distance import dtw_distance, dtw_pow, lp_distance
+from repro.exceptions import QueryError
+
+
+class TestLpDistance:
+    def test_euclidean(self):
+        assert lp_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_l1(self):
+        assert lp_distance([0.0, 0.0], [3.0, 4.0], p=1.0) == pytest.approx(
+            7.0
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(QueryError):
+            lp_distance([1.0], [1.0, 2.0])
+
+
+class TestDtwBasics:
+    def test_identical_sequences_have_zero_distance(self):
+        s = [1.0, 2.0, 3.0, 2.0]
+        assert dtw_distance(s, s, rho=1) == 0.0
+
+    def test_empty_sequences(self):
+        assert dtw_pow([], [], rho=0) == 0.0
+        assert dtw_pow([1.0], [], rho=0) == math.inf
+        assert dtw_pow([], [1.0], rho=3) == math.inf
+
+    def test_rho_zero_equals_lp(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal(20)
+        b = rng.standard_normal(20)
+        assert dtw_distance(a, b, rho=0) == pytest.approx(lp_distance(a, b))
+
+    def test_negative_rho_rejected(self):
+        with pytest.raises(QueryError):
+            dtw_distance([1.0], [1.0], rho=-1)
+
+    def test_known_alignment(self):
+        # Query [0,0,1], data [0,1,1] with rho=1: the warping path can
+        # align the 1s diagonally: cost 0+min(...)... hand-checked = 0.
+        assert dtw_distance([0.0, 1.0, 1.0], [0.0, 0.0, 1.0], rho=1) == 0.0
+
+    def test_band_restricts_alignment(self):
+        # With rho=0 the same pair costs |0-0|+|1-0|+|1-1| = 1.
+        assert dtw_distance(
+            [0.0, 1.0, 1.0], [0.0, 0.0, 1.0], rho=0
+        ) == pytest.approx(1.0)
+
+    def test_unequal_lengths_within_band(self):
+        value = dtw_distance([1.0, 2.0, 3.0], [1.0, 2.0], rho=1)
+        assert math.isfinite(value)
+
+    def test_unequal_lengths_beyond_band(self):
+        assert dtw_pow([1.0] * 10, [1.0, 2.0], rho=2) == math.inf
+
+
+class TestDtwProperties:
+    def test_symmetry(self):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal(30)
+        b = rng.standard_normal(30)
+        assert dtw_distance(a, b, rho=3) == pytest.approx(
+            dtw_distance(b, a, rho=3)
+        )
+
+    def test_wider_band_never_increases_distance(self):
+        rng = np.random.default_rng(6)
+        a = rng.standard_normal(40)
+        b = rng.standard_normal(40)
+        distances = [dtw_distance(a, b, rho=r) for r in (0, 1, 3, 8)]
+        assert distances == sorted(distances, reverse=True)
+
+    def test_p_one_versus_p_two_differ(self):
+        a = [0.0, 5.0]
+        b = [0.0, 0.0]
+        assert dtw_distance(a, b, rho=0, p=1.0) == pytest.approx(5.0)
+        assert dtw_distance(a, b, rho=0, p=2.0) == pytest.approx(5.0)
+        a = [3.0, 4.0]
+        assert dtw_distance(a, b, rho=0, p=1.0) == pytest.approx(7.0)
+        assert dtw_distance(a, b, rho=0, p=2.0) == pytest.approx(5.0)
+
+
+class TestEarlyAbandon:
+    def test_abandon_returns_inf(self):
+        a = np.zeros(20)
+        b = np.full(20, 10.0)
+        assert (
+            dtw_pow(a, b, rho=2, threshold_pow=1.0) == math.inf
+        )
+
+    def test_threshold_above_true_distance_is_exact(self):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal(25)
+        b = rng.standard_normal(25)
+        exact = dtw_pow(a, b, rho=3)
+        assert dtw_pow(a, b, rho=3, threshold_pow=exact + 1.0) == exact
+
+    def test_rooted_threshold_parameter(self):
+        a = np.zeros(10)
+        b = np.full(10, 10.0)
+        assert dtw_distance(a, b, rho=1, threshold=1.0) == math.inf

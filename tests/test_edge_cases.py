@@ -1,0 +1,123 @@
+"""Edge-case integration tests across the whole stack.
+
+Covers the awkward inputs a downstream user will eventually feed the
+library: constant sequences, minimum-length queries, other norms,
+sequences shorter than a window, extreme buffer pressure, and ties.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SubsequenceDatabase
+from repro.core.reference import brute_force_topk
+from tests.conftest import engine_distances, gold_topk, make_walk
+
+METHODS = ["seqscan", "hlmj", "ru", "ru-cost"]
+
+
+class TestDegenerateData:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_constant_sequence(self, method):
+        # Flat data: every subsequence is identical, all distances tie
+        # at zero; engines must not crash or loop, and must return k
+        # zero-distance matches.
+        db = SubsequenceDatabase(omega=16, features=4)
+        db.insert(0, np.full(400, 3.25))
+        db.build()
+        result = db.search(np.full(48, 3.25), k=5, rho=2, method=method)
+        assert len(result.matches) == 5
+        assert all(m.distance == 0.0 for m in result.matches)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_constant_query_on_noisy_data(self, method):
+        db = SubsequenceDatabase(omega=16, features=4)
+        db.insert(0, make_walk(600, seed=4))
+        db.build()
+        query = np.zeros(48)
+        gold = gold_topk(db, query, k=3, rho=2)
+        result = db.search(query, k=3, rho=2, method=method)
+        assert engine_distances(result) == pytest.approx(gold, abs=1e-6)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_sequences_shorter_than_query_are_skipped(self, method):
+        db = SubsequenceDatabase(omega=16, features=4)
+        db.insert(0, make_walk(40, seed=1))  # shorter than the query
+        db.insert(1, make_walk(300, seed=2))
+        db.build()
+        query = db.store.peek_subsequence(1, 10, 48).copy()
+        result = db.search(query, k=3, rho=2, method=method)
+        assert all(m.sid == 1 for m in result.matches)
+
+
+class TestBoundaryLengths:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_minimum_legal_query_length(self, method):
+        # Len(Q) = 2*omega - 1 is the shortest exact-matching query.
+        db = SubsequenceDatabase(omega=16, features=4)
+        db.insert(0, make_walk(500, seed=6))
+        db.build()
+        query = db.store.peek_subsequence(0, 100, 31).copy()
+        gold = gold_topk(db, query, k=3, rho=1)
+        result = db.search(query, k=3, rho=1, method=method)
+        assert engine_distances(result) == pytest.approx(gold, abs=1e-6)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_query_as_long_as_a_sequence(self, method):
+        db = SubsequenceDatabase(omega=16, features=4)
+        db.insert(0, make_walk(96, seed=7))
+        db.insert(1, make_walk(400, seed=8))
+        db.build()
+        query = db.store.peek_subsequence(0, 0, 96).copy()
+        result = db.search(query, k=1, rho=4, method=method)
+        assert result.matches[0] == result.matches[0]
+        assert result.matches[0].distance == pytest.approx(0.0, abs=1e-9)
+
+
+class TestOtherNorms:
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("p", [1.0, 3.0])
+    def test_exactness_under_other_norms(self, method, p):
+        db = SubsequenceDatabase(omega=16, features=4, p=p)
+        db.insert(0, make_walk(500, seed=9))
+        db.build()
+        query = db.store.peek_subsequence(0, 77, 48).copy()
+        gold = [
+            round(m.distance, 6)
+            for m in brute_force_topk(db.store, query, 4, rho=2, p=p)
+        ]
+        result = db.search(query, k=4, rho=2, method=method)
+        assert engine_distances(result) == pytest.approx(gold, abs=1e-6)
+
+
+class TestBufferPressure:
+    @pytest.mark.parametrize("method", ["hlmj", "ru", "ru-cost"])
+    def test_one_page_buffer_still_exact(self, method):
+        db = SubsequenceDatabase(omega=16, features=4, buffer_fraction=0.05)
+        db.insert(0, make_walk(1200, seed=10))
+        db.build()
+        db.buffer.resize(1)  # pathological thrashing
+        query = db.store.peek_subsequence(0, 321, 48).copy()
+        gold = gold_topk(db, query, k=4, rho=2)
+        result = db.search(query, k=4, rho=2, method=method)
+        assert engine_distances(result) == pytest.approx(gold, abs=1e-6)
+        assert result.stats.page_accesses > 0
+
+
+class TestTies:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_many_exact_duplicates(self, method):
+        # Identical motif planted many times: distances tie at zero and
+        # k must still come back exactly, deterministically.
+        motif = make_walk(64, seed=12)
+        db = SubsequenceDatabase(omega=16, features=4)
+        db.insert(0, np.tile(motif, 6))
+        db.build()
+        result = db.search(motif[:48], k=6, rho=2, method=method)
+        assert len(result.matches) == 6
+        zero_matches = [m for m in result.matches if m.distance < 1e-9]
+        assert len(zero_matches) == 6
+        # Deterministic: re-running returns the same starts.
+        again = db.search(motif[:48], k=6, rho=2, method=method)
+        assert [m.key() for m in again.matches] == [
+            m.key() for m in result.matches
+        ]

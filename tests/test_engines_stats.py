@@ -1,0 +1,136 @@
+"""Integration tests for engine instrumentation and behaviour.
+
+Beyond exactness, the paper's comparisons rest on the counters being
+meaningful: candidates, page accesses, pops, prunes, and the deferred
+mechanism's effect on access patterns.
+"""
+
+import pytest
+
+
+def query_from(db, start, length, sid=0):
+    return db.store.peek_subsequence(sid, start, length).copy()
+
+
+class TestSeqScanBehaviour:
+    def test_candidates_independent_of_k(self, walk_db):
+        query = query_from(walk_db, 300, 48)
+        counts = {
+            walk_db.search(query, k=k, rho=2, method="seqscan").stats.candidates
+            for k in (1, 10, 30)
+        }
+        assert len(counts) == 1  # "SeqScan shows constant values"
+
+    def test_considers_every_offset(self, walk_db):
+        query = query_from(walk_db, 300, 48)
+        stats = walk_db.search(query, k=1, rho=2, method="seqscan").stats
+        expected = sum(
+            walk_db.store.length(sid) - 48 + 1
+            for sid in walk_db.store.sequence_ids()
+        )
+        assert stats.candidates == expected
+
+    def test_reads_all_data_pages_once_from_cold(self, walk_db):
+        query = query_from(walk_db, 300, 48)
+        walk_db.reset_cache()
+        stats = walk_db.search(query, k=1, rho=2, method="seqscan").stats
+        assert stats.page_accesses == walk_db.store.total_data_pages
+        # Sequential scan: almost every read rides the sweep.
+        assert stats.sequential_page_accesses >= stats.page_accesses - 2
+
+    def test_lb_keogh_prunes_most_dtw(self, walk_db):
+        query = query_from(walk_db, 300, 48)
+        stats = walk_db.search(query, k=1, rho=2, method="seqscan").stats
+        assert stats.dtw_computations < stats.candidates
+        assert stats.pruned_by_lb_keogh > 0
+
+
+class TestIndexEngineCounters:
+    @pytest.mark.parametrize("method", ["hlmj", "ru", "ru-cost"])
+    def test_counters_populated(self, walk_db, method):
+        query = query_from(walk_db, 640, 48)
+        stats = walk_db.search(query, k=5, rho=2, method=method).stats
+        assert stats.heap_pops > 0
+        assert stats.node_expansions > 0
+        assert stats.candidates > 0
+        assert stats.wall_time_s > 0
+        assert stats.logical_reads >= stats.page_accesses
+
+    @pytest.mark.parametrize("method", ["hlmj", "ru", "ru-cost"])
+    def test_index_engines_prune_versus_seqscan(self, walk_db, method):
+        query = query_from(walk_db, 640, 48)
+        seq = walk_db.search(query, k=5, rho=2, method="seqscan").stats
+        index_stats = walk_db.search(query, k=5, rho=2, method=method).stats
+        assert index_stats.candidates < seq.candidates / 5
+
+    def test_duplicates_are_suppressed(self, walk_db):
+        # In HLMJ every sliding window can rediscover the same
+        # candidate, so the seen-set must fire on realistic queries.
+        query = query_from(walk_db, 640, 64)
+        stats = walk_db.search(query, k=5, rho=2, method="hlmj").stats
+        assert stats.duplicates_suppressed > 0
+
+    def test_larger_k_needs_more_work(self, walk_db):
+        query = query_from(walk_db, 640, 48)
+        small = walk_db.search(query, k=1, rho=2, method="ru-cost").stats
+        large = walk_db.search(query, k=30, rho=2, method="ru-cost").stats
+        assert large.candidates >= small.candidates
+
+
+class TestDeferredBehaviour:
+    @pytest.mark.parametrize("method", ["hlmj", "ru", "ru-cost"])
+    def test_deferred_flushes_happen(self, walk_db, method):
+        query = query_from(walk_db, 100, 48)
+        stats = walk_db.search(
+            query, k=10, rho=2, method=method, deferred=True
+        ).stats
+        assert stats.deferred_flushes >= 1
+
+    def test_deferred_improves_sequentiality(self, walk_db):
+        query = query_from(walk_db, 100, 48)
+        walk_db.reset_cache()
+        plain = walk_db.search(query, k=10, rho=2, method="hlmj").stats
+        walk_db.reset_cache()
+        deferred = walk_db.search(
+            query, k=10, rho=2, method="hlmj", deferred=True
+        ).stats
+        plain_fraction = plain.sequential_page_accesses / max(
+            1, plain.page_accesses
+        )
+        deferred_fraction = deferred.sequential_page_accesses / max(
+            1, deferred.page_accesses
+        )
+        assert deferred_fraction >= plain_fraction
+
+
+class TestSchedulingVariants:
+    @pytest.mark.parametrize(
+        "scheduling", ["max-delta", "global-min", "round-robin"]
+    )
+    def test_all_strategies_exact(self, walk_db, scheduling):
+        from repro.engines.ranked_union import RankedUnionEngine
+        from repro.engines.base import EngineConfig
+
+        query = query_from(walk_db, 900, 48)
+        reference = walk_db.search(query, k=5, rho=2, method="ru")
+        engine = RankedUnionEngine(walk_db.index, scheduling=scheduling)
+        result = engine.search(query, EngineConfig(k=5, rho=2))
+        assert [round(m.distance, 6) for m in result.matches] == [
+            round(m.distance, 6) for m in reference.matches
+        ]
+
+    def test_engine_names(self, walk_db):
+        from repro.engines.ranked_union import RankedUnionEngine
+
+        assert RankedUnionEngine(walk_db.index).name == "RU"
+        assert (
+            RankedUnionEngine(walk_db.index, scheduling="cost-aware").name
+            == "RU-COST"
+        )
+
+    def test_unknown_scheduling_rejected(self, walk_db):
+        from repro.engines.ranked_union import RankedUnionEngine
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            RankedUnionEngine(walk_db.index, scheduling="nope")

@@ -1,0 +1,45 @@
+"""Unit tests for the exception hierarchy (repro.exceptions)."""
+
+import pytest
+
+from repro import exceptions
+
+
+def test_everything_derives_from_repro_error():
+    leaves = [
+        exceptions.PageError,
+        exceptions.BufferPoolError,
+        exceptions.SequenceNotFoundError,
+        exceptions.IndexNotBuiltError,
+        exceptions.QueryTooShortError,
+        exceptions.ConfigurationError,
+        exceptions.BudgetExceededError,
+    ]
+    for leaf in leaves:
+        assert issubclass(leaf, exceptions.ReproError)
+
+
+def test_storage_family():
+    assert issubclass(exceptions.PageError, exceptions.StorageError)
+    assert issubclass(
+        exceptions.SequenceNotFoundError, exceptions.StorageError
+    )
+
+
+def test_query_family():
+    assert issubclass(exceptions.QueryTooShortError, exceptions.QueryError)
+
+
+def test_index_family():
+    assert issubclass(exceptions.IndexNotBuiltError, exceptions.IndexError_)
+    # The trailing-underscore class must not shadow the builtin.
+    assert exceptions.IndexError_ is not IndexError
+
+
+def test_one_catch_all_at_api_boundary(walk_db):
+    with pytest.raises(exceptions.ReproError):
+        walk_db.search([0.0] * 5, k=1)  # too short
+    with pytest.raises(exceptions.ReproError):
+        walk_db.search(
+            walk_db.store.peek_subsequence(0, 0, 48).copy(), k=0
+        )

@@ -1,0 +1,131 @@
+"""Unit tests for the lower-bound chain (repro.core.lower_bounds).
+
+The heart of exactness: ``DTW >= LB_Keogh >= LB_PAA >= MINDIST`` must
+hold for arbitrary inputs, otherwise the engines would dismiss true
+results.  These tests check the chain on seeded random data and the
+composite MDMWP / MSEQ bounds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distance import dtw_pow
+from repro.core.envelope import query_envelope
+from repro.core.lower_bounds import (
+    lb_keogh,
+    lb_keogh_pow,
+    lb_paa,
+    lb_paa_pow,
+    maxdist_pow,
+    mdmwp_pow,
+    min_disjoint_windows,
+    mindist_pow,
+    mseq_distance_pow,
+    root,
+)
+from repro.core.paa import paa, paa_envelope
+from repro.exceptions import QueryError
+
+
+def _random_case(seed, n=64, f=8, rho=4):
+    rng = np.random.default_rng(seed)
+    q = rng.standard_normal(n).cumsum()
+    s = rng.standard_normal(n).cumsum()
+    env = query_envelope(q, rho)
+    return q, s, env, f, n // f
+
+
+class TestChain:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_dtw_keogh_paa_chain(self, seed):
+        q, s, env, f, seg = _random_case(seed)
+        dtw = dtw_pow(s, q, rho=4)
+        keogh = lb_keogh_pow(env, s)
+        lower, upper = paa_envelope(env, f)
+        paa_bound = lb_paa_pow(lower, upper, paa(s, f), seg)
+        assert dtw >= keogh - 1e-9
+        assert keogh >= paa_bound - 1e-9
+
+    @pytest.mark.parametrize("p", [1.0, 2.0, 3.0])
+    def test_chain_for_other_norms(self, p):
+        q, s, env, f, seg = _random_case(42)
+        dtw = dtw_pow(s, q, rho=4, p=p)
+        keogh = lb_keogh_pow(env, s, p=p)
+        lower, upper = paa_envelope(env, f)
+        paa_bound = lb_paa_pow(lower, upper, paa(s, f), seg, p=p)
+        assert dtw >= keogh - 1e-9 >= paa_bound - 2e-9
+
+    def test_sequence_inside_envelope_scores_zero(self):
+        q = np.linspace(0.0, 1.0, 32)
+        env = query_envelope(q, rho=3)
+        assert lb_keogh_pow(env, q) == 0.0
+
+    def test_keogh_length_mismatch(self):
+        env = query_envelope([1.0, 2.0], rho=0)
+        with pytest.raises(QueryError):
+            lb_keogh_pow(env, [1.0, 2.0, 3.0])
+
+    def test_rooted_wrappers(self):
+        q, s, env, f, seg = _random_case(1)
+        assert lb_keogh(env, s) == pytest.approx(
+            lb_keogh_pow(env, s) ** 0.5
+        )
+        lower, upper = paa_envelope(env, f)
+        assert lb_paa(lower, upper, paa(s, f), seg) == pytest.approx(
+            lb_paa_pow(lower, upper, paa(s, f), seg) ** 0.5
+        )
+
+
+class TestMindistMaxdist:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mindist_below_lb_paa_below_maxdist(self, seed):
+        rng = np.random.default_rng(seed)
+        f, seg = 4, 8
+        env_low = np.sort(rng.standard_normal(f))
+        env_high = env_low + rng.random(f)
+        rect_low = rng.standard_normal(f)
+        rect_high = rect_low + rng.random(f) * 2
+        point = rect_low + rng.random(f) * (rect_high - rect_low)
+        near = mindist_pow(env_low, env_high, rect_low, rect_high, seg)
+        exact = lb_paa_pow(env_low, env_high, point, seg)
+        far = maxdist_pow(env_low, env_high, rect_low, rect_high, seg)
+        assert near - 1e-12 <= exact <= far + 1e-12
+
+    def test_overlapping_rect_has_zero_mindist(self):
+        low = np.array([0.0, 0.0])
+        high = np.array([1.0, 1.0])
+        assert mindist_pow(low, high, low, high, seg_len=2) == 0.0
+
+    def test_bad_seg_len(self):
+        with pytest.raises(QueryError):
+            lb_paa_pow(np.zeros(2), np.zeros(2), np.zeros(2), seg_len=0)
+
+
+class TestCompositeBounds:
+    def test_min_disjoint_windows_formula(self):
+        # Definition 2: r = floor((Len(Q)+1)/omega) - 1.
+        assert min_disjoint_windows(384, 64) == 5
+        assert min_disjoint_windows(11, 4) == 2
+        assert min_disjoint_windows(127, 64) == 1
+
+    def test_min_disjoint_windows_rejects_bad_omega(self):
+        with pytest.raises(QueryError):
+            min_disjoint_windows(10, 0)
+
+    def test_mdmwp_scales_by_r(self):
+        assert mdmwp_pow(2.0, 3) == 6.0
+        with pytest.raises(QueryError):
+            mdmwp_pow(1.0, 0)
+
+    def test_mseq_distance_sums_in_power_space(self):
+        assert mseq_distance_pow([1.0, 2.0, 0.5]) == 3.5
+
+    def test_mseq_distance_propagates_infinity(self):
+        assert mseq_distance_pow([1.0, math.inf]) == math.inf
+
+    def test_root(self):
+        assert root(9.0, 2.0) == 3.0
+        assert root(math.inf) == math.inf
+        assert root(-1e-15) == 0.0  # float-noise clamp

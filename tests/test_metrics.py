@@ -1,0 +1,90 @@
+"""Unit tests for QueryStats and StatsRecorder (repro.core.metrics)."""
+
+import pytest
+
+from repro.core.metrics import QueryStats, StatsRecorder
+from repro.storage.buffer import BufferPool
+from repro.storage.page import PageKind
+from repro.storage.pager import Pager
+
+
+class TestQueryStats:
+    def test_merge_accumulates(self):
+        a = QueryStats(candidates=3, heap_pops=10, wall_time_s=1.0)
+        b = QueryStats(candidates=2, heap_pops=5, wall_time_s=0.5)
+        a.merge(b)
+        assert a.candidates == 5
+        assert a.heap_pops == 15
+        assert a.wall_time_s == 1.5
+
+    def test_scaled_divides(self):
+        stats = QueryStats(candidates=10, page_accesses=4)
+        averaged = stats.scaled(2)
+        assert averaged.candidates == 5
+        assert averaged.page_accesses == 2
+
+    def test_scaled_rejects_zero(self):
+        with pytest.raises(ValueError):
+            QueryStats().scaled(0)
+
+    def test_as_dict_round_trips_all_counters(self):
+        stats = QueryStats(candidates=1, bloom_calls=7)
+        payload = stats.as_dict()
+        assert payload["candidates"] == 1
+        assert payload["bloom_calls"] == 7
+        assert set(payload) >= {
+            "candidates",
+            "page_accesses",
+            "sequential_page_accesses",
+            "random_page_accesses",
+            "wall_time_s",
+            "heap_pops",
+        }
+
+
+class TestStatsRecorder:
+    def test_deltas_not_totals(self):
+        pager = Pager(page_size=512)
+        pages = [pager.allocate(PageKind.DATA, i) for i in range(6)]
+        buffer = BufferPool(pager, capacity_pages=2)
+        buffer.get(pages[0])  # pre-existing traffic
+
+        recorder = StatsRecorder(pager, buffer).start()
+        buffer.get(pages[1])
+        buffer.get(pages[1])  # hit
+        buffer.get(pages[5])
+        stats = recorder.finish()
+        assert stats.page_accesses == 2  # two misses inside the window
+        assert stats.logical_reads == 3
+        assert stats.wall_time_s > 0
+
+    def test_sequential_random_split(self):
+        pager = Pager(page_size=512)
+        pages = [pager.allocate(PageKind.DATA, i) for i in range(80)]
+        buffer = BufferPool(pager, capacity_pages=2)
+        recorder = StatsRecorder(pager, buffer).start()
+        buffer.get(pages[0])
+        buffer.get(pages[1])  # sequential
+        buffer.get(pages[70])  # random (beyond readahead window)
+        stats = recorder.finish()
+        assert stats.sequential_page_accesses == 1
+        assert stats.random_page_accesses == 2
+
+    def test_finish_requires_start(self):
+        pager = Pager(page_size=512)
+        buffer = BufferPool(pager, capacity_pages=2)
+        with pytest.raises(RuntimeError):
+            StatsRecorder(pager, buffer).finish()
+
+    def test_restartable(self):
+        pager = Pager(page_size=512)
+        page = pager.allocate(PageKind.DATA, 0)
+        buffer = BufferPool(pager, capacity_pages=2)
+        recorder = StatsRecorder(pager, buffer)
+        recorder.start()
+        buffer.get(page)
+        first = recorder.finish()
+        recorder.start()
+        second = recorder.finish()
+        assert first.page_accesses == 1
+        assert second.page_accesses == 0

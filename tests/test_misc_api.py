@@ -1,0 +1,119 @@
+"""Small-surface tests: exports, config validation, report helpers."""
+
+import pytest
+
+from repro.engines.base import EngineConfig, SearchResult
+from repro.exceptions import ConfigurationError
+
+
+class TestPublicExports:
+    def test_package_all_resolves(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_core_all_resolves(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert getattr(core, name) is not None
+
+    def test_engines_all_resolves(self):
+        import repro.engines as engines
+
+        for name in engines.__all__:
+            assert getattr(engines, name) is not None
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        config = EngineConfig(k=5, rho=2)
+        assert not config.deferred
+        assert config.deferred_fraction == 0.005
+        assert config.p == 2.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0, "rho": 1},
+            {"k": 1, "rho": -1},
+            {"k": 1, "rho": 1, "deferred_fraction": 0.0},
+            {"k": 1, "rho": 1, "deferred_fraction": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(**kwargs)
+
+    def test_frozen(self):
+        config = EngineConfig(k=1, rho=1)
+        with pytest.raises(Exception):
+            config.k = 2
+
+
+class TestSearchResult:
+    def test_distances_property(self):
+        from repro.core.metrics import QueryStats
+        from repro.core.results import Match
+
+        result = SearchResult(
+            matches=[
+                Match(distance=1.0, sid=0, start=0, length=4),
+                Match(distance=2.0, sid=0, start=9, length=4),
+            ],
+            stats=QueryStats(),
+        )
+        assert result.distances == [1.0, 2.0]
+
+
+class TestWorkloadResult:
+    def test_metric_lookup(self):
+        from repro.bench.harness import WorkloadResult
+
+        result = WorkloadResult(
+            label="X",
+            queries=1,
+            candidates=10.0,
+            page_accesses=5.0,
+            wall_time_s=0.1,
+            modeled_time_s=0.2,
+            extras={"bloom_calls": 7.0},
+        )
+        assert result.metric("candidates") == 10.0
+        assert result.metric("bloom_calls") == 7.0
+        with pytest.raises(KeyError):
+            result.metric("nonexistent")
+
+
+class TestDatasetSizing:
+    def test_scaled_size_floor(self):
+        from repro.data.datasets import scaled_size
+
+        # Even at absurdly small scales sizes stay index-worthy.
+        assert scaled_size("STOCK", 1e-9) >= 8_192
+
+    def test_default_scale_ordering(self):
+        from repro.data.datasets import DATASET_NAMES, scaled_size
+
+        sizes = {name: scaled_size(name) for name in DATASET_NAMES}
+        assert sizes["PIPE"] == max(sizes.values())
+
+
+class TestEngineNames:
+    def test_ranked_union_variant_names(self, walk_db):
+        from repro.engines.ranked_union import RankedUnionEngine
+
+        assert (
+            RankedUnionEngine(walk_db.index, scheduling="global-min").name
+            == "RU[global-min]"
+        )
+        assert (
+            RankedUnionEngine(walk_db.index, scheduling="round-robin").name
+            == "RU[round-robin]"
+        )

@@ -1,0 +1,60 @@
+"""Unit tests for PAA (repro.core.paa)."""
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import query_envelope
+from repro.core.paa import paa, paa_envelope, segment_length
+from repro.exceptions import ConfigurationError, QueryError
+
+
+class TestSegmentLength:
+    def test_exact_division(self):
+        assert segment_length(64, 4) == 16
+
+    def test_non_divisible_rejected(self):
+        with pytest.raises(ConfigurationError):
+            segment_length(10, 3)
+
+    def test_features_larger_than_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            segment_length(4, 8)
+
+    def test_zero_features_rejected(self):
+        with pytest.raises(ConfigurationError):
+            segment_length(8, 0)
+
+
+class TestPaa:
+    def test_segment_means(self):
+        assert paa([1.0, 3.0, 5.0, 7.0], 2).tolist() == [2.0, 6.0]
+
+    def test_identity_when_f_equals_n(self):
+        values = [1.0, 2.0, 3.0]
+        assert paa(values, 3).tolist() == values
+
+    def test_single_feature_is_global_mean(self):
+        assert paa([2.0, 4.0, 6.0, 8.0], 1).tolist() == [5.0]
+
+    def test_mean_preserved(self):
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal(32)
+        assert paa(values, 4).mean() == pytest.approx(values.mean())
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(QueryError):
+            paa(np.zeros((2, 4)), 2)
+
+
+class TestPaaEnvelope:
+    def test_halves_transformed_independently(self):
+        env = query_envelope([1.0, 5.0, 2.0, 8.0], rho=1)
+        lower, upper = paa_envelope(env, 2)
+        np.testing.assert_allclose(lower, paa(env.lower, 2))
+        np.testing.assert_allclose(upper, paa(env.upper, 2))
+
+    def test_lower_below_upper(self):
+        rng = np.random.default_rng(1)
+        env = query_envelope(rng.standard_normal(64), rho=5)
+        lower, upper = paa_envelope(env, 8)
+        assert np.all(lower <= upper)

@@ -1,0 +1,59 @@
+"""Unit tests for page geometry (repro.storage.page)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.storage.page import (
+    PAGE_SIZE_DEFAULT,
+    PageKind,
+    index_entries_per_page,
+    values_per_page,
+)
+
+
+class TestValuesPerPage:
+    def test_default_page_size_holds_508_values(self):
+        assert values_per_page(PAGE_SIZE_DEFAULT) == 508
+
+    def test_small_page(self):
+        # 512 bytes minus 32-byte header leaves room for 60 float64s.
+        assert values_per_page(512) == 60
+
+    def test_scales_linearly_with_page_size(self):
+        assert values_per_page(8192) > 2 * values_per_page(4096) - 8
+
+    def test_rejects_tiny_pages(self):
+        with pytest.raises(ConfigurationError):
+            values_per_page(64)
+
+
+class TestIndexEntriesPerPage:
+    def test_default_geometry_4d(self):
+        # 2 * 4 dims * 8 bytes + 12 overhead = 76 bytes per entry.
+        assert index_entries_per_page(4, 4096) == (4096 - 32) // 76
+
+    def test_higher_dimensions_reduce_fanout(self):
+        assert index_entries_per_page(8, 4096) < index_entries_per_page(
+            4, 4096
+        )
+
+    def test_fanout_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            index_entries_per_page(64, 256)
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            index_entries_per_page(0, 4096)
+
+    def test_rejects_tiny_page(self):
+        with pytest.raises(ConfigurationError):
+            index_entries_per_page(4, 100)
+
+
+def test_page_kind_members():
+    assert {kind.value for kind in PageKind} == {
+        "data",
+        "index_leaf",
+        "index_internal",
+        "free",
+    }

@@ -1,0 +1,96 @@
+"""Unit tests for the physical page store (repro.storage.pager)."""
+
+import pytest
+
+from repro.exceptions import PageError
+from repro.storage.page import PageKind
+from repro.storage.pager import READAHEAD_WINDOW, Pager
+
+
+@pytest.fixture()
+def pager() -> Pager:
+    return Pager(page_size=512)
+
+
+class TestAllocation:
+    def test_ids_are_dense_and_ordered(self, pager):
+        ids = [pager.allocate(PageKind.DATA, i) for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+        assert pager.num_pages == 5
+
+    def test_allocation_counts_as_write(self, pager):
+        pager.allocate(PageKind.DATA)
+        pager.allocate(PageKind.INDEX_LEAF)
+        assert pager.stats.physical_writes == 2
+
+    def test_kind_histogram(self, pager):
+        pager.allocate(PageKind.DATA)
+        pager.allocate(PageKind.DATA)
+        pager.allocate(PageKind.INDEX_LEAF)
+        assert pager.kind_histogram() == {
+            PageKind.DATA: 2,
+            PageKind.INDEX_LEAF: 1,
+        }
+
+
+class TestReadWrite:
+    def test_read_returns_payload_and_counts(self, pager):
+        page = pager.allocate(PageKind.DATA, "payload")
+        assert pager.read(page) == "payload"
+        assert pager.stats.physical_reads == 1
+
+    def test_write_replaces_payload(self, pager):
+        page = pager.allocate(PageKind.DATA, "old")
+        pager.write(page, "new")
+        assert pager.peek(page) == "new"
+
+    def test_peek_does_not_count(self, pager):
+        page = pager.allocate(PageKind.DATA, 1)
+        pager.peek(page)
+        assert pager.stats.physical_reads == 0
+
+    def test_out_of_range_read_raises(self, pager):
+        with pytest.raises(PageError):
+            pager.read(0)
+        pager.allocate(PageKind.DATA)
+        with pytest.raises(PageError):
+            pager.read(5)
+
+    def test_kind_of(self, pager):
+        page = pager.allocate(PageKind.INDEX_INTERNAL)
+        assert pager.kind_of(page) == PageKind.INDEX_INTERNAL
+
+
+class TestSequentialClassification:
+    def test_adjacent_reads_are_sequential(self, pager):
+        for _ in range(4):
+            pager.allocate(PageKind.DATA)
+        for page in range(4):
+            pager.read(page)
+        # First read seeks; the following three ride the sweep.
+        assert pager.stats.sequential_reads == 3
+        assert pager.stats.random_reads == 1
+
+    def test_short_forward_gap_rides_the_sweep(self, pager):
+        for _ in range(READAHEAD_WINDOW + 5):
+            pager.allocate(PageKind.DATA)
+        pager.read(0)
+        pager.read(READAHEAD_WINDOW)  # still inside the elevator window
+        assert pager.stats.sequential_reads == 1
+
+    def test_long_gap_and_backward_reads_are_random(self, pager):
+        for _ in range(READAHEAD_WINDOW + 10):
+            pager.allocate(PageKind.DATA)
+        pager.read(0)
+        pager.read(READAHEAD_WINDOW + 5)  # beyond the window
+        pager.read(2)  # backward
+        assert pager.stats.random_reads == 3
+
+    def test_reset_clears_counters_and_position(self, pager):
+        pager.allocate(PageKind.DATA)
+        pager.read(0)
+        pager.stats.reset()
+        assert pager.stats.physical_reads == 0
+        pager.read(0)
+        # After a reset page 0 must not look sequential.
+        assert pager.stats.random_reads == 1

@@ -1,0 +1,98 @@
+"""Tests for database save/load (repro.storage.persistence)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import SubsequenceDatabase
+from repro.exceptions import ConfigurationError
+from tests.conftest import make_walk
+
+
+@pytest.fixture()
+def built_db():
+    db = SubsequenceDatabase(omega=16, features=4, buffer_fraction=0.1)
+    db.insert(0, make_walk(1500, seed=31))
+    db.insert(5, make_walk(900, seed=32))
+    db.build()
+    return db
+
+
+class TestRoundTrip:
+    def test_identical_results_and_io(self, built_db, tmp_path):
+        query = built_db.store.peek_subsequence(0, 321, 48).copy()
+        built_db.reset_cache()
+        original = built_db.search(query, k=5, rho=2, method="ru-cost")
+
+        built_db.save(tmp_path / "db")
+        loaded = SubsequenceDatabase.load(tmp_path / "db")
+        loaded.reset_cache()
+        reloaded = loaded.search(query, k=5, rho=2, method="ru-cost")
+
+        assert [m.key() for m in reloaded.matches] == [
+            m.key() for m in original.matches
+        ]
+        assert [m.distance for m in reloaded.matches] == pytest.approx(
+            [m.distance for m in original.matches]
+        )
+        # Page-for-page reconstruction: identical I/O accounting.
+        assert reloaded.stats.page_accesses == original.stats.page_accesses
+        assert reloaded.stats.heap_pops == original.stats.heap_pops
+
+    def test_tree_invariants_after_load(self, built_db, tmp_path):
+        built_db.save(tmp_path / "db")
+        loaded = SubsequenceDatabase.load(tmp_path / "db")
+        loaded.index.tree.check_invariants()
+        assert len(loaded.index.tree) == len(built_db.index.tree)
+
+    def test_values_round_trip(self, built_db, tmp_path):
+        built_db.save(tmp_path / "db")
+        loaded = SubsequenceDatabase.load(tmp_path / "db")
+        for sid in (0, 5):
+            np.testing.assert_array_equal(
+                loaded.store.peek_full_sequence(sid),
+                built_db.store.peek_full_sequence(sid),
+            )
+
+    def test_configuration_round_trip(self, built_db, tmp_path):
+        built_db.save(tmp_path / "db")
+        loaded = SubsequenceDatabase.load(tmp_path / "db")
+        assert loaded.omega == built_db.omega
+        assert loaded.features == built_db.features
+        assert loaded.p == built_db.p
+        assert loaded.describe() == built_db.describe()
+
+    def test_load_with_psm_rebuilds_sliding_index(self, tmp_path):
+        db = SubsequenceDatabase(omega=8, features=4)
+        db.insert(0, make_walk(400, seed=33))
+        db.build()
+        db.save(tmp_path / "db")
+        loaded = SubsequenceDatabase.load(tmp_path / "db", psm=True)
+        query = loaded.store.peek_subsequence(0, 50, 17).copy()
+        reference = loaded.search(query, k=3, rho=1, method="ru")
+        psm = loaded.search(query, k=3, rho=1, method="psm")
+        assert [m.distance for m in psm.matches] == pytest.approx(
+            [m.distance for m in reference.matches]
+        )
+
+
+class TestErrors:
+    def test_save_before_build_rejected(self, tmp_path):
+        db = SubsequenceDatabase(omega=16, features=4)
+        db.insert(0, make_walk(200, seed=1))
+        with pytest.raises(ConfigurationError):
+            db.save(tmp_path / "db")
+
+    def test_unknown_format_version_rejected(self, built_db, tmp_path):
+        built_db.save(tmp_path / "db")
+        meta_path = tmp_path / "db" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 999
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ConfigurationError):
+            SubsequenceDatabase.load(tmp_path / "db")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SubsequenceDatabase.load(tmp_path / "nonexistent")

@@ -1,0 +1,101 @@
+"""Sanity checks on the PIPE pattern injections (Experiment 2's fuel).
+
+The Figure 13 reproduction only works if the injected signatures are
+(a) genuinely different from the carrier and (b) *visible to the
+index*: wider than twice the benchmark warping width, so the envelope
+cannot swallow them (see `repro/data/generators.py`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import query_envelope
+from repro.core.lower_bounds import lb_keogh_pow
+from repro.data import load_dataset
+from repro.data.generators import (
+    _PIPE_PATTERN_LENGTH,
+    _pipe_bend,
+    _pipe_tee,
+    _pipe_valve,
+)
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return load_dataset("PIPE", size=60_000, seed=3)
+
+
+class TestInjections:
+    def test_all_families_injected(self, pipe):
+        assert set(pipe.markers) == {"BEND", "VALVE", "TEE"}
+        for offsets in pipe.markers.values():
+            assert len(offsets) >= 3
+            assert offsets == sorted(offsets)
+
+    def test_patterns_deviate_from_carrier(self, pipe):
+        values = pipe.values
+        carrier_std = np.std(values[:1000])
+        for family, offsets in pipe.markers.items():
+            for offset in offsets[:3]:
+                segment = values[offset : offset + _PIPE_PATTERN_LENGTH]
+                assert np.max(np.abs(segment)) > 2.0 * carrier_std, family
+
+    def test_patterns_are_index_visible(self, pipe):
+        """An injected pattern's envelope must discriminate against the
+        plain carrier at the benchmark warping width."""
+        rho = int(0.05 * _PIPE_PATTERN_LENGTH)
+        for family, offsets in pipe.markers.items():
+            offset = offsets[0]
+            pattern = pipe.values[offset : offset + _PIPE_PATTERN_LENGTH]
+            envelope = query_envelope(pattern, rho)
+            # A carrier stretch far from any marker.
+            all_offsets = sorted(
+                off for offs in pipe.markers.values() for off in offs
+            )
+            gaps = [
+                (b - a, a)
+                for a, b in zip(all_offsets, all_offsets[1:])
+                if b - a > 3 * _PIPE_PATTERN_LENGTH
+            ]
+            assert gaps, "need a clean carrier stretch"
+            carrier_at = gaps[0][1] + int(1.5 * _PIPE_PATTERN_LENGTH)
+            carrier = pipe.values[
+                carrier_at : carrier_at + _PIPE_PATTERN_LENGTH
+            ]
+            assert lb_keogh_pow(envelope, carrier) > 1.0, (
+                f"{family} signature is invisible to LB_Keogh"
+            )
+
+
+class TestPatternShapes:
+    def test_valve_pulses_survive_envelope_widening(self):
+        # Every elevated run must be wider than 2*rho at the benchmark
+        # scale (rho = 5% of 192 ~ 9), or the envelope swallows it.
+        rng = np.random.default_rng(0)
+        pattern = _pipe_valve(rng)
+        elevated = np.abs(pattern) > 1.5
+        runs = []
+        length = 0
+        for flag in elevated:
+            if flag:
+                length += 1
+            elif length:
+                runs.append(length)
+                length = 0
+        if length:
+            runs.append(length)
+        assert runs and max(runs) >= 20
+
+    def test_bend_is_smooth_and_wide(self):
+        rng = np.random.default_rng(0)
+        pattern = _pipe_bend(rng)
+        assert pattern.max() > 3.0
+        above_half = np.sum(pattern > pattern.max() / 2)
+        assert above_half > 30  # a wide bump, not a spike
+
+    def test_tee_has_level_shift(self):
+        rng = np.random.default_rng(0)
+        pattern = _pipe_tee(rng)
+        first = pattern[: _PIPE_PATTERN_LENGTH // 4].mean()
+        last = pattern[-_PIPE_PATTERN_LENGTH // 4 :].mean()
+        assert abs(last - first) > 2.0

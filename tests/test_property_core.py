@@ -1,0 +1,132 @@
+"""Hypothesis property tests for the core math layer.
+
+These guard the invariants the engines' exactness rests on: the DTW
+band semantics, the envelope definition, and the lower-bound chain.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import dtw_pow, lp_distance
+from repro.core.envelope import query_envelope
+from repro.core.lower_bounds import lb_keogh_pow, lb_paa_pow, mindist_pow
+from repro.core.paa import paa, paa_envelope
+from repro.core.results import TopKCollector
+
+finite = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def sequences(min_size=2, max_size=48):
+    return st.lists(finite, min_size=min_size, max_size=max_size)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences(), st.integers(min_value=0, max_value=6))
+def test_dtw_self_distance_zero(values, rho):
+    assert dtw_pow(values, values, rho) == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences(8, 24), sequences(8, 24), st.integers(0, 5))
+def test_dtw_symmetry(a, b, rho):
+    left = dtw_pow(a, b, rho)
+    right = dtw_pow(b, a, rho)
+    if math.isinf(left):
+        assert math.isinf(right)
+    else:
+        assert left == pytest_approx(right)
+
+
+def pytest_approx(value):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences(8, 24), st.integers(0, 4))
+def test_wider_band_never_increases_dtw(a, rho):
+    rng = np.random.default_rng(len(a))
+    b = rng.standard_normal(len(a))
+    narrow = dtw_pow(a, b, rho)
+    wide = dtw_pow(a, b, rho + 2)
+    assert wide <= narrow + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences(4, 40), st.integers(0, 8))
+def test_envelope_definition(values, rho):
+    env = query_envelope(values, rho)
+    array = np.asarray(values)
+    n = array.size
+    for i in range(n):
+        window = array[max(0, i - rho) : min(n, i + rho + 1)]
+        assert env.lower[i] == window.min()
+        assert env.upper[i] == window.max()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(0, 10_000),
+    st.integers(1, 4),
+    st.integers(0, 6),
+)
+def test_lower_bound_chain(seed, features_exp, rho):
+    rng = np.random.default_rng(seed)
+    features = 2**features_exp  # 2..16 divides 32
+    n = 32
+    q = rng.standard_normal(n).cumsum()
+    s = rng.standard_normal(n).cumsum()
+    env = query_envelope(q, rho)
+    dtw = dtw_pow(s, q, rho)
+    keogh = lb_keogh_pow(env, s)
+    lower, upper = paa_envelope(env, features)
+    paa_bound = lb_paa_pow(lower, upper, paa(s, features), n // features)
+    assert dtw + 1e-9 >= keogh
+    assert keogh + 1e-9 >= paa_bound
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_mindist_lower_bounds_points_in_rect(seed):
+    rng = np.random.default_rng(seed)
+    f = 4
+    env_low = np.sort(rng.standard_normal(f))
+    env_high = env_low + rng.random(f)
+    rect_low = rng.standard_normal(f)
+    rect_high = rect_low + rng.random(f) * 3
+    point = rect_low + rng.random(f) * (rect_high - rect_low)
+    assert mindist_pow(
+        env_low, env_high, rect_low, rect_high, 4
+    ) <= lb_paa_pow(env_low, env_high, point, 4) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    ),
+    st.integers(1, 10),
+)
+def test_topk_collector_matches_sorted_reference(pows, k):
+    collector = TopKCollector(k=k)
+    for index, value in enumerate(pows):
+        collector.offer_pow(value, 0, index)
+    got = [match.distance for match in collector.matches(length=1)]
+    want = [v**0.5 for v in sorted(pows)[:k]]
+    np.testing.assert_allclose(got, want, rtol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences(4, 32), sequences(4, 32))
+def test_lp_vs_dtw_rho_zero(a, b):
+    if len(a) != len(b):
+        return
+    assert dtw_pow(a, b, 0) == pytest_approx(lp_distance(a, b) ** 2)

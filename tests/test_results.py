@@ -1,0 +1,80 @@
+"""Unit tests for Match and TopKCollector (repro.core.results)."""
+
+import math
+
+import pytest
+
+from repro.core.results import Match, TopKCollector
+from repro.exceptions import QueryError
+
+
+class TestMatch:
+    def test_end_and_key(self):
+        match = Match(distance=1.5, sid=3, start=10, length=4)
+        assert match.end == 14
+        assert match.key() == (3, 10)
+
+    def test_ordering_is_distance_first(self):
+        near = Match(distance=1.0, sid=9, start=9, length=4)
+        far = Match(distance=2.0, sid=0, start=0, length=4)
+        assert near < far
+
+
+class TestTopKCollector:
+    def test_threshold_infinite_until_full(self):
+        collector = TopKCollector(k=2)
+        assert collector.threshold_pow == math.inf
+        collector.offer_pow(4.0, 0, 0)
+        assert collector.threshold_pow == math.inf
+        collector.offer_pow(9.0, 0, 1)
+        assert collector.threshold_pow == 9.0
+        assert collector.threshold == 3.0
+
+    def test_replacement_keeps_best_k(self):
+        collector = TopKCollector(k=2)
+        collector.offer_pow(9.0, 0, 0)
+        collector.offer_pow(4.0, 0, 1)
+        assert collector.offer_pow(1.0, 0, 2)
+        matches = collector.matches(length=4)
+        assert [m.start for m in matches] == [2, 1]
+
+    def test_worse_offer_rejected(self):
+        collector = TopKCollector(k=1)
+        collector.offer_pow(1.0, 0, 0)
+        assert not collector.offer_pow(2.0, 0, 1)
+
+    def test_tie_keeps_incumbent(self):
+        collector = TopKCollector(k=1)
+        collector.offer_pow(1.0, 0, 0)
+        assert not collector.offer_pow(1.0, 0, 1)
+        assert collector.matches(4)[0].start == 0
+
+    def test_infinite_distance_rejected(self):
+        collector = TopKCollector(k=1)
+        assert not collector.offer_pow(math.inf, 0, 0)
+        assert len(collector) == 0
+
+    def test_matches_are_rooted_and_sorted(self):
+        collector = TopKCollector(k=3, p=2.0)
+        collector.offer_pow(16.0, 1, 5)
+        collector.offer_pow(4.0, 0, 3)
+        collector.offer_pow(9.0, 2, 1)
+        matches = collector.matches(length=8)
+        assert [m.distance for m in matches] == [2.0, 3.0, 4.0]
+        assert all(m.length == 8 for m in matches)
+
+    def test_partial_fill(self):
+        collector = TopKCollector(k=5)
+        collector.offer_pow(1.0, 0, 0)
+        assert not collector.is_full
+        assert len(collector.matches(4)) == 1
+
+    def test_other_norms(self):
+        collector = TopKCollector(k=1, p=3.0)
+        collector.offer_pow(8.0, 0, 0)
+        assert collector.matches(4)[0].distance == pytest.approx(2.0)
+        assert collector.threshold == pytest.approx(2.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(QueryError):
+            TopKCollector(k=0)

@@ -1,0 +1,120 @@
+"""Tests for multi-scale (variable-length) matching."""
+
+import numpy as np
+import pytest
+
+from repro import SubsequenceDatabase
+from repro.core.scaling import normalized_distance, resample, scale_lengths
+from repro.exceptions import QueryError
+from tests.conftest import make_walk
+
+
+class TestResample:
+    def test_endpoints_preserved(self):
+        out = resample([1.0, 5.0, 2.0], 7)
+        assert out[0] == 1.0
+        assert out[-1] == 2.0
+        assert out.size == 7
+
+    def test_identity_length(self):
+        values = [3.0, 1.0, 4.0]
+        out = resample(values, 3)
+        assert out.tolist() == values
+
+    def test_downsampling(self):
+        out = resample(np.linspace(0, 10, 11), 5)
+        np.testing.assert_allclose(out, [0.0, 2.5, 5.0, 7.5, 10.0])
+
+    def test_bad_inputs(self):
+        with pytest.raises(QueryError):
+            resample([1.0], 5)
+        with pytest.raises(QueryError):
+            resample([1.0, 2.0], 1)
+
+
+class TestScaleLengths:
+    def test_rounding_and_filtering(self):
+        # base 100, omega 16 -> minimum legal length 31.
+        assert scale_lengths(100, [0.25, 0.5, 1.0], omega=16) == [
+            50,
+            100,
+        ] or scale_lengths(100, [0.25, 0.5, 1.0], omega=16) == [25, 50, 100]
+
+    def test_too_small_scales_dropped(self):
+        assert scale_lengths(100, [0.1, 1.0], omega=16) == [100]
+
+    def test_all_invalid_rejected(self):
+        with pytest.raises(QueryError):
+            scale_lengths(40, [0.1], omega=32)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(QueryError):
+            scale_lengths(100, [-1.0], omega=16)
+
+    def test_duplicates_collapsed(self):
+        assert scale_lengths(100, [1.0, 1.001], omega=16) == [100]
+
+
+class TestNormalizedDistance:
+    def test_scale_free_for_euclidean(self):
+        # Same per-step error at two lengths -> equal normalised value.
+        assert normalized_distance(np.sqrt(100 * 0.25), 100) == (
+            pytest.approx(normalized_distance(np.sqrt(400 * 0.25), 400))
+        )
+
+    def test_invalid_length(self):
+        with pytest.raises(QueryError):
+            normalized_distance(1.0, 0)
+
+
+class TestSearchScaled:
+    @pytest.fixture(scope="class")
+    def db(self):
+        rng = np.random.default_rng(5)
+        base = rng.standard_normal(64).cumsum()
+        # Plant the motif at 1x and a time-stretched 2x copy.
+        from repro.core.scaling import resample as rs
+
+        stretched = rs(base, 128)
+        data = np.concatenate(
+            [
+                make_walk(500, seed=1),
+                base,
+                make_walk(400, seed=2),
+                stretched,
+                make_walk(300, seed=3),
+            ]
+        )
+        db = SubsequenceDatabase(omega=16, features=4)
+        db.insert(0, data)
+        db.build()
+        return db, base
+
+    def test_finds_both_scales(self, db):
+        database, base = db
+        result = database.search_scaled(
+            base, k=4, scales=(1.0, 2.0), method="ru-cost"
+        )
+        lengths = {match.length for match in result.matches}
+        assert 64 in lengths
+        assert 128 in lengths
+        # Both planted copies are found at (near-)zero distance.
+        nearly_zero = [m for m in result.matches if m.distance < 0.05]
+        assert len(nearly_zero) >= 2
+
+    def test_matches_sorted_by_normalized_distance(self, db):
+        database, base = db
+        result = database.search_scaled(base, k=6, scales=(1.0, 2.0))
+        distances = [m.distance for m in result.matches]
+        assert distances == sorted(distances)
+
+    def test_stats_accumulate_across_scales(self, db):
+        database, base = db
+        single = database.search(base, k=3, method="ru-cost").stats
+        multi = database.search_scaled(base, k=3, scales=(1.0, 2.0)).stats
+        assert multi.candidates > single.candidates
+
+    def test_invalid_scales_raise(self, db):
+        database, base = db
+        with pytest.raises(QueryError):
+            database.search_scaled(base, scales=(0.01,))

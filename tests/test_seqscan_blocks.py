@@ -1,0 +1,78 @@
+"""SeqScan block-boundary and vectorization tests.
+
+SeqScan evaluates LB_Keogh in vectorized blocks over a sliding-window
+view; these tests pin the block plumbing (boundaries, short tails,
+threshold re-checks) against a straightforward scalar scan.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SubsequenceDatabase
+from repro.core.envelope import query_envelope
+from repro.core.lower_bounds import lb_keogh_pow
+from repro.engines import seqscan
+from tests.conftest import engine_distances, gold_topk, make_walk
+
+
+def build(n, seed=3):
+    db = SubsequenceDatabase(omega=16, features=4)
+    db.insert(0, make_walk(n, seed=seed))
+    db.build()
+    return db
+
+
+class TestBlockBoundaries:
+    @pytest.mark.parametrize(
+        "offsets_around_block",
+        [seqscan._BLOCK - 1, seqscan._BLOCK, seqscan._BLOCK + 1],
+    )
+    def test_exact_across_block_edges(self, offsets_around_block):
+        # Data sized so the number of offsets straddles the block size.
+        length = 48
+        db = build(offsets_around_block + length - 1)
+        query = db.store.peek_subsequence(0, 7, length).copy()
+        gold = gold_topk(db, query, k=3, rho=2)
+        result = db.search(query, k=3, rho=2, method="seqscan")
+        assert engine_distances(result) == pytest.approx(gold, abs=1e-6)
+        assert result.stats.candidates == offsets_around_block
+
+    def test_tiny_data_single_offset(self):
+        db = build(48)
+        query = db.store.peek_subsequence(0, 0, 48).copy()
+        result = db.search(query, k=1, rho=2, method="seqscan")
+        assert result.stats.candidates == 1
+        assert result.matches[0].distance == 0.0
+
+
+class TestVectorizedKeoghAgreesWithScalar:
+    def test_block_keogh_matches_reference(self):
+        rng = np.random.default_rng(9)
+        values = rng.standard_normal(400).cumsum()
+        query = values[100:148].copy()
+        envelope = query_envelope(query, 3)
+        windows = np.lib.stride_tricks.sliding_window_view(values, 48)
+        gaps = np.maximum(
+            windows - envelope.upper, envelope.lower - windows
+        )
+        np.maximum(gaps, 0.0, out=gaps)
+        vectorized = np.einsum("ij,ij->i", gaps, gaps)
+        for offset in range(0, windows.shape[0], 37):
+            scalar = lb_keogh_pow(envelope, windows[offset])
+            assert vectorized[offset] == pytest.approx(scalar)
+
+
+class TestOtherNormPath:
+    def test_p_one_block_path(self):
+        db = SubsequenceDatabase(omega=16, features=4, p=1.0)
+        db.insert(0, make_walk(500, seed=4))
+        db.build()
+        query = db.store.peek_subsequence(0, 100, 48).copy()
+        from repro.core.reference import brute_force_topk
+
+        gold = [
+            round(m.distance, 6)
+            for m in brute_force_topk(db.store, query, 3, rho=2, p=1.0)
+        ]
+        result = db.search(query, k=3, rho=2, method="seqscan")
+        assert engine_distances(result) == pytest.approx(gold, abs=1e-6)

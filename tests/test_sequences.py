@@ -1,0 +1,126 @@
+"""Unit tests for the paged sequence store (repro.storage.sequences)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PageError, SequenceNotFoundError
+
+
+class TestAddSequence:
+    def test_meta_and_sizes(self, fresh_store):
+        _pager, _buffer, store = fresh_store
+        meta = store.add_sequence(7, np.arange(130.0))
+        # 512-byte pages hold 60 values -> 130 values span 3 pages.
+        assert meta.num_pages == 3
+        assert meta.length == 130
+        assert store.length(7) == 130
+        assert store.total_values == 130
+        assert store.total_data_pages == 3
+
+    def test_duplicate_sid_rejected(self, fresh_store):
+        _pager, _buffer, store = fresh_store
+        store.add_sequence(1, [1.0, 2.0])
+        with pytest.raises(PageError):
+            store.add_sequence(1, [3.0])
+
+    def test_empty_sequence_rejected(self, fresh_store):
+        _pager, _buffer, store = fresh_store
+        with pytest.raises(PageError):
+            store.add_sequence(1, [])
+
+    def test_two_dimensional_rejected(self, fresh_store):
+        _pager, _buffer, store = fresh_store
+        with pytest.raises(PageError):
+            store.add_sequence(1, np.zeros((2, 3)))
+
+    def test_sequences_start_on_fresh_pages(self, fresh_store):
+        _pager, _buffer, store = fresh_store
+        first = store.add_sequence(1, np.arange(70.0))
+        second = store.add_sequence(2, np.arange(5.0))
+        assert second.first_page == first.first_page + first.num_pages
+
+
+class TestRetrieval:
+    def test_values_round_trip(self, fresh_store):
+        _pager, _buffer, store = fresh_store
+        store.add_sequence(1, np.arange(130.0))
+        got = store.get_subsequence(1, 58, 10)
+        assert got.tolist() == list(range(58, 68))
+
+    def test_unknown_sid(self, fresh_store):
+        _pager, _buffer, store = fresh_store
+        with pytest.raises(SequenceNotFoundError):
+            store.get_subsequence(9, 0, 1)
+
+    def test_out_of_bounds(self, fresh_store):
+        _pager, _buffer, store = fresh_store
+        store.add_sequence(1, np.arange(10.0))
+        with pytest.raises(PageError):
+            store.get_subsequence(1, 5, 6)
+        with pytest.raises(PageError):
+            store.get_subsequence(1, -1, 2)
+        with pytest.raises(PageError):
+            store.get_subsequence(1, 0, 0)
+
+    def test_io_counted_per_covering_page(self, fresh_store):
+        pager, buffer, store = fresh_store
+        store.add_sequence(1, np.arange(130.0))
+        buffer.clear()
+        pager.stats.reset()
+        store.get_subsequence(1, 55, 10)  # straddles pages 0 and 1
+        assert pager.stats.physical_reads == 2
+
+    def test_peek_counts_nothing(self, fresh_store):
+        pager, _buffer, store = fresh_store
+        store.add_sequence(1, np.arange(130.0))
+        pager.stats.reset()
+        store.peek_subsequence(1, 0, 130)
+        store.peek_full_sequence(1)
+        assert pager.stats.physical_reads == 0
+
+    def test_read_full_sequence_touches_every_page(self, fresh_store):
+        pager, buffer, store = fresh_store
+        store.add_sequence(1, np.arange(130.0))
+        buffer.clear()
+        pager.stats.reset()
+        values = store.read_full_sequence(1)
+        assert values.size == 130
+        assert pager.stats.physical_reads == 3
+        assert pager.stats.sequential_reads == 2
+
+    def test_returned_views_are_read_only(self, fresh_store):
+        _pager, _buffer, store = fresh_store
+        store.add_sequence(1, np.arange(10.0))
+        view = store.get_subsequence(1, 0, 5)
+        with pytest.raises(ValueError):
+            view[0] = 99.0
+
+
+class TestPagesForRange:
+    def test_exact_page_ids(self, fresh_store):
+        _pager, _buffer, store = fresh_store
+        meta = store.add_sequence(1, np.arange(130.0))
+        assert store.pages_for_range(1, 0, 60) == [meta.first_page]
+        assert store.pages_for_range(1, 59, 2) == [
+            meta.first_page,
+            meta.first_page + 1,
+        ]
+        assert store.pages_for_range(1, 120, 10) == [meta.first_page + 2]
+
+    def test_no_io(self, fresh_store):
+        pager, _buffer, store = fresh_store
+        store.add_sequence(1, np.arange(130.0))
+        pager.stats.reset()
+        store.pages_for_range(1, 0, 130)
+        assert pager.stats.physical_reads == 0
+
+    def test_iter_sequences(self, fresh_store):
+        _pager, _buffer, store = fresh_store
+        store.add_sequence(1, [1.0])
+        store.add_sequence(5, [2.0, 3.0])
+        assert [(sid, v.size) for sid, v in store.iter_sequences()] == [
+            (1, 1),
+            (5, 2),
+        ]
+        assert store.sequence_ids() == [1, 5]
+        assert store.num_sequences == 2

@@ -1,0 +1,67 @@
+"""Tests for the results consolidator (repro.bench.summary)."""
+
+import pathlib
+
+from repro.bench.summary import build_report, extract_speedups, load_results
+
+
+def write_results(tmp_path, figures):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    for name, text in figures.items():
+        (directory / f"{name}.txt").write_text(text)
+    return directory
+
+
+class TestLoadAndExtract:
+    def test_load_results(self, tmp_path):
+        directory = write_results(
+            tmp_path, {"fig11_effect_of_k": "table\n", "extra": "x"}
+        )
+        results = load_results(directory)
+        assert results["fig11_effect_of_k"] == "table"
+        assert "extra" in results
+
+    def test_missing_directory(self, tmp_path):
+        assert load_results(tmp_path / "nope") == {}
+
+    def test_extract_speedups_in_order(self, tmp_path):
+        directory = write_results(
+            tmp_path,
+            {
+                "fig12_dense_queries": "[candidates] A vs B: up to 30.0x",
+                "fig11_effect_of_k": "t\n[modeled_time_s] A vs B: up to 3x",
+            },
+        )
+        lines = extract_speedups(load_results(directory))
+        assert lines[0].startswith("fig11_effect_of_k:")
+        assert lines[1].startswith("fig12_dense_queries:")
+
+
+class TestBuildReport:
+    def test_contains_sections_and_headlines(self, tmp_path):
+        directory = write_results(
+            tmp_path,
+            {
+                "fig11_effect_of_k": "data\n[modeled_time_s] X: up to 5x",
+                "custom_figure": "other",
+            },
+        )
+        report = build_report(directory, title="T")
+        assert report.startswith("# T")
+        assert "## Headline ratios" in report
+        assert "## fig11_effect_of_k" in report
+        assert "## custom_figure" in report  # unknown figures still shown
+        assert "data" in report
+
+    def test_empty_report_hint(self, tmp_path):
+        report = build_report(tmp_path / "nothing")
+        assert "no results recorded yet" in report
+
+    def test_cli_writes_file(self, tmp_path):
+        from repro.bench.summary import main
+
+        directory = write_results(tmp_path, {"fig11_effect_of_k": "d"})
+        output = tmp_path / "RESULTS.md"
+        assert main([str(directory), str(output)]) == 0
+        assert "fig11_effect_of_k" in output.read_text()
