@@ -27,11 +27,21 @@ from repro.core.distance import dtw_distance, lp_distance
 from repro.core.envelope import Envelope, query_envelope
 from repro.core.metrics import QueryStats
 from repro.core.results import Match
-from repro.engines.base import EngineConfig, SearchResult
+from repro.engines.base import EngineConfig, FaultReport, SearchResult
 from repro.engines.cost_density import CostDensityConfig
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    ConfigurationError,
+    CorruptPageError,
+    IntegrityError,
+    PartialSaveError,
+    ReproError,
+    StorageError,
+    TransientIOError,
+)
+from repro.storage.buffer import RetryPolicy
+from repro.storage.faults import FaultInjector, FaultSpec, FaultyPager
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SubsequenceDatabase",
@@ -45,5 +55,16 @@ __all__ = [
     "dtw_distance",
     "lp_distance",
     "ReproError",
+    "ConfigurationError",
+    "StorageError",
+    "TransientIOError",
+    "CorruptPageError",
+    "IntegrityError",
+    "PartialSaveError",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultyPager",
+    "FaultReport",
+    "RetryPolicy",
     "__version__",
 ]

@@ -7,6 +7,10 @@ Subcommands
     printing matches and the paper's three cost metrics.
 ``inventory``
     Print the Table 2-style dataset inventory at a chosen scale.
+``scrub``
+    Load a saved database directory, verify every on-disk checksum and
+    every in-memory page checksum plus the structural invariants, and
+    exit 0 (clean) or 1 (damage found, detailed on stderr).
 
 These are convenience smoke tests; the real experiment drivers live in
 ``benchmarks/`` (one pytest-benchmark module per figure).
@@ -70,6 +74,40 @@ def _inventory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scrub(args: argparse.Namespace) -> int:
+    from repro.exceptions import ReproError
+    from repro.storage.persistence import load_database
+
+    try:
+        db = load_database(args.directory)
+    except FileNotFoundError as error:
+        print(f"scrub: {error}", file=sys.stderr)
+        return 1
+    except ReproError as error:
+        print(
+            f"scrub: {args.directory}: FAILED on-disk verification: "
+            f"{type(error).__name__}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    report = db.verify_integrity()
+    if report["ok"]:
+        print(
+            f"scrub: {args.directory}: OK "
+            f"({report['pages']} pages, all checksums verified)"
+        )
+        return 0
+    for page_id in report["corrupt_pages"]:
+        print(
+            f"scrub: page {page_id} failed checksum verification",
+            file=sys.stderr,
+        )
+    for message in report["tree_errors"] + report["counter_errors"]:
+        print(f"scrub: {message}", file=sys.stderr)
+    print(f"scrub: {args.directory}: FAILED", file=sys.stderr)
+    return 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -93,6 +131,12 @@ def main(argv=None) -> int:
     inventory.add_argument("--scale", type=float, default=1.0 / 256.0)
     inventory.add_argument("--seed", type=int, default=0)
     inventory.set_defaults(func=_inventory)
+
+    scrub = sub.add_parser(
+        "scrub", help="verify a saved database directory end to end"
+    )
+    scrub.add_argument("directory", help="database directory to verify")
+    scrub.set_defaults(func=_scrub)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -47,8 +47,9 @@ from repro.engines.ranked_union import RankedUnionEngine
 from repro.engines.seqscan import SeqScanEngine
 from repro.exceptions import ConfigurationError, IndexNotBuiltError
 from repro.index.builder import DualMatchIndex, build_index
-from repro.storage.buffer import BufferPool
-from repro.storage.page import PAGE_SIZE_DEFAULT
+from repro.storage.buffer import BufferPool, RetryPolicy
+from repro.storage.faults import FaultInjector, FaultyPager
+from repro.storage.page import PAGE_SIZE_DEFAULT, PageKind
 from repro.storage.pager import Pager
 from repro.storage.sequences import SequenceStore
 
@@ -77,6 +78,15 @@ class SubsequenceDatabase:
         Smaller strides index more (overlapping) data windows in
         exchange for tighter per-class bounds; ``J = 1`` is the FRM
         end of the spectrum.
+    fault_injector:
+        Optional :class:`~repro.storage.faults.FaultInjector`; when
+        given, the database runs on a
+        :class:`~repro.storage.faults.FaultyPager` that injects the
+        configured faults.  With no injector (or an empty one) results
+        and I/O counts are identical to a plain pager.
+    retry_policy:
+        Optional :class:`~repro.storage.buffer.RetryPolicy` bounding
+        how transient read failures are retried by the buffer pool.
     """
 
     def __init__(
@@ -87,6 +97,8 @@ class SubsequenceDatabase:
         buffer_fraction: float = 0.05,
         p: float = 2.0,
         data_stride: Optional[int] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if not 0 < buffer_fraction <= 1:
             raise ConfigurationError(
@@ -97,12 +109,24 @@ class SubsequenceDatabase:
         self.data_stride = omega if data_stride is None else data_stride
         self.p = p
         self.buffer_fraction = buffer_fraction
-        self.pager = Pager(page_size=page_size)
-        self.buffer = BufferPool(self.pager, capacity_pages=1)
+        if fault_injector is not None:
+            self.pager: Pager = FaultyPager(
+                page_size=page_size, injector=fault_injector
+            )
+        else:
+            self.pager = Pager(page_size=page_size)
+        self.buffer = BufferPool(
+            self.pager, capacity_pages=1, retry_policy=retry_policy
+        )
         self.store = SequenceStore(self.pager, self.buffer)
         self.index: Optional[DualMatchIndex] = None
         self._engines: Dict[str, Engine] = {}
         self._sliding_index = None
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        """The active fault injector, if the pager is a faulty one."""
+        return getattr(self.pager, "injector", None)
 
     # ------------------------------------------------------------------
     # Loading and building
@@ -136,6 +160,9 @@ class SubsequenceDatabase:
             self._sliding_index = build_sliding_index(
                 self.store, omega=self.omega, features=self.features, p=self.p
             )
+        # The page file is now in its query-serving state: snapshot
+        # per-page checksums so every later fetch is verified.
+        self.pager.seal()
         self.resize_buffer(self.buffer_fraction)
         self.reset_cache()
 
@@ -201,6 +228,7 @@ class SubsequenceDatabase:
         method: str = "ru-cost",
         deferred: bool = False,
         cost_config: Optional[CostDensityConfig] = None,
+        on_fault: str = "raise",
     ) -> SearchResult:
         """Find the ``k`` subsequences nearest to ``query`` under DTW.
 
@@ -219,11 +247,18 @@ class SubsequenceDatabase:
             Use the deferred retrieval mechanism (the "(D)" variants).
         cost_config:
             RU-COST tuning overrides (``method="ru-cost"`` only).
+        on_fault:
+            ``"raise"`` (default) propagates storage faults that survive
+            buffer-pool retries; ``"degrade"`` skips unreadable pages,
+            returns a well-formed top-k over what is readable, and flags
+            the result ``degraded=True`` with a ``fault_report``.
         """
         if rho is None:
             rho = max(1, int(0.05 * len(query)))
         engine = self._engine(method, cost_config)
-        config = EngineConfig(k=k, rho=rho, deferred=deferred, p=self.p)
+        config = EngineConfig(
+            k=k, rho=rho, deferred=deferred, p=self.p, on_fault=on_fault
+        )
         return engine.search(query, config)
 
     def search_scaled(
@@ -410,3 +445,69 @@ class SubsequenceDatabase:
         summary["buffer_pages"] = self.buffer.capacity
         summary["total_pages"] = self.pager.num_pages
         return summary
+
+    def verify_integrity(self) -> Dict[str, object]:
+        """Scrub the built database: checksums plus counter invariants.
+
+        Walks every page verifying its CRC32, validates the R*-tree
+        structure, and cross-checks the storage counters (sequence
+        placement versus allocated data pages, tree size versus leaf
+        records).  Returns a report dict whose ``"ok"`` key is ``True``
+        only when everything holds; the ``scrub`` CLI prints it.
+        """
+        if self.index is None:
+            raise IndexNotBuiltError("call build() before verify_integrity()")
+        report: Dict[str, object] = {
+            "pages": self.pager.num_pages,
+            "sealed": self.pager.sealed,
+            "corrupt_pages": self.pager.verify_all(),
+            "tree_errors": [],
+            "counter_errors": [],
+        }
+        try:
+            self.index.tree.check_invariants()
+        except Exception as error:  # noqa: BLE001 — scrub reports, not raises
+            report["tree_errors"] = [f"{type(error).__name__}: {error}"]
+
+        counter_errors: List[str] = []
+        histogram = self.pager.kind_histogram()
+        data_pages = histogram.get(PageKind.DATA, 0)
+        if data_pages != self.store.total_data_pages:
+            counter_errors.append(
+                f"data pages allocated ({data_pages}) != sequence "
+                f"placement total ({self.store.total_data_pages})"
+            )
+        for sid in self.store.sequence_ids():
+            meta = self.store.meta(sid)
+            expected = -(-meta.length // self.store.values_per_page)
+            if meta.num_pages != expected:
+                counter_errors.append(
+                    f"sequence {sid}: {meta.num_pages} pages recorded, "
+                    f"{expected} required for {meta.length} values"
+                )
+            for page_id in range(
+                meta.first_page, meta.first_page + meta.num_pages
+            ):
+                if self.pager.kind_of(page_id) != PageKind.DATA:
+                    counter_errors.append(
+                        f"sequence {sid}: page {page_id} is "
+                        f"{self.pager.kind_of(page_id).value}, expected data"
+                    )
+                    break
+        leaf_records = sum(
+            len(self.pager.peek(page_id).entries)
+            for page_id in range(self.pager.num_pages)
+            if self.pager.kind_of(page_id) == PageKind.INDEX_LEAF
+        )
+        if leaf_records < len(self.index.tree):
+            counter_errors.append(
+                f"leaf records ({leaf_records}) < tree size "
+                f"({len(self.index.tree)})"
+            )
+        report["counter_errors"] = counter_errors
+        report["ok"] = (
+            not report["corrupt_pages"]
+            and not report["tree_errors"]
+            and not counter_errors
+        )
+        return report

@@ -59,6 +59,12 @@ class QueryStats:
     #: 1 when an operation budget cut the query short (PSM's graceful
     #: stop — results are then a best-effort lower bound, not exact).
     budget_exhausted: int = 0
+    #: Transient read failures recovered by the buffer pool's retry
+    #: policy during this query.
+    retries: int = 0
+    #: Candidates or index subtrees skipped because of storage faults
+    #: under ``on_fault="degrade"`` (0 on a healthy run).
+    faults_skipped: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dict for reporting layers."""
@@ -80,6 +86,8 @@ class QueryStats:
             "duplicates_suppressed": self.duplicates_suppressed,
             "window_group_evaluations": self.window_group_evaluations,
             "budget_exhausted": self.budget_exhausted,
+            "retries": self.retries,
+            "faults_skipped": self.faults_skipped,
         }
 
     def merge(self, other: "QueryStats") -> None:
@@ -116,6 +124,7 @@ class StatsRecorder:
         self._sequential_at_start = 0
         self._random_at_start = 0
         self._logical_at_start = 0
+        self._retries_at_start = 0
         self._started_at: Optional[float] = None
 
     def start(self) -> "StatsRecorder":
@@ -124,6 +133,7 @@ class StatsRecorder:
         self._sequential_at_start = self._pager.stats.sequential_reads
         self._random_at_start = self._pager.stats.random_reads
         self._logical_at_start = self._buffer.stats.logical_reads
+        self._retries_at_start = self._buffer.stats.retries
         self._started_at = time.perf_counter()
         return self
 
@@ -142,6 +152,9 @@ class StatsRecorder:
         )
         self.stats.logical_reads = (
             self._buffer.stats.logical_reads - self._logical_at_start
+        )
+        self.stats.retries = (
+            self._buffer.stats.retries - self._retries_at_start
         )
         self._started_at = None
         return self.stats

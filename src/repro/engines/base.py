@@ -20,7 +20,7 @@ comparisons test *scheduling and bounds*, not bookkeeping differences.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -31,7 +31,7 @@ from repro.core.lower_bounds import lb_keogh_pow
 from repro.core.metrics import QueryStats, StatsRecorder
 from repro.core.results import Match, TopKCollector
 from repro.core.windows import QueryWindowSet
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, StorageError
 from repro.index.builder import DualMatchIndex
 from repro.storage.deferred import CandidateRequest, DeferredRetrievalBuffer
 
@@ -57,6 +57,14 @@ class EngineConfig:
         bytes (paper: 0.005).
     p:
         Norm order.
+    on_fault:
+        Storage-fault policy.  ``"raise"`` (default) propagates any
+        :class:`~repro.exceptions.StorageError` that survives the buffer
+        pool's retries — exactness is preserved or the query fails.
+        ``"degrade"`` skips unreadable candidates and index subtrees,
+        still returns a well-formed top-k over everything readable, and
+        flags the result ``degraded=True`` with a per-query
+        :class:`FaultReport` — availability over exactness.
     """
 
     k: int
@@ -64,6 +72,7 @@ class EngineConfig:
     deferred: bool = False
     deferred_fraction: float = 0.005
     p: float = 2.0
+    on_fault: str = "raise"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -75,6 +84,77 @@ class EngineConfig:
                 f"deferred_fraction must be in (0, 1], got "
                 f"{self.deferred_fraction}"
             )
+        if self.on_fault not in ("raise", "degrade"):
+            raise ConfigurationError(
+                f"on_fault must be 'raise' or 'degrade', got "
+                f"{self.on_fault!r}"
+            )
+
+
+#: Cap on recorded fault events so a sick disk cannot balloon a report.
+_MAX_FAULT_EVENTS = 64
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One storage fault tolerated during a degraded query."""
+
+    error: str
+    detail: str
+    page_id: Optional[int] = None
+    candidate: Optional[Tuple[int, int]] = None
+
+
+@dataclass
+class FaultReport:
+    """Everything a degraded query skipped, for the caller to audit."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+    #: Events beyond the recording cap (counted but not itemised).
+    suppressed: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.events) or self.suppressed > 0
+
+    @property
+    def total(self) -> int:
+        return len(self.events) + self.suppressed
+
+    def record(
+        self,
+        error: StorageError,
+        page_id: Optional[int] = None,
+        candidate: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        if len(self.events) >= _MAX_FAULT_EVENTS:
+            self.suppressed += 1
+            return
+        self.events.append(
+            FaultEvent(
+                error=type(error).__name__,
+                detail=str(error),
+                page_id=page_id,
+                candidate=candidate,
+            )
+        )
+
+    @property
+    def failed_pages(self) -> List[int]:
+        """Distinct page ids implicated, in first-seen order."""
+        seen: List[int] = []
+        for event in self.events:
+            if event.page_id is not None and event.page_id not in seen:
+                seen.append(event.page_id)
+        return seen
+
+    @property
+    def skipped_candidates(self) -> List[Tuple[int, int]]:
+        """``(sid, start)`` pairs dropped from consideration."""
+        return [
+            event.candidate
+            for event in self.events
+            if event.candidate is not None
+        ]
 
 
 @dataclass
@@ -83,6 +163,12 @@ class SearchResult:
 
     matches: List[Match]
     stats: QueryStats
+    #: True when faults forced the engine to skip work under
+    #: ``on_fault="degrade"`` — the top-k is well-formed but may miss
+    #: true results that lived on unreadable pages.
+    degraded: bool = False
+    #: Per-query audit of tolerated faults (``None`` on healthy runs).
+    fault_report: Optional[FaultReport] = None
 
     @property
     def distances(self) -> List[float]:
@@ -106,6 +192,7 @@ class CandidateEvaluator:
         self._config = config
         self.stats = stats
         self.collector = TopKCollector(config.k, p=config.p)
+        self.fault_report = FaultReport()
         self._seen: Set[Tuple[int, int]] = set()
         self._deferred: Optional[DeferredRetrievalBuffer] = None
         if config.deferred:
@@ -124,6 +211,28 @@ class CandidateEvaluator:
     @property
     def query_length(self) -> int:
         return int(self._query.size)
+
+    @property
+    def degrades(self) -> bool:
+        """Whether this run tolerates storage faults by skipping work."""
+        return self._config.on_fault == "degrade"
+
+    def fault(
+        self,
+        error: StorageError,
+        page_id: Optional[int] = None,
+        candidate: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Handle one storage fault according to the ``on_fault`` policy.
+
+        Re-raises under ``"raise"`` (the default — exactness preserved);
+        records and returns under ``"degrade"`` so the caller can skip
+        the affected candidate or subtree and continue.
+        """
+        if not self.degrades:
+            raise error
+        self.stats.faults_skipped += 1
+        self.fault_report.record(error, page_id=page_id, candidate=candidate)
 
     def already_seen(self, sid: int, start: int) -> bool:
         """Whether a candidate was already submitted (no side effects)."""
@@ -168,9 +277,13 @@ class CandidateEvaluator:
 
     def _evaluate(self, sid: int, start: int) -> Optional[float]:
         """Retrieve one candidate and run the LB_Keogh -> DTW cascade."""
-        values = self._index.store.get_subsequence(
-            sid, start, self.query_length
-        )
+        try:
+            values = self._index.store.get_subsequence(
+                sid, start, self.query_length
+            )
+        except StorageError as error:
+            self.fault(error, candidate=(sid, start))
+            return None
         self.stats.candidates += 1
         threshold_pow = self.threshold_pow
         self.stats.lb_keogh_computations += 1
@@ -240,9 +353,12 @@ class Engine(abc.ABC):
         self._run(window_set, evaluator, config)
         evaluator.finalize()
         stats = recorder.finish()
+        report = evaluator.fault_report
         return SearchResult(
             matches=evaluator.collector.matches(window_set.length),
             stats=stats,
+            degraded=bool(report),
+            fault_report=report if report else None,
         )
 
     @abc.abstractmethod

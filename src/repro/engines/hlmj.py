@@ -40,6 +40,7 @@ from repro.core.windows import (
     candidate_start,
 )
 from repro.engines.base import CandidateEvaluator, Engine, EngineConfig
+from repro.exceptions import StorageError
 
 _NODE = 0
 _LEAF = 1
@@ -132,7 +133,13 @@ class HlmjEngine(Engine):
                 break
             window = window_set.windows[window_pos]
             if kind == _NODE:
-                node = tree.read_node(payload)
+                try:
+                    node = tree.read_node(payload)
+                except StorageError as error:
+                    # Degrade: drop this (window, subtree) pair and keep
+                    # draining the global queue.
+                    evaluator.fault(error, page_id=payload)
+                    continue
                 stats.node_expansions += 1
                 threshold_pow = evaluator.threshold_pow
                 for entry in node.entries:

@@ -39,7 +39,11 @@ from repro.core.lower_bounds import lb_paa_pow, mindist_pow
 from repro.core.paa import segment_length
 from repro.core.windows import QueryWindowSet, candidate_in_bounds
 from repro.engines.base import CandidateEvaluator, Engine, EngineConfig
-from repro.exceptions import BudgetExceededError, ConfigurationError
+from repro.exceptions import (
+    BudgetExceededError,
+    ConfigurationError,
+    StorageError,
+)
 from repro.index.bloom import BloomFilter
 from repro.index.rstar import LeafRecord, RStarTree
 from repro.storage.sequences import SequenceStore
@@ -241,7 +245,14 @@ class PsmEngine(Engine):
         config: EngineConfig,
     ) -> None:
         index: SlidingWindowIndex = self.index  # type: ignore[assignment]
-        node = index.tree.read_node(state[expand_at][1])
+        page_id = state[expand_at][1]
+        try:
+            node = index.tree.read_node(page_id)
+        except StorageError as error:
+            # Degrade: this join state (and every state it would spawn)
+            # is dropped; other states keep merging.
+            evaluator.fault(error, page_id=page_id)  # type: ignore[arg-type]
+            return
         evaluator.stats.node_expansions += 1
         window = join_windows[expand_at]
         old_pow = state[expand_at][2]

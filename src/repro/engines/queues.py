@@ -22,12 +22,18 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.core.lower_bounds import lb_paa_pow, maxdist_pow, mindist_pow
 from repro.core.metrics import QueryStats
 from repro.core.windows import QueryWindow
+from repro.exceptions import StorageError
 from repro.index.rstar import LeafRecord, RStarTree
+
+#: Signature of a fault handler: ``(error, page_id) -> None``.  The
+#: handler either re-raises (``on_fault="raise"``) or records the fault
+#: and returns, in which case the unreadable subtree is dropped.
+FaultHandler = Callable[[StorageError, int], None]
 
 NODE = 0
 LEAF = 1
@@ -48,12 +54,14 @@ class WindowQueue:
         seg_len: int,
         p: float,
         stats: QueryStats,
+        on_fault: Optional[FaultHandler] = None,
     ) -> None:
         self.window = window
         self._tree = tree
         self._seg_len = seg_len
         self._p = p
         self._stats = stats
+        self._on_fault = on_fault
         self._heap: List[QueueEntry] = [
             (0.0, next(_counter), NODE, tree.root_page, math.inf)
         ]
@@ -131,8 +139,19 @@ class WindowQueue:
         Children whose pair distance exceeds ``cap_pow`` — the headroom
         ``delta_cur^p`` minus the sibling-queue frontier (the push-time
         MSEQ prune of Section 3.2.2) — are dropped.
+
+        An unreadable node is routed to the fault handler; when the
+        handler returns (degrade policy) the node's subtree is dropped
+        from this queue and the search continues on what is readable.
         """
-        node = self._tree.read_node(page_id)
+        try:
+            node = self._tree.read_node(page_id)
+        except StorageError as error:
+            if self._on_fault is None:
+                raise
+            self._on_fault(error, page_id)
+            self.version += 1
+            return
         self._stats.node_expansions += 1
         self._score_and_push(node, cap_pow)
         self.version += 1

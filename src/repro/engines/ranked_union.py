@@ -87,6 +87,7 @@ class PhiOperator(ExtendedIterator):
                 seg_len=index.seg_len,
                 p=config.p,
                 stats=evaluator.stats,
+                on_fault=evaluator.fault,
             )
             for window in window_set.classes[class_index]
         ]

@@ -17,8 +17,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.distance import dtw_pow
-from repro.engines.base import CandidateEvaluator, Engine, EngineConfig
 from repro.core.windows import QueryWindowSet
+from repro.engines.base import CandidateEvaluator, Engine, EngineConfig
+from repro.exceptions import StorageError
 
 #: Offsets processed per vectorised LB_Keogh block (~3 MB at Len(Q)=384).
 _BLOCK = 1024
@@ -46,7 +47,13 @@ class SeqScanEngine(Engine):
         for sid in store.sequence_ids():
             if store.length(sid) < length:
                 continue
-            values = store.read_full_sequence(sid)
+            try:
+                values = store.read_full_sequence(sid)
+            except StorageError as error:
+                # Degrade: the whole sequence is unreadable past the
+                # failed page; skip it and scan the rest.
+                evaluator.fault(error, candidate=(sid, -1))
+                continue
             offsets = values.size - length + 1
             windows = np.lib.stride_tricks.sliding_window_view(values, length)
             for block_start in range(0, offsets, _BLOCK):

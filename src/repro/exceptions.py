@@ -20,6 +20,42 @@ class PageError(StorageError):
     """A page id is unknown, out of range, or a page payload is malformed."""
 
 
+class TransientIOError(StorageError):
+    """A page read failed for a *recoverable* reason (injected or real).
+
+    Retried by :class:`~repro.storage.buffer.BufferPool` according to its
+    :class:`~repro.storage.buffer.RetryPolicy`; surfaces to callers only
+    after the policy's attempt budget is exhausted.
+    """
+
+
+class CorruptPageError(PageError):
+    """A page payload failed checksum verification (permanent corruption).
+
+    Never retried — re-reading a corrupt page cannot help.  Engines
+    running with ``on_fault="degrade"`` skip the affected candidates or
+    subtrees instead of aborting the query.
+    """
+
+
+class IntegrityError(StorageError):
+    """A persisted database failed a whole-file or structural check.
+
+    Raised by :func:`~repro.storage.persistence.load_database` (and the
+    ``scrub`` CLI) on file checksum mismatches, array-shape manifest
+    violations, or internal references that dangle.
+    """
+
+
+class PartialSaveError(StorageError):
+    """A persisted database directory is incomplete or truncated.
+
+    Indicates an interrupted :func:`~repro.storage.persistence.save_database`
+    (missing ``MANIFEST`` sentinel, missing files, or files shorter than
+    the sizes recorded at save time).
+    """
+
+
 class BufferPoolError(StorageError):
     """The buffer pool was misconfigured or misused (e.g. zero capacity)."""
 

@@ -14,10 +14,20 @@ accesses, so the storage layer is built around explicit pages:
 * :mod:`repro.storage.deferred` — the deferred retrieval mechanism of
   Han et al. [12] that batches random subsequence requests into
   quasi-sequential sweeps.
+* :mod:`repro.storage.integrity` — CRC32 checksum helpers shared by the
+  pager (per-page) and the persistence layer (whole-file).
+* :mod:`repro.storage.faults` — the deterministic fault-injection
+  harness (:class:`FaultInjector` + :class:`FaultyPager`).
 """
 
-from repro.storage.buffer import BufferPool
+from repro.storage.buffer import BufferPool, RetryPolicy
 from repro.storage.deferred import CandidateRequest, DeferredRetrievalBuffer
+from repro.storage.faults import FaultInjector, FaultSpec, FaultyPager
+from repro.storage.integrity import (
+    bytes_checksum,
+    file_checksum,
+    payload_checksum,
+)
 from repro.storage.page import (
     PAGE_SIZE_DEFAULT,
     PageKind,
@@ -34,7 +44,14 @@ __all__ = [
     "index_entries_per_page",
     "Pager",
     "BufferPool",
+    "RetryPolicy",
     "SequenceStore",
     "CandidateRequest",
     "DeferredRetrievalBuffer",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultyPager",
+    "payload_checksum",
+    "file_checksum",
+    "bytes_checksum",
 ]

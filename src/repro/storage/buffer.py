@@ -10,12 +10,49 @@ is that bitmap probe.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Iterable, Optional
 
-from repro.exceptions import BufferPoolError
+from repro.exceptions import BufferPoolError, ConfigurationError, TransientIOError
 from repro.storage.pager import Pager
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for *transient* read failures.
+
+    Consulted by :meth:`BufferPool.fetch`: a read raising
+    :class:`~repro.exceptions.TransientIOError` is retried up to
+    ``max_attempts`` total attempts, sleeping ``backoff_s`` before the
+    first retry and multiplying the delay by ``multiplier`` after each.
+    Permanent failures (:class:`~repro.exceptions.CorruptPageError` and
+    every other :class:`~repro.exceptions.StorageError`) are never
+    retried — re-reading a corrupt page cannot succeed.
+
+    The default backoff is zero so the simulated-disk benchmarks and
+    tests stay deterministic in time; a real deployment would configure
+    ``backoff_s`` to its device's recovery latency.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0:
+            raise ConfigurationError(
+                f"backoff_s must be >= 0, got {self.backoff_s}"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
 
 
 @dataclass
@@ -25,6 +62,8 @@ class BufferStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Transient read failures recovered by retrying (RetryPolicy hits).
+    retries: int = 0
 
     @property
     def logical_reads(self) -> int:
@@ -41,6 +80,7 @@ class BufferStats:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.retries = 0
 
 
 class BufferPool:
@@ -52,9 +92,17 @@ class BufferPool:
         The physical page store.
     capacity_pages:
         Maximum number of resident pages.  Must be at least 1.
+    retry_policy:
+        Bounds retries of transient read failures (defaults to three
+        attempts with no backoff).
     """
 
-    def __init__(self, pager: Pager, capacity_pages: int) -> None:
+    def __init__(
+        self,
+        pager: Pager,
+        capacity_pages: int,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         if capacity_pages < 1:
             raise BufferPoolError(
                 f"buffer capacity must be >= 1 page, got {capacity_pages}"
@@ -62,6 +110,7 @@ class BufferPool:
         self._pager = pager
         self._capacity = capacity_pages
         self._frames: "OrderedDict[int, Any]" = OrderedDict()
+        self.retry_policy = retry_policy or RetryPolicy()
         self.stats = BufferStats()
 
     @property
@@ -86,12 +135,35 @@ class BufferPool:
             self._frames.move_to_end(page_id)
             return self._frames[page_id]
         self.stats.misses += 1
-        payload = self._pager.read(page_id)
+        payload = self.fetch(page_id)
         self._frames[page_id] = payload
         if len(self._frames) > self._capacity:
             self._frames.popitem(last=False)
             self.stats.evictions += 1
         return payload
+
+    def fetch(self, page_id: int) -> Any:
+        """Physically read a page, retrying transient faults.
+
+        Each :class:`~repro.exceptions.TransientIOError` within the
+        retry policy's attempt budget increments ``stats.retries`` and
+        retries after the policy's backoff; the last failure propagates.
+        Permanent errors (including checksum mismatches) propagate
+        immediately.
+        """
+        policy = self.retry_policy
+        delay = policy.backoff_s
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return self._pager.read(page_id)
+            except TransientIOError:
+                if attempt >= policy.max_attempts:
+                    raise
+                self.stats.retries += 1
+                if delay > 0:
+                    time.sleep(delay)
+                    delay *= policy.multiplier
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def resident(self, page_id: int) -> bool:
         """Bitmap probe: is the page buffered?  Does not touch LRU order.

@@ -10,9 +10,10 @@ the disk because the page was not resident in the buffer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
-from repro.exceptions import PageError
+from repro.exceptions import CorruptPageError, PageError
+from repro.storage.integrity import payload_checksum
 from repro.storage.page import PAGE_SIZE_DEFAULT, PageKind
 
 
@@ -68,6 +69,20 @@ class Pager:
     page_size:
         Page size in bytes.  Only used for geometry decisions by callers;
         the pager itself stores payloads as Python objects.
+
+    Integrity
+    ---------
+    Each page carries a CRC32 checksum of its payload's canonical byte
+    encoding (:func:`~repro.storage.integrity.payload_checksum`).  Index
+    construction mutates node objects in place (it is offline, like the
+    paper's excluded build phase), so checksums become authoritative only
+    once :meth:`seal` snapshots every page — which
+    :meth:`~repro.api.SubsequenceDatabase.build` and ``load()`` both do.
+    After sealing, :meth:`write` keeps the affected checksum current and
+    every :meth:`read` verifies its payload, raising
+    :class:`~repro.exceptions.CorruptPageError` on a mismatch.
+    Verification happens on the already-fetched payload and therefore
+    never changes the physical read counters.
     """
 
     def __init__(self, page_size: int = PAGE_SIZE_DEFAULT) -> None:
@@ -75,6 +90,8 @@ class Pager:
         self.stats = PagerStats()
         self._payloads: List[Any] = []
         self._kinds: List[PageKind] = []
+        self._checksums: List[Optional[int]] = []
+        self._sealed = False
 
     def __len__(self) -> int:
         return len(self._payloads)
@@ -93,6 +110,9 @@ class Pager:
         page_id = len(self._payloads)
         self._payloads.append(payload)
         self._kinds.append(kind)
+        self._checksums.append(
+            payload_checksum(payload) if self._sealed else None
+        )
         self.stats.record_write()
         return page_id
 
@@ -103,16 +123,33 @@ class Pager:
             )
 
     def read(self, page_id: int) -> Any:
-        """Physically read a page payload, counting the access."""
+        """Physically read a page payload, counting the access.
+
+        On a sealed pager the payload is checksum-verified; a mismatch
+        raises :class:`~repro.exceptions.CorruptPageError`.
+        """
         self._check(page_id)
         self.stats.record_read(page_id)
-        return self._payloads[page_id]
+        payload = self._payloads[page_id]
+        expected = self._checksums[page_id]
+        if (
+            self._sealed
+            and expected is not None
+            and payload_checksum(payload) != expected
+        ):
+            raise CorruptPageError(
+                f"page {page_id} ({self._kinds[page_id].value}) failed "
+                f"checksum verification"
+            )
+        return payload
 
     def write(self, page_id: int, payload: Any) -> None:
         """Physically write a page payload, counting the access."""
         self._check(page_id)
         self.stats.record_write()
         self._payloads[page_id] = payload
+        if self._sealed:
+            self._checksums[page_id] = payload_checksum(payload)
 
     def kind_of(self, page_id: int) -> PageKind:
         """Return the :class:`PageKind` recorded at allocation time."""
@@ -134,3 +171,49 @@ class Pager:
         for kind in self._kinds:
             histogram[kind] = histogram.get(kind, 0) + 1
         return histogram
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    @property
+    def sealed(self) -> bool:
+        """Whether checksums are authoritative and verified on read."""
+        return self._sealed
+
+    def seal(self) -> None:
+        """Snapshot every page checksum and enable read verification.
+
+        Called once the page file reaches its query-serving state (end
+        of ``build()`` / ``load()``); analogous to checksumming pages at
+        flush time in a real engine.  Idempotent.
+        """
+        self._checksums = [
+            payload_checksum(payload) for payload in self._payloads
+        ]
+        self._sealed = True
+
+    def checksum_of(self, page_id: int) -> Optional[int]:
+        """The stored checksum for a page (``None`` before sealing)."""
+        self._check(page_id)
+        return self._checksums[page_id]
+
+    def verify_page(self, page_id: int) -> bool:
+        """Checksum-check one page without counting I/O.
+
+        Returns ``True`` when the page is clean or has no recorded
+        checksum yet (unsealed pager).
+        """
+        self._check(page_id)
+        expected = self._checksums[page_id]
+        if expected is None:
+            return True
+        return payload_checksum(self._payloads[page_id]) == expected
+
+    def verify_all(self) -> List[int]:
+        """Page ids failing checksum verification (scrub's page walk)."""
+        return [
+            page_id
+            for page_id in range(len(self._payloads))
+            if not self.verify_page(page_id)
+        ]

@@ -1,18 +1,38 @@
-"""Save and load a built database.
+"""Save and load a built database, crash-safely.
 
 A :class:`~repro.api.SubsequenceDatabase` persists to a directory of
-three files:
+four files:
 
 * ``meta.json`` — configuration, sequence placement, page kinds, tree
-  shape;
+  shape, plus the whole-file checksums and array-shape manifest of the
+  two ``.npz`` archives;
 * ``values.npz`` — the raw sequence values;
-* ``index.npz`` — every R*-tree node flattened into columnar arrays.
+* ``index.npz`` — every R*-tree node flattened into columnar arrays;
+* ``MANIFEST`` — the commit sentinel, written last: format marker and
+  the CRC32 of ``meta.json``.  A directory without it is either not a
+  repro database or an interrupted save.
+
+Durability protocol: everything is written into a temporary sibling
+directory, each file is fsynced, and the directory is atomically
+renamed into place (any previous database is swapped out and removed
+only after the new one is in place).  A crash at any point leaves
+either the old database or the new one — never a torn mix — and the
+temp directory is cleaned up on failure.  The load path verifies, in
+order: the MANIFEST sentinel, the format version, ``meta.json``'s
+checksum, the sizes and checksums of both ``.npz`` files (truncation
+raises :class:`~repro.exceptions.PartialSaveError`, corruption raises
+:class:`~repro.exceptions.IntegrityError`), the recorded array shapes,
+and — during reconstruction — that every referenced array actually
+exists (:class:`~repro.exceptions.SequenceNotFoundError` /
+``IntegrityError`` instead of a bare ``KeyError``).
 
 The load path reconstructs the pager **page-for-page** (same page ids,
 same node contents), so a reloaded database produces identical query
 results *and identical I/O counts* — benchmarks are reproducible across
-save/load.  PSM's auxiliary sliding index is not serialized; it is
-rebuilt deterministically on demand (``load(..., psm=True)``).
+save/load.  The reconstructed pager is sealed, re-enabling per-page
+checksum verification.  PSM's auxiliary sliding index is not
+serialized; it is rebuilt deterministically on demand
+(``load(..., psm=True)``).
 
 This module reaches into the private state of the storage and index
 classes; it lives inside the package precisely so that no other code
@@ -22,62 +42,133 @@ has to.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import shutil
+import tempfile
 from typing import Dict, List, Union
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    ConfigurationError,
+    IntegrityError,
+    PartialSaveError,
+    SequenceNotFoundError,
+)
 from repro.index.rstar import Entry, LeafRecord, RStarNode, RStarTree
+from repro.storage.integrity import bytes_checksum, file_checksum
 from repro.storage.page import PageKind
 from repro.storage.pager import Pager
 from repro.storage.sequences import SequenceMeta
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+MANIFEST_NAME = "MANIFEST"
+MANIFEST_MAGIC = "repro-database"
+
+_CHECKSUMMED_FILES = ("values.npz", "index.npz")
 
 PathLike = Union[str, pathlib.Path]
 
 
+def _fsync_file(path: pathlib.Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: pathlib.Path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover — platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def is_database_directory(path: PathLike) -> bool:
+    """Whether ``path`` looks like a committed repro database."""
+    return (pathlib.Path(path) / MANIFEST_NAME).exists()
+
+
+def _check_save_target(path: pathlib.Path) -> None:
+    """Refuse to clobber anything that is not a repro database."""
+    if not path.exists():
+        return
+    if not path.is_dir():
+        raise ConfigurationError(
+            f"save target {path} exists and is not a directory"
+        )
+    if any(path.iterdir()) and not is_database_directory(path):
+        raise ConfigurationError(
+            f"refusing to overwrite {path}: directory is not empty and "
+            f"has no {MANIFEST_NAME} sentinel (not a repro database)"
+        )
+
+
 def save_database(db, directory: PathLike) -> None:
-    """Serialize a built database into ``directory`` (created if absent)."""
+    """Serialize a built database into ``directory``, atomically.
+
+    The write lands in a temporary sibling directory first and is
+    renamed into place only once every file (including the ``MANIFEST``
+    commit sentinel) is on disk; on any failure the temp directory is
+    removed and an existing database at ``directory`` is untouched.
+    """
     if db.index is None:
         raise ConfigurationError("cannot save before build()")
     path = pathlib.Path(directory)
-    path.mkdir(parents=True, exist_ok=True)
+    _check_save_target(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
 
-    tree = db.index.tree
-    meta = {
-        "format_version": FORMAT_VERSION,
-        "omega": db.omega,
-        "features": db.features,
-        "data_stride": db.index.data_stride,
-        "p": db.p,
-        "buffer_fraction": db.buffer_fraction,
-        "page_size": db.pager.page_size,
-        "root_page": tree.root_page,
-        "max_entries": tree.max_entries,
-        "tree_size": len(tree),
-        "page_kinds": [db.pager.kind_of(i).value for i in range(db.pager.num_pages)],
-        "sequences": [
-            {
-                "sid": m.sid,
-                "length": m.length,
-                "first_page": m.first_page,
-                "num_pages": m.num_pages,
-            }
-            for m in (db.store.meta(sid) for sid in db.store.sequence_ids())
-        ],
-    }
-    with open(path / "meta.json", "w") as handle:
-        json.dump(meta, handle)
-
-    np.savez_compressed(
-        path / "values.npz",
-        **{
-            f"sid_{sid}": db.store.peek_full_sequence(sid)
-            for sid in db.store.sequence_ids()
-        },
+    temp = pathlib.Path(
+        tempfile.mkdtemp(prefix=f".{path.name}.tmp-", dir=path.parent)
     )
+    try:
+        _write_database(db, temp)
+        _fsync_dir(temp)
+        _commit(temp, path)
+    except BaseException:
+        shutil.rmtree(temp, ignore_errors=True)
+        raise
+    _fsync_dir(path.parent)
+
+
+def _commit(temp: pathlib.Path, path: pathlib.Path) -> None:
+    """Swap the fully-written temp directory into place."""
+    if path.exists():
+        graveyard = pathlib.Path(
+            tempfile.mkdtemp(prefix=f".{path.name}.old-", dir=path.parent)
+        )
+        old = graveyard / path.name
+        path.rename(old)
+        try:
+            temp.rename(path)
+        except BaseException:  # pragma: no cover — roll the old one back
+            old.rename(path)
+            shutil.rmtree(graveyard, ignore_errors=True)
+            raise
+        shutil.rmtree(graveyard, ignore_errors=True)
+    else:
+        temp.rename(path)
+
+
+def _write_database(db, path: pathlib.Path) -> None:
+    """Write all four files into ``path`` (already existing and empty)."""
+    tree = db.index.tree
+
+    values_arrays = {
+        f"sid_{sid}": db.store.peek_full_sequence(sid)
+        for sid in db.store.sequence_ids()
+    }
+    np.savez_compressed(path / "values.npz", **values_arrays)
+    _fsync_file(path / "values.npz")
 
     node_pages: List[int] = []
     node_levels: List[int] = []
@@ -106,44 +197,210 @@ def save_database(db, directory: PathLike) -> None:
                 children.append(entry.child_page)
                 record_sids.append(-1)
                 record_windows.append(-1)
-    np.savez_compressed(
-        path / "index.npz",
-        node_pages=np.asarray(node_pages, dtype=np.int64),
-        node_levels=np.asarray(node_levels, dtype=np.int64),
-        node_counts=np.asarray(node_counts, dtype=np.int64),
-        lows=(
+    index_arrays = {
+        "node_pages": np.asarray(node_pages, dtype=np.int64),
+        "node_levels": np.asarray(node_levels, dtype=np.int64),
+        "node_counts": np.asarray(node_counts, dtype=np.int64),
+        "lows": (
             np.stack(lows)
             if lows
             else np.zeros((0, db.features), dtype=np.float64)
         ),
-        highs=(
+        "highs": (
             np.stack(highs)
             if highs
             else np.zeros((0, db.features), dtype=np.float64)
         ),
-        children=np.asarray(children, dtype=np.int64),
-        record_sids=np.asarray(record_sids, dtype=np.int64),
-        record_windows=np.asarray(record_windows, dtype=np.int64),
-    )
+        "children": np.asarray(children, dtype=np.int64),
+        "record_sids": np.asarray(record_sids, dtype=np.int64),
+        "record_windows": np.asarray(record_windows, dtype=np.int64),
+    }
+    np.savez_compressed(path / "index.npz", **index_arrays)
+    _fsync_file(path / "index.npz")
+
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "omega": db.omega,
+        "features": db.features,
+        "data_stride": db.index.data_stride,
+        "p": db.p,
+        "buffer_fraction": db.buffer_fraction,
+        "page_size": db.pager.page_size,
+        "root_page": tree.root_page,
+        "max_entries": tree.max_entries,
+        "tree_size": len(tree),
+        "page_kinds": [
+            db.pager.kind_of(i).value for i in range(db.pager.num_pages)
+        ],
+        "sequences": [
+            {
+                "sid": m.sid,
+                "length": m.length,
+                "first_page": m.first_page,
+                "num_pages": m.num_pages,
+            }
+            for m in (db.store.meta(sid) for sid in db.store.sequence_ids())
+        ],
+        "files": {
+            name: {
+                "crc32": file_checksum(path / name),
+                "bytes": (path / name).stat().st_size,
+            }
+            for name in _CHECKSUMMED_FILES
+        },
+        "array_shapes": {
+            "values.npz": {
+                name: list(array.shape)
+                for name, array in values_arrays.items()
+            },
+            "index.npz": {
+                name: list(array.shape)
+                for name, array in index_arrays.items()
+            },
+        },
+    }
+    meta_bytes = json.dumps(meta).encode()
+    (path / "meta.json").write_bytes(meta_bytes)
+    _fsync_file(path / "meta.json")
+
+    # The commit sentinel goes last: its presence asserts every other
+    # file above reached the disk intact.
+    manifest = {
+        "magic": MANIFEST_MAGIC,
+        "format_version": FORMAT_VERSION,
+        "files": ["meta.json", *_CHECKSUMMED_FILES],
+        "meta_crc32": bytes_checksum(meta_bytes),
+        "meta_bytes": len(meta_bytes),
+    }
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    _fsync_file(path / MANIFEST_NAME)
 
 
-def load_database(directory: PathLike, psm: bool = False):
-    """Reconstruct a database saved by :func:`save_database`."""
-    from repro.api import SubsequenceDatabase
-    from repro.index.builder import DualMatchIndex
-    from repro.storage.sequences import SequenceStore
+def _verify_on_disk(path: pathlib.Path) -> dict:
+    """Run the MANIFEST / checksum / size checks; return parsed meta."""
+    if not path.exists():
+        raise FileNotFoundError(f"no database directory at {path}")
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.exists():
+        if (path / "meta.json").exists():
+            raise PartialSaveError(
+                f"{path} has no {MANIFEST_NAME} sentinel: interrupted "
+                f"save_database() or a pre-version-{FORMAT_VERSION} "
+                f"format"
+            )
+        raise FileNotFoundError(f"{path} is not a repro database")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (ValueError, OSError) as error:
+        raise IntegrityError(f"unreadable {MANIFEST_NAME}: {error}") from None
+    if manifest.get("magic") != MANIFEST_MAGIC:
+        raise IntegrityError(
+            f"{MANIFEST_NAME} magic is {manifest.get('magic')!r}, "
+            f"expected {MANIFEST_MAGIC!r}"
+        )
 
-    path = pathlib.Path(directory)
-    with open(path / "meta.json") as handle:
-        meta = json.load(handle)
+    meta_path = path / "meta.json"
+    if not meta_path.exists():
+        raise PartialSaveError(f"{path} is missing meta.json")
+    meta_bytes = meta_path.read_bytes()
+    try:
+        meta = json.loads(meta_bytes)
+    except ValueError as error:
+        raise IntegrityError(f"meta.json is not valid JSON: {error}") from None
+    # Version check precedes the checksum so a deliberately edited
+    # format_version reports "unsupported version", not "corrupt".
     if meta.get("format_version") != FORMAT_VERSION:
         raise ConfigurationError(
             f"unsupported database format version "
             f"{meta.get('format_version')!r}"
         )
+    if bytes_checksum(meta_bytes) != manifest.get("meta_crc32"):
+        raise IntegrityError(
+            "meta.json failed checksum verification against MANIFEST"
+        )
 
-    values = np.load(path / "values.npz")
-    index_data = np.load(path / "index.npz")
+    for name in _CHECKSUMMED_FILES:
+        recorded = meta.get("files", {}).get(name)
+        if recorded is None:
+            raise IntegrityError(f"meta.json records no checksum for {name}")
+        file_path = path / name
+        if not file_path.exists():
+            raise PartialSaveError(f"{path} is missing {name}")
+        actual_bytes = file_path.stat().st_size
+        if actual_bytes < recorded["bytes"]:
+            raise PartialSaveError(
+                f"{name} is truncated: {actual_bytes} bytes on disk, "
+                f"{recorded['bytes']} recorded at save time"
+            )
+        if actual_bytes > recorded["bytes"]:
+            raise IntegrityError(
+                f"{name} grew after save: {actual_bytes} bytes on disk, "
+                f"{recorded['bytes']} recorded"
+            )
+        if file_checksum(file_path) != recorded["crc32"]:
+            raise IntegrityError(
+                f"{name} failed whole-file checksum verification"
+            )
+    return meta
+
+
+def _load_npz(path: pathlib.Path, meta: dict, name: str):
+    """Open one ``.npz`` archive and verify its array-shape manifest."""
+    try:
+        data = np.load(path / name)
+    except Exception as error:  # zipfile/zlib errors are not one class
+        raise IntegrityError(f"cannot open {name}: {error}") from None
+    recorded_shapes = meta.get("array_shapes", {}).get(name)
+    if recorded_shapes is not None:
+        on_disk = set(data.files)
+        for array_name, shape in recorded_shapes.items():
+            if array_name not in on_disk:
+                raise IntegrityError(
+                    f"{name} is missing array {array_name!r} recorded in "
+                    f"the meta.json shape manifest"
+                )
+            actual = list(data[array_name].shape)
+            if actual != shape:
+                raise IntegrityError(
+                    f"{name}:{array_name} has shape {actual}, manifest "
+                    f"records {shape}"
+                )
+    return data
+
+
+def load_database(directory: PathLike, psm: bool = False):
+    """Reconstruct a database saved by :func:`save_database`.
+
+    Verifies the MANIFEST sentinel, whole-file checksums, sizes, and
+    array shapes before touching any data; structural dangling
+    references surface as :class:`SequenceNotFoundError` or
+    :class:`IntegrityError` rather than raw ``KeyError``.
+    """
+    from repro.api import SubsequenceDatabase
+    from repro.index.builder import DualMatchIndex
+    from repro.storage.sequences import SequenceStore
+
+    path = pathlib.Path(directory)
+    meta = _verify_on_disk(path)
+
+    values = _load_npz(path, meta, "values.npz")
+    index_data = _load_npz(path, meta, "index.npz")
+
+    required_columns = (
+        "node_pages",
+        "node_levels",
+        "node_counts",
+        "lows",
+        "highs",
+        "children",
+        "record_sids",
+        "record_windows",
+    )
+    for column in required_columns:
+        if column not in index_data.files:
+            raise IntegrityError(
+                f"index.npz is missing required array {column!r}"
+            )
 
     db = SubsequenceDatabase(
         omega=meta["omega"],
@@ -182,12 +439,24 @@ def load_database(directory: PathLike, psm: bool = False):
 
     # Replay page allocation in original order: data pages are slices
     # of the sequence arrays; index pages are the rebuilt nodes.
-    arrays = {
-        seq["sid"]: np.ascontiguousarray(
-            values[f"sid_{seq['sid']}"], dtype=np.float64
+    arrays: Dict[int, np.ndarray] = {}
+    for seq in meta["sequences"]:
+        key = f"sid_{seq['sid']}"
+        if key not in values.files:
+            raise SequenceNotFoundError(
+                f"meta.json lists sequence {seq['sid']} but values.npz "
+                f"has no array {key!r}"
+            )
+        arrays[seq["sid"]] = np.ascontiguousarray(
+            values[key], dtype=np.float64
         )
-        for seq in meta["sequences"]
-    }
+    for seq in meta["sequences"]:
+        if arrays[seq["sid"]].size != seq["length"]:
+            raise IntegrityError(
+                f"sequence {seq['sid']}: values.npz holds "
+                f"{arrays[seq['sid']].size} values, meta.json records "
+                f"{seq['length']}"
+            )
     for array in arrays.values():
         array.setflags(write=False)
     page_owner: Dict[int, tuple] = {}
@@ -202,9 +471,19 @@ def load_database(directory: PathLike, psm: bool = False):
             )
     for page_id, kind in enumerate(kinds):
         if kind == PageKind.DATA:
+            if page_id not in page_owner:
+                raise IntegrityError(
+                    f"data page {page_id} is owned by no sequence in "
+                    f"meta.json"
+                )
             sid, offset = page_owner[page_id]
             payload = arrays[sid][offset : offset + per_page]
         else:
+            if page_id not in nodes:
+                raise IntegrityError(
+                    f"meta.json marks page {page_id} as {kind.value} but "
+                    f"index.npz holds no node for it"
+                )
             payload = nodes[page_id]
         allocated = pager.allocate(kind, payload)
         assert allocated == page_id
@@ -218,6 +497,12 @@ def load_database(directory: PathLike, psm: bool = False):
             num_pages=seq["num_pages"],
         )
         store._arrays[seq["sid"]] = arrays[seq["sid"]]  # noqa: SLF001
+
+    if not 0 <= meta["root_page"] < pager.num_pages:
+        raise IntegrityError(
+            f"meta.json root_page {meta['root_page']} is outside the "
+            f"page file [0, {pager.num_pages})"
+        )
 
     tree = RStarTree.__new__(RStarTree)
     tree._pager = pager  # noqa: SLF001
@@ -242,6 +527,7 @@ def load_database(directory: PathLike, psm: bool = False):
         db._sliding_index = build_sliding_index(  # noqa: SLF001
             store, omega=meta["omega"], features=meta["features"], p=meta["p"]
         )
+    db.pager.seal()
     db.resize_buffer(meta["buffer_fraction"])
     db.reset_cache()
     return db

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro import SubsequenceDatabase
 from repro.__main__ import main
+from tests.conftest import make_walk
 
 
 class TestCli:
@@ -41,3 +43,37 @@ class TestCli:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestScrub:
+    @pytest.fixture()
+    def saved_db(self, tmp_path):
+        db = SubsequenceDatabase(omega=16, features=4)
+        db.insert(0, make_walk(1200, seed=51))
+        db.build()
+        db.save(tmp_path / "db")
+        return tmp_path / "db"
+
+    def test_clean_database_passes(self, saved_db, capsys):
+        assert main(["scrub", str(saved_db)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_bit_flip_detected(self, saved_db, capsys):
+        values = saved_db / "values.npz"
+        data = bytearray(values.read_bytes())
+        data[200] ^= 0x01
+        values.write_bytes(bytes(data))
+        assert main(["scrub", str(saved_db)]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+        assert "checksum" in err
+
+    def test_truncation_detected(self, saved_db, capsys):
+        index = saved_db / "index.npz"
+        index.write_bytes(index.read_bytes()[:64])
+        assert main(["scrub", str(saved_db)]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_missing_directory(self, tmp_path, capsys):
+        assert main(["scrub", str(tmp_path / "nope")]) == 1
+        assert "scrub" in capsys.readouterr().err

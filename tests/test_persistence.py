@@ -1,12 +1,20 @@
 """Tests for database save/load (repro.storage.persistence)."""
 
 import json
+import zipfile
 
 import numpy as np
 import pytest
 
 from repro import SubsequenceDatabase
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    ConfigurationError,
+    IntegrityError,
+    PartialSaveError,
+    SequenceNotFoundError,
+)
+from repro.storage.integrity import bytes_checksum, file_checksum
+from repro.storage.persistence import MANIFEST_NAME
 from tests.conftest import make_walk
 
 
@@ -96,3 +104,180 @@ class TestErrors:
     def test_missing_directory(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             SubsequenceDatabase.load(tmp_path / "nonexistent")
+
+    def test_directory_without_manifest_or_meta(self, tmp_path):
+        (tmp_path / "db").mkdir()
+        (tmp_path / "db" / "readme.txt").write_text("not a database")
+        with pytest.raises(FileNotFoundError):
+            SubsequenceDatabase.load(tmp_path / "db")
+
+
+def _rewrite_meta(directory, meta):
+    """Rewrite meta.json and keep the MANIFEST checksum consistent,
+    simulating damage that a naive length/CRC check would miss."""
+    meta_bytes = json.dumps(meta).encode()
+    (directory / "meta.json").write_bytes(meta_bytes)
+    manifest = json.loads((directory / MANIFEST_NAME).read_text())
+    manifest["meta_crc32"] = bytes_checksum(meta_bytes)
+    manifest["meta_bytes"] = len(meta_bytes)
+    (directory / MANIFEST_NAME).write_text(json.dumps(manifest))
+
+
+class TestCorruptionDetection:
+    """Round-trip tests against deliberately damaged save directories."""
+
+    @pytest.fixture()
+    def saved(self, built_db, tmp_path):
+        built_db.save(tmp_path / "db")
+        return tmp_path / "db"
+
+    def test_truncated_values_file(self, saved):
+        values = saved / "values.npz"
+        data = values.read_bytes()
+        values.write_bytes(data[: len(data) // 2])
+        with pytest.raises(PartialSaveError, match="truncated"):
+            SubsequenceDatabase.load(saved)
+
+    def test_bit_flip_in_index_file(self, saved):
+        index = saved / "index.npz"
+        data = bytearray(index.read_bytes())
+        data[len(data) // 2] ^= 0x10
+        index.write_bytes(bytes(data))
+        with pytest.raises(IntegrityError, match="checksum"):
+            SubsequenceDatabase.load(saved)
+
+    def test_missing_values_file(self, saved):
+        (saved / "values.npz").unlink()
+        with pytest.raises(PartialSaveError, match="missing"):
+            SubsequenceDatabase.load(saved)
+
+    def test_missing_manifest_is_partial_save(self, saved):
+        (saved / MANIFEST_NAME).unlink()
+        with pytest.raises(PartialSaveError, match="MANIFEST"):
+            SubsequenceDatabase.load(saved)
+
+    def test_edited_meta_fails_manifest_checksum(self, saved):
+        meta_path = saved / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        del meta["files"]
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(IntegrityError, match="meta.json"):
+            SubsequenceDatabase.load(saved)
+
+    def test_meta_without_file_checksums(self, saved):
+        meta = json.loads((saved / "meta.json").read_text())
+        del meta["files"]
+        _rewrite_meta(saved, meta)
+        with pytest.raises(IntegrityError, match="no checksum"):
+            SubsequenceDatabase.load(saved)
+
+    def test_missing_sequence_array(self, saved):
+        # Drop one sequence's array from values.npz, keeping every
+        # checksum consistent: a structural hole, not file damage.
+        with np.load(saved / "values.npz") as data:
+            arrays = {name: data[name] for name in data.files}
+        del arrays["sid_5"]
+        np.savez_compressed(saved / "values.npz", **arrays)
+        meta = json.loads((saved / "meta.json").read_text())
+        del meta["array_shapes"]["values.npz"]["sid_5"]
+        meta["files"]["values.npz"] = {
+            "crc32": file_checksum(saved / "values.npz"),
+            "bytes": (saved / "values.npz").stat().st_size,
+        }
+        _rewrite_meta(saved, meta)
+        with pytest.raises(SequenceNotFoundError, match="sid_5"):
+            SubsequenceDatabase.load(saved)
+
+    def test_array_missing_from_shape_manifest(self, saved):
+        # Same hole, but the shape manifest still records the array:
+        # caught earlier, as a manifest violation.
+        with np.load(saved / "values.npz") as data:
+            arrays = {name: data[name] for name in data.files}
+        del arrays["sid_5"]
+        np.savez_compressed(saved / "values.npz", **arrays)
+        meta = json.loads((saved / "meta.json").read_text())
+        meta["files"]["values.npz"] = {
+            "crc32": file_checksum(saved / "values.npz"),
+            "bytes": (saved / "values.npz").stat().st_size,
+        }
+        _rewrite_meta(saved, meta)
+        with pytest.raises(IntegrityError, match="sid_5"):
+            SubsequenceDatabase.load(saved)
+
+    def test_wrong_array_shape_detected(self, saved):
+        with np.load(saved / "values.npz") as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["sid_5"] = arrays["sid_5"][:-7]
+        np.savez_compressed(saved / "values.npz", **arrays)
+        meta = json.loads((saved / "meta.json").read_text())
+        meta["files"]["values.npz"] = {
+            "crc32": file_checksum(saved / "values.npz"),
+            "bytes": (saved / "values.npz").stat().st_size,
+        }
+        _rewrite_meta(saved, meta)
+        with pytest.raises(IntegrityError, match="shape"):
+            SubsequenceDatabase.load(saved)
+
+    def test_unreadable_zip_member(self, saved):
+        # Valid length and headers are not trusted: the whole-file CRC
+        # runs before zipfile ever opens the archive.
+        with zipfile.ZipFile(saved / "values.npz") as archive:
+            names = archive.namelist()
+        assert names  # sanity
+        data = bytearray((saved / "values.npz").read_bytes())
+        data[-10] ^= 0xFF
+        (saved / "values.npz").write_bytes(bytes(data))
+        with pytest.raises(IntegrityError):
+            SubsequenceDatabase.load(saved)
+
+
+class TestAtomicSave:
+    def test_refuses_to_clobber_foreign_directory(self, built_db, tmp_path):
+        target = tmp_path / "precious"
+        target.mkdir()
+        (target / "thesis.tex").write_text("years of work")
+        with pytest.raises(ConfigurationError, match="refusing"):
+            built_db.save(target)
+        assert (target / "thesis.tex").read_text() == "years of work"
+
+    def test_refuses_file_target(self, built_db, tmp_path):
+        target = tmp_path / "db"
+        target.write_text("a file, not a directory")
+        with pytest.raises(ConfigurationError):
+            built_db.save(target)
+
+    def test_overwrites_existing_database(self, built_db, tmp_path):
+        target = tmp_path / "db"
+        built_db.save(target)
+        built_db.save(target)  # second save replaces the first
+        loaded = SubsequenceDatabase.load(target)
+        assert loaded.store.sequence_ids() == built_db.store.sequence_ids()
+
+    def test_save_into_empty_directory(self, built_db, tmp_path):
+        target = tmp_path / "db"
+        target.mkdir()
+        built_db.save(target)
+        SubsequenceDatabase.load(target)
+
+    def test_failed_save_cleans_temp_and_keeps_old(
+        self, built_db, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "db"
+        built_db.save(target)
+        before = sorted(p.name for p in tmp_path.iterdir())
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", explode)
+        with pytest.raises(OSError):
+            built_db.save(target)
+        # No temp litter, and the original database still loads.
+        assert sorted(p.name for p in tmp_path.iterdir()) == before
+        SubsequenceDatabase.load(target)
+
+    def test_loaded_database_is_sealed(self, built_db, tmp_path):
+        built_db.save(tmp_path / "db")
+        loaded = SubsequenceDatabase.load(tmp_path / "db")
+        assert loaded.pager.sealed
+        assert loaded.pager.verify_all() == []
