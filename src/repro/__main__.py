@@ -11,6 +11,10 @@ Subcommands
     Load a saved database directory, verify every on-disk checksum and
     every in-memory page checksum plus the structural invariants, and
     exit 0 (clean) or 1 (damage found, detailed on stderr).
+``lint``
+    Run the repo-specific static invariant checker
+    (:mod:`repro.analysis`) over the source tree and exit 0 (clean) or
+    1 (contract violations found).
 
 These are convenience smoke tests; the real experiment drivers live in
 ``benchmarks/`` (one pytest-benchmark module per figure).
@@ -20,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Callable, Optional, Sequence, cast
 
 import numpy as np
 
@@ -108,7 +113,7 @@ def _scrub(args: argparse.Namespace) -> int:
     return 1
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Ranked subsequence matching via ranked union "
@@ -138,8 +143,13 @@ def main(argv=None) -> int:
     scrub.add_argument("directory", help="database directory to verify")
     scrub.set_defaults(func=_scrub)
 
+    from repro.analysis.cli import add_lint_parser
+
+    add_lint_parser(sub)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    handler = cast(Callable[[argparse.Namespace], int], args.func)
+    return handler(args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,45 @@
+"""Repo-specific static analysis (``python -m repro lint``).
+
+The reproduction's two load-bearing guarantees are *exactness* (lower
+bounds never exceed the true DTW_rho distance, so no false dismissals)
+and *faithful I/O accounting* (every counted page access flows through
+the :class:`~repro.storage.buffer.BufferPool`, so the paper's
+``NUM_IO`` / page-access metric means what it says).  Neither guarantee
+is enforced by the type system, and both can be silently violated by an
+innocent-looking refactor.  This package makes them machine-checked:
+
+* :mod:`repro.analysis.framework` — the rule registry, suppression
+  comments (``# repro: ignore[RS001]``), and the linting driver;
+* :mod:`repro.analysis.rules` — the repo-specific rules (RS001–RS006);
+* :mod:`repro.analysis.contracts` — the static lower-bound contract
+  table that RS005 cross-checks against ``repro/core/lower_bounds.py``;
+* :mod:`repro.analysis.cli` — output formatting and the ``lint``
+  subcommand behind ``python -m repro lint``.
+
+The framework is intentionally self-contained (stdlib ``ast`` only) so
+the linter can gate CI without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.framework import (
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    rule_registry,
+)
+
+# Importing the rules module registers every built-in rule.
+from repro.analysis import rules as _rules  # noqa: F401  (side effect)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "rule_registry",
+]

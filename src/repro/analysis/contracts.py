@@ -1,0 +1,120 @@
+"""The static lower-bound contract table (checked by rule RS005).
+
+The paper's no-false-dismissal guarantee (Lemma 1 / Theorem 1) rests on
+a *chain* of bounding functions::
+
+    DTW_rho >= LB_Keogh >= LB_PAA >= MINDIST
+
+plus the composite MDMWP- and MSEQ-distances built on top of them.
+Every one of those functions must honor a direction contract: a
+``lower`` bound may never exceed the quantity it bounds, an ``upper``
+bound may never fall below it.  The table below is the single
+machine-readable statement of which functions participate in that
+chain and in which direction.
+
+Rule RS005 cross-checks this table against ``repro/core/lower_bounds.py``
+in both directions:
+
+* a bound-shaped function (``lb_*``, ``mindist*``, ``maxdist*``,
+  ``mdmwp*``, ``mseq*``) defined in the module but missing here means a
+  new bound slipped in without a declared contract — and therefore
+  without the property tests that :mod:`tests.test_lower_bounds` and
+  ``tests/test_property_core.py`` key off this chain;
+* an entry here with no matching definition means the contract table
+  went stale after a rename, so the declared guarantee no longer maps
+  to real code.
+
+Adding a bound is intentionally a two-file change: implement it in
+``repro/core/lower_bounds.py`` *and* declare it here (with the quantity
+it bounds), or RS005 fails the build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class BoundContract:
+    """The declared behavior of one bounding function.
+
+    Attributes
+    ----------
+    kind:
+        ``"lower"`` or ``"upper"`` — the inequality direction relative
+        to ``bounds``.
+    bounds:
+        The quantity being bounded, written as the paper writes it.
+    tightens:
+        The next-tighter function in the chain (empty for the tightest
+        link); documents Lemma 1's ordering.
+    """
+
+    kind: str
+    bounds: str
+    tightens: str = ""
+
+
+#: Prefixes that mark a function in ``core/lower_bounds.py`` as a
+#: bounding function that must carry a contract.
+BOUND_NAME_PREFIXES: Tuple[str, ...] = (
+    "lb_",
+    "mindist",
+    "maxdist",
+    "mdmwp",
+    "mseq",
+)
+
+#: The contract table itself.  Keys are function names in
+#: ``repro/core/lower_bounds.py``.
+LOWER_BOUND_CONTRACTS: Mapping[str, BoundContract] = MappingProxyType(
+    {
+        "lb_keogh_pow": BoundContract(
+            kind="lower",
+            bounds="DTW_rho(Q, S) ** p",
+            tightens="",
+        ),
+        "lb_keogh": BoundContract(
+            kind="lower",
+            bounds="DTW_rho(Q, S)",
+            tightens="",
+        ),
+        "lb_paa_pow": BoundContract(
+            kind="lower",
+            bounds="LB_Keogh(E(Q), S) ** p",
+            tightens="lb_keogh_pow",
+        ),
+        "lb_paa": BoundContract(
+            kind="lower",
+            bounds="LB_Keogh(E(Q), S)",
+            tightens="lb_keogh",
+        ),
+        "mindist_pow": BoundContract(
+            kind="lower",
+            bounds="LB_PAA(P(E(Q)), P(S)) ** p for every P(S) in the MBR",
+            tightens="lb_paa_pow",
+        ),
+        "maxdist_pow": BoundContract(
+            kind="upper",
+            bounds="LB_PAA(P(E(Q)), P(S)) ** p over every P(S) in the MBR",
+            tightens="",
+        ),
+        "mdmwp_pow": BoundContract(
+            kind="lower",
+            bounds="DTW_rho(Q, S) ** p (Definition 2, via r disjoint windows)",
+            tightens="",
+        ),
+        "mseq_distance_pow": BoundContract(
+            kind="lower",
+            bounds="DTW_rho(Q, S) ** p (Definition 6, per equivalence class)",
+            tightens="",
+        ),
+    }
+)
+
+
+def is_bound_name(name: str) -> bool:
+    """Whether a function name is bound-shaped and must carry a contract."""
+    return name.startswith(BOUND_NAME_PREFIXES)

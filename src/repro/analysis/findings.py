@@ -1,0 +1,56 @@
+"""Finding and severity model for the static analyzer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Union
+
+
+class Severity(enum.Enum):
+    """How seriously a finding gates the build.
+
+    ``ERROR`` findings fail ``python -m repro lint`` (exit code 1);
+    ``WARNING`` findings are reported but do not affect the exit code
+    unless ``--strict`` is passed.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, col, code) so reports are stable across
+    runs and dict/set iteration orders.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def format_human(self) -> str:
+        """``path:line:col: CODE severity: message`` (editor-clickable)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} {self.severity}: {self.message}"
+        )
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready representation (``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+        }

@@ -1,0 +1,403 @@
+"""The built-in repo-specific rules (RS001–RS006).
+
+Each rule polices one contract that the paper's guarantees rest on but
+that Python cannot express in the type system.  The catalog with full
+rationale lives in ``docs/static-analysis.md``; the one-line versions
+are in each rule's ``rationale`` attribute (shown by ``--list-rules``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple, Union
+
+from repro.analysis.contracts import (
+    LOWER_BOUND_CONTRACTS,
+    is_bound_name,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.framework import ModuleSource, Rule, register
+
+AnyFunction = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _own_nodes(func: AnyFunction) -> Iterator[ast.AST]:
+    """Nodes in a function body, excluding nested function bodies.
+
+    Nested functions are linted as functions in their own right, so the
+    enclosing function must not inherit (or be blamed for) their calls.
+    """
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _terminal_name(expr: ast.expr) -> Optional[str]:
+    """The last identifier of a dotted expression (``a.b.pager`` -> ``pager``)."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+@register
+class BufferBypassRule(Rule):
+    """RS001: ``Pager.read`` called outside the buffer layer.
+
+    The paper's headline metric is the number of page accesses
+    (``NUM_IO``), measured at the :class:`~repro.storage.pager.Pager`
+    and deduplicated by the :class:`~repro.storage.buffer.BufferPool`'s
+    LRU cache.  Any code path that calls ``Pager.read`` directly fetches
+    pages *around* the pool: it inflates the physical-read counters
+    relative to what a buffered execution would cost, skips the pool's
+    transient-fault retry policy, and makes engine comparisons
+    meaningless.  Only the buffer layer itself (and the fault-injection
+    wrapper, which subclasses ``Pager``) may issue physical reads.
+    """
+
+    code = "RS001"
+    name = "buffer-bypass"
+    rationale = (
+        "Pager.read outside the buffer layer corrupts the paper's "
+        "page-access (NUM_IO) accounting and skips fault retries."
+    )
+
+    #: Modules allowed to touch the pager's physical read path.
+    whitelist = (
+        "repro/storage/pager.py",
+        "repro/storage/buffer.py",
+        "repro/storage/faults.py",
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.path.startswith("repro/"):
+            return
+        if module.path in self.whitelist:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "read"):
+                continue
+            receiver = _terminal_name(func.value)
+            if receiver is None:
+                continue
+            if receiver == "Pager" or "pager" in receiver.lower():
+                yield self.finding(
+                    module,
+                    node,
+                    f"physical read bypasses the BufferPool "
+                    f"({ast.unparse(func)}): route page fetches through "
+                    f"BufferPool.get() so NUM_IO accounting and retry "
+                    f"policy apply",
+                )
+
+
+@register
+class ExceptionTaxonomyRule(Rule):
+    """RS002: generic builtin exceptions raised inside the library layers.
+
+    ``repro/exceptions.py`` defines the typed hierarchy that the
+    degradation machinery keys off: engines catch ``StorageError`` to
+    decide raise-vs-degrade, persistence distinguishes
+    ``PartialSaveError`` from ``IntegrityError``, and the CLI maps
+    ``ReproError`` to exit codes.  A bare ``ValueError`` or
+    ``RuntimeError`` raised inside ``storage/``/``engines/`` escapes all
+    of that: it aborts degraded queries that should have skipped a page
+    and is indistinguishable from a genuine bug at API boundaries.
+    """
+
+    code = "RS002"
+    name = "exception-taxonomy"
+    rationale = (
+        "Generic builtin raises in library layers escape the typed "
+        "ReproError hierarchy that fault degradation keys off."
+    )
+
+    scope = ("repro/core/", "repro/storage/", "repro/engines/", "repro/index/")
+
+    #: Builtin exception classes that must not be raised by library code.
+    #: ``FileNotFoundError`` is deliberately allowed (it is precise, and
+    #: the CLI handles it as "no such database"); ``NotImplementedError``
+    #: is the standard abstract-stub idiom.
+    disallowed = frozenset(
+        {
+            "BaseException",
+            "Exception",
+            "ValueError",
+            "TypeError",
+            "RuntimeError",
+            "KeyError",
+            "IndexError",
+            "LookupError",
+            "ArithmeticError",
+            "ZeroDivisionError",
+            "AssertionError",
+            "OSError",
+            "IOError",
+            "StopIteration",
+        }
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.in_package(*self.scope):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = exc.id if isinstance(exc, ast.Name) else None
+            if name in self.disallowed:
+                yield self.finding(
+                    module,
+                    node,
+                    f"raise of builtin {name} in a library layer: raise "
+                    f"a typed subclass of ReproError from "
+                    f"repro/exceptions.py instead",
+                )
+
+
+@register
+class FloatEqualityRule(Rule):
+    """RS003: ``==``/``!=`` against float constants in ``core/``.
+
+    The distance and lower-bound code is the exactness-critical layer:
+    a float equality test against a computed value (e.g. comparing a
+    distance to ``0.0`` or a bound to a literal) silently becomes a
+    nondeterministic branch under reassociation, differing BLAS builds,
+    or ``p`` values that do not round-trip.  Compare against tolerances,
+    use ``math.isinf``/``math.isnan`` for sentinels, or — for genuinely
+    exact dispatch on a *user-supplied parameter* — suppress with an
+    inline ``# repro: ignore[RS003]`` stating the intent.
+    """
+
+    code = "RS003"
+    name = "float-equality"
+    rationale = (
+        "Float == in distance/lower-bound code turns exactness-critical "
+        "branches nondeterministic; use isinf/isnan or tolerances."
+    )
+
+    scope = ("repro/core/",)
+
+    def _is_float_operand(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, float):
+            return True
+        if isinstance(expr, ast.Name) and expr.id == "_INF":
+            return True
+        if isinstance(expr, ast.Attribute) and expr.attr in ("inf", "nan"):
+            return True
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id == "float":
+                return True
+        return False
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.in_package(*self.scope):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(self._is_float_operand(operand) for operand in operands):
+                yield self.finding(
+                    module,
+                    node,
+                    "float equality comparison in exactness-critical "
+                    "code: use math.isinf/math.isnan for sentinels or a "
+                    "tolerance for computed values (suppress only for "
+                    "intentional exact parameter dispatch)",
+                )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RS004: mutable default argument values.
+
+    A list/dict/set default is created once at definition time and
+    shared across calls.  In this codebase that is how a stray
+    candidate list or stats accumulator leaks state *between queries*,
+    which corrupts the per-query counters the benchmarks report.
+    """
+
+    code = "RS004"
+    name = "mutable-default"
+    rationale = (
+        "Mutable defaults share state across calls — in this repo that "
+        "leaks candidates/counters between queries."
+    )
+
+    _mutable_calls = frozenset({"list", "dict", "set", "bytearray"})
+
+    def _is_mutable(self, expr: ast.expr) -> bool:
+        if isinstance(
+            expr,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+             ast.SetComp),
+        ):
+            return True
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id in self._mutable_calls:
+                return True
+        return False
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for func in module.functions():
+            defaults: List[Optional[ast.expr]] = [
+                *func.args.defaults,
+                *func.args.kw_defaults,
+            ]
+            for default in defaults:
+                if default is not None and self._is_mutable(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in {func.name}(): "
+                        f"evaluated once and shared across calls; default "
+                        f"to None and create inside the function",
+                    )
+
+
+@register
+class LowerBoundContractRule(Rule):
+    """RS005: bound functions must match the static contract table.
+
+    Cross-checks ``repro/core/lower_bounds.py`` against
+    :data:`repro.analysis.contracts.LOWER_BOUND_CONTRACTS` in both
+    directions, so the no-false-dismissal chain of Lemma 1 always has a
+    machine-readable statement of which functions participate and in
+    which direction (see the contracts module docstring).
+    """
+
+    code = "RS005"
+    name = "lower-bound-contract"
+    rationale = (
+        "Every bound function must be declared in the static contract "
+        "table, keeping Lemma 1's chain machine-checkable."
+    )
+
+    #: The one module whose definitions the table describes.
+    target = "repro/core/lower_bounds.py"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.path != self.target:
+            return
+        defined: dict = {}
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defined[node.name] = node
+        for name, node in defined.items():
+            if is_bound_name(name) and name not in LOWER_BOUND_CONTRACTS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"bound-shaped function {name}() has no entry in "
+                    f"repro/analysis/contracts.py: declare its direction "
+                    f"(lower/upper) and the quantity it bounds, and cover "
+                    f"it in the lower-bound property tests",
+                )
+        for name in LOWER_BOUND_CONTRACTS:
+            if name not in defined:
+                yield self.finding_at(
+                    module,
+                    1,
+                    f"contract table entry {name!r} has no matching "
+                    f"definition in {self.target}: the declared guarantee "
+                    f"no longer maps to code (stale after a rename?)",
+                )
+
+
+@register
+class StatsDisciplineRule(Rule):
+    """RS006: engine code that fetches pages must thread ``QueryStats``.
+
+    The paper's three reported metrics (candidates, page accesses, wall
+    time) are only comparable across engines because every fetch path
+    updates the same :class:`~repro.core.metrics.QueryStats` object.  An
+    engine function that reads index nodes (``read_node``) or candidate
+    values (``get_subsequence``) without access to the query's stats —
+    no ``stats``/``evaluator`` parameter and no ``.stats`` attribute —
+    is doing unaccounted work that silently skews Figure 8-style
+    comparisons.
+    """
+
+    code = "RS006"
+    name = "missing-stats"
+    rationale = (
+        "Engine fetch paths without QueryStats access do unaccounted "
+        "I/O work, skewing the paper's per-engine metrics."
+    )
+
+    scope = ("repro/engines/",)
+
+    #: Method names whose invocation implies page fetches.
+    fetching_calls = frozenset({"read_node", "get_subsequence"})
+
+    #: Parameter names / annotation substrings that prove stats access.
+    _stat_params = frozenset({"stats", "evaluator", "recorder"})
+    _stat_annotations = ("QueryStats", "CandidateEvaluator", "StatsRecorder")
+    _stat_attrs = frozenset({"stats", "_stats"})
+
+    def _fetch_calls(self, func: AnyFunction) -> List[ast.Call]:
+        calls = []
+        for node in _own_nodes(func):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.fetching_calls
+            ):
+                calls.append(node)
+        return calls
+
+    def _has_stats_access(self, func: AnyFunction) -> bool:
+        args = func.args
+        params = [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        ]
+        for param in params:
+            if param.arg in self._stat_params:
+                return True
+            if param.annotation is not None:
+                annotation = ast.unparse(param.annotation)
+                if any(hint in annotation for hint in self._stat_annotations):
+                    return True
+        for node in _own_nodes(func):
+            if isinstance(node, ast.Name) and node.id in self._stat_params:
+                return True
+            if isinstance(node, ast.Attribute) and node.attr in self._stat_attrs:
+                return True
+        return False
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.in_package(*self.scope):
+            return
+        for func in module.functions():
+            calls = self._fetch_calls(func)
+            if not calls or self._has_stats_access(func):
+                continue
+            for call in calls:
+                assert isinstance(call.func, ast.Attribute)
+                yield self.finding(
+                    module,
+                    call,
+                    f"{func.name}() fetches pages via "
+                    f".{call.func.attr}() but has no QueryStats access "
+                    f"(no stats/evaluator parameter or .stats attribute): "
+                    f"thread the query's stats so page work is accounted",
+                )

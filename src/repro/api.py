@@ -35,7 +35,7 @@ FRM-style sliding-window index PSM joins over.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
 
 from repro.core.metrics import QueryStats
 from repro.core.results import Match
@@ -52,6 +52,9 @@ from repro.storage.faults import FaultInjector, FaultyPager
 from repro.storage.page import PAGE_SIZE_DEFAULT, PageKind
 from repro.storage.pager import Pager
 from repro.storage.sequences import SequenceStore
+
+if TYPE_CHECKING:
+    from repro.storage.persistence import PathLike
 
 _METHODS = ("seqscan", "hlmj", "hlmj-wg", "psm", "ru", "ru-cost")
 
@@ -186,7 +189,9 @@ class SubsequenceDatabase:
     # Searching
     # ------------------------------------------------------------------
 
-    def _engine(self, method: str, cost_config: Optional[CostDensityConfig]):
+    def _engine(
+        self, method: str, cost_config: Optional[CostDensityConfig]
+    ) -> Engine:
         if self.index is None:
             raise IndexNotBuiltError("call build() before search()")
         if method not in _METHODS:
@@ -344,7 +349,7 @@ class SubsequenceDatabase:
         k: int = 10,
         rho: Optional[int] = None,
         scheduling: str = "max-delta",
-    ):
+    ) -> Iterator[Match]:
         """Stream up to ``k`` matches lazily, best first.
 
         Exposes the extended iterator model (Definition 5) directly:
@@ -415,7 +420,7 @@ class SubsequenceDatabase:
     # Persistence
     # ------------------------------------------------------------------
 
-    def save(self, directory) -> None:
+    def save(self, directory: "PathLike") -> None:
         """Persist the built database to a directory.
 
         See :mod:`repro.storage.persistence` for the format; a reloaded
@@ -427,7 +432,9 @@ class SubsequenceDatabase:
         save_database(self, directory)
 
     @classmethod
-    def load(cls, directory, psm: bool = False) -> "SubsequenceDatabase":
+    def load(
+        cls, directory: "PathLike", psm: bool = False
+    ) -> "SubsequenceDatabase":
         """Reconstruct a database saved with :meth:`save`."""
         from repro.storage.persistence import load_database
 

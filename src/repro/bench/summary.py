@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pathlib
 import re
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 PathLike = Union[str, pathlib.Path]
 
@@ -92,7 +92,7 @@ def build_report(results_dir: PathLike, title: str = "Benchmark results") -> str
     return "\n".join(sections)
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI: ``python -m repro.bench.summary [results_dir] [output]``."""
     import sys
 

@@ -43,7 +43,8 @@ def lp_distance(a: Sequence[float], b: Sequence[float], p: float = 2.0) -> float
             f"{array_b.shape}"
         )
     gaps = np.abs(array_a - array_b)
-    if p == 2.0:
+    # Exact dispatch on the user-supplied norm order, not a computed float.
+    if p == 2.0:  # repro: ignore[RS003]
         return float(math.sqrt(float(np.dot(gaps, gaps))))
     return float(np.sum(gaps**p) ** (1.0 / p))
 
@@ -91,7 +92,8 @@ def dtw_pow(
 
     qs = _as_list(q)
     ss = _as_list(s)
-    squared = p == 2.0
+    # Exact dispatch on the user-supplied norm order, not a computed float.
+    squared = p == 2.0  # repro: ignore[RS003]
 
     # prev[j] holds row i-1 of the DP matrix; positions outside the band
     # stay infinite.  Row i covers data columns [i - rho, i + rho].
@@ -149,6 +151,6 @@ def dtw_distance(
     """
     threshold_pow = _INF if threshold is None else threshold**p
     value = dtw_pow(s, q, rho, p=p, threshold_pow=threshold_pow)
-    if value == _INF:
+    if math.isinf(value):
         return _INF
     return value ** (1.0 / p)

@@ -43,7 +43,8 @@ def _gaps_outside_envelope(
 
 
 def _pow_sum(gaps: np.ndarray, p: float) -> float:
-    if p == 2.0:
+    # Exact dispatch on the user-supplied norm order, not a computed float.
+    if p == 2.0:  # repro: ignore[RS003]
         return float(np.dot(gaps, gaps))
     return float(np.sum(gaps**p))
 
@@ -183,7 +184,7 @@ def mseq_distance_pow(frontier_pows: Iterable[float]) -> float:
     """
     total = 0.0
     for value in frontier_pows:
-        if value == _INF:
+        if math.isinf(value):
             return _INF
         total += value
     return total
@@ -191,7 +192,7 @@ def mseq_distance_pow(frontier_pows: Iterable[float]) -> float:
 
 def root(value_pow: float, p: float = 2.0) -> float:
     """Convert a p-th-power distance back to distance space."""
-    if value_pow == _INF:
+    if math.isinf(value_pow):
         return _INF
     if value_pow < 0.0:
         # Guard against tiny negative values from float cancellation.

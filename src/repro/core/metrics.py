@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.exceptions import ConfigurationError, UsageError
 from repro.storage.buffer import BufferPool
 from repro.storage.pager import Pager
 
@@ -98,7 +99,9 @@ class QueryStats:
     def scaled(self, divisor: float) -> "QueryStats":
         """Element-wise division — used to average over a query set."""
         if divisor <= 0:
-            raise ValueError(f"divisor must be positive, got {divisor}")
+            raise ConfigurationError(
+                f"divisor must be positive, got {divisor}"
+            )
         averaged = QueryStats()
         for key, value in self.as_dict().items():
             setattr(averaged, key, value / divisor)
@@ -139,7 +142,7 @@ class StatsRecorder:
 
     def finish(self) -> QueryStats:
         if self._started_at is None:
-            raise RuntimeError("StatsRecorder.finish() before start()")
+            raise UsageError("StatsRecorder.finish() before start()")
         self.stats.wall_time_s = time.perf_counter() - self._started_at
         self.stats.page_accesses = (
             self._pager.stats.physical_reads - self._reads_at_start

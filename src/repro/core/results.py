@@ -81,7 +81,7 @@ class TopKCollector:
     def threshold(self) -> float:
         """``delta_cur`` in distance space."""
         pow_value = self.threshold_pow
-        if pow_value == math.inf:
+        if math.isinf(pow_value):
             return math.inf
         return pow_value ** (1.0 / self._p)
 
@@ -93,7 +93,7 @@ class TopKCollector:
         resolved in favour of the incumbent, matching ``<=`` pruning in
         the paper's algorithms).
         """
-        if distance_pow == math.inf:
+        if math.isinf(distance_pow):
             return False
         entry = (-distance_pow, -sid, -start, 0)
         if len(self._heap) < self._k:

@@ -39,8 +39,10 @@ from repro.core.windows import (
     candidate_in_bounds,
     candidate_start,
 )
+from repro.core.metrics import QueryStats
 from repro.engines.base import CandidateEvaluator, Engine, EngineConfig
 from repro.exceptions import StorageError
+from repro.index.builder import DualMatchIndex
 
 _NODE = 0
 _LEAF = 1
@@ -60,7 +62,9 @@ class HlmjEngine(Engine):
 
     name = "HLMJ"
 
-    def __init__(self, index, use_window_group: bool = False) -> None:
+    def __init__(
+        self, index: DualMatchIndex, use_window_group: bool = False
+    ) -> None:
         super().__init__(index)
         self.use_window_group = use_window_group
         if use_window_group:
@@ -71,7 +75,7 @@ class HlmjEngine(Engine):
         window_set: QueryWindowSet,
         sid: int,
         start: int,
-        stats,
+        stats: QueryStats,
         p: float,
     ) -> float:
         """Sum of LB_PAA terms over every class window the candidate

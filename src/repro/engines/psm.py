@@ -33,11 +33,15 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.lower_bounds import lb_paa_pow, mindist_pow
 from repro.core.paa import segment_length
-from repro.core.windows import QueryWindowSet, candidate_in_bounds
+from repro.core.windows import (
+    QueryWindow,
+    QueryWindowSet,
+    candidate_in_bounds,
+)
 from repro.engines.base import CandidateEvaluator, Engine, EngineConfig
 from repro.exceptions import (
     BudgetExceededError,
@@ -55,6 +59,9 @@ _LEAF = 1
 #: node page id or a LeafRecord whose ``window_index`` field holds the
 #: sliding-window *offset*.
 Component = Tuple[int, object, float]
+
+#: Heap entry of the best-first join: (score ** p, tiebreak, state).
+JoinHeapEntry = Tuple[float, int, Tuple[Component, ...]]
 
 
 @dataclass
@@ -191,7 +198,7 @@ class PsmEngine(Engine):
         root_state: Tuple[Component, ...] = tuple(
             (_NODE, tree.root_page, 0.0) for _ in range(num_joins)
         )
-        heap: List[tuple] = [(0.0, next(tiebreak), root_state)]
+        heap: List[JoinHeapEntry] = [(0.0, next(tiebreak), root_state)]
 
         while heap:
             score_pow, _seq, state = heapq.heappop(heap)
@@ -234,12 +241,12 @@ class PsmEngine(Engine):
 
     def _expand_state(
         self,
-        heap: List[tuple],
-        tiebreak,
+        heap: List[JoinHeapEntry],
+        tiebreak: Iterator[int],
         state: Tuple[Component, ...],
         score_pow: float,
         expand_at: int,
-        join_windows,
+        join_windows: Sequence[QueryWindow],
         seg_len: int,
         evaluator: CandidateEvaluator,
         config: EngineConfig,

@@ -28,7 +28,7 @@ from repro.core.lower_bounds import lb_paa_pow, maxdist_pow, mindist_pow
 from repro.core.metrics import QueryStats
 from repro.core.windows import QueryWindow
 from repro.exceptions import StorageError
-from repro.index.rstar import LeafRecord, RStarTree
+from repro.index.rstar import LeafRecord, RStarNode, RStarTree
 
 #: Signature of a fault handler: ``(error, page_id) -> None``.  The
 #: handler either re-raises (``on_fault="raise"``) or records the fault
@@ -93,7 +93,7 @@ class WindowQueue:
             self.last_popped_leaf_pow = entry[0]
         return entry
 
-    def _score_and_push(self, node, cap_pow: float) -> None:
+    def _score_and_push(self, node: RStarNode, cap_pow: float) -> None:
         for entry in node.entries:
             if node.is_leaf:
                 dist_pow = lb_paa_pow(

@@ -18,7 +18,7 @@ congruent to ``-s`` modulo ``omega``, so — exactly as in DualMatch —
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.core.windows import (
 from repro.engines.base import SearchResult
 from repro.exceptions import QueryError
 from repro.index.builder import DualMatchIndex
+from repro.storage.sequences import SequenceStore
 
 
 class RangeSearchEngine:
@@ -46,7 +47,7 @@ class RangeSearchEngine:
 
     def search(
         self,
-        query,
+        query: Sequence[float],
         epsilon: float,
         rho: int,
         p: float = 2.0,
@@ -154,7 +155,11 @@ class RangeSearchEngine:
 
 
 def brute_force_range(
-    store, query, epsilon: float, rho: int, p: float = 2.0
+    store: SequenceStore,
+    query: Sequence[float],
+    epsilon: float,
+    rho: int,
+    p: float = 2.0,
 ) -> List[Match]:
     """Exhaustive reference for range matching (tests only)."""
     array = np.ascontiguousarray(query, dtype=np.float64)

@@ -44,6 +44,7 @@ from repro.engines.queues import NODE, WindowQueue
 from repro.engines.scheduling import make_strategy
 from repro.exceptions import ConfigurationError
 from repro.index.builder import DualMatchIndex
+from repro.index.rstar import LeafRecord
 
 _INF = math.inf
 
@@ -176,7 +177,11 @@ class PhiOperator(ExtendedIterator):
         return Status.LB, self.current_lower_bound_pow()
 
     def _consume_leaf_pair(
-        self, queue: WindowQueue, dist_pow: float, sibling_pow: float, record
+        self,
+        queue: WindowQueue,
+        dist_pow: float,
+        sibling_pow: float,
+        record: LeafRecord,
     ) -> None:
         start = candidate_start(
             record.window_index,

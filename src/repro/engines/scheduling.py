@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.engines.cost_density import (
     CostAwareDensityScheduler,
@@ -27,6 +27,9 @@ from repro.engines.cost_density import (
 )
 from repro.engines.queues import WindowQueue
 from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.storage.sequences import SequenceStore
 
 
 class SchedulingStrategy(abc.ABC):
@@ -134,7 +137,7 @@ _SIMPLE_STRATEGIES = {
 
 def make_strategy(
     name: str,
-    store=None,
+    store: Optional["SequenceStore"] = None,
     query_length: Optional[int] = None,
     omega: Optional[int] = None,
     blocking_factor: Optional[int] = None,

@@ -93,5 +93,15 @@ class ConfigurationError(ReproError):
     """A component received an invalid configuration value."""
 
 
+class UsageError(ReproError):
+    """A library object was driven out of protocol order.
+
+    Examples: finishing a :class:`~repro.core.metrics.StatsRecorder`
+    that was never started, or asking geometry helpers for the union of
+    zero rectangles.  Distinct from :class:`ConfigurationError` (a bad
+    *value*) — this is a bad *call sequence*.
+    """
+
+
 class BudgetExceededError(ReproError):
     """An engine exceeded its operation budget (used to cap PSM blow-ups)."""

@@ -11,6 +11,8 @@ from typing import Iterable, Tuple
 
 import numpy as np
 
+from repro.exceptions import UsageError
+
 Rect = Tuple[np.ndarray, np.ndarray]
 
 
@@ -30,7 +32,9 @@ def union_all(rects: Iterable[Rect]) -> Rect:
     try:
         low, high = next(iterator)
     except StopIteration:
-        raise ValueError("union_all needs at least one rectangle") from None
+        raise UsageError(
+            "union_all needs at least one rectangle"
+        ) from None
     low = low.copy()
     high = high.copy()
     for other_low, other_high in iterator:

@@ -22,7 +22,7 @@ construction from its query metrics).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, NamedTuple, Optional, Sequence, Set, Tuple
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -521,7 +521,7 @@ class RStarTree:
     # Offline traversals (tests, stats)
     # ------------------------------------------------------------------
 
-    def iter_leaf_entries(self):
+    def iter_leaf_entries(self) -> Iterator[Entry]:
         """Yield every leaf entry without I/O accounting."""
         stack = [self.root_page]
         while stack:

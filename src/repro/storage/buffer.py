@@ -153,7 +153,8 @@ class BufferPool:
         """
         policy = self.retry_policy
         delay = policy.backoff_s
-        for attempt in range(1, policy.max_attempts + 1):
+        attempt = 1
+        while True:
             try:
                 return self._pager.read(page_id)
             except TransientIOError:
@@ -163,7 +164,7 @@ class BufferPool:
                 if delay > 0:
                     time.sleep(delay)
                     delay *= policy.multiplier
-        raise AssertionError("unreachable")  # pragma: no cover
+                attempt += 1
 
     def resident(self, page_id: int) -> bool:
         """Bitmap probe: is the page buffered?  Does not touch LRU order.

@@ -46,7 +46,7 @@ import os
 import pathlib
 import shutil
 import tempfile
-from typing import Dict, List, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Union
 
 import numpy as np
 
@@ -70,6 +70,9 @@ MANIFEST_MAGIC = "repro-database"
 _CHECKSUMMED_FILES = ("values.npz", "index.npz")
 
 PathLike = Union[str, pathlib.Path]
+
+if TYPE_CHECKING:
+    from repro.api import SubsequenceDatabase
 
 
 def _fsync_file(path: pathlib.Path) -> None:
@@ -113,7 +116,7 @@ def _check_save_target(path: pathlib.Path) -> None:
         )
 
 
-def save_database(db, directory: PathLike) -> None:
+def save_database(db: "SubsequenceDatabase", directory: PathLike) -> None:
     """Serialize a built database into ``directory``, atomically.
 
     The write lands in a temporary sibling directory first and is
@@ -159,7 +162,7 @@ def _commit(temp: pathlib.Path, path: pathlib.Path) -> None:
         temp.rename(path)
 
 
-def _write_database(db, path: pathlib.Path) -> None:
+def _write_database(db: "SubsequenceDatabase", path: pathlib.Path) -> None:
     """Write all four files into ``path`` (already existing and empty)."""
     tree = db.index.tree
 
@@ -276,7 +279,7 @@ def _write_database(db, path: pathlib.Path) -> None:
     _fsync_file(path / MANIFEST_NAME)
 
 
-def _verify_on_disk(path: pathlib.Path) -> dict:
+def _verify_on_disk(path: pathlib.Path) -> Dict[str, Any]:
     """Run the MANIFEST / checksum / size checks; return parsed meta."""
     if not path.exists():
         raise FileNotFoundError(f"no database directory at {path}")
@@ -344,7 +347,9 @@ def _verify_on_disk(path: pathlib.Path) -> dict:
     return meta
 
 
-def _load_npz(path: pathlib.Path, meta: dict, name: str):
+def _load_npz(
+    path: pathlib.Path, meta: Dict[str, Any], name: str
+) -> Any:
     """Open one ``.npz`` archive and verify its array-shape manifest."""
     try:
         data = np.load(path / name)
@@ -368,7 +373,9 @@ def _load_npz(path: pathlib.Path, meta: dict, name: str):
     return data
 
 
-def load_database(directory: PathLike, psm: bool = False):
+def load_database(
+    directory: PathLike, psm: bool = False
+) -> "SubsequenceDatabase":
     """Reconstruct a database saved by :func:`save_database`.
 
     Verifies the MANIFEST sentinel, whole-file checksums, sizes, and

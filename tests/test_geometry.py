@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.exceptions import UsageError
 from repro.index import geometry
 
 
@@ -35,7 +36,7 @@ class TestBasics:
         assert merged[1].tolist() == [6.0, 6.0]
 
     def test_union_all_empty_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(UsageError):
             geometry.union_all([])
 
 

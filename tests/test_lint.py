@@ -1,0 +1,433 @@
+"""Tests for the repo-specific static analyzer (``repro.analysis``).
+
+Each rule gets a positive fixture (a snippet that must trigger it) and
+a negative fixture (a near-identical snippet that must not), plus
+suppression-comment behavior and a self-check asserting the shipped
+source tree is clean at head.
+"""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+import repro
+from repro.__main__ import main as cli_main
+from repro.analysis import all_rules, lint_paths, lint_source
+from repro.analysis.contracts import LOWER_BOUND_CONTRACTS
+from repro.analysis.framework import LintReport, parse_suppressions
+from repro.exceptions import ConfigurationError
+
+SRC_PACKAGE = pathlib.Path(repro.__file__).parent
+
+
+def codes(findings):
+    return sorted({finding.code for finding in findings})
+
+
+def lint_snippet(snippet, path):
+    return lint_source(textwrap.dedent(snippet), path)
+
+
+class TestRS001BufferBypass:
+    def test_direct_pager_read_is_flagged(self):
+        findings = lint_snippet(
+            """
+            def fetch(pager, page_id):
+                return pager.read(page_id)
+            """,
+            "repro/engines/fancy.py",
+        )
+        assert codes(findings) == ["RS001"]
+        assert "BufferPool" in findings[0].message
+
+    def test_private_pager_attribute_is_flagged(self):
+        findings = lint_snippet(
+            """
+            class Store:
+                def peek_fast(self, page_id):
+                    return self._pager.read(page_id)
+            """,
+            "repro/storage/sequences.py",
+        )
+        assert codes(findings) == ["RS001"]
+
+    def test_buffer_layer_is_whitelisted(self):
+        findings = lint_snippet(
+            """
+            def fetch(self, page_id):
+                return self._pager.read(page_id)
+            """,
+            "repro/storage/buffer.py",
+        )
+        assert findings == []
+
+    def test_buffered_get_is_clean(self):
+        findings = lint_snippet(
+            """
+            def fetch(buffer, page_id):
+                return buffer.get(page_id)
+            """,
+            "repro/engines/fancy.py",
+        )
+        assert findings == []
+
+
+class TestRS002ExceptionTaxonomy:
+    def test_builtin_raise_in_storage_is_flagged(self):
+        findings = lint_snippet(
+            """
+            def check(value):
+                if value < 0:
+                    raise ValueError("negative")
+            """,
+            "repro/storage/pager.py",
+        )
+        assert codes(findings) == ["RS002"]
+        assert "ReproError" in findings[0].message
+
+    def test_bare_exception_class_reference_is_flagged(self):
+        findings = lint_snippet(
+            """
+            def check():
+                raise Exception
+            """,
+            "repro/engines/base.py",
+        )
+        assert codes(findings) == ["RS002"]
+
+    def test_typed_raise_is_clean(self):
+        findings = lint_snippet(
+            """
+            from repro.exceptions import PageError
+
+            def check(value):
+                if value < 0:
+                    raise PageError("negative")
+            """,
+            "repro/storage/pager.py",
+        )
+        assert findings == []
+
+    def test_out_of_scope_layer_is_clean(self):
+        findings = lint_snippet(
+            """
+            def check():
+                raise ValueError("benchmark-local")
+            """,
+            "repro/bench/harness.py",
+        )
+        assert findings == []
+
+    def test_reraise_is_clean(self):
+        findings = lint_snippet(
+            """
+            def check(error):
+                try:
+                    pass
+                except KeyError:
+                    raise
+            """,
+            "repro/storage/pager.py",
+        )
+        assert findings == []
+
+
+class TestRS003FloatEquality:
+    def test_float_literal_equality_is_flagged(self):
+        findings = lint_snippet(
+            """
+            def fast_path(p):
+                return p == 2.0
+            """,
+            "repro/core/distance.py",
+        )
+        assert codes(findings) == ["RS003"]
+
+    def test_inf_sentinel_equality_is_flagged(self):
+        findings = lint_snippet(
+            """
+            import math
+
+            def is_unbounded(value):
+                return value == math.inf
+            """,
+            "repro/core/results.py",
+        )
+        assert codes(findings) == ["RS003"]
+
+    def test_ordering_comparison_is_clean(self):
+        findings = lint_snippet(
+            """
+            def prune(bound, threshold):
+                return bound > threshold or bound < 0.0
+            """,
+            "repro/core/distance.py",
+        )
+        assert findings == []
+
+    def test_outside_core_is_clean(self):
+        findings = lint_snippet(
+            """
+            def fast_path(p):
+                return p == 2.0
+            """,
+            "repro/engines/seqscan.py",
+        )
+        assert findings == []
+
+
+class TestRS004MutableDefault:
+    def test_list_default_is_flagged(self):
+        findings = lint_snippet(
+            """
+            def collect(matches=[]):
+                return matches
+            """,
+            "repro/core/results.py",
+        )
+        assert codes(findings) == ["RS004"]
+
+    def test_dict_call_default_is_flagged(self):
+        findings = lint_snippet(
+            """
+            def collect(*, counters=dict()):
+                return counters
+            """,
+            "repro/bench/harness.py",
+        )
+        assert codes(findings) == ["RS004"]
+
+    def test_none_default_is_clean(self):
+        findings = lint_snippet(
+            """
+            def collect(matches=None):
+                return matches if matches is not None else []
+            """,
+            "repro/core/results.py",
+        )
+        assert findings == []
+
+
+class TestRS005LowerBoundContract:
+    def test_undeclared_bound_function_is_flagged(self):
+        source = SRC_PACKAGE.joinpath("core", "lower_bounds.py").read_text()
+        source += (
+            "\n\ndef lb_novel_pow(x: float) -> float:\n    return 0.0\n"
+        )
+        findings = lint_source(source, "repro/core/lower_bounds.py")
+        assert codes(findings) == ["RS005"]
+        assert "lb_novel_pow" in findings[0].message
+
+    def test_stale_table_entry_is_flagged(self):
+        findings = lint_snippet(
+            """
+            def lb_keogh_pow(envelope, values, p=2.0):
+                return 0.0
+            """,
+            "repro/core/lower_bounds.py",
+        )
+        assert codes(findings) == ["RS005"]
+        missing = {name for name in LOWER_BOUND_CONTRACTS}
+        mentioned = {
+            name
+            for name in missing
+            for finding in findings
+            if f"{name!r}" in finding.message
+        }
+        assert "lb_paa_pow" in mentioned
+        assert "lb_keogh_pow" not in mentioned
+
+    def test_shipped_module_matches_table(self):
+        source = SRC_PACKAGE.joinpath("core", "lower_bounds.py").read_text()
+        findings = [
+            finding
+            for finding in lint_source(source, "repro/core/lower_bounds.py")
+            if finding.code == "RS005"
+        ]
+        assert findings == []
+
+    def test_other_modules_are_exempt(self):
+        findings = lint_snippet(
+            """
+            def lb_novel_pow(x):
+                return 0.0
+            """,
+            "repro/core/distance.py",
+        )
+        assert findings == []
+
+
+class TestRS006StatsDiscipline:
+    def test_fetch_without_stats_is_flagged(self):
+        findings = lint_snippet(
+            """
+            def descend(tree, page_id):
+                node = tree.read_node(page_id)
+                return node.entries
+            """,
+            "repro/engines/novel.py",
+        )
+        assert codes(findings) == ["RS006"]
+        assert "QueryStats" in findings[0].message
+
+    def test_stats_parameter_is_clean(self):
+        findings = lint_snippet(
+            """
+            def descend(tree, page_id, stats):
+                node = tree.read_node(page_id)
+                stats.node_expansions += 1
+                return node.entries
+            """,
+            "repro/engines/novel.py",
+        )
+        assert findings == []
+
+    def test_stats_attribute_is_clean(self):
+        findings = lint_snippet(
+            """
+            class Walker:
+                def descend(self, page_id):
+                    node = self._tree.read_node(page_id)
+                    self._stats.node_expansions += 1
+                    return node.entries
+            """,
+            "repro/engines/novel.py",
+        )
+        assert findings == []
+
+    def test_evaluator_parameter_is_clean(self):
+        findings = lint_snippet(
+            """
+            def evaluate(store, evaluator, sid, start, length):
+                return store.get_subsequence(sid, start, length)
+            """,
+            "repro/engines/novel.py",
+        )
+        assert findings == []
+
+    def test_outside_engines_is_exempt(self):
+        findings = lint_snippet(
+            """
+            def rebuild(tree, page_id):
+                return tree.read_node(page_id)
+            """,
+            "repro/index/builder.py",
+        )
+        assert findings == []
+
+
+class TestSuppressions:
+    def test_matching_code_is_suppressed(self):
+        report = LintReport()
+        findings = lint_source(
+            "def fetch(pager):\n"
+            "    return pager.read(0)  # repro: ignore[RS001]\n",
+            "repro/engines/novel.py",
+            report=report,
+        )
+        assert findings == []
+        assert report.suppressed == 1
+
+    def test_blanket_ignore_suppresses_everything(self):
+        findings = lint_source(
+            "def fetch(pager):\n"
+            "    return pager.read(0)  # repro: ignore\n",
+            "repro/engines/novel.py",
+        )
+        assert findings == []
+
+    def test_wrong_code_does_not_suppress(self):
+        findings = lint_source(
+            "def fetch(pager):\n"
+            "    return pager.read(0)  # repro: ignore[RS002]\n",
+            "repro/engines/novel.py",
+        )
+        assert codes(findings) == ["RS001"]
+
+    def test_multiple_codes_in_one_comment(self):
+        suppressions = parse_suppressions(
+            "x = 1  # repro: ignore[RS001, RS003]\n"
+        )
+        assert suppressions == {1: {"RS001", "RS003"}}
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        findings = lint_source(
+            'MESSAGE = "# repro: ignore[RS001]"\n'
+            "def fetch(pager):\n"
+            "    return pager.read(0)\n",
+            "repro/engines/novel.py",
+        )
+        assert codes(findings) == ["RS001"]
+
+
+class TestFramework:
+    def test_syntax_error_reports_rs000(self):
+        findings = lint_source("def broken(:\n", "repro/engines/broken.py")
+        assert codes(findings) == ["RS000"]
+
+    def test_select_restricts_rules(self):
+        rules = all_rules(select=["RS001"])
+        assert [rule.code for rule in rules] == ["RS001"]
+
+    def test_ignore_removes_rules(self):
+        rules = all_rules(ignore=["RS001"])
+        assert "RS001" not in [rule.code for rule in rules]
+
+    def test_unknown_code_fails_loudly(self):
+        with pytest.raises(ConfigurationError):
+            all_rules(select=["RS999"])
+
+    def test_all_six_rules_are_registered(self):
+        registered = [rule.code for rule in all_rules()]
+        assert registered == [
+            "RS001",
+            "RS002",
+            "RS003",
+            "RS004",
+            "RS005",
+            "RS006",
+        ]
+
+
+class TestSelfCheck:
+    def test_shipped_tree_is_clean(self):
+        report = lint_paths([SRC_PACKAGE])
+        assert report.findings == []
+        assert report.files_checked > 40
+
+    def test_cli_exits_zero_on_head(self, capsys):
+        assert cli_main(["lint", str(SRC_PACKAGE)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_cli_exits_nonzero_on_violation(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "engines" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def fetch(pager):\n    return pager.read(0)\n")
+        assert cli_main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RS001" in out
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "storage" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f():\n    raise ValueError('x')\n")
+        assert cli_main(["lint", "--format", "json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["findings"][0]["code"] == "RS002"
+        assert payload["findings"][0]["line"] == 2
+
+    def test_cli_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RS001", "RS002", "RS003", "RS004", "RS005", "RS006"):
+            assert code in out
+
+    def test_cli_unknown_rule_code_is_usage_error(self, capsys):
+        assert cli_main(["lint", "--select", "RS999", "src"]) == 2
+
+    def test_cli_missing_path_is_usage_error(self, capsys):
+        assert cli_main(["lint", "definitely-not-a-real-path"]) == 2

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.metrics import QueryStats, StatsRecorder
+from repro.exceptions import ConfigurationError, UsageError
 from repro.storage.buffer import BufferPool
 from repro.storage.page import PageKind
 from repro.storage.pager import Pager
@@ -24,7 +25,7 @@ class TestQueryStats:
         assert averaged.page_accesses == 2
 
     def test_scaled_rejects_zero(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             QueryStats().scaled(0)
 
     def test_as_dict_round_trips_all_counters(self):
@@ -73,7 +74,7 @@ class TestStatsRecorder:
     def test_finish_requires_start(self):
         pager = Pager(page_size=512)
         buffer = BufferPool(pager, capacity_pages=2)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(UsageError):
             StatsRecorder(pager, buffer).finish()
 
     def test_restartable(self):
