@@ -22,16 +22,32 @@ Quickstart::
     result = db.search(query, k=25, method="ru-cost", deferred=True)
 """
 
-from repro.api import SubsequenceDatabase
+from repro.api import MatchStream, SubsequenceDatabase
+from repro.control import (
+    AdmissionController,
+    CancellationToken,
+    Deadline,
+    ExecutionControl,
+    QueryBudget,
+)
+from repro.core.clock import Clock, FakeClock, MonotonicClock
 from repro.core.distance import dtw_distance, lp_distance
 from repro.core.envelope import Envelope, query_envelope
 from repro.core.metrics import QueryStats
 from repro.core.results import Match
-from repro.engines.base import EngineConfig, FaultReport, SearchResult
+from repro.engines.base import (
+    EngineConfig,
+    FaultReport,
+    PartialResult,
+    SearchResult,
+)
 from repro.engines.cost_density import CostDensityConfig
 from repro.exceptions import (
+    AdmissionRejectedError,
+    CircuitOpenError,
     ConfigurationError,
     CorruptPageError,
+    ExecutionInterrupted,
     IntegrityError,
     PartialSaveError,
     ReproError,
@@ -39,13 +55,16 @@ from repro.exceptions import (
     TransientIOError,
 )
 from repro.storage.buffer import RetryPolicy
+from repro.storage.circuit import CircuitBreaker
 from repro.storage.faults import FaultInjector, FaultSpec, FaultyPager
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SubsequenceDatabase",
     "SearchResult",
+    "PartialResult",
+    "MatchStream",
     "EngineConfig",
     "CostDensityConfig",
     "Match",
@@ -54,6 +73,15 @@ __all__ = [
     "query_envelope",
     "dtw_distance",
     "lp_distance",
+    "QueryBudget",
+    "Deadline",
+    "CancellationToken",
+    "ExecutionControl",
+    "AdmissionController",
+    "CircuitBreaker",
+    "Clock",
+    "MonotonicClock",
+    "FakeClock",
     "ReproError",
     "ConfigurationError",
     "StorageError",
@@ -61,6 +89,9 @@ __all__ = [
     "CorruptPageError",
     "IntegrityError",
     "PartialSaveError",
+    "ExecutionInterrupted",
+    "CircuitOpenError",
+    "AdmissionRejectedError",
     "FaultInjector",
     "FaultSpec",
     "FaultyPager",

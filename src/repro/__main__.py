@@ -15,6 +15,12 @@ Subcommands
     Run the repo-specific static invariant checker
     (:mod:`repro.analysis`) over the source tree and exit 0 (clean) or
     1 (contract violations found).
+``chaos``
+    Run the chaos / metamorphic exactness harness
+    (:mod:`repro.chaos`): seeded random databases and queries under
+    randomized fault schedules x budgets x deadlines x cancellation,
+    cross-checked against brute-force ground truth.  Exit 0 (every
+    invariant held) or 1 (a violation, printed with its replay seed).
 
 These are convenience smoke tests; the real experiment drivers live in
 ``benchmarks/`` (one pytest-benchmark module per figure).
@@ -113,6 +119,37 @@ def _scrub(args: argparse.Namespace) -> int:
     return 1
 
 
+def _chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import run_chaos
+
+    progress = None
+    if args.verbose:
+        progress = lambda message: print(f"chaos: {message}")  # noqa: E731
+    report = run_chaos(
+        seed=args.seed, iterations=args.iterations, progress=progress
+    )
+    print(
+        f"chaos: seed={report.seed} iterations={report.iterations} "
+        f"checks={report.checks} partials={report.partials}"
+    )
+    for scenario in sorted(report.scenario_counts):
+        print(
+            f"chaos:   {scenario}: {report.scenario_counts[scenario]} "
+            f"iterations"
+        )
+    if report.ok:
+        print("chaos: OK — every invariant held")
+        return 0
+    for failure in report.failures:
+        print(f"chaos: VIOLATION at {failure}", file=sys.stderr)
+    print(
+        f"chaos: FAILED — {len(report.failures)} violations "
+        f"(replay with --seed {report.seed})",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -142,6 +179,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     scrub.add_argument("directory", help="database directory to verify")
     scrub.set_defaults(func=_scrub)
+
+    chaos = sub.add_parser(
+        "chaos", help="run the chaos / metamorphic exactness harness"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--iterations", type=int, default=100)
+    chaos.add_argument(
+        "--verbose", action="store_true", help="print per-iteration progress"
+    )
+    chaos.set_defaults(func=_chaos)
 
     from repro.analysis.cli import add_lint_parser
 

@@ -1,4 +1,4 @@
-"""The built-in repo-specific rules (RS001–RS006).
+"""The built-in repo-specific rules (RS001–RS007).
 
 Each rule polices one contract that the paper's guarantees rest on but
 that Python cannot express in the type system.  The catalog with full
@@ -401,3 +401,76 @@ class StatsDisciplineRule(Rule):
                     f"(no stats/evaluator parameter or .stats attribute): "
                     f"thread the query's stats so page work is accounted",
                 )
+
+@register
+class CheckpointDisciplineRule(Rule):
+    """RS007: engine traversal loops must call ``checkpoint()``.
+
+    The budget/deadline/cancellation plane (:mod:`repro.control`) is
+    *cooperative*: limits only trip when engine code polls them.  An
+    engine loop that never calls
+    :meth:`~repro.control.ExecutionControl.checkpoint` is a blind spot —
+    a query stuck in that loop ignores its deadline, overruns its page
+    budget unbounded, and cannot be cancelled.  Every outermost
+    ``for``/``while`` loop in an engine's ``_run``/``search`` must
+    therefore contain a ``.checkpoint()`` call somewhere in its body
+    (nested loops are covered by the enclosing loop's subtree).
+    """
+
+    code = "RS007"
+    name = "missing-checkpoint"
+    rationale = (
+        "Engine loops without budget.checkpoint() are uncancellable "
+        "blind spots that ignore deadlines and I/O budgets."
+    )
+
+    scope = ("repro/engines/",)
+
+    #: Function names that constitute an engine's main traversal.
+    loop_functions = frozenset({"_run", "search"})
+
+    def _outermost_loops(
+        self, func: AnyFunction
+    ) -> Iterator[Union[ast.For, ast.While]]:
+        """Top-level loops of a function body (nested functions excluded)."""
+        stack: List[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.For, ast.While)):
+                yield node
+                continue  # nested loops belong to this loop's subtree
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _has_checkpoint(loop: Union[ast.For, ast.While]) -> bool:
+        for node in ast.walk(loop):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "checkpoint"
+            ):
+                return True
+        return False
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.in_package(*self.scope):
+            return
+        for func in module.functions():
+            if func.name not in self.loop_functions:
+                continue
+            for loop in self._outermost_loops(func):
+                if not self._has_checkpoint(loop):
+                    keyword = "for" if isinstance(loop, ast.For) else "while"
+                    yield self.finding(
+                        module,
+                        loop,
+                        f"{keyword} loop in {func.name}() never calls "
+                        f"budget.checkpoint(): the query cannot be "
+                        f"cancelled or budget-limited while it runs; "
+                        f"checkpoint at the loop boundary (see "
+                        f"repro.control)",
+                    )

@@ -35,19 +35,39 @@ FRM-style sliding-window index PSM joins over.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
 
+from repro.control import (
+    AdmissionController,
+    CancellationToken,
+    Deadline,
+    ExecutionControl,
+    QueryBudget,
+    certificate_from_pow,
+)
+from repro.core.clock import Clock
 from repro.core.metrics import QueryStats
 from repro.core.results import Match
-from repro.engines.base import Engine, EngineConfig, SearchResult
+from repro.engines.base import (
+    Engine,
+    EngineConfig,
+    FaultReport,
+    SearchResult,
+)
 from repro.engines.cost_density import CostDensityConfig
 from repro.engines.hlmj import HlmjEngine
 from repro.engines.psm import PsmEngine, build_sliding_index
 from repro.engines.ranked_union import RankedUnionEngine
 from repro.engines.seqscan import SeqScanEngine
-from repro.exceptions import ConfigurationError, IndexNotBuiltError
+from repro.exceptions import (
+    ConfigurationError,
+    ExecutionInterrupted,
+    IndexNotBuiltError,
+)
 from repro.index.builder import DualMatchIndex, build_index
 from repro.storage.buffer import BufferPool, RetryPolicy
+from repro.storage.circuit import CircuitBreaker
 from repro.storage.faults import FaultInjector, FaultyPager
 from repro.storage.page import PAGE_SIZE_DEFAULT, PageKind
 from repro.storage.pager import Pager
@@ -90,6 +110,22 @@ class SubsequenceDatabase:
     retry_policy:
         Optional :class:`~repro.storage.buffer.RetryPolicy` bounding
         how transient read failures are retried by the buffer pool.
+    clock:
+        Injectable :class:`~repro.core.clock.Clock` shared by retry
+        backoff, circuit-breaker timers, and injected latency faults.
+        Defaults to the real monotonic clock; tests and the chaos
+        harness inject a :class:`~repro.core.clock.FakeClock`.
+    circuit_breaker:
+        Optional :class:`~repro.storage.circuit.CircuitBreaker` gating
+        physical page reads: when the recent transient-failure rate
+        crosses its threshold, fetches fail fast with
+        :class:`~repro.exceptions.CircuitOpenError` until the device
+        proves healthy again.
+    admission:
+        Optional :class:`~repro.control.AdmissionController` limiting
+        concurrent (and queued) :meth:`search` calls; excess queries are
+        rejected with
+        :class:`~repro.exceptions.AdmissionRejectedError`.
     """
 
     def __init__(
@@ -102,6 +138,9 @@ class SubsequenceDatabase:
         data_stride: Optional[int] = None,
         fault_injector: Optional[FaultInjector] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        clock: Optional[Clock] = None,
+        circuit_breaker: Optional[CircuitBreaker] = None,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         if not 0 < buffer_fraction <= 1:
             raise ConfigurationError(
@@ -112,19 +151,30 @@ class SubsequenceDatabase:
         self.data_stride = omega if data_stride is None else data_stride
         self.p = p
         self.buffer_fraction = buffer_fraction
+        self.clock = clock
         if fault_injector is not None:
             self.pager: Pager = FaultyPager(
-                page_size=page_size, injector=fault_injector
+                page_size=page_size, injector=fault_injector, clock=clock
             )
         else:
             self.pager = Pager(page_size=page_size)
         self.buffer = BufferPool(
-            self.pager, capacity_pages=1, retry_policy=retry_policy
+            self.pager,
+            capacity_pages=1,
+            retry_policy=retry_policy,
+            clock=clock,
+            circuit_breaker=circuit_breaker,
         )
+        self.admission = admission
         self.store = SequenceStore(self.pager, self.buffer)
         self.index: Optional[DualMatchIndex] = None
         self._engines: Dict[str, Engine] = {}
         self._sliding_index = None
+
+    @property
+    def circuit_breaker(self) -> Optional[CircuitBreaker]:
+        """The breaker guarding physical reads, if one is attached."""
+        return self.buffer.circuit_breaker
 
     @property
     def fault_injector(self) -> Optional[FaultInjector]:
@@ -234,6 +284,9 @@ class SubsequenceDatabase:
         deferred: bool = False,
         cost_config: Optional[CostDensityConfig] = None,
         on_fault: str = "raise",
+        budget: Optional[QueryBudget] = None,
+        deadline: Optional[Deadline] = None,
+        token: Optional[CancellationToken] = None,
     ) -> SearchResult:
         """Find the ``k`` subsequences nearest to ``query`` under DTW.
 
@@ -257,6 +310,21 @@ class SubsequenceDatabase:
             buffer-pool retries; ``"degrade"`` skips unreadable pages,
             returns a well-formed top-k over what is readable, and flags
             the result ``degraded=True`` with a ``fault_report``.
+        budget:
+            Optional :class:`~repro.control.QueryBudget` capping page
+            accesses and candidate evaluations for this query.
+        deadline:
+            Optional :class:`~repro.control.Deadline` bounding wall
+            clock.
+        token:
+            Optional :class:`~repro.control.CancellationToken` the
+            caller can cancel from outside.
+
+        When any limit trips mid-query, the return value is a
+        :class:`~repro.engines.base.PartialResult`: the best-k-so-far
+        plus an exactness certificate bounding what was left unexamined.
+        With no limits, behaviour (results and I/O counts) is identical
+        to the pre-control-plane library.
         """
         if rho is None:
             rho = max(1, int(0.05 * len(query)))
@@ -264,7 +332,13 @@ class SubsequenceDatabase:
         config = EngineConfig(
             k=k, rho=rho, deferred=deferred, p=self.p, on_fault=on_fault
         )
-        return engine.search(query, config)
+        control = ExecutionControl(
+            budget=budget, deadline=deadline, token=token
+        )
+        if self.admission is None:
+            return engine.search(query, config, control=control)
+        with self.admission.admit():
+            return engine.search(query, config, control=control)
 
     def search_scaled(
         self,
@@ -327,12 +401,18 @@ class SubsequenceDatabase:
         query: Sequence[float],
         epsilon: float,
         rho: Optional[int] = None,
+        on_fault: str = "raise",
+        budget: Optional[QueryBudget] = None,
+        deadline: Optional[Deadline] = None,
+        token: Optional[CancellationToken] = None,
     ) -> SearchResult:
         """All subsequences within DTW distance ``epsilon`` of ``query``.
 
         The classical range subsequence matching query of the FRM /
         DualMatch lineage the paper builds on; exact under the banded
-        DTW model.  Results are sorted best-first.
+        DTW model.  Results are sorted best-first, with the same
+        ``on_fault`` policy, fault reporting, and budget / deadline /
+        cancellation surface as :meth:`search`.
         """
         from repro.engines.range_search import RangeSearchEngine
 
@@ -341,7 +421,17 @@ class SubsequenceDatabase:
         if rho is None:
             rho = max(1, int(0.05 * len(query)))
         engine = RangeSearchEngine(self.index)
-        return engine.search(query, epsilon=epsilon, rho=rho, p=self.p)
+        control = ExecutionControl(
+            budget=budget, deadline=deadline, token=token
+        )
+        return engine.search(
+            query,
+            epsilon=epsilon,
+            rho=rho,
+            p=self.p,
+            on_fault=on_fault,
+            control=control,
+        )
 
     def iter_matches(
         self,
@@ -349,7 +439,11 @@ class SubsequenceDatabase:
         k: int = 10,
         rho: Optional[int] = None,
         scheduling: str = "max-delta",
-    ) -> Iterator[Match]:
+        on_fault: str = "raise",
+        budget: Optional[QueryBudget] = None,
+        deadline: Optional[Deadline] = None,
+        token: Optional[CancellationToken] = None,
+    ) -> "MatchStream":
         """Stream up to ``k`` matches lazily, best first.
 
         Exposes the extended iterator model (Definition 5) directly:
@@ -357,64 +451,35 @@ class SubsequenceDatabase:
         time, and each confirmed result is yielded as soon as its rank
         is settled — the first match typically arrives long before the
         k-th is resolved.  Consumers may stop early; no further index
-        work happens after the generator is abandoned.
+        work happens after the stream is abandoned or closed.
+
+        Returns a :class:`MatchStream` — an iterator that, once
+        exhausted or closed, also surfaces the per-query
+        :class:`~repro.core.metrics.QueryStats` and (under
+        ``on_fault="degrade"``) the
+        :class:`~repro.engines.base.FaultReport`, exactly like
+        :meth:`search` does.  A budget, deadline, or cancellation
+        ends the stream early, leaving :attr:`MatchStream.interrupted`
+        set with the reason and exactness certificate.
 
         Non-deferred only (deferral batches retrievals, which is
         incompatible with incremental emission).
         """
-        from repro.core.metrics import StatsRecorder
-        from repro.core.windows import QueryWindowSet
-        from repro.engines.base import CandidateEvaluator
-        from repro.engines.operators import Status
-        from repro.engines.ranked_union import PhiOperator, UnionOperator
-
         if self.index is None:
             raise IndexNotBuiltError("call build() before iter_matches()")
         if rho is None:
             rho = max(1, int(0.05 * len(query)))
-        config = EngineConfig(k=k, rho=rho, p=self.p)
-        window_set = QueryWindowSet.from_query(
-            query,
-            omega=self.omega,
-            features=self.features,
-            rho=rho,
-            p=self.p,
-            data_stride=self.index.data_stride,
+        config = EngineConfig(k=k, rho=rho, p=self.p, on_fault=on_fault)
+        control = ExecutionControl(
+            budget=budget, deadline=deadline, token=token
         )
-        recorder = StatsRecorder(self.pager, self.buffer).start()
-        evaluator = CandidateEvaluator(
-            index=self.index,
-            envelope=window_set.envelope,
-            query=window_set.query,
+        return MatchStream(
+            db=self,
+            query=query,
             config=config,
-            stats=recorder.stats,
+            scheduling=scheduling,
+            control=control,
         )
-        children = [
-            PhiOperator(
-                class_index=class_index,
-                window_set=window_set,
-                index=self.index,
-                evaluator=evaluator,
-                config=config,
-                scheduling=scheduling,
-            )
-            for class_index in range(window_set.num_classes)
-            if window_set.classes[class_index]
-        ]
-        union = UnionOperator(children, evaluator)
-        emitted = 0
-        while emitted < k:
-            status, payload = union.get_next()
-            if status == Status.EOR:
-                break
-            if status == Status.TUPLE:
-                emitted += 1
-                yield Match(
-                    distance=payload.distance_pow ** (1.0 / self.p),
-                    sid=payload.sid,
-                    start=payload.start,
-                    length=window_set.length,
-                )
 
     # ------------------------------------------------------------------
     # Persistence
@@ -518,3 +583,138 @@ class SubsequenceDatabase:
             and not counter_errors
         )
         return report
+
+
+class MatchStream(Iterator[Match]):
+    """Lazy best-first match iterator with post-hoc query diagnostics.
+
+    Produced by :meth:`SubsequenceDatabase.iter_matches`.  Iterate it
+    like any generator; when iteration ends — naturally, via
+    :meth:`close`, or through a budget/deadline/cancellation interrupt —
+    the stream's :attr:`stats`, :attr:`degraded`, and
+    :attr:`fault_report` attributes carry the same per-query accounting
+    :meth:`SubsequenceDatabase.search` returns, and on an interrupt
+    :attr:`interrupted`, :attr:`reason`, and :attr:`certificate`
+    describe the early exit (certificate semantics as in
+    :class:`~repro.engines.base.PartialResult`).
+    """
+
+    def __init__(
+        self,
+        db: SubsequenceDatabase,
+        query: Sequence[float],
+        config: EngineConfig,
+        scheduling: str,
+        control: ExecutionControl,
+    ) -> None:
+        from repro.core.metrics import StatsRecorder
+        from repro.core.windows import QueryWindowSet
+        from repro.engines.base import CandidateEvaluator
+        from repro.engines.ranked_union import PhiOperator, UnionOperator
+
+        assert db.index is not None  # checked by iter_matches
+        self._config = config
+        self._p = config.p
+        self._window_set = QueryWindowSet.from_query(
+            query,
+            omega=db.omega,
+            features=db.features,
+            rho=config.rho,
+            p=config.p,
+            data_stride=db.index.data_stride,
+        )
+        self._recorder = StatsRecorder(db.pager, db.buffer).start()
+        pager_stats = db.pager.stats
+        reads_at_start = pager_stats.physical_reads
+        self._control = control
+        control.bind(
+            self._recorder.stats,
+            lambda: pager_stats.physical_reads - reads_at_start,
+        )
+        self._evaluator = CandidateEvaluator(
+            index=db.index,
+            envelope=self._window_set.envelope,
+            query=self._window_set.query,
+            config=config,
+            stats=self._recorder.stats,
+            control=control,
+        )
+        children = [
+            PhiOperator(
+                class_index=class_index,
+                window_set=self._window_set,
+                index=db.index,
+                evaluator=self._evaluator,
+                config=config,
+                scheduling=scheduling,
+            )
+            for class_index in range(self._window_set.num_classes)
+            if self._window_set.classes[class_index]
+        ]
+        self._union = UnionOperator(children, self._evaluator)
+        self._emitted = 0
+        self._finished = False
+        #: Final per-query counters; ``None`` until the stream ends.
+        self.stats: Optional[QueryStats] = None
+        #: Audit of tolerated faults (``None`` until the stream ends,
+        #: or when the run was healthy).
+        self.fault_report: Optional[FaultReport] = None
+        self.degraded = False
+        #: True when a budget, deadline, or cancellation cut the stream
+        #: short before its natural end.
+        self.interrupted = False
+        #: Interrupt reason (see :class:`~repro.engines.base.PartialResult`).
+        self.reason = ""
+        #: Exactness certificate at the early exit (``inf`` for a
+        #: stream that ended naturally: emitted ranks are exact).
+        self.certificate = math.inf
+
+    def __iter__(self) -> "MatchStream":
+        return self
+
+    def __next__(self) -> Match:
+        from repro.engines.operators import Status
+
+        if self._finished:
+            raise StopIteration
+        try:
+            while self._emitted < self._config.k:
+                status, payload = self._union.get_next()
+                if status == Status.EOR:
+                    break
+                if status == Status.TUPLE:
+                    self._emitted += 1
+                    return Match(
+                        distance=payload.distance_pow ** (1.0 / self._p),
+                        sid=payload.sid,
+                        start=payload.start,
+                        length=self._window_set.length,
+                    )
+        except ExecutionInterrupted as signal:
+            self._finalize(signal)
+            raise StopIteration from None
+        self._finalize(None)
+        raise StopIteration
+
+    def close(self) -> None:
+        """Stop the stream early; diagnostics become available."""
+        if not self._finished:
+            self._finalize(None)
+
+    def _finalize(self, signal: Optional[ExecutionInterrupted]) -> None:
+        self._finished = True
+        stats = self._recorder.finish()
+        stats.checkpoints = self._control.checkpoints
+        report = self._evaluator.fault_report
+        self.degraded = bool(report)
+        self.fault_report = report if report else None
+        if signal is not None:
+            stats.interrupted = 1
+            self.interrupted = True
+            self.reason = signal.reason
+            certificate_pow = min(
+                self._control.frontier_pow,
+                self._evaluator.pending_lower_bound_pow(),
+            )
+            self.certificate = certificate_from_pow(certificate_pow, self._p)
+        self.stats = stats

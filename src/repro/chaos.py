@@ -1,0 +1,469 @@
+"""Chaos / metamorphic exactness harness (``python -m repro chaos``).
+
+Every guarantee this library makes is a *relation* between runs — an
+engine agrees with brute force, a degraded run under-reports but never
+lies, a partial result's certificate is sound — which makes the whole
+stack checkable metamorphically: generate seeded random databases and
+queries, run randomized-but-reproducible combinations of fault
+schedules x budgets x deadlines x cancellation across all engines, and
+cross-check the relations against SeqScan-equivalent ground truth
+(:func:`repro.core.reference.brute_force_topk`).
+
+Scenarios
+---------
+``parity``
+    No faults, no limits: every engine must agree with brute force
+    exactly, and a run under an *unlimited* :class:`ExecutionControl`
+    must be byte-identical (top-k and ``NUM_IO``) to a run with no
+    control at all — the control plane must cost nothing when unused.
+``budget-pages`` / ``budget-candidates`` / ``deadline`` / ``cancel``
+    A limit that may trip mid-query.  Completed runs must be exact;
+    interrupted runs must return a :class:`~repro.engines.base.
+    PartialResult` whose certificate is *sound*: no ground-truth top-k
+    member strictly below the certified bar may be missing from the
+    partial answer, every reported distance must be the true distance,
+    and ranked prefixes may never beat brute force.
+``faults-transient``
+    Injected transient read failures within the retry budget: the run
+    must recover and stay *exact* (faults are invisible to results).
+``faults-degrade``
+    Permanently corrupted data pages under ``on_fault="degrade"``:
+    results must be well-formed, honestly flagged, and every reported
+    distance must still be a true distance (degradation may omit,
+    never fabricate).
+``circuit``
+    A persistently failing page region behind a circuit breaker: the
+    query must complete degraded, and once the breaker opens it must
+    reject fetches instead of hammering the device.
+
+All randomness flows from ``random.Random(f"{seed}:{iteration}")`` and
+``numpy`` generators seeded from it, so a failing iteration replays
+exactly from its printed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api import SubsequenceDatabase
+from repro.control import CancellationToken, Deadline, QueryBudget
+from repro.core.clock import FakeClock
+from repro.core.reference import brute_force_topk
+from repro.core.results import Match
+from repro.engines.base import PartialResult, SearchResult
+from repro.storage.buffer import RetryPolicy
+from repro.storage.circuit import CircuitBreaker
+from repro.storage.faults import (
+    CORRUPT,
+    TRANSIENT,
+    FaultInjector,
+    FaultSpec,
+)
+from repro.storage.page import PageKind
+
+#: Distance slack for float comparisons (DTW sums differ across
+#: evaluation orders by strictly less than this on these data sizes).
+_EPS = 1e-6
+
+SCENARIOS = (
+    "parity",
+    "budget-pages",
+    "budget-candidates",
+    "deadline",
+    "cancel",
+    "faults-transient",
+    "faults-degrade",
+    "circuit",
+)
+
+_ENGINES = ("seqscan", "hlmj", "ru", "ru-cost")
+
+
+@dataclass
+class ChaosFailure:
+    """One violated invariant, with enough context to replay it."""
+
+    iteration: int
+    scenario: str
+    engine: str
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"iteration {self.iteration} [{self.scenario}/{self.engine}]: "
+            f"{self.message}"
+        )
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one :func:`run_chaos` campaign."""
+
+    seed: int
+    iterations: int = 0
+    #: Invariant checks evaluated (each engine x relation counts one).
+    checks: int = 0
+    #: Queries that returned a PartialResult (interrupt paths covered).
+    partials: int = 0
+    scenario_counts: Dict[str, int] = field(default_factory=dict)
+    failures: List[ChaosFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+class _Iteration:
+    """One seeded database + query + ground truth, shared across engines."""
+
+    def __init__(self, seed: int, iteration: int) -> None:
+        self.iteration = iteration
+        self.rng = random.Random(f"{seed}:{iteration}")
+        self.scenario = self.rng.choice(SCENARIOS)
+        self.omega = self.rng.choice((8, 16))
+        self.with_psm = self.rng.random() < 0.25
+        self.np_rng = np.random.default_rng(
+            [seed & 0x7FFFFFFF, iteration, 0xC4A05]
+        )
+
+    def build_db(self, **db_kwargs: object) -> SubsequenceDatabase:
+        db = SubsequenceDatabase(
+            omega=self.omega,
+            features=4,
+            page_size=1024,
+            buffer_fraction=0.1,
+            **db_kwargs,  # type: ignore[arg-type]
+        )
+        injector = db.fault_injector
+        if injector is not None:
+            injector.enabled = False  # keep the build phase clean
+        for sid in range(2):
+            length = int(self.np_rng.integers(280, 700))
+            db.insert(sid, self.np_rng.standard_normal(length).cumsum())
+        db.build(psm=self.with_psm)
+        if injector is not None:
+            injector.enabled = True
+        return db
+
+    def make_query(self, db: SubsequenceDatabase) -> np.ndarray:
+        min_len = 2 * self.omega - 1
+        length = int(self.rng.randint(min_len, min_len + 2 * self.omega))
+        # Round down to a multiple of omega so PSM's disjoint join
+        # windows tile the query exactly; still >= min_len.
+        length = max(min_len, (length // self.omega) * self.omega)
+        if self.rng.random() < 0.5:
+            sid = self.rng.choice(list(db.store.sequence_ids()))
+            start = self.rng.randint(0, db.store.length(sid) - length)
+            return db.store.peek_subsequence(sid, start, length).copy()
+        return self.np_rng.standard_normal(length).cumsum()
+
+    def engines(self) -> Tuple[str, ...]:
+        if self.with_psm:
+            return _ENGINES + ("psm",)
+        return _ENGINES
+
+
+def _distance_table(gold: List[Match]) -> Dict[Tuple[int, int], float]:
+    return {(match.sid, match.start): match.distance for match in gold}
+
+
+def _check_reported_distances(
+    result: SearchResult, truth: Dict[Tuple[int, int], float]
+) -> Optional[str]:
+    """Every reported match must be a real subsequence at its true
+    distance — no run, however degraded or interrupted, may fabricate."""
+    for match in result.matches:
+        true_distance = truth.get((match.sid, match.start))
+        if true_distance is None:
+            return (
+                f"match ({match.sid},{match.start}) does not exist in "
+                f"ground truth"
+            )
+        if abs(match.distance - true_distance) > _EPS:
+            return (
+                f"match ({match.sid},{match.start}) reported "
+                f"{match.distance:.9f}, true {true_distance:.9f}"
+            )
+    for first, second in zip(result.matches, result.matches[1:]):
+        if second.distance < first.distance - _EPS:
+            return "matches are not sorted best-first"
+    return None
+
+
+def _check_prefix(
+    result: SearchResult, gold: List[Match]
+) -> Optional[str]:
+    """The i-th best reported distance can never beat the i-th best
+    true distance (reported distances are true, so beating brute force
+    is impossible for an honest run)."""
+    for position, match in enumerate(result.matches):
+        if position < len(gold):
+            if match.distance < gold[position].distance - _EPS:
+                return (
+                    f"rank {position} reports {match.distance:.9f}, "
+                    f"better than brute force "
+                    f"{gold[position].distance:.9f}"
+                )
+    return None
+
+
+def _check_exact(
+    result: SearchResult, gold: List[Match], k: int
+) -> Optional[str]:
+    """Top-k distances must equal brute force exactly (ties by value)."""
+    expected = [round(match.distance, 6) for match in gold[:k]]
+    got = [round(match.distance, 6) for match in result.matches]
+    if got != expected:
+        return f"top-k distances {got} != brute force {expected}"
+    return None
+
+
+def _check_certificate(
+    partial: PartialResult, gold: List[Match], k: int
+) -> Optional[str]:
+    """Certificate soundness (the heart of the harness).
+
+    The contract: any candidate missing from the partial answer has
+    true distance >= min(certificate, k-th reported distance).  So
+    every ground-truth top-k member strictly below that bar must be
+    present.  Members at or beyond the bar may legitimately be missing
+    (they were unexamined, or displaced only by ties).
+    """
+    bar = partial.certificate
+    if len(partial.matches) >= k:
+        bar = min(bar, partial.matches[-1].distance)
+    reported = {(match.sid, match.start) for match in partial.matches}
+    for gold_match in gold[:k]:
+        if gold_match.distance >= bar - _EPS:
+            continue
+        if (gold_match.sid, gold_match.start) not in reported:
+            return (
+                f"gold match ({gold_match.sid},{gold_match.start}) at "
+                f"{gold_match.distance:.9f} is below the certified bar "
+                f"{bar:.9f} but missing from the partial result "
+                f"(reason={partial.reason!r}, "
+                f"certificate={partial.certificate:.9f})"
+            )
+    return None
+
+
+def run_chaos(
+    seed: int = 0,
+    iterations: int = 100,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Run the chaos campaign and return its report."""
+    report = ChaosReport(seed=seed)
+
+    def record(
+        it: _Iteration, engine: str, message: Optional[str]
+    ) -> None:
+        report.checks += 1
+        if message is not None:
+            report.failures.append(
+                ChaosFailure(
+                    iteration=it.iteration,
+                    scenario=it.scenario,
+                    engine=engine,
+                    message=message,
+                )
+            )
+
+    for iteration in range(iterations):
+        it = _Iteration(seed, iteration)
+        report.iterations += 1
+        report.scenario_counts[it.scenario] = (
+            report.scenario_counts.get(it.scenario, 0) + 1
+        )
+        if progress is not None:
+            progress(f"iteration {iteration}: {it.scenario}")
+        _run_iteration(it, report, record)
+    return report
+
+
+def _run_iteration(
+    it: _Iteration,
+    report: ChaosReport,
+    record: Callable[[_Iteration, str, Optional[str]], None],
+) -> None:
+    k = it.rng.randint(1, 8)
+    scenario = it.scenario
+
+    if scenario == "faults-transient":
+        # Per-page fault budget stays below the retry attempt budget,
+        # so every injected failure is recoverable and results must be
+        # exact.
+        injector = FaultInjector(seed=it.rng.randrange(2**31))
+        injector.add(
+            FaultSpec(
+                fault=TRANSIENT,
+                probability=it.rng.uniform(0.05, 0.3),
+                max_per_page=2,
+            )
+        )
+        db = it.build_db(
+            fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=4),
+        )
+    elif scenario == "faults-degrade":
+        injector = FaultInjector(seed=it.rng.randrange(2**31))
+        injector.add(
+            FaultSpec(
+                fault=CORRUPT,
+                page_kinds=frozenset({PageKind.DATA}),
+                probability=1.0,
+                max_triggers=it.rng.randint(1, 3),
+            )
+        )
+        db = it.build_db(fault_injector=injector)
+    elif scenario == "circuit":
+        injector = FaultInjector(seed=it.rng.randrange(2**31))
+        injector.add(
+            FaultSpec(
+                fault=TRANSIENT,
+                page_kinds=frozenset({PageKind.DATA}),
+                probability=0.8,
+            )
+        )
+        breaker = CircuitBreaker(
+            failure_threshold=0.5,
+            window=8,
+            min_samples=4,
+            reset_timeout_s=10_000.0,  # stays open for the whole query
+            clock=FakeClock(),
+        )
+        db = it.build_db(
+            fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=2),
+            circuit_breaker=breaker,
+        )
+    else:
+        db = it.build_db()
+
+    query = it.make_query(db)
+    rho = max(1, len(query) // 20)
+    gold = brute_force_topk(db.store, query, k=10**6, rho=rho, p=db.p)
+    truth = _distance_table(gold)
+    deferred_ok = it.rng.random() < 0.4
+
+    for engine in it.engines():
+        deferred = deferred_ok and engine not in ("seqscan", "psm")
+        kwargs: Dict[str, object] = {
+            "k": k,
+            "rho": rho,
+            "method": engine,
+            "deferred": deferred,
+        }
+        db.reset_cache()
+
+        if scenario == "parity":
+            result = db.search(query, **kwargs)  # type: ignore[arg-type]
+            record(it, engine, _check_exact(result, gold, k))
+            record(
+                it,
+                engine,
+                "parity run is unexpectedly partial"
+                if isinstance(result, PartialResult)
+                else None,
+            )
+            # The control plane must be invisible when unlimited:
+            # identical top-k and identical NUM_IO from a cold cache.
+            db.reset_cache()
+            controlled = db.search(
+                query,
+                budget=QueryBudget(),
+                **kwargs,  # type: ignore[arg-type]
+            )
+            same = [m.distance for m in controlled.matches] == [
+                m.distance for m in result.matches
+            ] and (
+                controlled.stats.page_accesses
+                == result.stats.page_accesses
+            )
+            record(
+                it,
+                engine,
+                None
+                if same
+                else (
+                    f"unlimited-control run diverged: "
+                    f"{controlled.stats.page_accesses} pages vs "
+                    f"{result.stats.page_accesses}"
+                ),
+            )
+            continue
+
+        if scenario == "budget-pages":
+            kwargs["budget"] = QueryBudget(
+                max_page_accesses=it.rng.randint(0, 40)
+            )
+        elif scenario == "budget-candidates":
+            kwargs["budget"] = QueryBudget(
+                max_candidates=it.rng.randint(0, 60)
+            )
+        elif scenario == "deadline":
+            clock = FakeClock(auto_advance=0.001)
+            kwargs["deadline"] = Deadline.after(
+                it.rng.uniform(0.0, 0.2), clock=clock
+            )
+        elif scenario == "cancel":
+            kwargs["token"] = CancellationToken(
+                cancel_after_checks=it.rng.randint(0, 200)
+            )
+        elif scenario in ("faults-degrade", "circuit"):
+            kwargs["on_fault"] = "degrade"
+
+        result = db.search(query, **kwargs)  # type: ignore[arg-type]
+        record(it, engine, _check_reported_distances(result, truth))
+        record(it, engine, _check_prefix(result, gold))
+
+        if isinstance(result, PartialResult):
+            report.partials += 1
+            record(it, engine, _check_certificate(result, gold, k))
+            record(
+                it,
+                engine,
+                None
+                if result.reason
+                else "partial result carries no reason",
+            )
+        elif scenario in (
+            "budget-pages",
+            "budget-candidates",
+            "deadline",
+            "cancel",
+            "faults-transient",
+        ):
+            # The limit never tripped (or every fault was retried
+            # away): the run must then be exact.
+            record(it, engine, _check_exact(result, gold, k))
+
+        if scenario == "faults-degrade":
+            fired = db.fault_injector is not None and (
+                db.fault_injector.stats.corruptions > 0
+            )
+            record(
+                it,
+                engine,
+                None
+                if (not fired or result.degraded or not result.matches
+                    or _check_exact(result, gold, k) is None)
+                else "faults fired but result is neither exact nor "
+                "flagged degraded",
+            )
+
+    if scenario == "circuit":
+        breaker = db.circuit_breaker
+        assert breaker is not None
+        if breaker.stats.opens > 0 and breaker.stats.rejections == 0:
+            record(
+                it,
+                "circuit",
+                "breaker opened but never rejected a fetch",
+            )
+        else:
+            record(it, "circuit", None)

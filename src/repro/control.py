@@ -1,0 +1,404 @@
+"""Deadline- and budget-aware query execution control.
+
+The paper's headline metric is the number of page accesses (``NUM_IO``),
+which makes per-query I/O a natural *resource budget*: this module turns
+that observation into a cooperative execution-control plane shared by
+every engine.
+
+* :class:`QueryBudget` caps page accesses and candidate evaluations.
+* :class:`Deadline` bounds wall-clock time against an injectable
+  monotonic :class:`Clock` (so tests and the chaos harness never sleep
+  for real).
+* :class:`CancellationToken` lets a caller abort a running query from
+  outside the engine loop.
+* :class:`ExecutionControl` bundles the three for one query run and
+  exposes :meth:`~ExecutionControl.checkpoint`, which engines call at
+  every traversal-loop boundary (lint rule RS007 enforces this).  When a
+  limit trips, the checkpoint raises
+  :class:`~repro.exceptions.ExecutionInterrupted`; the engine template
+  converts that into a :class:`~repro.engines.base.PartialResult`
+  carrying the best-k-so-far plus an **exactness certificate** — the
+  tightest known lower bound on any unexamined candidate — so an early
+  exit never silently pretends to be exact (the anytime analogue of the
+  paper's Section 3 no-false-dismissal contract).
+* :class:`AdmissionController` provides simple service-side admission
+  control (max concurrent + max queued queries) in front of
+  :meth:`repro.api.SubsequenceDatabase.search`.
+
+Checkpoints are *cooperative*: limits are checked between units of
+engine work, so a budget may be overshot by at most one loop iteration.
+Every limit object is per-query; construct fresh ones per search.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from types import TracebackType
+from typing import Callable, Optional, Type
+
+from repro.core.clock import MONOTONIC_CLOCK, Clock, FakeClock, MonotonicClock
+from repro.core.metrics import QueryStats
+from repro.exceptions import (
+    AdmissionRejectedError,
+    ConfigurationError,
+    ExecutionInterrupted,
+    UsageError,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "CancellationToken",
+    "Clock",
+    "Deadline",
+    "ExecutionControl",
+    "FakeClock",
+    "MONOTONIC_CLOCK",
+    "MonotonicClock",
+    "QueryBudget",
+    "REASON_CANCELLED",
+    "REASON_CANDIDATE_BUDGET",
+    "REASON_DEADLINE",
+    "REASON_PAGE_BUDGET",
+    "certificate_from_pow",
+]
+
+#: Interrupt reasons carried by :class:`ExecutionInterrupted` and
+#: :class:`~repro.engines.base.PartialResult`.
+REASON_CANCELLED = "cancelled"
+REASON_DEADLINE = "deadline"
+REASON_PAGE_BUDGET = "budget:pages"
+REASON_CANDIDATE_BUDGET = "budget:candidates"
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """Resource caps for one query; ``None`` means unlimited.
+
+    Attributes
+    ----------
+    max_page_accesses:
+        Physical page reads the query may issue (the paper's ``NUM_IO``).
+    max_candidates:
+        Candidate subsequences whose full values may be retrieved and
+        evaluated (the paper's "number of candidates").
+    """
+
+    max_page_accesses: Optional[int] = None
+    max_candidates: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_page_accesses", "max_candidates"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ConfigurationError(
+                    f"{name} must be >= 0 or None, got {value}"
+                )
+
+    @property
+    def unlimited(self) -> bool:
+        """True when no cap is configured (checkpoints never trip)."""
+        return self.max_page_accesses is None and self.max_candidates is None
+
+
+class Deadline:
+    """A wall-clock deadline measured on an injectable monotonic clock."""
+
+    def __init__(
+        self, expires_at: float, clock: Optional[Clock] = None
+    ) -> None:
+        self._clock = clock if clock is not None else MONOTONIC_CLOCK
+        self.expires_at = float(expires_at)
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Optional[Clock] = None
+    ) -> "Deadline":
+        """A deadline ``seconds`` from now on ``clock``."""
+        if seconds < 0:
+            raise ConfigurationError(
+                f"deadline seconds must be >= 0, got {seconds}"
+            )
+        active = clock if clock is not None else MONOTONIC_CLOCK
+        return cls(active.monotonic() + seconds, clock=active)
+
+    @property
+    def expired(self) -> bool:
+        return self._clock.monotonic() >= self.expires_at
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self.expires_at - self._clock.monotonic())
+
+
+class CancellationToken:
+    """Caller-side cancellation for one in-flight query.
+
+    ``cancel()`` is thread-safe and idempotent.  ``cancel_after_checks``
+    is a deterministic test/chaos facility: the token cancels itself
+    after that many :meth:`is_cancelled` polls, simulating an impatient
+    caller without involving threads or timers.
+    """
+
+    def __init__(self, cancel_after_checks: Optional[int] = None) -> None:
+        if cancel_after_checks is not None and cancel_after_checks < 0:
+            raise ConfigurationError(
+                f"cancel_after_checks must be >= 0, got "
+                f"{cancel_after_checks}"
+            )
+        self._cancelled = False
+        self._remaining_checks = cancel_after_checks
+        self.checks = 0
+
+    def cancel(self) -> None:
+        """Request cancellation (takes effect at the next checkpoint)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested (no side effects)."""
+        return self._cancelled
+
+    def is_cancelled(self) -> bool:
+        """Poll the token (counts the poll for ``cancel_after_checks``)."""
+        self.checks += 1
+        if self._remaining_checks is not None and not self._cancelled:
+            self._remaining_checks -= 1
+            if self._remaining_checks < 0:
+                self._cancelled = True
+        return self._cancelled
+
+
+class ExecutionControl:
+    """Runtime budget/deadline/cancellation state for one query.
+
+    Engines bind a local name at the top of their traversal
+    (``budget = evaluator.control``) and call
+    ``budget.checkpoint(frontier_pow)`` at every loop boundary, passing
+    the current index-level lower bound (p-th power) on any candidate
+    not yet examined.  The latest reported frontier is what the engine
+    template turns into the exactness certificate when a limit trips.
+
+    A default-constructed instance has no limits: its checkpoints never
+    raise, so unbudgeted queries behave exactly as before this layer
+    existed (and cost only a few attribute reads per loop iteration).
+    """
+
+    def __init__(
+        self,
+        budget: Optional[QueryBudget] = None,
+        deadline: Optional[Deadline] = None,
+        token: Optional[CancellationToken] = None,
+    ) -> None:
+        self.budget = budget
+        self.deadline = deadline
+        self.token = token
+        #: Latest engine-reported lower bound (p-th power) on unexamined
+        #: candidates.  Starts at 0.0 — the only universally sound value
+        #: before the engine has reported anything.
+        self.frontier_pow = 0.0
+        #: Checkpoints executed (diagnostics; surfaced via QueryStats).
+        self.checkpoints = 0
+        self._stats: Optional[QueryStats] = None
+        self._page_count: Optional[Callable[[], int]] = None
+
+    def bind(self, stats: QueryStats, page_count: Callable[[], int]) -> None:
+        """Attach the per-query counters the budget is enforced against.
+
+        Called once by the engine template; ``page_count`` must return
+        the physical reads issued *by this query so far*.
+        """
+        self._stats = stats
+        self._page_count = page_count
+
+    @property
+    def limited(self) -> bool:
+        """Whether any limit is configured at all."""
+        return (
+            self.token is not None
+            or self.deadline is not None
+            or (self.budget is not None and not self.budget.unlimited)
+        )
+
+    def checkpoint(self, frontier_pow: Optional[float] = None) -> None:
+        """Cooperative limit check at an engine loop boundary.
+
+        Raises :class:`~repro.exceptions.ExecutionInterrupted` when the
+        token is cancelled, the deadline has passed, or a budget cap is
+        exceeded.  ``frontier_pow``, when given, records the engine's
+        current lower bound on unexamined candidates; passing ``None``
+        keeps the previous value (valid because engine frontiers are
+        non-decreasing over a run).
+        """
+        self.checkpoints += 1
+        if frontier_pow is not None:
+            self.frontier_pow = frontier_pow
+        if self.token is not None and self.token.is_cancelled():
+            raise ExecutionInterrupted(REASON_CANCELLED)
+        if self.deadline is not None and self.deadline.expired:
+            raise ExecutionInterrupted(REASON_DEADLINE)
+        budget = self.budget
+        if budget is None:
+            return
+        if (
+            budget.max_page_accesses is not None
+            and self._page_count is not None
+            and self._page_count() > budget.max_page_accesses
+        ):
+            raise ExecutionInterrupted(REASON_PAGE_BUDGET)
+        if (
+            budget.max_candidates is not None
+            and self._stats is not None
+            and self._stats.candidates > budget.max_candidates
+        ):
+            raise ExecutionInterrupted(REASON_CANDIDATE_BUDGET)
+
+
+@dataclass
+class AdmissionStats:
+    """Counters for one :class:`AdmissionController`."""
+
+    admitted: int = 0
+    rejected: int = 0
+    #: Admissions that had to wait in the queue first.
+    queued: int = 0
+    peak_active: int = 0
+
+
+class _AdmissionTicket:
+    """Context manager releasing one admitted slot on exit."""
+
+    def __init__(self, controller: "AdmissionController") -> None:
+        self._controller = controller
+        self._released = False
+
+    def __enter__(self) -> "_AdmissionTicket":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.release()
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release()
+
+
+class AdmissionController:
+    """Bounded-concurrency admission control for query execution.
+
+    At most ``max_concurrent`` queries run at once; up to ``max_queued``
+    more may wait (``queue_timeout_s`` bounds the wait).  Anything
+    beyond that is rejected immediately with
+    :class:`~repro.exceptions.AdmissionRejectedError` — fail-fast
+    back-pressure instead of unbounded queueing, which is what the
+    ROADMAP's heavy-traffic scenario needs from a front door.
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int,
+        max_queued: int = 0,
+        queue_timeout_s: Optional[float] = None,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ConfigurationError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        if max_queued < 0:
+            raise ConfigurationError(
+                f"max_queued must be >= 0, got {max_queued}"
+            )
+        if queue_timeout_s is not None and queue_timeout_s < 0:
+            raise ConfigurationError(
+                f"queue_timeout_s must be >= 0, got {queue_timeout_s}"
+            )
+        self.max_concurrent = max_concurrent
+        self.max_queued = max_queued
+        self.queue_timeout_s = queue_timeout_s
+        self.stats = AdmissionStats()
+        self._condition = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+
+    @property
+    def active(self) -> int:
+        """Queries currently admitted and running."""
+        return self._active
+
+    @property
+    def waiting(self) -> int:
+        """Queries currently waiting in the admission queue."""
+        return self._waiting
+
+    def admit(self) -> _AdmissionTicket:
+        """Acquire one execution slot (blocking in the queue if allowed).
+
+        Returns a context manager releasing the slot; raises
+        :class:`~repro.exceptions.AdmissionRejectedError` when both the
+        concurrency and queue limits are full, or the queue wait times
+        out.
+        """
+        with self._condition:
+            if self._active < self.max_concurrent:
+                self._admit_locked()
+                return _AdmissionTicket(self)
+            if self._waiting >= self.max_queued:
+                self.stats.rejected += 1
+                raise AdmissionRejectedError(
+                    f"admission rejected: {self._active} active and "
+                    f"{self._waiting} queued queries (limits: "
+                    f"{self.max_concurrent} concurrent, "
+                    f"{self.max_queued} queued)"
+                )
+            self._waiting += 1
+            self.stats.queued += 1
+            try:
+                granted = self._condition.wait_for(
+                    lambda: self._active < self.max_concurrent,
+                    timeout=self.queue_timeout_s,
+                )
+            finally:
+                self._waiting -= 1
+            if not granted:
+                self.stats.rejected += 1
+                raise AdmissionRejectedError(
+                    f"admission queue wait exceeded "
+                    f"{self.queue_timeout_s} s"
+                )
+            self._admit_locked()
+            return _AdmissionTicket(self)
+
+    def _admit_locked(self) -> None:
+        self._active += 1
+        self.stats.admitted += 1
+        self.stats.peak_active = max(self.stats.peak_active, self._active)
+
+    def _release(self) -> None:
+        with self._condition:
+            if self._active <= 0:
+                raise UsageError(
+                    "AdmissionController released more slots than admitted"
+                )
+            self._active -= 1
+            self._condition.notify()
+
+
+def certificate_from_pow(certificate_pow: float, p: float) -> float:
+    """Root a p-th-power certificate into distance space.
+
+    ``inf`` stays ``inf`` (nothing unexamined remained — the partial
+    result is in fact exact) and negative numerical noise clamps to 0.
+    """
+    if math.isinf(certificate_pow):
+        return math.inf
+    if certificate_pow <= 0.0:
+        return 0.0
+    return certificate_pow ** (1.0 / p)

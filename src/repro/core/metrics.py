@@ -66,6 +66,12 @@ class QueryStats:
     #: Candidates or index subtrees skipped because of storage faults
     #: under ``on_fault="degrade"`` (0 on a healthy run).
     faults_skipped: int = 0
+    #: Cooperative budget/deadline/cancellation checkpoints executed
+    #: (see :class:`repro.control.ExecutionControl`).
+    checkpoints: int = 0
+    #: 1 when the query was cut short by a budget, deadline, or
+    #: cancellation and returned a partial result.
+    interrupted: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dict for reporting layers."""
@@ -89,6 +95,8 @@ class QueryStats:
             "budget_exhausted": self.budget_exhausted,
             "retries": self.retries,
             "faults_skipped": self.faults_skipped,
+            "checkpoints": self.checkpoints,
+            "interrupted": self.interrupted,
         }
 
     def merge(self, other: "QueryStats") -> None:

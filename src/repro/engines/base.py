@@ -20,18 +20,24 @@ comparisons test *scheduling and bounds*, not bookkeeping differences.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.control import ExecutionControl, certificate_from_pow
 from repro.core.distance import dtw_pow
 from repro.core.envelope import Envelope
 from repro.core.lower_bounds import lb_keogh_pow
 from repro.core.metrics import QueryStats, StatsRecorder
 from repro.core.results import Match, TopKCollector
 from repro.core.windows import QueryWindowSet
-from repro.exceptions import ConfigurationError, StorageError
+from repro.exceptions import (
+    ConfigurationError,
+    ExecutionInterrupted,
+    StorageError,
+)
 from repro.index.builder import DualMatchIndex
 from repro.storage.deferred import CandidateRequest, DeferredRetrievalBuffer
 
@@ -175,6 +181,41 @@ class SearchResult:
         return [match.distance for match in self.matches]
 
 
+@dataclass
+class PartialResult(SearchResult):
+    """A query cut short by a budget, deadline, or cancellation.
+
+    The matches are the best-k-so-far over everything *examined*.  The
+    :attr:`certificate` states exactly what exactness was given up: it
+    is a lower bound on the true distance of every candidate the engine
+    did **not** examine.  Consequences a caller can rely on:
+
+    * every returned match with ``distance < certificate`` provably
+      belongs to the exact top-k (no unexamined candidate can displace
+      it);
+    * the exact top-k can differ from the returned list only at
+      distances ``>= certificate``;
+    * an infinite certificate means nothing examinable remained — the
+      partial result is in fact exact.
+
+    This is the anytime form of the paper's Section 3 no-false-dismissal
+    contract: instead of silently dropping candidates, the early exit
+    reports the tightest bound under which drops may have occurred.
+    """
+
+    #: Why the query stopped: ``"cancelled"``, ``"deadline"``,
+    #: ``"budget:pages"``, or ``"budget:candidates"``.
+    reason: str = ""
+    #: Lower bound (distance, not p-th power) on any unexamined
+    #: candidate's true distance.  ``inf`` when nothing was left.
+    certificate: float = math.inf
+
+    @property
+    def exact(self) -> bool:
+        """Whether the interrupt provably lost nothing."""
+        return math.isinf(self.certificate)
+
+
 class CandidateEvaluator:
     """Retrieval, pruning, and top-k maintenance for one query run."""
 
@@ -185,12 +226,18 @@ class CandidateEvaluator:
         query: np.ndarray,
         config: EngineConfig,
         stats: QueryStats,
+        control: Optional[ExecutionControl] = None,
     ) -> None:
         self._index = index
         self._envelope = envelope
         self._query = query
         self._config = config
         self.stats = stats
+        #: The query's budget/deadline/cancellation checkpoints.  Engines
+        #: bind this as their local ``budget`` and checkpoint at every
+        #: traversal-loop boundary (lint rule RS007).  A default
+        #: instance has no limits and never interrupts.
+        self.control = control if control is not None else ExecutionControl()
         self.collector = TopKCollector(config.k, p=config.p)
         self.fault_report = FaultReport()
         self._seen: Set[Tuple[int, int]] = set()
@@ -303,12 +350,35 @@ class CandidateEvaluator:
         return distance_pow
 
     def flush(self) -> None:
-        """Drain the deferred buffer (storage order, threshold re-check)."""
+        """Drain the deferred buffer (storage order, threshold re-check).
+
+        Checkpoints between retrievals; when an interrupt lands
+        mid-flush, the not-yet-retrieved requests are requeued before
+        the signal propagates so their lower bounds still feed
+        :meth:`pending_lower_bound_pow` (and thus the certificate).
+        """
         if self._deferred is None or len(self._deferred) == 0:
             return
         self.stats.deferred_flushes += 1
-        for request in self._deferred.drain(threshold=self.threshold_pow):
+        requests = list(self._deferred.drain(threshold=self.threshold_pow))
+        for position, request in enumerate(requests):
+            try:
+                self.control.checkpoint()
+            except ExecutionInterrupted:
+                self._deferred.requeue(requests[position:])
+                raise
             self._evaluate(request.sid, request.start)
+
+    def pending_lower_bound_pow(self) -> float:
+        """Smallest lower bound (p-th power) among deferred requests.
+
+        ``inf`` when nothing is pending.  Folded into the exactness
+        certificate: deferred candidates were admitted but never
+        retrieved, so they count as unexamined work.
+        """
+        if self._deferred is None:
+            return math.inf
+        return self._deferred.min_pending_lower_bound()
 
     def finalize(self) -> None:
         """Flush any remaining deferred requests before returning results."""
@@ -329,9 +399,17 @@ class Engine(abc.ABC):
         self.index = index
 
     def search(
-        self, query: Sequence[float], config: EngineConfig
+        self,
+        query: Sequence[float],
+        config: EngineConfig,
+        control: Optional[ExecutionControl] = None,
     ) -> SearchResult:
-        """Run one top-k query and return matches plus counters."""
+        """Run one top-k query and return matches plus counters.
+
+        With a limited ``control``, an interrupt at any cooperative
+        checkpoint yields a :class:`PartialResult` (best-k-so-far plus
+        an exactness certificate) instead of an exception.
+        """
         window_set = QueryWindowSet.from_query(
             query,
             omega=self.index.omega,
@@ -340,25 +418,57 @@ class Engine(abc.ABC):
             p=config.p,
             data_stride=getattr(self.index, "data_stride", None),
         )
+        if control is None:
+            control = ExecutionControl()
         recorder = StatsRecorder(
             self.index.store.pager, self.index.store.buffer
         ).start()
+        pager_stats = self.index.store.pager.stats
+        reads_at_start = pager_stats.physical_reads
+        control.bind(
+            recorder.stats,
+            lambda: pager_stats.physical_reads - reads_at_start,
+        )
         evaluator = CandidateEvaluator(
             index=self.index,
             envelope=window_set.envelope,
             query=window_set.query,
             config=config,
             stats=recorder.stats,
+            control=control,
         )
-        self._run(window_set, evaluator, config)
-        evaluator.finalize()
+        interrupt: Optional[ExecutionInterrupted] = None
+        try:
+            self._run(window_set, evaluator, config)
+            evaluator.finalize()
+        except ExecutionInterrupted as signal:
+            interrupt = signal
         stats = recorder.finish()
+        stats.checkpoints = control.checkpoints
         report = evaluator.fault_report
-        return SearchResult(
-            matches=evaluator.collector.matches(window_set.length),
+        matches = evaluator.collector.matches(window_set.length)
+        if interrupt is None:
+            return SearchResult(
+                matches=matches,
+                stats=stats,
+                degraded=bool(report),
+                fault_report=report if report else None,
+            )
+        stats.interrupted = 1
+        # Everything *unexamined* is bounded below by the engine's last
+        # reported frontier; deferred-but-unretrieved candidates are
+        # bounded by their admitted lower bounds.  The min of the two is
+        # the tightest sound certificate.
+        certificate_pow = min(
+            control.frontier_pow, evaluator.pending_lower_bound_pow()
+        )
+        return PartialResult(
+            matches=matches,
             stats=stats,
             degraded=bool(report),
             fault_report=report if report else None,
+            reason=interrupt.reason,
+            certificate=certificate_from_pow(certificate_pow, config.p),
         )
 
     @abc.abstractmethod

@@ -127,8 +127,12 @@ class HlmjEngine(Engine):
             for index, _window in enumerate(window_set.windows)
         ]
         heapq.heapify(heap)
+        budget = evaluator.control
 
         while heap:
+            # Everything still enqueued has MDMWP-distance^p at least
+            # r * top, which is therefore a sound certificate frontier.
+            budget.checkpoint(r * heap[0][0])
             dist_pow, _seq, window_pos, kind, payload = heapq.heappop(heap)
             stats.heap_pops += 1
             # MDMWP-distance of everything still enqueued is at least

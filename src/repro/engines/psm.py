@@ -199,8 +199,12 @@ class PsmEngine(Engine):
             (_NODE, tree.root_page, 0.0) for _ in range(num_joins)
         )
         heap: List[JoinHeapEntry] = [(0.0, next(tiebreak), root_state)]
+        budget = evaluator.control
 
         while heap:
+            # Join states pop in non-decreasing combined-lower-bound
+            # order, so the top score bounds every unexamined candidate.
+            budget.checkpoint(heap[0][0])
             score_pow, _seq, state = heapq.heappop(heap)
             stats.heap_pops += 1
             if (

@@ -18,21 +18,28 @@ congruent to ``-s`` modulo ``omega``, so — exactly as in DualMatch —
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.control import ExecutionControl
 from repro.core.distance import dtw_pow
 from repro.core.lower_bounds import lb_keogh_pow, lb_paa_pow, mindist_pow
-from repro.core.metrics import StatsRecorder
+from repro.core.metrics import QueryStats, StatsRecorder
 from repro.core.results import Match
 from repro.core.windows import (
+    QueryWindow,
     QueryWindowSet,
     candidate_in_bounds,
     candidate_start,
 )
-from repro.engines.base import SearchResult
-from repro.exceptions import QueryError
+from repro.engines.base import FaultReport, PartialResult, SearchResult
+from repro.exceptions import (
+    ConfigurationError,
+    ExecutionInterrupted,
+    QueryError,
+    StorageError,
+)
 from repro.index.builder import DualMatchIndex
 from repro.storage.sequences import SequenceStore
 
@@ -51,13 +58,26 @@ class RangeSearchEngine:
         epsilon: float,
         rho: int,
         p: float = 2.0,
+        on_fault: str = "raise",
+        control: Optional[ExecutionControl] = None,
     ) -> SearchResult:
         """All subsequences with ``DTW_rho(Q, S) <= epsilon``.
 
-        Results are returned best-first, like the ranked engines.
+        Results are returned best-first, like the ranked engines, with
+        the same fault policy (``on_fault="degrade"`` skips unreadable
+        subtrees and candidates, flags the result, and attaches a
+        :class:`~repro.engines.base.FaultReport`) and the same
+        cooperative budget/deadline/cancellation checkpoints.  Because a
+        range probe visits the tree in arbitrary stack order, an
+        interrupted range search certifies nothing beyond what it
+        already verified: the partial result's certificate is 0.
         """
         if epsilon < 0:
             raise QueryError(f"epsilon must be >= 0, got {epsilon}")
+        if on_fault not in ("raise", "degrade"):
+            raise ConfigurationError(
+                f"on_fault must be 'raise' or 'degrade', got {on_fault!r}"
+            )
         window_set = QueryWindowSet.from_query(
             query,
             omega=self.index.omega,
@@ -66,92 +86,166 @@ class RangeSearchEngine:
             p=p,
             data_stride=self.index.data_stride,
         )
+        if control is None:
+            control = ExecutionControl()
         recorder = StatsRecorder(
             self.index.store.pager, self.index.store.buffer
         ).start()
         stats = recorder.stats
-        epsilon_pow = epsilon**p
+        pager_stats = self.index.store.pager.stats
+        reads_at_start = pager_stats.physical_reads
+        control.bind(
+            stats, lambda: pager_stats.physical_reads - reads_at_start
+        )
+        report = FaultReport()
+        matches: List[Match] = []
+        seen: Set[Tuple[int, int]] = set()
+        budget = control
+        interrupt: Optional[ExecutionInterrupted] = None
+        try:
+            # Every sliding query window issues one range probe
+            # (DualMatch).
+            for window in window_set.windows:
+                budget.checkpoint()
+                self._probe_window(
+                    window,
+                    window_set,
+                    epsilon**p,
+                    p,
+                    rho,
+                    stats,
+                    budget,
+                    on_fault,
+                    report,
+                    seen,
+                    matches,
+                )
+        except ExecutionInterrupted as signal:
+            interrupt = signal
+        matches.sort()
+        final = recorder.finish()
+        final.checkpoints = control.checkpoints
+        if interrupt is None:
+            return SearchResult(
+                matches=matches,
+                stats=final,
+                degraded=bool(report),
+                fault_report=report if report else None,
+            )
+        final.interrupted = 1
+        return PartialResult(
+            matches=matches,
+            stats=final,
+            degraded=bool(report),
+            fault_report=report if report else None,
+            reason=interrupt.reason,
+            certificate=0.0,
+        )
+
+    def _probe_window(
+        self,
+        window: QueryWindow,
+        window_set: QueryWindowSet,
+        epsilon_pow: float,
+        p: float,
+        rho: int,
+        stats: QueryStats,
+        budget: ExecutionControl,
+        on_fault: str,
+        report: FaultReport,
+        seen: Set[Tuple[int, int]],
+        matches: List[Match],
+    ) -> None:
         seg_len = self.index.seg_len
         tree = self.index.tree
         store = self.index.store
-
-        matches: List[Match] = []
-        seen = set()
-        # Every sliding query window issues one range probe (DualMatch).
-        for window in window_set.windows:
-            stack = [tree.root_page]
-            while stack:
-                node = tree.read_node(stack.pop())
-                stats.node_expansions += 1
-                for entry in node.entries:
-                    if not node.is_leaf:
-                        gap_pow = mindist_pow(
-                            window.paa_lower,
-                            window.paa_upper,
-                            entry.low,
-                            entry.high,
-                            seg_len,
-                            p,
-                        )
-                        if gap_pow <= epsilon_pow:
-                            stack.append(entry.child_page)
-                        continue
-                    gap_pow = lb_paa_pow(
+        stack = [tree.root_page]
+        while stack:
+            budget.checkpoint()
+            page_id = stack.pop()
+            try:
+                node = tree.read_node(page_id)
+            except StorageError as error:
+                if on_fault == "raise":
+                    raise
+                stats.faults_skipped += 1
+                report.record(error, page_id=page_id)
+                continue
+            stats.node_expansions += 1
+            for entry in node.entries:
+                if not node.is_leaf:
+                    gap_pow = mindist_pow(
                         window.paa_lower,
                         window.paa_upper,
                         entry.low,
+                        entry.high,
                         seg_len,
                         p,
                     )
-                    if gap_pow > epsilon_pow:
-                        continue
-                    record = entry.record
-                    start = candidate_start(
-                        record.window_index,
-                        window.sliding_offset,
-                        self.index.data_stride,
-                    )
-                    key = (record.sid, start)
-                    if key in seen:
-                        stats.duplicates_suppressed += 1
-                        continue
-                    seen.add(key)
-                    if not candidate_in_bounds(
-                        start,
-                        window_set.length,
-                        store.length(record.sid),
-                    ):
-                        continue
+                    if gap_pow <= epsilon_pow:
+                        stack.append(entry.child_page)
+                    continue
+                gap_pow = lb_paa_pow(
+                    window.paa_lower,
+                    window.paa_upper,
+                    entry.low,
+                    seg_len,
+                    p,
+                )
+                if gap_pow > epsilon_pow:
+                    continue
+                record = entry.record
+                start = candidate_start(
+                    record.window_index,
+                    window.sliding_offset,
+                    self.index.data_stride,
+                )
+                key = (record.sid, start)
+                if key in seen:
+                    stats.duplicates_suppressed += 1
+                    continue
+                seen.add(key)
+                if not candidate_in_bounds(
+                    start,
+                    window_set.length,
+                    store.length(record.sid),
+                ):
+                    continue
+                try:
                     values = store.get_subsequence(
                         record.sid, start, window_set.length
                     )
-                    stats.candidates += 1
-                    stats.lb_keogh_computations += 1
-                    if (
-                        lb_keogh_pow(window_set.envelope, values, p)
-                        > epsilon_pow
-                    ):
-                        stats.pruned_by_lb_keogh += 1
-                        continue
-                    stats.dtw_computations += 1
-                    distance_pow = dtw_pow(
-                        values,
-                        window_set.query,
-                        rho,
-                        p=p,
-                        threshold_pow=epsilon_pow,
-                    )
-                    if distance_pow <= epsilon_pow:
-                        matches.append(
-                            Match(
-                                distance=distance_pow ** (1.0 / p),
-                                sid=record.sid,
-                                start=start,
-                                length=window_set.length,
-                            )
+                except StorageError as error:
+                    if on_fault == "raise":
+                        raise
+                    stats.faults_skipped += 1
+                    report.record(error, candidate=key)
+                    continue
+                stats.candidates += 1
+                stats.lb_keogh_computations += 1
+                if (
+                    lb_keogh_pow(window_set.envelope, values, p)
+                    > epsilon_pow
+                ):
+                    stats.pruned_by_lb_keogh += 1
+                    continue
+                stats.dtw_computations += 1
+                distance_pow = dtw_pow(
+                    values,
+                    window_set.query,
+                    rho,
+                    p=p,
+                    threshold_pow=epsilon_pow,
+                )
+                if distance_pow <= epsilon_pow:
+                    matches.append(
+                        Match(
+                            distance=distance_pow ** (1.0 / p),
+                            sid=record.sid,
+                            start=start,
+                            length=window_set.length,
                         )
-        matches.sort()
-        return SearchResult(matches=matches, stats=recorder.finish())
+                    )
 
 
 def brute_force_range(

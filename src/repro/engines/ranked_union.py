@@ -245,8 +245,35 @@ class UnionOperator(ExtendedIterator):
         ]
         return min(alive) if alive else _INF
 
+    def frontier_pow(self) -> float:
+        """Lower bound on any candidate not yet *generated* by a child.
+
+        The min over alive children of their MSEQ-distance frontiers
+        (Lemma 4 makes each admissible for its class).  Evaluated
+        candidates parked in ``candMinQ`` heaps are excluded on purpose:
+        they already sit in the shared collector, so they are examined
+        work, not unexamined work — this is what makes the value usable
+        as a :class:`~repro.engines.base.PartialResult` certificate.
+        """
+        alive = [
+            child.frontier_pow()
+            for child, dead in zip(self._children, self._dead)
+            if not dead
+        ]
+        return min(alive) if alive else _INF
+
     def get_next(self) -> StepResult:
+        control = self._evaluator.control
         while True:
+            # One get_next() call can advance children arbitrarily many
+            # times before a tuple settles, so the union checkpoints its
+            # own loop instead of relying on the engine's outer loop.
+            # Computing the exact frontier costs O(classes x queues);
+            # skip it when no limit could ever trip.
+            if control.limited:
+                control.checkpoint(self.frontier_pow())
+            else:
+                control.checkpoint()
             min_clb = self._min_alive_clb()
             collector = self._evaluator.collector
             stop = min_clb == _INF or (
@@ -349,7 +376,9 @@ class RankedUnionEngine(Engine):
         ]
         union = UnionOperator(children, evaluator)
         union.start()
+        budget = evaluator.control
         while True:
+            budget.checkpoint()
             status, _payload = union.get_next()
             # Emitted tuples are already in the shared collector; the
             # engine only needs to drive the operator tree to EOR.

@@ -44,7 +44,13 @@ class SeqScanEngine(Engine):
         stats = evaluator.stats
         collector = evaluator.collector
 
+        budget = evaluator.control
         for sid in store.sequence_ids():
+            # A scan has no index-level bound on what it has not read
+            # yet, so its certificate frontier stays at the trivial 0.0:
+            # an interrupted SeqScan promises nothing beyond what it
+            # already evaluated.
+            budget.checkpoint()
             if store.length(sid) < length:
                 continue
             try:
@@ -57,6 +63,7 @@ class SeqScanEngine(Engine):
             offsets = values.size - length + 1
             windows = np.lib.stride_tricks.sliding_window_view(values, length)
             for block_start in range(0, offsets, _BLOCK):
+                budget.checkpoint()
                 block = windows[block_start : block_start + _BLOCK]
                 gaps = np.maximum(block - upper, lower - block)
                 np.maximum(gaps, 0.0, out=gaps)

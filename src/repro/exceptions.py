@@ -105,3 +105,43 @@ class UsageError(ReproError):
 
 class BudgetExceededError(ReproError):
     """An engine exceeded its operation budget (used to cap PSM blow-ups)."""
+
+
+class ExecutionInterrupted(ReproError):
+    """Internal control-flow signal: a query hit a budget, deadline, or
+    cancellation at a cooperative checkpoint.
+
+    Raised by :meth:`~repro.control.ExecutionControl.checkpoint` and
+    caught by the engine template, which converts it into a
+    :class:`~repro.engines.base.PartialResult` carrying the best-k-so-far
+    and an exactness certificate.  It only escapes to callers that drive
+    operators directly (and is still a :class:`ReproError`).
+    """
+
+    def __init__(self, reason: str, message: str = "") -> None:
+        super().__init__(message or f"query interrupted: {reason}")
+        #: Machine-readable cause: ``"cancelled"``, ``"deadline"``,
+        #: ``"budget:pages"``, or ``"budget:candidates"``.
+        self.reason = reason
+
+
+class CircuitOpenError(StorageError):
+    """A page fetch was rejected because the circuit breaker is open.
+
+    Raised *before* touching the pager, so an unhealthy device is not
+    hammered while it recovers.  A :class:`StorageError` subclass: under
+    ``on_fault="degrade"`` engines skip the affected candidate or
+    subtree exactly as for any other storage fault.  Never retried by
+    :class:`~repro.storage.buffer.RetryPolicy` — the breaker's reset
+    timeout, not the retry loop, decides when the device is probed again.
+    """
+
+
+class AdmissionRejectedError(ReproError):
+    """A query was refused admission (concurrency + queue limits full).
+
+    Raised by :class:`~repro.control.AdmissionController` when
+    ``max_concurrent`` queries are running and the wait queue already
+    holds ``max_queued`` more (or the queue wait timed out).  Callers
+    should treat this as back-pressure: retry later or shed load.
+    """

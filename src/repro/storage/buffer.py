@@ -10,13 +10,16 @@ is that bitmap probe.
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Optional
 
+from repro.core.clock import MONOTONIC_CLOCK, Clock
 from repro.exceptions import BufferPoolError, ConfigurationError, TransientIOError
 from repro.storage.pager import Pager
+
+if TYPE_CHECKING:
+    from repro.storage.circuit import CircuitBreaker
 
 
 @dataclass(frozen=True)
@@ -95,6 +98,15 @@ class BufferPool:
     retry_policy:
         Bounds retries of transient read failures (defaults to three
         attempts with no backoff).
+    clock:
+        Injectable time source used for retry backoff sleeps (defaults
+        to the real monotonic clock; tests inject a
+        :class:`~repro.core.clock.FakeClock` so backoff never blocks).
+    circuit_breaker:
+        Optional :class:`~repro.storage.circuit.CircuitBreaker` gating
+        every physical read attempt.  While open, fetches fail fast
+        with :class:`~repro.exceptions.CircuitOpenError` instead of
+        hammering an unhealthy pager.
     """
 
     def __init__(
@@ -102,6 +114,8 @@ class BufferPool:
         pager: Pager,
         capacity_pages: int,
         retry_policy: Optional[RetryPolicy] = None,
+        clock: Optional[Clock] = None,
+        circuit_breaker: Optional["CircuitBreaker"] = None,
     ) -> None:
         if capacity_pages < 1:
             raise BufferPoolError(
@@ -111,6 +125,8 @@ class BufferPool:
         self._capacity = capacity_pages
         self._frames: "OrderedDict[int, Any]" = OrderedDict()
         self.retry_policy = retry_policy or RetryPolicy()
+        self._clock = clock if clock is not None else MONOTONIC_CLOCK
+        self.circuit_breaker = circuit_breaker
         self.stats = BufferStats()
 
     @property
@@ -150,21 +166,38 @@ class BufferPool:
         retries after the policy's backoff; the last failure propagates.
         Permanent errors (including checksum mismatches) propagate
         immediately.
+
+        When a circuit breaker is attached, every attempt is gated by
+        :meth:`~repro.storage.circuit.CircuitBreaker.before_attempt`
+        (which raises :class:`~repro.exceptions.CircuitOpenError` while
+        the device is quarantined) and every outcome is reported back to
+        the breaker.  A trip mid-retry-loop aborts the remaining
+        attempts — the breaker's reset timeout, not the retry budget,
+        decides when the device is probed again.
         """
         policy = self.retry_policy
+        breaker = self.circuit_breaker
         delay = policy.backoff_s
         attempt = 1
         while True:
+            if breaker is not None:
+                breaker.before_attempt()
             try:
-                return self._pager.read(page_id)
+                payload = self._pager.read(page_id)
             except TransientIOError:
+                if breaker is not None:
+                    breaker.record_failure()
                 if attempt >= policy.max_attempts:
                     raise
                 self.stats.retries += 1
                 if delay > 0:
-                    time.sleep(delay)
+                    self._clock.sleep(delay)
                     delay *= policy.multiplier
                 attempt += 1
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return payload
 
     def resident(self, page_id: int) -> bool:
         """Bitmap probe: is the page buffered?  Does not touch LRU order.

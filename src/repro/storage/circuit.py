@@ -1,0 +1,208 @@
+"""Circuit breaker for the physical page-read path.
+
+PR 1 made *individual* transient faults survivable via
+:class:`~repro.storage.buffer.RetryPolicy`; this module protects against
+a *persistently* unhealthy simulated device.  When the recent failure
+rate over physical read attempts crosses a threshold, the breaker opens
+and :meth:`CircuitBreaker.before_attempt` rejects fetches immediately
+with :class:`~repro.exceptions.CircuitOpenError` — no pager touch, no
+retry storm.  After ``reset_timeout_s`` (measured on an injectable
+:class:`~repro.control.Clock`) the breaker goes half-open and admits a
+limited number of probe reads; a successful probe closes it again, a
+failed probe re-opens it for another timeout.
+
+States::
+
+          failure rate >= threshold
+    CLOSED ────────────────────────────▶ OPEN
+       ▲                                  │ reset_timeout_s elapsed
+       │ probe succeeds                   ▼
+       └────────────────────────────── HALF_OPEN
+                                          │ probe fails
+                                          └───────▶ OPEN (timer restarts)
+
+Only :class:`~repro.exceptions.TransientIOError` outcomes count as
+failures: corruption is permanent (retrying or tripping cannot help) and
+is handled by checksums + the degrade path instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.core.clock import MONOTONIC_CLOCK, Clock
+from repro.exceptions import CircuitOpenError, ConfigurationError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass
+class CircuitStats:
+    """Counters for one :class:`CircuitBreaker`."""
+
+    successes: int = 0
+    failures: int = 0
+    #: Fetch attempts rejected while the breaker was open.
+    rejections: int = 0
+    #: CLOSED/HALF_OPEN -> OPEN transitions.
+    opens: int = 0
+    #: HALF_OPEN -> CLOSED transitions (successful recoveries).
+    closes: int = 0
+    #: OPEN -> HALF_OPEN transitions (probe windows started).
+    probes: int = 0
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker over physical page-read outcomes.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Open when the failure fraction over the sliding outcome window
+        reaches this value (``0 < threshold <= 1``).
+    window:
+        Number of most-recent read outcomes considered.
+    min_samples:
+        Outcomes required in the window before the rate is trusted —
+        prevents one early failure from opening a cold breaker.
+    reset_timeout_s:
+        Seconds (on ``clock``) the breaker stays open before admitting
+        half-open probes.
+    half_open_probes:
+        Consecutive successful probes required to close from half-open.
+    clock:
+        Injectable time source (defaults to the real monotonic clock).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: float = 0.5,
+        window: int = 20,
+        min_samples: int = 5,
+        reset_timeout_s: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ConfigurationError(
+                f"failure_threshold must be in (0, 1], got "
+                f"{failure_threshold}"
+            )
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if min_samples < 1 or min_samples > window:
+            raise ConfigurationError(
+                f"min_samples must be in [1, window], got {min_samples}"
+            )
+        if reset_timeout_s < 0:
+            raise ConfigurationError(
+                f"reset_timeout_s must be >= 0, got {reset_timeout_s}"
+            )
+        if half_open_probes < 1:
+            raise ConfigurationError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.min_samples = min_samples
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock if clock is not None else MONOTONIC_CLOCK
+        self.stats = CircuitStats()
+        self._state = CLOSED
+        #: Sliding window of outcomes: True = failure, False = success.
+        self._outcomes: Deque[bool] = deque(maxlen=window)
+        self._opened_at = 0.0
+        self._probe_successes = 0
+        #: Probes admitted but not yet resolved in the half-open state.
+        self._probes_in_flight = 0
+
+    @property
+    def state(self) -> str:
+        """Current state (resolving any due open -> half-open transition)."""
+        self._maybe_enter_half_open()
+        return self._state
+
+    def failure_rate(self) -> float:
+        """Failure fraction over the current outcome window."""
+        if not self._outcomes:
+            return 0.0
+        return sum(self._outcomes) / len(self._outcomes)
+
+    def _maybe_enter_half_open(self) -> None:
+        if self._state != OPEN:
+            return
+        elapsed = self._clock.monotonic() - self._opened_at
+        if elapsed >= self.reset_timeout_s:
+            self._state = HALF_OPEN
+            self._probe_successes = 0
+            self._probes_in_flight = 0
+            self.stats.probes += 1
+
+    def _trip_open(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock.monotonic()
+        self.stats.opens += 1
+
+    def before_attempt(self) -> None:
+        """Gate one physical read attempt.
+
+        Raises :class:`~repro.exceptions.CircuitOpenError` while the
+        breaker is open, or when it is half-open and the probe quota is
+        already in flight.
+        """
+        self._maybe_enter_half_open()
+        if self._state == OPEN:
+            self.stats.rejections += 1
+            raise CircuitOpenError(
+                f"circuit open (failure rate "
+                f"{self.failure_rate():.0%} over last "
+                f"{len(self._outcomes)} reads); retry after "
+                f"{self.reset_timeout_s} s"
+            )
+        if self._state == HALF_OPEN:
+            if self._probes_in_flight >= self.half_open_probes:
+                self.stats.rejections += 1
+                raise CircuitOpenError(
+                    "circuit half-open: probe quota in flight"
+                )
+            self._probes_in_flight += 1
+
+    def record_success(self) -> None:
+        """Record one successful physical read."""
+        self.stats.successes += 1
+        if self._state == HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            self._probe_successes += 1
+            if self._probe_successes >= self.half_open_probes:
+                self._state = CLOSED
+                self._outcomes.clear()
+                self.stats.closes += 1
+                return
+        self._outcomes.append(False)
+
+    def record_failure(self) -> None:
+        """Record one transient physical-read failure."""
+        self.stats.failures += 1
+        self._outcomes.append(True)
+        if self._state == HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            self._trip_open()
+            return
+        if (
+            self._state == CLOSED
+            and len(self._outcomes) >= self.min_samples
+            and self.failure_rate() >= self.failure_threshold
+        ):
+            self._trip_open()
+
+    def reset(self) -> None:
+        """Force the breaker closed and forget all outcomes."""
+        self._state = CLOSED
+        self._outcomes.clear()
+        self._probe_successes = 0
+        self._probes_in_flight = 0

@@ -118,6 +118,27 @@ class DeferredRetrievalBuffer:
         self._pending.append(request)
         self.stats.requests_added += 1
 
+    def requeue(self, requests: List[CandidateRequest]) -> None:
+        """Put drained-but-unprocessed requests back (interrupt recovery).
+
+        Used when a budget/deadline interrupt lands mid-flush: the
+        remaining requests return to the buffer so their lower bounds
+        still count toward the exactness certificate.  Not counted as
+        new additions in :attr:`stats`.
+        """
+        self._pending.extend(requests)
+
+    def min_pending_lower_bound(self) -> float:
+        """Smallest admitted lower bound among pending requests.
+
+        ``inf`` when empty.  This is the deferred buffer's contribution
+        to a partial result's exactness certificate: no unretrieved
+        deferred candidate can beat this bound.
+        """
+        if not self._pending:
+            return float("inf")
+        return min(request.lower_bound for request in self._pending)
+
     def drain(
         self, threshold: Optional[float] = None
     ) -> Iterator[CandidateRequest]:

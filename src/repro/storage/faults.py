@@ -34,12 +34,12 @@ specs can pin explicit page ids (``page_ids``) or filter by
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.clock import MONOTONIC_CLOCK, Clock
 from repro.exceptions import ConfigurationError, TransientIOError
 from repro.storage.page import PAGE_SIZE_DEFAULT, PageKind
 from repro.storage.pager import Pager
@@ -303,9 +303,14 @@ class FaultyPager(Pager):
         self,
         page_size: int = PAGE_SIZE_DEFAULT,
         injector: Optional[FaultInjector] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         super().__init__(page_size=page_size)
         self.injector = injector or FaultInjector()
+        #: Latency faults sleep on this clock, so chaos runs can inject
+        #: simulated slowness via :class:`~repro.core.clock.FakeClock`
+        #: without actually stalling.
+        self.clock = clock if clock is not None else MONOTONIC_CLOCK
 
     def read(self, page_id: int) -> Any:
         self._check(page_id)
@@ -313,7 +318,7 @@ class FaultyPager(Pager):
             if spec.fault == LATENCY:
                 self.injector.stats.latency_injections += 1
                 self.injector.stats.latency_total_s += spec.latency_s
-                time.sleep(spec.latency_s)
+                self.clock.sleep(spec.latency_s)
             elif spec.fault == CORRUPT:
                 self._corrupt_payload(page_id)
             elif spec.fault == TRANSIENT:

@@ -1,0 +1,233 @@
+"""Tests for the circuit breaker guarding physical page reads.
+
+State-machine coverage on a :class:`~repro.core.clock.FakeClock` (no
+real sleeps anywhere) plus integration with the buffer pool, the fault
+injector, and the degrade path of the public API.
+"""
+
+import pytest
+
+from repro import SubsequenceDatabase
+from repro.core.clock import FakeClock
+from repro.exceptions import CircuitOpenError, ConfigurationError, StorageError
+from repro.storage.buffer import BufferPool, RetryPolicy
+from repro.storage.circuit import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.storage.faults import TRANSIENT, FaultInjector, FaultSpec, FaultyPager
+from repro.storage.page import PageKind
+from tests.conftest import make_walk
+
+
+def make_breaker(clock=None, **overrides):
+    settings = dict(
+        failure_threshold=0.5,
+        window=10,
+        min_samples=4,
+        reset_timeout_s=30.0,
+        half_open_probes=1,
+        clock=clock if clock is not None else FakeClock(),
+    )
+    settings.update(overrides)
+    return CircuitBreaker(**settings)
+
+
+def trip(breaker, failures=4):
+    for _ in range(failures):
+        breaker.before_attempt()
+        breaker.record_failure()
+
+
+class TestStateMachine:
+    def test_starts_closed(self):
+        breaker = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.failure_rate() == 0.0
+
+    def test_opens_at_failure_threshold(self):
+        breaker = make_breaker()
+        trip(breaker)
+        assert breaker.state == OPEN
+        assert breaker.stats.opens == 1
+
+    def test_min_samples_gate_holds_early_failures(self):
+        breaker = make_breaker(min_samples=4)
+        trip(breaker, failures=3)
+        assert breaker.state == CLOSED  # 100% failures, too few samples
+
+    def test_open_rejects_without_touching_device(self):
+        breaker = make_breaker()
+        trip(breaker)
+        with pytest.raises(CircuitOpenError):
+            breaker.before_attempt()
+        assert breaker.stats.rejections == 1
+
+    def test_half_open_after_reset_timeout(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock)
+        trip(breaker)
+        clock.advance(30.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.stats.probes == 1
+
+    def test_successful_probe_closes(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock)
+        trip(breaker)
+        clock.advance(30.0)
+        breaker.before_attempt()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.stats.closes == 1
+        assert breaker.failure_rate() == 0.0  # window cleared on recovery
+
+    def test_failed_probe_reopens_and_restarts_timer(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock)
+        trip(breaker)
+        clock.advance(30.0)
+        breaker.before_attempt()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.stats.opens == 2
+        clock.advance(15.0)  # only half the timeout since the re-open
+        assert breaker.state == OPEN
+        clock.advance(15.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_limits_probes_in_flight(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock, half_open_probes=1)
+        trip(breaker)
+        clock.advance(30.0)
+        breaker.before_attempt()  # the one admitted probe
+        with pytest.raises(CircuitOpenError):
+            breaker.before_attempt()
+
+    def test_multiple_probes_required_to_close(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock, half_open_probes=2)
+        trip(breaker)
+        clock.advance(30.0)
+        breaker.before_attempt()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN
+        breaker.before_attempt()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_reset_forces_closed(self):
+        breaker = make_breaker()
+        trip(breaker)
+        breaker.reset()
+        assert breaker.state == CLOSED
+        breaker.before_attempt()  # does not raise
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(window=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(min_samples=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(min_samples=30, window=20)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(reset_timeout_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(half_open_probes=0)
+
+
+class TestBufferPoolIntegration:
+    def make_pool(self, breaker, fail_times):
+        injector = FaultInjector(
+            specs=[
+                FaultSpec(
+                    fault=TRANSIENT,
+                    page_ids=frozenset({0}),
+                    max_per_page=fail_times,
+                )
+            ]
+        )
+        pager = FaultyPager(page_size=512, injector=injector)
+        page = pager.allocate(PageKind.DATA)
+        pager.write(page, __import__("numpy").arange(4.0))
+        return BufferPool(
+            pager,
+            capacity_pages=2,
+            retry_policy=RetryPolicy(max_attempts=2),
+            circuit_breaker=breaker,
+        )
+
+    def test_recovered_reads_record_success(self):
+        breaker = make_breaker()
+        pool = self.make_pool(breaker, fail_times=1)
+        pool.get(0)
+        assert breaker.stats.failures == 1
+        assert breaker.stats.successes == 1
+        assert breaker.state == CLOSED
+
+    def test_persistent_failures_open_the_breaker(self):
+        breaker = make_breaker(min_samples=4, window=10)
+        pool = self.make_pool(breaker, fail_times=1000)
+        for _ in range(2):  # 2 fetches x 2 attempts = 4 failures
+            with pytest.raises(StorageError):
+                pool.get(0)
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpenError):
+            pool.get(0)
+        assert breaker.stats.rejections == 1
+
+    def test_breaker_recovery_allows_reads_again(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock, min_samples=4)
+        pool = self.make_pool(breaker, fail_times=4)
+        for _ in range(2):
+            with pytest.raises(StorageError):
+                pool.get(0)
+        assert breaker.state == OPEN
+        clock.advance(30.0)  # half-open; the fault budget is exhausted
+        assert pool.get(0) is not None
+        assert breaker.state == CLOSED
+
+
+class TestDatabaseIntegration:
+    def make_db(self, breaker):
+        injector = FaultInjector(
+            seed=5,
+            specs=[
+                FaultSpec(
+                    fault=TRANSIENT,
+                    page_kinds=frozenset({PageKind.DATA}),
+                    probability=0.9,
+                )
+            ],
+        )
+        injector.enabled = False  # keep the build phase clean
+        db = SubsequenceDatabase(
+            omega=16,
+            features=4,
+            buffer_fraction=0.1,
+            fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=2),
+            circuit_breaker=breaker,
+        )
+        db.insert(0, make_walk(1200, seed=51))
+        db.build()
+        injector.enabled = True
+        return db
+
+    def test_degraded_query_survives_open_breaker(self):
+        breaker = make_breaker(min_samples=4, window=8)
+        db = self.make_db(breaker)
+        query = make_walk(48, seed=52)
+        result = db.search(query, k=3, method="ru", on_fault="degrade")
+        assert result.degraded
+        assert breaker.stats.opens >= 1
+        assert breaker.stats.rejections >= 1
+        assert db.circuit_breaker is breaker
+
+    def test_open_breaker_propagates_under_raise_policy(self):
+        breaker = make_breaker(min_samples=4, window=8)
+        db = self.make_db(breaker)
+        query = make_walk(48, seed=53)
+        with pytest.raises(StorageError):
+            db.search(query, k=3, method="ru", on_fault="raise")

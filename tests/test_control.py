@@ -1,0 +1,355 @@
+"""Tests for the budget/deadline/cancellation control plane.
+
+Unit coverage for :mod:`repro.control` plus engine integration: partial
+results, exactness certificates, zero-overhead parity for unlimited
+controls, and the admission controller in front of the API.
+"""
+
+import math
+
+import pytest
+
+from repro import SubsequenceDatabase
+from repro.control import (
+    REASON_CANCELLED,
+    REASON_CANDIDATE_BUDGET,
+    REASON_DEADLINE,
+    REASON_PAGE_BUDGET,
+    AdmissionController,
+    CancellationToken,
+    Deadline,
+    ExecutionControl,
+    QueryBudget,
+    certificate_from_pow,
+)
+from repro.core.clock import FakeClock
+from repro.core.metrics import QueryStats
+from repro.engines.base import PartialResult
+from repro.exceptions import (
+    AdmissionRejectedError,
+    ConfigurationError,
+    ExecutionInterrupted,
+)
+from tests.conftest import engine_distances, gold_topk, make_walk
+
+ENGINES = ("seqscan", "hlmj", "ru", "ru-cost")
+
+
+class TestQueryBudget:
+    def test_defaults_are_unlimited(self):
+        assert QueryBudget().unlimited
+
+    def test_any_cap_makes_it_limited(self):
+        assert not QueryBudget(max_page_accesses=10).unlimited
+        assert not QueryBudget(max_candidates=10).unlimited
+
+    def test_negative_caps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryBudget(max_page_accesses=-1)
+        with pytest.raises(ConfigurationError):
+            QueryBudget(max_candidates=-1)
+
+
+class TestDeadline:
+    def test_expires_on_fake_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after(5.0, clock=clock)
+        assert not deadline.expired
+        assert deadline.remaining() == pytest.approx(5.0)
+        clock.advance(5.0)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deadline.after(-1.0, clock=FakeClock())
+
+    def test_auto_advance_expires_after_fixed_polls(self):
+        clock = FakeClock(auto_advance=1.0)
+        deadline = Deadline.after(2.5, clock=clock)
+        polls = 0
+        while not deadline.expired:
+            polls += 1
+        # after() consumed one tick; expiry is deterministic in polls.
+        assert polls == 2
+
+
+class TestCancellationToken:
+    def test_manual_cancel(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        token.cancel()
+        assert token.cancelled
+        assert token.is_cancelled()
+
+    def test_cancelled_property_has_no_side_effects(self):
+        token = CancellationToken(cancel_after_checks=1)
+        for _ in range(10):
+            assert not token.cancelled
+        assert not token.is_cancelled()  # first counted poll
+        assert token.is_cancelled()  # countdown exhausted
+
+    def test_negative_countdown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CancellationToken(cancel_after_checks=-1)
+
+
+class TestExecutionControl:
+    def test_default_control_never_raises(self):
+        control = ExecutionControl()
+        assert not control.limited
+        for _ in range(100):
+            control.checkpoint(1.0)
+        assert control.checkpoints == 100
+        assert control.frontier_pow == 1.0
+
+    def test_none_frontier_keeps_previous_value(self):
+        control = ExecutionControl()
+        control.checkpoint(4.0)
+        control.checkpoint()
+        assert control.frontier_pow == 4.0
+
+    def test_cancellation_raises_with_reason(self):
+        control = ExecutionControl(token=CancellationToken(cancel_after_checks=0))
+        with pytest.raises(ExecutionInterrupted) as excinfo:
+            control.checkpoint()
+        assert excinfo.value.reason == REASON_CANCELLED
+
+    def test_deadline_raises_with_reason(self):
+        clock = FakeClock()
+        control = ExecutionControl(deadline=Deadline.after(1.0, clock=clock))
+        control.checkpoint()
+        clock.advance(2.0)
+        with pytest.raises(ExecutionInterrupted) as excinfo:
+            control.checkpoint()
+        assert excinfo.value.reason == REASON_DEADLINE
+
+    def test_page_budget_enforced_against_bound_counter(self):
+        control = ExecutionControl(budget=QueryBudget(max_page_accesses=3))
+        pages = [0]
+        control.bind(QueryStats(), lambda: pages[0])
+        control.checkpoint()
+        pages[0] = 4
+        with pytest.raises(ExecutionInterrupted) as excinfo:
+            control.checkpoint()
+        assert excinfo.value.reason == REASON_PAGE_BUDGET
+
+    def test_candidate_budget_enforced_against_stats(self):
+        stats = QueryStats()
+        control = ExecutionControl(budget=QueryBudget(max_candidates=2))
+        control.bind(stats, lambda: 0)
+        stats.candidates = 3
+        with pytest.raises(ExecutionInterrupted) as excinfo:
+            control.checkpoint()
+        assert excinfo.value.reason == REASON_CANDIDATE_BUDGET
+
+    def test_unlimited_budget_is_not_limited(self):
+        assert not ExecutionControl(budget=QueryBudget()).limited
+        assert ExecutionControl(budget=QueryBudget(max_candidates=1)).limited
+
+
+class TestCertificateFromPow:
+    def test_inf_stays_inf(self):
+        assert math.isinf(certificate_from_pow(math.inf, 2.0))
+
+    def test_negative_noise_clamps_to_zero(self):
+        assert certificate_from_pow(-1e-12, 2.0) == 0.0
+
+    def test_rooting(self):
+        assert certificate_from_pow(9.0, 2.0) == pytest.approx(3.0)
+
+
+class TestEngineIntegration:
+    QUERY = make_walk(64, seed=71)
+
+    def test_unlimited_control_is_invisible(self, walk_db):
+        """Zero-budget parity: identical top-k and identical NUM_IO."""
+        for method in ENGINES:
+            walk_db.reset_cache()
+            plain = walk_db.search(self.QUERY, k=5, rho=3, method=method)
+            walk_db.reset_cache()
+            controlled = walk_db.search(
+                self.QUERY, k=5, rho=3, method=method, budget=QueryBudget()
+            )
+            assert engine_distances(controlled) == engine_distances(plain)
+            assert (
+                controlled.stats.page_accesses == plain.stats.page_accesses
+            )
+            assert not isinstance(controlled, PartialResult)
+
+    @pytest.mark.parametrize("method", ENGINES)
+    def test_page_budget_returns_partial(self, walk_db, method):
+        walk_db.reset_cache()
+        result = walk_db.search(
+            self.QUERY,
+            k=5,
+            rho=3,
+            method=method,
+            budget=QueryBudget(max_page_accesses=0),
+        )
+        assert isinstance(result, PartialResult)
+        assert result.reason == REASON_PAGE_BUDGET
+        assert result.stats.interrupted == 1
+        assert result.stats.checkpoints > 0
+
+    @pytest.mark.parametrize("method", ENGINES)
+    def test_cancellation_returns_partial(self, walk_db, method):
+        walk_db.reset_cache()
+        result = walk_db.search(
+            self.QUERY,
+            k=5,
+            rho=3,
+            method=method,
+            token=CancellationToken(cancel_after_checks=0),
+        )
+        assert isinstance(result, PartialResult)
+        assert result.reason == REASON_CANCELLED
+
+    def test_candidate_budget_returns_partial(self, walk_db):
+        walk_db.reset_cache()
+        result = walk_db.search(
+            self.QUERY,
+            k=5,
+            rho=3,
+            method="ru",
+            budget=QueryBudget(max_candidates=1),
+        )
+        assert isinstance(result, PartialResult)
+        assert result.reason == REASON_CANDIDATE_BUDGET
+
+    def test_deadline_returns_partial(self, walk_db):
+        clock = FakeClock(auto_advance=0.01)
+        walk_db.reset_cache()
+        result = walk_db.search(
+            self.QUERY,
+            k=5,
+            rho=3,
+            method="ru",
+            deadline=Deadline.after(0.05, clock=clock),
+        )
+        assert isinstance(result, PartialResult)
+        assert result.reason == REASON_DEADLINE
+
+    @pytest.mark.parametrize("method", ENGINES)
+    def test_partial_certificate_is_sound(self, walk_db, method):
+        """No gold match strictly below the certified bar may be missing."""
+        k = 5
+        gold = gold_topk(walk_db, self.QUERY, 10**6, rho=3)
+        for cap in (5, 20, 60):
+            walk_db.reset_cache()
+            result = walk_db.search(
+                self.QUERY,
+                k=k,
+                rho=3,
+                method=method,
+                budget=QueryBudget(max_page_accesses=cap),
+            )
+            if not isinstance(result, PartialResult):
+                assert engine_distances(result) == gold[:k]
+                continue
+            assert not result.exact or math.isinf(result.certificate)
+            bar = result.certificate
+            if len(result.matches) >= k:
+                bar = min(bar, result.matches[-1].distance)
+            reported = engine_distances(result)
+            for distance in gold[:k]:
+                if distance < round(bar, 6) - 1e-6:
+                    assert distance in reported
+
+    def test_partial_matches_are_true_distances(self, walk_db):
+        gold = set(gold_topk(walk_db, self.QUERY, 10**6, rho=3))
+        walk_db.reset_cache()
+        result = walk_db.search(
+            self.QUERY,
+            k=5,
+            rho=3,
+            method="ru",
+            budget=QueryBudget(max_page_accesses=30),
+        )
+        for distance in engine_distances(result):
+            assert distance in gold
+
+    def test_range_search_budget_surface(self, walk_db):
+        walk_db.reset_cache()
+        result = walk_db.range_search(
+            self.QUERY,
+            epsilon=20.0,
+            rho=3,
+            budget=QueryBudget(max_page_accesses=0),
+        )
+        assert isinstance(result, PartialResult)
+        assert result.reason == REASON_PAGE_BUDGET
+        assert result.certificate == 0.0
+
+    def test_iter_matches_interrupt_surface(self, walk_db):
+        walk_db.reset_cache()
+        stream = walk_db.iter_matches(
+            self.QUERY,
+            k=5,
+            rho=3,
+            budget=QueryBudget(max_page_accesses=0),
+        )
+        matches = list(stream)
+        assert stream.interrupted
+        assert stream.reason == REASON_PAGE_BUDGET
+        assert stream.stats is not None
+        assert stream.stats.interrupted == 1
+        assert len(matches) < 5
+
+    def test_iter_matches_stats_surface_without_limits(self, walk_db):
+        walk_db.reset_cache()
+        stream = walk_db.iter_matches(self.QUERY, k=3, rho=3)
+        matches = list(stream)
+        assert len(matches) == 3
+        assert not stream.interrupted
+        assert stream.stats is not None
+        assert stream.stats.page_accesses > 0
+        assert math.isinf(stream.certificate)
+
+
+class TestAdmissionController:
+    def test_rejects_beyond_concurrency(self):
+        controller = AdmissionController(max_concurrent=1)
+        ticket = controller.admit()
+        with pytest.raises(AdmissionRejectedError):
+            controller.admit()
+        ticket.release()
+        with controller.admit():
+            pass
+        assert controller.stats.admitted == 2
+        assert controller.stats.rejected == 1
+
+    def test_release_is_idempotent(self):
+        controller = AdmissionController(max_concurrent=1)
+        ticket = controller.admit()
+        ticket.release()
+        ticket.release()
+        assert controller.active == 0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_concurrent=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_concurrent=1, max_queued=-1)
+
+    def test_database_search_respects_admission(self):
+        db = SubsequenceDatabase(
+            omega=16,
+            features=4,
+            buffer_fraction=0.1,
+            admission=AdmissionController(max_concurrent=1),
+        )
+        db.insert(0, make_walk(600, seed=81))
+        db.build()
+        query = make_walk(40, seed=82)
+        result = db.search(query, k=3, method="ru")
+        assert len(result.matches) == 3
+        # The slot is released even though the search raised nothing,
+        # so a saturated controller is the only way to get rejected.
+        assert db.admission is not None
+        assert db.admission.active == 0
+        blocker = db.admission.admit()
+        with pytest.raises(AdmissionRejectedError):
+            db.search(query, k=3, method="ru")
+        blocker.release()
+        assert len(db.search(query, k=3, method="ru").matches) == 3

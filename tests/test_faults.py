@@ -461,3 +461,54 @@ class TestVerifyIntegrity:
         report = db.verify_integrity()
         assert not report["ok"]
         assert victim in report["corrupt_pages"]
+
+class TestInjectableClock:
+    """Retry backoff and latency faults spend simulated, not real, time."""
+
+    def make_faulty_pool(self, times, policy, clock):
+        injector = FaultInjector.transient_reads([0], times=times)
+        pager = FaultyPager(page_size=512, injector=injector, clock=clock)
+        page = pager.allocate(PageKind.DATA)
+        pager.write(page, np.arange(4.0))
+        return BufferPool(
+            pager, capacity_pages=2, retry_policy=policy, clock=clock
+        )
+
+    def test_backoff_sleeps_on_injected_clock(self):
+        from repro.core.clock import FakeClock
+
+        clock = FakeClock()
+        pool = self.make_faulty_pool(
+            times=3,
+            policy=RetryPolicy(max_attempts=4, backoff_s=0.01, multiplier=2.0),
+            clock=clock,
+        )
+        assert pool.get(0) is not None
+        assert pool.stats.retries == 3
+        # Geometric backoff entirely on the fake clock: 10 + 20 + 40 ms.
+        assert clock.slept_s == pytest.approx(0.07)
+
+    def test_zero_backoff_never_touches_the_clock(self):
+        from repro.core.clock import FakeClock
+
+        clock = FakeClock()
+        pool = self.make_faulty_pool(
+            times=1, policy=RetryPolicy(max_attempts=2), clock=clock
+        )
+        assert pool.get(0) is not None
+        assert clock.slept_s == 0.0
+
+    def test_latency_faults_sleep_on_injected_clock(self):
+        from repro.core.clock import FakeClock
+
+        clock = FakeClock()
+        injector = FaultInjector(
+            specs=[FaultSpec(fault=LATENCY, latency_s=0.5, max_triggers=2)]
+        )
+        pager = FaultyPager(page_size=512, injector=injector, clock=clock)
+        page = pager.allocate(PageKind.DATA)
+        pager.write(page, np.arange(4.0))
+        pager.read(page)
+        pager.read(page)
+        assert clock.slept_s == pytest.approx(1.0)
+        assert injector.stats.latency_total_s == pytest.approx(1.0)

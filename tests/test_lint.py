@@ -318,6 +318,86 @@ class TestRS006StatsDiscipline:
         assert findings == []
 
 
+class TestRS007CheckpointDiscipline:
+    def test_loop_without_checkpoint_is_flagged(self):
+        findings = lint_snippet(
+            """
+            def _run(self, window_set, evaluator, config):
+                while heap:
+                    entry = heap.pop()
+                    evaluator.submit(entry.sid, entry.start, entry.bound)
+            """,
+            "repro/engines/novel.py",
+        )
+        assert codes(findings) == ["RS007"]
+        assert "checkpoint" in findings[0].message
+
+    def test_loop_with_checkpoint_is_clean(self):
+        findings = lint_snippet(
+            """
+            def _run(self, window_set, evaluator, config):
+                budget = evaluator.control
+                while heap:
+                    budget.checkpoint(heap[0][0])
+                    entry = heap.pop()
+                    evaluator.submit(entry.sid, entry.start, entry.bound)
+            """,
+            "repro/engines/novel.py",
+        )
+        assert findings == []
+
+    def test_nested_loop_is_covered_by_outer_checkpoint(self):
+        findings = lint_snippet(
+            """
+            def search(self, query, config, stats):
+                budget = self.control
+                for sid in sids:
+                    budget.checkpoint()
+                    for block in blocks(sid):
+                        scan(block)
+            """,
+            "repro/engines/novel.py",
+        )
+        assert findings == []
+
+    def test_each_outermost_loop_needs_its_own_checkpoint(self):
+        findings = lint_snippet(
+            """
+            def search(self, query, config, stats):
+                budget = self.control
+                for window in windows:
+                    budget.checkpoint()
+                while stack:
+                    stack.pop()
+            """,
+            "repro/engines/novel.py",
+        )
+        assert codes(findings) == ["RS007"]
+
+    def test_helper_functions_are_exempt(self):
+        findings = lint_snippet(
+            """
+            def _expand_state(self, heap, state, stats):
+                for entry in state:
+                    heap.append(entry)
+            """,
+            "repro/engines/novel.py",
+        )
+        assert findings == []
+
+    def test_outside_engines_is_exempt(self):
+        findings = lint_snippet(
+            """
+            def search(values, target):
+                for value in values:
+                    if value == target:
+                        return value
+            """,
+            "repro/index/rstar.py",
+        )
+        assert findings == []
+
+
 class TestSuppressions:
     def test_matching_code_is_suppressed(self):
         report = LintReport()
@@ -379,7 +459,7 @@ class TestFramework:
         with pytest.raises(ConfigurationError):
             all_rules(select=["RS999"])
 
-    def test_all_six_rules_are_registered(self):
+    def test_all_seven_rules_are_registered(self):
         registered = [rule.code for rule in all_rules()]
         assert registered == [
             "RS001",
@@ -388,6 +468,7 @@ class TestFramework:
             "RS004",
             "RS005",
             "RS006",
+            "RS007",
         ]
 
 
@@ -423,7 +504,15 @@ class TestSelfCheck:
     def test_cli_list_rules(self, capsys):
         assert cli_main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RS001", "RS002", "RS003", "RS004", "RS005", "RS006"):
+        for code in (
+            "RS001",
+            "RS002",
+            "RS003",
+            "RS004",
+            "RS005",
+            "RS006",
+            "RS007",
+        ):
             assert code in out
 
     def test_cli_unknown_rule_code_is_usage_error(self, capsys):

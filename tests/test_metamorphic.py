@@ -1,0 +1,69 @@
+"""Cross-engine metamorphic exactness tests.
+
+The defining relation of the reproduction: every engine — SeqScan,
+HLMJ (both prune variants), PSM, RU, RU-COST, with and without deferred
+retrieval — answers the *same* ranked query with the *same* top-k
+distance multiset, which in turn equals brute force.  Parameterized over
+engines and seeded queries so any divergence names the exact engine and
+query that broke the chain.
+"""
+
+import pytest
+
+from tests.conftest import engine_distances, gold_topk, make_walk
+
+WALK_ENGINES = ("seqscan", "hlmj", "hlmj-wg", "ru", "ru-cost")
+QUERIES = {
+    "stored-prefix": lambda db: db.store.peek_subsequence(0, 128, 64).copy(),
+    "stored-tail": lambda db: db.store.peek_subsequence(1, 900, 48).copy(),
+    "synthetic": lambda db: make_walk(64, seed=101),
+}
+
+
+@pytest.mark.parametrize("method", WALK_ENGINES)
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_engine_matches_brute_force(walk_db, method, query_name):
+    query = QUERIES[query_name](walk_db)
+    rho = max(1, len(query) // 20)
+    gold = gold_topk(walk_db, query, 7, rho=rho)
+    walk_db.reset_cache()
+    result = walk_db.search(query, k=7, rho=rho, method=method)
+    assert engine_distances(result) == gold
+
+
+@pytest.mark.parametrize("method", ("hlmj", "ru", "ru-cost"))
+def test_deferred_variant_agrees_with_immediate(walk_db, method):
+    query = make_walk(72, seed=103)
+    rho = 3
+    walk_db.reset_cache()
+    immediate = walk_db.search(query, k=6, rho=rho, method=method)
+    walk_db.reset_cache()
+    deferred = walk_db.search(
+        query, k=6, rho=rho, method=method, deferred=True
+    )
+    assert engine_distances(deferred) == engine_distances(immediate)
+
+
+def test_all_engines_agree_pairwise(walk_db):
+    query = make_walk(80, seed=104)
+    rho = 4
+    answers = {}
+    for method in WALK_ENGINES:
+        walk_db.reset_cache()
+        answers[method] = engine_distances(
+            walk_db.search(query, k=5, rho=rho, method=method)
+        )
+    baseline = answers["seqscan"]
+    for method, distances in answers.items():
+        assert distances == baseline, f"{method} diverged from seqscan"
+
+
+@pytest.mark.parametrize("method", ("seqscan", "hlmj", "ru", "ru-cost", "psm"))
+def test_psm_database_engines_agree(psm_db, method):
+    """PSM joins disjoint windows, so include it on its own database."""
+    query = psm_db.store.peek_subsequence(0, 40, 32).copy()
+    rho = 2
+    gold = gold_topk(psm_db, query, 5, rho=rho)
+    psm_db.reset_cache()
+    result = psm_db.search(query, k=5, rho=rho, method=method)
+    assert engine_distances(result) == gold
