@@ -21,6 +21,13 @@ Subcommands
     randomized fault schedules x budgets x deadlines x cancellation,
     cross-checked against brute-force ground truth.  Exit 0 (every
     invariant held) or 1 (a violation, printed with its replay seed).
+``bench``
+    Run the perf-regression suites (:mod:`repro.bench.perf`): seeded
+    kernel micro-benchmarks (with built-in exactness checks against the
+    scalar oracles) and/or deterministic end-to-end engine counters,
+    gated against the committed ``benchmarks/baseline.json``.  Exit 0
+    (gate passed), 1 (regression / exactness failure), or 2 (usage
+    error, e.g. a missing baseline).
 
 These are convenience smoke tests; the real experiment drivers live in
 ``benchmarks/`` (one pytest-benchmark module per figure).
@@ -150,6 +157,61 @@ def _chaos(args: argparse.Namespace) -> int:
     return 1
 
 
+def _bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench import perf
+
+    suites = ("kernels", "engines") if args.suite == "all" else (args.suite,)
+    report = perf.run_suites(suites, seed=args.seed, quick=args.quick)
+    print(perf.format_report(report))
+
+    exact_failures = [
+        name
+        for name, bench in report["suites"].get("kernels", {}).items()
+        if not bench["exact"]
+    ]
+    for name in exact_failures:
+        print(
+            f"bench: kernels/{name}: vectorized kernel does not match the "
+            f"scalar oracle",
+            file=sys.stderr,
+        )
+
+    if args.json:
+        perf.write_report(report, args.json)
+        print(f"bench: wrote {args.json}")
+    if args.update_baseline:
+        perf.write_report(report, args.baseline)
+        print(f"bench: wrote baseline {args.baseline}")
+        return 1 if exact_failures else 0
+
+    if not os.path.exists(args.baseline):
+        print(
+            f"bench: baseline {args.baseline} not found — run with "
+            f"--update-baseline to create it",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = perf.load_report(args.baseline)
+    except (ValueError, OSError) as error:
+        print(f"bench: {error}", file=sys.stderr)
+        return 2
+    regressions = perf.compare(report, baseline)
+    if not regressions and not exact_failures:
+        print(f"bench: OK — no regression against {args.baseline}")
+        return 0
+    for regression in regressions:
+        print(f"bench: REGRESSION {regression}", file=sys.stderr)
+    print(
+        f"bench: FAILED — {len(regressions) + len(exact_failures)} "
+        f"problem(s) against {args.baseline}",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -189,6 +251,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--verbose", action="store_true", help="print per-iteration progress"
     )
     chaos.set_defaults(func=_chaos)
+
+    bench = sub.add_parser(
+        "bench", help="run the perf-regression benchmark suites"
+    )
+    bench.add_argument(
+        "--suite",
+        choices=("kernels", "engines", "all"),
+        default="all",
+        help="which suite(s) to run (default: all)",
+    )
+    bench.add_argument(
+        "--json", metavar="PATH", help="write the JSON report to PATH"
+    )
+    bench.add_argument(
+        "--baseline",
+        default="benchmarks/baseline.json",
+        help="baseline report to gate against",
+    )
+    bench.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current run as the new baseline instead of gating",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer timing repeats (CI smoke); sizes and ratios unchanged",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(func=_bench)
 
     from repro.analysis.cli import add_lint_parser
 

@@ -91,10 +91,40 @@ LOWER_BOUND_CONTRACTS: Mapping[str, BoundContract] = MappingProxyType(
             bounds="LB_Keogh(E(Q), S)",
             tightens="lb_keogh",
         ),
+        "lb_keogh_pow_batch": BoundContract(
+            kind="lower",
+            bounds="DTW_rho(Q, S_b) ** p per batch row",
+            tightens="",
+        ),
+        "lb_paa_pow_batch": BoundContract(
+            kind="lower",
+            bounds="LB_Keogh(E(Q), S_b) ** p per batch row",
+            tightens="lb_keogh_pow_batch",
+        ),
         "mindist_pow": BoundContract(
             kind="lower",
             bounds="LB_PAA(P(E(Q)), P(S)) ** p for every P(S) in the MBR",
             tightens="lb_paa_pow",
+        ),
+        "mindist_pow_batch": BoundContract(
+            kind="lower",
+            bounds="LB_PAA(P(E(Q)), P(S)) ** p for every P(S) in MBR_b, per row",
+            tightens="lb_paa_pow_batch",
+        ),
+        "maxdist_pow_batch": BoundContract(
+            kind="upper",
+            bounds="LB_PAA(P(E(Q)), P(S)) ** p over every P(S) in MBR_b, per row",
+            tightens="",
+        ),
+        "mdmwp_pow_batch": BoundContract(
+            kind="lower",
+            bounds="DTW_rho(Q, S_b) ** p (Definition 2, via r disjoint windows)",
+            tightens="",
+        ),
+        "batch_lower_bounds": BoundContract(
+            kind="lower",
+            bounds="LB_PAA ** p per entry (near; far is the MAXDIST upper bound)",
+            tightens="mindist_pow_batch",
         ),
         "maxdist_pow": BoundContract(
             kind="upper",

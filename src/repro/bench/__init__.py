@@ -2,9 +2,12 @@
 
 :mod:`repro.bench.harness` builds databases and runs query workloads
 with per-engine metric aggregation; :mod:`repro.bench.reporting` formats
-paper-style tables and series.  The actual figure/table reproductions
-live in ``benchmarks/`` at the repository root, one pytest-benchmark
-module per figure.
+paper-style tables and series; :mod:`repro.bench.perf` is the
+perf-regression subsystem behind ``python -m repro bench`` (seeded
+kernel micro-benchmarks with oracle exactness checks, deterministic
+engine counters, and the baseline gate).  The actual figure/table
+reproductions live in ``benchmarks/`` at the repository root, one
+pytest-benchmark module per figure.
 """
 
 from repro.bench.harness import (
@@ -12,6 +15,13 @@ from repro.bench.harness import (
     Harness,
     WorkloadResult,
     modeled_wall_time_s,
+)
+from repro.bench.perf import (
+    Regression,
+    compare,
+    run_engine_suite,
+    run_kernel_suite,
+    run_suites,
 )
 from repro.bench.reporting import format_series_table, format_speedups
 
@@ -22,4 +32,9 @@ __all__ = [
     "modeled_wall_time_s",
     "format_series_table",
     "format_speedups",
+    "Regression",
+    "compare",
+    "run_engine_suite",
+    "run_kernel_suite",
+    "run_suites",
 ]

@@ -1,0 +1,616 @@
+"""Seeded perf-regression micro-benchmarks: ``python -m repro bench``.
+
+Two suites, both fully deterministic in their *measured work* (inputs
+are seeded; only wall-clock numbers vary between machines):
+
+``kernels``
+    Micro-benchmarks of the vectorized kernels (wavefront/batch DTW,
+    batched LB_Keogh/LB_PAA/MINDIST, batched envelope and PAA
+    construction) against the scalar oracles in
+    :mod:`repro.core.reference`.  Every benchmark first *re-verifies
+    exactness* on its own inputs, then times both sides and reports the
+    speedup ratio.  Ratios are machine-relative, which makes them
+    stable across hosts — the regression gate compares ratios, never
+    raw wall time.
+
+``engines``
+    End-to-end engine runs on small seeded databases.  Everything
+    recorded here except wall time is a deterministic counter (NUM_IO
+    breakdown, candidates, prune counts, heap pops) or a result digest
+    (the exact ``repr`` of every match distance), so the regression
+    gate compares them **exactly**: a kernel change that silently
+    shifts I/O accounting or a top-k set fails the gate even when it is
+    faster.  Wall time is recorded for trend plots but never gated.
+
+The committed ``benchmarks/baseline.json`` is the reference point;
+:func:`compare` applies the gate (>20 % speedup regression, any
+counter/digest drift, any exactness failure → non-zero exit).  Update
+the baseline deliberately with ``python -m repro bench
+--update-baseline`` and commit the diff (see ``docs/benchmarking.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.distance import dtw_pow_batch
+from repro.core.envelope import envelope_batch, query_envelope
+from repro.core.lower_bounds import (
+    lb_keogh_pow,
+    lb_keogh_pow_batch,
+    lb_paa_pow,
+    lb_paa_pow_batch,
+    mindist_pow,
+    mindist_pow_batch,
+)
+from repro.core.paa import paa, paa_batch
+from repro.core.reference import (
+    reference_dtw_pow,
+    reference_envelope,
+    reference_lb_keogh_pow,
+    reference_paa,
+)
+
+SCHEMA_VERSION = 1
+
+#: Maximum allowed relative drop in a kernel speedup ratio before the
+#: gate fails (the ISSUE's ">20% regression" contract).
+SPEEDUP_TOLERANCE = 0.20
+
+#: Relative tolerance for oracle comparisons whose summation order
+#: differs (sequential Python accumulation vs pairwise/einsum).
+ORACLE_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gate failure, printable as ``suite/name: message``."""
+
+    suite: str
+    name: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.suite}/{self.name}: {self.message}"
+
+
+def _utc_now_iso() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _best_seconds(fn: Callable[[], object], repeats: int) -> float:
+    """Minimum wall time of ``fn`` over ``repeats`` runs (noise-robust)."""
+    best = math.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= ORACLE_RTOL * max(1.0, abs(a), abs(b))
+
+
+def _batch_repeats(repeats: int) -> int:
+    """Repeat count for the vectorized side of a benchmark.
+
+    The vectorized kernels run in milliseconds, so extra repeats cost
+    almost nothing — and the gate compares speedup *ratios*, where a
+    single slow-sampled millisecond denominator can fake a >20 %
+    regression.  The expensive scalar side keeps the caller's count.
+    """
+    return max(repeats * 3, 9)
+
+
+# ----------------------------------------------------------------------
+# Kernel suite
+# ----------------------------------------------------------------------
+
+
+def _bench_dtw(rng: np.random.Generator, quick: bool) -> Dict[str, Any]:
+    """Batch wavefront DTW vs the scalar DP at the paper-scale config."""
+    length = 256
+    rho = max(1, length // 10)  # the acceptance config: rho = 10% of len
+    lanes = 64
+    repeats = 2 if quick else 5
+    query = rng.standard_normal(length)
+    batch = rng.standard_normal((lanes, length))
+
+    expected = np.array(
+        [reference_dtw_pow(batch[i], query, rho) for i in range(lanes)]
+    )
+    got = dtw_pow_batch(batch, query, rho)
+    exact = bool(np.array_equal(expected, got))
+
+    scalar_s = _best_seconds(
+        lambda: reference_dtw_pow(batch[0], query, rho), repeats
+    )
+    batch_s = _best_seconds(
+        lambda: dtw_pow_batch(batch, query, rho), _batch_repeats(repeats)
+    )
+    per_candidate = batch_s / lanes
+    return {
+        "length": length,
+        "rho": rho,
+        "lanes": lanes,
+        "exact": exact,
+        "scalar_ms": scalar_s * 1e3,
+        "batch_ms_per_candidate": per_candidate * 1e3,
+        "speedup": scalar_s / per_candidate,
+    }
+
+
+def _bench_lb_keogh(
+    rng: np.random.Generator, quick: bool
+) -> Dict[str, Any]:
+    """Batched LB_Keogh over a 1k-candidate block vs per-candidate calls."""
+    length = 256
+    rho = max(1, length // 10)
+    candidates = 1000
+    repeats = 3 if quick else 7
+    query = rng.standard_normal(length)
+    envelope = query_envelope(query, rho)
+    block = rng.standard_normal((candidates, length))
+
+    batch_vals = lb_keogh_pow_batch(envelope, block, 2.0)
+    exact = all(
+        lb_keogh_pow(envelope, block[i], 2.0) == batch_vals[i]
+        for i in range(candidates)
+    ) and all(
+        _close(
+            reference_lb_keogh_pow(
+                envelope.lower, envelope.upper, block[i], 2.0
+            ),
+            float(batch_vals[i]),
+        )
+        for i in range(candidates)
+    )
+
+    def scalar_run() -> None:
+        # The scalar baseline is the oracle loop (pre-vectorization
+        # behavior); the per-candidate production call is timed too so
+        # the report shows both gaps.
+        for i in range(candidates):
+            reference_lb_keogh_pow(
+                envelope.lower, envelope.upper, block[i], 2.0
+            )
+
+    def single_run() -> None:
+        for i in range(candidates):
+            lb_keogh_pow(envelope, block[i], 2.0)
+
+    scalar_s = _best_seconds(scalar_run, repeats)
+    single_s = _best_seconds(single_run, repeats)
+    batch_s = _best_seconds(
+        lambda: lb_keogh_pow_batch(envelope, block, 2.0),
+        _batch_repeats(repeats),
+    )
+    return {
+        "length": length,
+        "rho": rho,
+        "candidates": candidates,
+        "exact": exact,
+        "scalar_ms": scalar_s * 1e3,
+        "single_call_ms": single_s * 1e3,
+        "batch_ms": batch_s * 1e3,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def _bench_lb_paa(rng: np.random.Generator, quick: bool) -> Dict[str, Any]:
+    """Batched LB_PAA/MINDIST entry scoring vs per-entry calls."""
+    features = 8
+    seg_len = 8
+    entries = 1000
+    repeats = 3 if quick else 7
+    halves = np.sort(rng.standard_normal((2, features)), axis=0)
+    paa_lower, paa_upper = halves[0], halves[1]
+    points = rng.standard_normal((entries, features))
+    rects = np.sort(rng.standard_normal((2, entries, features)), axis=0)
+
+    point_vals = lb_paa_pow_batch(paa_lower, paa_upper, points, seg_len, 2.0)
+    rect_vals = mindist_pow_batch(
+        paa_lower, paa_upper, rects[0], rects[1], seg_len, 2.0
+    )
+    exact = all(
+        lb_paa_pow(paa_lower, paa_upper, points[i], seg_len, 2.0)
+        == point_vals[i]
+        for i in range(entries)
+    ) and all(
+        mindist_pow(
+            paa_lower, paa_upper, rects[0][i], rects[1][i], seg_len, 2.0
+        )
+        == rect_vals[i]
+        for i in range(entries)
+    )
+
+    def scalar_run() -> None:
+        for i in range(entries):
+            lb_paa_pow(paa_lower, paa_upper, points[i], seg_len, 2.0)
+            mindist_pow(
+                paa_lower, paa_upper, rects[0][i], rects[1][i], seg_len, 2.0
+            )
+
+    def batch_run() -> None:
+        lb_paa_pow_batch(paa_lower, paa_upper, points, seg_len, 2.0)
+        mindist_pow_batch(
+            paa_lower, paa_upper, rects[0], rects[1], seg_len, 2.0
+        )
+
+    scalar_s = _best_seconds(scalar_run, repeats)
+    batch_s = _best_seconds(batch_run, _batch_repeats(repeats))
+    return {
+        "features": features,
+        "entries": entries,
+        "exact": exact,
+        "scalar_ms": scalar_s * 1e3,
+        "batch_ms": batch_s * 1e3,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def _bench_envelope(
+    rng: np.random.Generator, quick: bool
+) -> Dict[str, Any]:
+    """Batched envelope construction vs the per-sequence deque path."""
+    length = 256
+    rho = max(1, length // 10)
+    rows = 256
+    repeats = 3 if quick else 7
+    batch = rng.standard_normal((rows, length))
+
+    lower, upper = envelope_batch(batch, rho)
+    exact = True
+    for i in range(rows):
+        ref_lower, ref_upper = reference_envelope(batch[i], rho)
+        if not (
+            np.array_equal(lower[i], ref_lower)
+            and np.array_equal(upper[i], ref_upper)
+        ):
+            exact = False
+            break
+
+    def scalar_run() -> None:
+        for i in range(rows):
+            query_envelope(batch[i], rho)
+
+    scalar_s = _best_seconds(scalar_run, repeats)
+    batch_s = _best_seconds(
+        lambda: envelope_batch(batch, rho), _batch_repeats(repeats)
+    )
+    return {
+        "length": length,
+        "rho": rho,
+        "rows": rows,
+        "exact": exact,
+        "scalar_ms": scalar_s * 1e3,
+        "batch_ms": batch_s * 1e3,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def _bench_paa(rng: np.random.Generator, quick: bool) -> Dict[str, Any]:
+    """Batched PAA of window blocks vs per-window calls."""
+    omega = 32
+    features = 4
+    windows = 2048
+    repeats = 3 if quick else 7
+    batch = rng.standard_normal((windows, omega))
+
+    vals = paa_batch(batch, features)
+    exact = all(
+        np.array_equal(vals[i], paa(batch[i], features))
+        and np.array_equal(vals[i], reference_paa(batch[i], features))
+        for i in range(windows)
+    )
+
+    def scalar_run() -> None:
+        for i in range(windows):
+            paa(batch[i], features)
+
+    scalar_s = _best_seconds(scalar_run, repeats)
+    batch_s = _best_seconds(
+        lambda: paa_batch(batch, features), _batch_repeats(repeats)
+    )
+    return {
+        "omega": omega,
+        "features": features,
+        "windows": windows,
+        "exact": exact,
+        "scalar_ms": scalar_s * 1e3,
+        "batch_ms": batch_s * 1e3,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+_KERNEL_BENCHES: Dict[
+    str, Callable[[np.random.Generator, bool], Dict[str, Any]]
+] = {
+    "dtw_wavefront_len256": _bench_dtw,
+    "lb_keogh_block": _bench_lb_keogh,
+    "lb_paa_mindist_block": _bench_lb_paa,
+    "envelope_batch": _bench_envelope,
+    "paa_batch": _bench_paa,
+}
+
+
+def run_kernel_suite(seed: int = 0, quick: bool = False) -> Dict[str, Any]:
+    """Run every kernel micro-benchmark; returns the ``kernels`` block."""
+    results: Dict[str, Any] = {}
+    for name, bench in _KERNEL_BENCHES.items():
+        rng = np.random.default_rng(seed + 1)
+        results[name] = bench(rng, quick)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Engine suite
+# ----------------------------------------------------------------------
+
+#: The deterministic counters recorded (and gated exactly) per engine.
+ENGINE_COUNTERS = (
+    "candidates",
+    "page_accesses",
+    "sequential_page_accesses",
+    "random_page_accesses",
+    "logical_reads",
+    "dtw_computations",
+    "lb_keogh_computations",
+    "heap_pops",
+    "node_expansions",
+    "bloom_calls",
+    "deferred_flushes",
+    "pruned_by_lower_bound",
+    "pruned_by_lb_keogh",
+    "duplicates_suppressed",
+    "window_group_evaluations",
+)
+
+
+def _make_walk(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.asarray(rng.standard_normal(n).cumsum())
+
+
+def _engine_record(result: object) -> Dict[str, Any]:
+    stats = result.stats  # type: ignore[attr-defined]
+    matches = result.matches  # type: ignore[attr-defined]
+    return {
+        "counters": {key: getattr(stats, key) for key in ENGINE_COUNTERS},
+        "distances": [repr(match.distance) for match in matches],
+        "matches": [[match.sid, match.start] for match in matches],
+        "wall_time_s": stats.wall_time_s,
+    }
+
+
+def run_engine_suite(seed: int = 0) -> Dict[str, Any]:
+    """End-to-end engine counters on small seeded databases.
+
+    Deliberately matches the scale of the test-suite fixtures: big
+    enough to exercise multi-level trees and deferred refinement, small
+    enough to run in seconds.  The recorded counters are deterministic,
+    so ``quick`` mode does not change this suite.
+    """
+    from repro import SubsequenceDatabase
+    from repro.engines.range_search import RangeSearchEngine
+
+    results: Dict[str, Any] = {}
+
+    db = SubsequenceDatabase(omega=16, features=4, buffer_fraction=0.1)
+    db.insert(0, _make_walk(3000, seed=seed + 11))
+    db.insert(1, _make_walk(2200, seed=seed + 12))
+    db.build()
+    query = db.store.peek_subsequence(0, 640, 48).copy()
+    for method in ("seqscan", "hlmj", "hlmj-wg", "ru", "ru-cost"):
+        for deferred in (False, True):
+            if method == "seqscan" and deferred:
+                continue
+            db.reset_cache()
+            result = db.search(
+                query, k=5, rho=2, method=method, deferred=deferred
+            )
+            label = f"{method}-d" if deferred else method
+            results[label] = _engine_record(result)
+
+    db.reset_cache()
+    range_result = RangeSearchEngine(db.index).search(
+        query, epsilon=2.5, rho=2
+    )
+    results["range"] = _engine_record(range_result)
+
+    psm_db = SubsequenceDatabase(omega=8, features=4, buffer_fraction=0.1)
+    psm_db.insert(0, _make_walk(900, seed=seed + 21))
+    psm_db.insert(1, _make_walk(700, seed=seed + 22))
+    psm_db.build(psm=True)
+    psm_query = psm_db.store.peek_subsequence(0, 200, 32).copy()
+    psm_db.reset_cache()
+    results["psm"] = _engine_record(
+        psm_db.search(psm_query, k=3, rho=1, method="psm")
+    )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Reports, baselines, and the gate
+# ----------------------------------------------------------------------
+
+
+def run_suites(
+    suites: Sequence[str], seed: int = 0, quick: bool = False
+) -> Dict[str, Any]:
+    """Run the requested suites into one schema-versioned report."""
+    report: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "kind": "repro-bench",
+        "created": _utc_now_iso(),
+        "seed": seed,
+        "quick": quick,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "suites": {},
+    }
+    suite_block: Dict[str, Any] = {}
+    if "kernels" in suites:
+        suite_block["kernels"] = run_kernel_suite(seed=seed, quick=quick)
+    if "engines" in suites:
+        suite_block["engines"] = run_engine_suite(seed=seed)
+    report["suites"] = suite_block
+    return report
+
+
+def compare(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> List[Regression]:
+    """Apply the regression gate; empty list means the gate passes.
+
+    * every kernel bench must remain exact and keep its speedup within
+      :data:`SPEEDUP_TOLERANCE` of the baseline ratio;
+    * every engine counter and result digest must match the baseline
+      byte for byte (wall time is never compared).
+
+    Only suites present in *both* reports are compared, so a
+    kernels-only CI run checks kernels without requiring engine data.
+    """
+    regressions: List[Regression] = []
+    current_suites = current.get("suites", {})
+    baseline_suites = baseline.get("suites", {})
+
+    base_kernels = baseline_suites.get("kernels")
+    cur_kernels = current_suites.get("kernels")
+    if base_kernels is not None and cur_kernels is not None:
+        for name, base in base_kernels.items():
+            cur = cur_kernels.get(name)
+            if cur is None:
+                regressions.append(
+                    Regression("kernels", name, "benchmark disappeared")
+                )
+                continue
+            if not cur.get("exact", False):
+                regressions.append(
+                    Regression(
+                        "kernels",
+                        name,
+                        "kernel no longer matches the scalar oracle",
+                    )
+                )
+            floor = float(base["speedup"]) * (1.0 - SPEEDUP_TOLERANCE)
+            if float(cur["speedup"]) < floor:
+                regressions.append(
+                    Regression(
+                        "kernels",
+                        name,
+                        f"speedup {float(cur['speedup']):.2f}x fell below "
+                        f"{floor:.2f}x "
+                        f"(baseline {float(base['speedup']):.2f}x - "
+                        f"{SPEEDUP_TOLERANCE:.0%})",
+                    )
+                )
+
+    base_engines = baseline_suites.get("engines")
+    cur_engines = current_suites.get("engines")
+    if base_engines is not None and cur_engines is not None:
+        for label, base in base_engines.items():
+            cur = cur_engines.get(label)
+            if cur is None:
+                regressions.append(
+                    Regression("engines", label, "engine run disappeared")
+                )
+                continue
+            for key, base_value in base["counters"].items():
+                cur_value = cur["counters"].get(key)
+                if cur_value != base_value:
+                    regressions.append(
+                        Regression(
+                            "engines",
+                            label,
+                            f"counter {key} drifted: "
+                            f"{base_value} -> {cur_value}",
+                        )
+                    )
+            for key in ("distances", "matches"):
+                if cur.get(key) != base.get(key):
+                    regressions.append(
+                        Regression(
+                            "engines",
+                            label,
+                            f"result digest {key!r} drifted from baseline",
+                        )
+                    )
+    return regressions
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a bench report."""
+    lines: List[str] = []
+    suites = report.get("suites", {})
+    kernels = suites.get("kernels")
+    if kernels:
+        lines.append(f"{'kernel':>24s} {'scalar':>12s} {'batch':>12s} "
+                     f"{'speedup':>9s} {'exact':>6s}")
+        for name, bench in kernels.items():
+            scalar_ms = float(bench["scalar_ms"])
+            batch_ms = float(
+                bench.get("batch_ms", bench.get("batch_ms_per_candidate"))
+            )
+            lines.append(
+                f"{name:>24s} {scalar_ms:>10.3f}ms {batch_ms:>10.3f}ms "
+                f"{float(bench['speedup']):>8.2f}x "
+                f"{'yes' if bench['exact'] else 'NO':>6s}"
+            )
+    engines = suites.get("engines")
+    if engines:
+        lines.append("")
+        lines.append(
+            f"{'engine':>10s} {'candidates':>11s} {'pages':>7s} "
+            f"{'dtw':>7s} {'pops':>7s} {'ms':>8s}"
+        )
+        for label, record in engines.items():
+            counters = record["counters"]
+            lines.append(
+                f"{label:>10s} {counters['candidates']:>11,d} "
+                f"{counters['page_accesses']:>7,d} "
+                f"{counters['dtw_computations']:>7,d} "
+                f"{counters['heap_pops']:>7,d} "
+                f"{float(record['wall_time_s']) * 1e3:>8.1f}"
+            )
+    return "\n".join(lines)
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load and minimally validate a bench JSON report."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("kind") != "repro-bench":
+        raise ValueError(f"{path}: not a repro-bench report")
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema {data.get('schema')} != {SCHEMA_VERSION}"
+        )
+    return data
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Write a bench JSON report with stable formatting."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def default_json_name(now: Optional[datetime] = None) -> str:
+    """The conventional committed report name: ``BENCH_<date>.json``."""
+    stamp = (now or datetime.now(timezone.utc)).strftime("%Y-%m-%d")
+    return f"BENCH_{stamp}.json"

@@ -16,12 +16,21 @@ On top of this chain the paper defines two composite bounds:
 
 Everything here works in p-th-power space (``*_pow`` functions); rooted
 convenience wrappers are provided for the public API.
+
+Every bound has two forms: a scalar one (one candidate at a time, the
+historical API) and a ``*_batch`` one that scores a whole block of
+candidates per call — the form the engines use to prune candidate
+windows and R*-tree entries without per-entry Python overhead.  Both
+forms share the same gap construction and the same einsum reduction, so
+a scalar call and the matching lane of a batch call are bit-for-bit
+identical; ``tests/test_kernel_conformance.py`` enforces this against
+the scalar oracles in :mod:`repro.core.reference`.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,7 +43,11 @@ _INF = math.inf
 def _gaps_outside_envelope(
     lower: np.ndarray, upper: np.ndarray, values: np.ndarray
 ) -> np.ndarray:
-    """Per-element distance from ``values`` to the band ``[lower, upper]``."""
+    """Per-element distance from ``values`` to the band ``[lower, upper]``.
+
+    Broadcasts: ``values`` may be one sequence ``(n,)`` or a batch
+    ``(B, n)`` against an ``(n,)`` envelope.
+    """
     above = values - upper
     below = lower - values
     gaps = np.maximum(above, below)
@@ -43,10 +56,32 @@ def _gaps_outside_envelope(
 
 
 def _pow_sum(gaps: np.ndarray, p: float) -> float:
+    """``sum(gaps ** p)`` in float64.
+
+    The p == 2 fast path uses the same einsum reduction as
+    :func:`_pow_sum_batch` (not BLAS ``dot``, whose summation order can
+    differ by an ULP), so scalar and batched bounds stay bit-identical.
+    """
     # Exact dispatch on the user-supplied norm order, not a computed float.
     if p == 2.0:  # repro: ignore[RS003]
-        return float(np.dot(gaps, gaps))
+        return float(np.einsum("i,i->", gaps, gaps))
     return float(np.sum(gaps**p))
+
+
+def _pow_sum_batch(gaps: np.ndarray, p: float) -> np.ndarray:
+    """Row-wise ``sum(gaps ** p)`` for a ``(B, n)`` gap matrix."""
+    # Exact dispatch on the user-supplied norm order, not a computed float.
+    if p == 2.0:  # repro: ignore[RS003]
+        return np.einsum("ij,ij->i", gaps, gaps)
+    return np.sum(gaps**p, axis=1)
+
+
+def _as_batch(rows: Sequence[Sequence[float]], label: str) -> np.ndarray:
+    """Validate and coerce a batch argument to a float64 ``(B, n)`` array."""
+    array = np.asarray(rows, dtype=np.float64)
+    if array.ndim != 2:
+        raise QueryError(f"{label} must be 2-D (batch, length), got shape {array.shape}")
+    return array
 
 
 def lb_keogh_pow(envelope: Envelope, values: Sequence[float], p: float = 2.0) -> float:
@@ -64,6 +99,24 @@ def lb_keogh_pow(envelope: Envelope, values: Sequence[float], p: float = 2.0) ->
 def lb_keogh(envelope: Envelope, values: Sequence[float], p: float = 2.0) -> float:
     """Rooted ``LB_Keogh`` (the paper's Section 2 definition)."""
     return lb_keogh_pow(envelope, values, p) ** (1.0 / p)
+
+
+def lb_keogh_pow_batch(
+    envelope: Envelope, rows: Sequence[Sequence[float]], p: float = 2.0
+) -> np.ndarray:
+    """``LB_Keogh(E(Q), S_b) ** p`` for a batch of candidate sequences.
+
+    Row ``b`` is bit-for-bit equal to ``lb_keogh_pow(envelope, rows[b],
+    p)``.  Accumulates in float64 regardless of the input dtype.
+    """
+    array = _as_batch(rows, "candidate batch")
+    if array.shape[1] != len(envelope):
+        raise QueryError(
+            f"LB_Keogh needs equal lengths: envelope {len(envelope)}, "
+            f"batch rows {array.shape[1]}"
+        )
+    gaps = _gaps_outside_envelope(envelope.lower, envelope.upper, array)
+    return _pow_sum_batch(gaps, p)
 
 
 def lb_paa_pow(
@@ -139,6 +192,133 @@ def maxdist_pow(
     gaps_at_high = _gaps_outside_envelope(paa_lower, paa_upper, rect_high)
     gaps = np.maximum(gaps_at_low, gaps_at_high)
     return seg_len * _pow_sum(gaps, p)
+
+
+def lb_paa_pow_batch(
+    paa_lower: np.ndarray,
+    paa_upper: np.ndarray,
+    paa_rows: Sequence[Sequence[float]],
+    seg_len: int,
+    p: float = 2.0,
+) -> np.ndarray:
+    """``LB_PAA(P(E(Q)), P(S_b)) ** p`` for a batch of PAA points.
+
+    Row ``b`` is bit-for-bit equal to ``lb_paa_pow(paa_lower, paa_upper,
+    paa_rows[b], seg_len, p)``.
+    """
+    if seg_len < 1:
+        raise QueryError(f"seg_len must be >= 1, got {seg_len}")
+    array = _as_batch(paa_rows, "PAA batch")
+    gaps = _gaps_outside_envelope(
+        np.asarray(paa_lower, dtype=np.float64),
+        np.asarray(paa_upper, dtype=np.float64),
+        array,
+    )
+    return seg_len * _pow_sum_batch(gaps, p)
+
+
+def mindist_pow_batch(
+    paa_lower: np.ndarray,
+    paa_upper: np.ndarray,
+    rect_lows: Sequence[Sequence[float]],
+    rect_highs: Sequence[Sequence[float]],
+    seg_len: int,
+    p: float = 2.0,
+) -> np.ndarray:
+    """``MINDIST(P(E(q)), MBR_b) ** p`` for a batch of rectangles.
+
+    Row ``b`` is bit-for-bit equal to ``mindist_pow(...)`` on rectangle
+    ``b``.  A *degenerate* rectangle (``low == high``, i.e. a leaf
+    entry's PAA point) makes this identical — same subtractions, same
+    reduction — to ``lb_paa_pow`` of that point, which is how
+    :func:`batch_lower_bounds` scores mixed leaf/internal entry blocks
+    with one kernel.
+    """
+    if seg_len < 1:
+        raise QueryError(f"seg_len must be >= 1, got {seg_len}")
+    lows = _as_batch(rect_lows, "rectangle lows")
+    highs = _as_batch(rect_highs, "rectangle highs")
+    if lows.shape != highs.shape:
+        raise QueryError(
+            f"rectangle halves differ in shape: {lows.shape} vs {highs.shape}"
+        )
+    gap_above = lows - np.asarray(paa_upper, dtype=np.float64)
+    gap_below = np.asarray(paa_lower, dtype=np.float64) - highs
+    gaps = np.maximum(gap_above, gap_below)
+    np.maximum(gaps, 0.0, out=gaps)
+    return seg_len * _pow_sum_batch(gaps, p)
+
+
+def maxdist_pow_batch(
+    paa_lower: np.ndarray,
+    paa_upper: np.ndarray,
+    rect_lows: Sequence[Sequence[float]],
+    rect_highs: Sequence[Sequence[float]],
+    seg_len: int,
+    p: float = 2.0,
+) -> np.ndarray:
+    """``MAXDIST(P(E(q)), MBR_b) ** p`` for a batch of rectangles.
+
+    Row ``b`` is bit-for-bit equal to ``maxdist_pow(...)`` on rectangle
+    ``b``; on a degenerate rectangle it equals the point's
+    envelope-gap distance, i.e. ``lb_paa_pow`` of the point.
+    """
+    if seg_len < 1:
+        raise QueryError(f"seg_len must be >= 1, got {seg_len}")
+    lows = _as_batch(rect_lows, "rectangle lows")
+    highs = _as_batch(rect_highs, "rectangle highs")
+    if lows.shape != highs.shape:
+        raise QueryError(
+            f"rectangle halves differ in shape: {lows.shape} vs {highs.shape}"
+        )
+    lo64 = np.asarray(paa_lower, dtype=np.float64)
+    up64 = np.asarray(paa_upper, dtype=np.float64)
+    gaps_at_low = _gaps_outside_envelope(lo64, up64, lows)
+    gaps_at_high = _gaps_outside_envelope(lo64, up64, highs)
+    gaps = np.maximum(gaps_at_low, gaps_at_high)
+    return seg_len * _pow_sum_batch(gaps, p)
+
+
+def mdmwp_pow_batch(min_pair_pows: Sequence[float], r: int) -> np.ndarray:
+    """``MDMWP-distance ** p`` (Definition 2) for a batch of window pairs."""
+    if r < 1:
+        raise QueryError(f"MDMWP window count r must be >= 1, got {r}")
+    return r * np.asarray(min_pair_pows, dtype=np.float64)
+
+
+def batch_lower_bounds(
+    paa_lower: np.ndarray,
+    paa_upper: np.ndarray,
+    rect_lows: Sequence[Sequence[float]],
+    rect_highs: Sequence[Sequence[float]],
+    seg_len: int,
+    p: float = 2.0,
+    include_far: bool = False,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Score a block of R*-tree entries against one query-window envelope.
+
+    The engines' batched pruning entry point: given the PAA envelope of
+    a query window and the stacked rectangles of a node's entries
+    (leaf entries contribute their PAA point as a degenerate ``low ==
+    high`` rectangle), returns the per-entry *near* bound (``MINDIST **
+    p``, which for leaf points equals ``LB_PAA ** p`` bit for bit) and,
+    when ``include_far`` is set, the *far* bound (``MAXDIST ** p``) used
+    by cost-aware queue ordering.
+
+    Both vectors line up index-for-index with the input rectangles, so
+    callers can keep their existing per-entry push order and tie-break
+    counters while paying one kernel call per node instead of one
+    Python-level bound per entry.
+    """
+    near = mindist_pow_batch(
+        paa_lower, paa_upper, rect_lows, rect_highs, seg_len, p
+    )
+    far: Optional[np.ndarray] = None
+    if include_far:
+        far = maxdist_pow_batch(
+            paa_lower, paa_upper, rect_lows, rect_highs, seg_len, p
+        )
+    return near, far
 
 
 def mdmwp_pow(min_pair_pow: float, r: int) -> float:

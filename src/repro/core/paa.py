@@ -46,6 +46,22 @@ def paa(values: Sequence[float], features: int) -> np.ndarray:
     return array.reshape(features, seg).mean(axis=1)
 
 
+def paa_batch(rows: Sequence[Sequence[float]], features: int) -> np.ndarray:
+    """PAA of a batch of equal-length sequences: shape ``(B, f)``.
+
+    Row ``b`` is bit-for-bit equal to ``paa(rows[b], features)`` — both
+    reduce the same contiguous ``seg`` values with the same pairwise
+    float64 summation.
+    """
+    array = np.ascontiguousarray(rows, dtype=np.float64)
+    if array.ndim != 2:
+        raise QueryError(
+            f"PAA batch input must be 2-D, got shape {array.shape}"
+        )
+    seg = segment_length(array.shape[1], features)
+    return array.reshape(array.shape[0], features, seg).mean(axis=2)
+
+
 def paa_envelope(envelope: Envelope, features: int) -> Tuple[np.ndarray, np.ndarray]:
     """PAA of a query envelope: ``(paa_lower, paa_upper)``.
 

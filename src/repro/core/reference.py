@@ -1,21 +1,240 @@
-"""Gold-standard brute force used by the test suite.
+"""Gold-standard scalar oracles used by the test and bench suites.
 
-Computes banded DTW at every offset with no index, no lower bounds, and
-no I/O accounting.  Every engine must return the same distance multiset
-as this function (up to floating-point tolerance); the equivalence tests
-in ``tests/`` enforce it, including via hypothesis-generated inputs.
+Two kinds of reference live here:
+
+* **Scalar kernel oracles** (``reference_*``): the original, deliberately
+  unoptimised scalar-loop implementations of banded DTW, the envelope,
+  PAA, and every lower bound.  The vectorized kernels in
+  :mod:`repro.core.distance` and :mod:`repro.core.lower_bounds` must
+  reproduce these bit for bit (DTW, envelope, PAA) or to within 1e-9
+  (reduction-order-sensitive sums); ``tests/test_kernel_conformance.py``
+  enforces it with randomized differential testing, and
+  ``python -m repro bench --suite kernels`` re-checks exactness on every
+  benchmark input before timing anything.
+* **Brute-force engines** (:func:`brute_force_topk`): exhaustive banded
+  DTW at every offset with no index, no lower bounds, and no I/O
+  accounting.  Every engine must return the same distance multiset.
+
+Nothing here may import the vectorized kernels — an oracle that shares
+code with the thing it validates cannot catch its bugs.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence
+import math
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.distance import dtw_pow
 from repro.core.results import Match
+from repro.exceptions import QueryError
 from repro.storage.sequences import SequenceStore
+
+_INF = math.inf
+
+
+def _as_float_list(values: Sequence[float]) -> list:
+    """Plain Python-float view, upcasting any input dtype to float64."""
+    if isinstance(values, np.ndarray):
+        return [float(v) for v in values.tolist()]
+    return [float(v) for v in values]
+
+
+def reference_dtw_pow(
+    s: Sequence[float],
+    q: Sequence[float],
+    rho: int,
+    p: float = 2.0,
+    threshold_pow: float = _INF,
+) -> float:
+    """``DTW_rho(S, Q) ** p`` — the original row-by-row scalar DP.
+
+    Semantics mirror :func:`repro.core.distance.dtw_pow` (band
+    constraint, row-level early abandoning, float64 accumulation).
+    """
+    if rho < 0:
+        raise QueryError(f"warping width rho must be >= 0, got {rho}")
+    n = len(q)
+    m = len(s)
+    if n == 0 and m == 0:
+        return 0.0
+    if n == 0 or m == 0:
+        return _INF
+    if abs(n - m) > rho:
+        return _INF
+
+    qs = _as_float_list(q)
+    ss = _as_float_list(s)
+    # Exact dispatch on the user-supplied norm order, not a computed float.
+    squared = p == 2.0  # repro: ignore[RS003]
+
+    # prev[j] holds row i-1 of the DP matrix; positions outside the band
+    # stay infinite.  Row i covers data columns [i - rho, i + rho].
+    prev = [_INF] * m
+    for i in range(n):
+        lo = i - rho
+        if lo < 0:
+            lo = 0
+        hi = i + rho
+        if hi >= m:
+            hi = m - 1
+        cur = [_INF] * m
+        qi = qs[i]
+        row_min = _INF
+        left = _INF  # cur[j - 1], the within-row dependency
+        for j in range(lo, hi + 1):
+            gap = ss[j] - qi
+            if gap < 0.0:
+                gap = -gap
+            cost = gap * gap if squared else gap**p
+            if i == 0 and j == 0:
+                best = 0.0
+            else:
+                best = prev[j]  # vertical move
+                diag = prev[j - 1] if j > 0 else _INF
+                if diag < best:
+                    best = diag
+                if left < best:
+                    best = left
+            value = cost + best
+            cur[j] = value
+            left = value
+            if value < row_min:
+                row_min = value
+        if row_min > threshold_pow:
+            return _INF
+        prev = cur
+    return prev[m - 1]
+
+
+def reference_envelope(
+    q: Sequence[float], rho: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``E(Q)`` as (lower, upper) — the Definition 1 double loop."""
+    if rho < 0:
+        raise QueryError(f"warping width rho must be >= 0, got {rho}")
+    array = np.asarray(q, dtype=np.float64)
+    n = int(array.size)
+    lower = np.empty(n, dtype=np.float64)
+    upper = np.empty(n, dtype=np.float64)
+    values = [float(v) for v in array.tolist()]
+    for i in range(n):
+        lo = max(0, i - rho)
+        hi = min(n, i + rho + 1)
+        window = values[lo:hi]
+        lower[i] = min(window)
+        upper[i] = max(window)
+    return lower, upper
+
+
+def reference_paa(values: Sequence[float], features: int) -> np.ndarray:
+    """PAA segment means via an explicit per-segment loop."""
+    array = np.asarray(values, dtype=np.float64)
+    if features < 1 or array.size % features != 0:
+        raise QueryError(
+            f"length {array.size} must be a positive multiple of the "
+            f"feature count {features}"
+        )
+    seg = int(array.size) // features
+    out = np.empty(features, dtype=np.float64)
+    for dim in range(features):
+        out[dim] = float(np.mean(array[dim * seg : (dim + 1) * seg]))
+    return out
+
+
+def _reference_gap(lower: float, upper: float, value: float) -> float:
+    """Scalar distance from ``value`` to the band ``[lower, upper]``."""
+    if value > upper:
+        return value - upper
+    if value < lower:
+        return lower - value
+    return 0.0
+
+
+def reference_lb_keogh_pow(
+    lower: Sequence[float],
+    upper: Sequence[float],
+    values: Sequence[float],
+    p: float = 2.0,
+) -> float:
+    """``LB_Keogh(E(Q), S) ** p`` via a scalar accumulation loop."""
+    los = _as_float_list(lower)
+    ups = _as_float_list(upper)
+    vals = _as_float_list(values)
+    if not (len(los) == len(ups) == len(vals)):
+        raise QueryError(
+            f"LB_Keogh needs equal lengths, got {len(los)}, {len(ups)}, "
+            f"{len(vals)}"
+        )
+    total = 0.0
+    for lo, up, value in zip(los, ups, vals):
+        gap = _reference_gap(lo, up, value)
+        total += gap * gap if p == 2.0 else gap**p  # repro: ignore[RS003]
+    return total
+
+
+def reference_lb_paa_pow(
+    paa_lower: Sequence[float],
+    paa_upper: Sequence[float],
+    paa_values: Sequence[float],
+    seg_len: int,
+    p: float = 2.0,
+) -> float:
+    """``LB_PAA(P(E(Q)), P(S)) ** p`` via a scalar loop."""
+    if seg_len < 1:
+        raise QueryError(f"seg_len must be >= 1, got {seg_len}")
+    return seg_len * reference_lb_keogh_pow(
+        paa_lower, paa_upper, paa_values, p
+    )
+
+
+def reference_mindist_pow(
+    paa_lower: Sequence[float],
+    paa_upper: Sequence[float],
+    rect_low: Sequence[float],
+    rect_high: Sequence[float],
+    seg_len: int,
+    p: float = 2.0,
+) -> float:
+    """``MINDIST(P(E(q)), MBR) ** p`` via a scalar loop."""
+    if seg_len < 1:
+        raise QueryError(f"seg_len must be >= 1, got {seg_len}")
+    total = 0.0
+    for lo, up, rect_lo, rect_hi in zip(
+        _as_float_list(paa_lower),
+        _as_float_list(paa_upper),
+        _as_float_list(rect_low),
+        _as_float_list(rect_high),
+    ):
+        gap = max(rect_lo - up, lo - rect_hi, 0.0)
+        total += gap * gap if p == 2.0 else gap**p  # repro: ignore[RS003]
+    return seg_len * total
+
+
+def reference_maxdist_pow(
+    paa_lower: Sequence[float],
+    paa_upper: Sequence[float],
+    rect_low: Sequence[float],
+    rect_high: Sequence[float],
+    seg_len: int,
+    p: float = 2.0,
+) -> float:
+    """``MAXDIST(P(E(q)), MBR) ** p`` via a scalar loop."""
+    if seg_len < 1:
+        raise QueryError(f"seg_len must be >= 1, got {seg_len}")
+    total = 0.0
+    for lo, up, rect_lo, rect_hi in zip(
+        _as_float_list(paa_lower),
+        _as_float_list(paa_upper),
+        _as_float_list(rect_low),
+        _as_float_list(rect_high),
+    ):
+        gap = max(
+            _reference_gap(lo, up, rect_lo), _reference_gap(lo, up, rect_hi)
+        )
+        total += gap * gap if p == 2.0 else gap**p  # repro: ignore[RS003]
+    return seg_len * total
 
 
 def brute_force_topk(
@@ -27,15 +246,15 @@ def brute_force_topk(
 ) -> List[Match]:
     """Exact top-k subsequences by exhaustive banded DTW.
 
-    Deliberately unoptimised (no LB_Keogh, no early abandon) so that it
-    cannot share a bug with the engines it validates.
+    Deliberately unoptimised (no LB_Keogh, no early abandon, scalar DP)
+    so that it cannot share a bug with the engines it validates.
     """
     array = np.ascontiguousarray(query, dtype=np.float64)
     length = array.size
     scored: List[tuple] = []
     for sid, values in store.iter_sequences():
         for start in range(values.size - length + 1):
-            distance_pow = dtw_pow(
+            distance_pow = reference_dtw_pow(
                 values[start : start + length], array, rho, p=p
             )
             scored.append((distance_pow, sid, start))

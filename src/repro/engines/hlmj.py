@@ -29,10 +29,13 @@ import heapq
 import itertools
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.core.lower_bounds import (
+    batch_lower_bounds,
     lb_paa_pow,
+    lb_paa_pow_batch,
     min_disjoint_windows,
-    mindist_pow,
 )
 from repro.core.windows import (
     QueryWindowSet,
@@ -150,28 +153,38 @@ class HlmjEngine(Engine):
                     continue
                 stats.node_expansions += 1
                 threshold_pow = evaluator.threshold_pow
-                for entry in node.entries:
-                    if node.is_leaf:
-                        child_pow = lb_paa_pow(
-                            window.paa_lower,
-                            window.paa_upper,
-                            entry.low,
-                            seg_len,
-                            config.p,
-                        )
-                        child_kind = _LEAF
-                        child_payload: object = entry.record
-                    else:
-                        child_pow = mindist_pow(
-                            window.paa_lower,
-                            window.paa_upper,
-                            entry.low,
-                            entry.high,
-                            seg_len,
-                            config.p,
-                        )
-                        child_kind = _NODE
-                        child_payload = entry.child_page
+                entries = node.entries
+                if not entries:
+                    continue
+                # One batched kernel call scores the whole node; pushes
+                # happen in storage order with tie-break counters drawn
+                # only for survivors, so heap order is unchanged.
+                if node.is_leaf:
+                    child_pows = lb_paa_pow_batch(
+                        window.paa_lower,
+                        window.paa_upper,
+                        np.stack([entry.low for entry in entries]),
+                        seg_len,
+                        config.p,
+                    )
+                    child_kind = _LEAF
+                    payloads: List[object] = [
+                        entry.record for entry in entries
+                    ]
+                else:
+                    child_pows, _far = batch_lower_bounds(
+                        window.paa_lower,
+                        window.paa_upper,
+                        np.stack([entry.low for entry in entries]),
+                        np.stack([entry.high for entry in entries]),
+                        seg_len,
+                        config.p,
+                    )
+                    child_kind = _NODE
+                    payloads = [entry.child_page for entry in entries]
+                for child_pow, child_payload in zip(
+                    child_pows.tolist(), payloads
+                ):
                     if r * child_pow > threshold_pow:
                         continue
                     heapq.heappush(

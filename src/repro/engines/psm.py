@@ -35,7 +35,9 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.lower_bounds import lb_paa_pow, mindist_pow
+import numpy as np
+
+from repro.core.lower_bounds import batch_lower_bounds, lb_paa_pow_batch
 from repro.core.paa import segment_length
 from repro.core.windows import (
     QueryWindow,
@@ -268,25 +270,33 @@ class PsmEngine(Engine):
         window = join_windows[expand_at]
         old_pow = state[expand_at][2]
         threshold_pow = evaluator.threshold_pow
-        for entry in node.entries:
+        entries = node.entries
+        if not entries:
+            return
+        # Score the whole node with one batched kernel call; the push
+        # loop keeps storage order and per-survivor tie-break draws, so
+        # join-state order is unchanged.
+        if node.is_leaf:
+            dist_pows = lb_paa_pow_batch(
+                window.paa_lower,
+                window.paa_upper,
+                np.stack([entry.low for entry in entries]),
+                seg_len,
+                config.p,
+            )
+        else:
+            dist_pows, _far = batch_lower_bounds(
+                window.paa_lower,
+                window.paa_upper,
+                np.stack([entry.low for entry in entries]),
+                np.stack([entry.high for entry in entries]),
+                seg_len,
+                config.p,
+            )
+        for entry, dist_pow in zip(entries, dist_pows.tolist()):
             if node.is_leaf:
-                dist_pow = lb_paa_pow(
-                    window.paa_lower,
-                    window.paa_upper,
-                    entry.low,
-                    seg_len,
-                    config.p,
-                )
                 component: Component = (_LEAF, entry.record, dist_pow)
             else:
-                dist_pow = mindist_pow(
-                    window.paa_lower,
-                    window.paa_upper,
-                    entry.low,
-                    entry.high,
-                    seg_len,
-                    config.p,
-                )
                 component = (_NODE, entry.child_page, dist_pow)
             new_score = score_pow - old_pow + dist_pow
             if new_score > threshold_pow:

@@ -24,7 +24,9 @@ import itertools
 import math
 from typing import Callable, Iterator, List, Optional, Tuple
 
-from repro.core.lower_bounds import lb_paa_pow, maxdist_pow, mindist_pow
+import numpy as np
+
+from repro.core.lower_bounds import batch_lower_bounds, lb_paa_pow_batch
 from repro.core.metrics import QueryStats
 from repro.core.windows import QueryWindow
 from repro.exceptions import StorageError
@@ -94,40 +96,50 @@ class WindowQueue:
         return entry
 
     def _score_and_push(self, node: RStarNode, cap_pow: float) -> None:
-        for entry in node.entries:
-            if node.is_leaf:
-                dist_pow = lb_paa_pow(
-                    self.window.paa_lower,
-                    self.window.paa_upper,
-                    entry.low,
-                    self._seg_len,
-                    self._p,
-                )
+        """Score all of a node's entries in one batched kernel call.
+
+        Entries are pushed in storage order with tie-break counters
+        consumed only for surviving entries, so heap contents (and every
+        downstream pop order) are identical to scoring one entry at a
+        time.
+        """
+        entries = node.entries
+        if not entries:
+            return
+        if node.is_leaf:
+            points = np.stack([entry.low for entry in entries])
+            near = lb_paa_pow_batch(
+                self.window.paa_lower,
+                self.window.paa_upper,
+                points,
+                self._seg_len,
+                self._p,
+            )
+            for entry, dist_pow in zip(entries, near.tolist()):
                 if dist_pow > cap_pow:
                     continue
                 heapq.heappush(
                     self._heap,
                     (dist_pow, next(_counter), LEAF, entry.record, dist_pow),
                 )
-                continue
-            dist_pow = mindist_pow(
-                self.window.paa_lower,
-                self.window.paa_upper,
-                entry.low,
-                entry.high,
-                self._seg_len,
-                self._p,
-            )
+            return
+        lows = np.stack([entry.low for entry in entries])
+        highs = np.stack([entry.high for entry in entries])
+        near, far = batch_lower_bounds(
+            self.window.paa_lower,
+            self.window.paa_upper,
+            lows,
+            highs,
+            self._seg_len,
+            self._p,
+            include_far=True,
+        )
+        assert far is not None
+        for entry, dist_pow, far_pow in zip(
+            entries, near.tolist(), far.tolist()
+        ):
             if dist_pow > cap_pow:
                 continue
-            far_pow = maxdist_pow(
-                self.window.paa_lower,
-                self.window.paa_upper,
-                entry.low,
-                entry.high,
-                self._seg_len,
-                self._p,
-            )
             heapq.heappush(
                 self._heap,
                 (dist_pow, next(_counter), NODE, entry.child_page, far_pow),

@@ -24,7 +24,11 @@ import numpy as np
 
 from repro.control import ExecutionControl
 from repro.core.distance import dtw_pow
-from repro.core.lower_bounds import lb_keogh_pow, lb_paa_pow, mindist_pow
+from repro.core.lower_bounds import (
+    batch_lower_bounds,
+    lb_keogh_pow,
+    lb_paa_pow_batch,
+)
 from repro.core.metrics import QueryStats, StatsRecorder
 from repro.core.results import Match
 from repro.core.windows import (
@@ -172,26 +176,32 @@ class RangeSearchEngine:
                 report.record(error, page_id=page_id)
                 continue
             stats.node_expansions += 1
-            for entry in node.entries:
-                if not node.is_leaf:
-                    gap_pow = mindist_pow(
-                        window.paa_lower,
-                        window.paa_upper,
-                        entry.low,
-                        entry.high,
-                        seg_len,
-                        p,
-                    )
-                    if gap_pow <= epsilon_pow:
-                        stack.append(entry.child_page)
-                    continue
-                gap_pow = lb_paa_pow(
+            entries = node.entries
+            if not entries:
+                continue
+            # One batched kernel call scores every entry of the node;
+            # the loop below keeps the original visit order.
+            if not node.is_leaf:
+                gap_pows, _far = batch_lower_bounds(
                     window.paa_lower,
                     window.paa_upper,
-                    entry.low,
+                    np.stack([entry.low for entry in entries]),
+                    np.stack([entry.high for entry in entries]),
                     seg_len,
                     p,
                 )
+                for entry, gap_pow in zip(entries, gap_pows.tolist()):
+                    if gap_pow <= epsilon_pow:
+                        stack.append(entry.child_page)
+                continue
+            gap_pows = lb_paa_pow_batch(
+                window.paa_lower,
+                window.paa_upper,
+                np.stack([entry.low for entry in entries]),
+                seg_len,
+                p,
+            )
+            for entry, gap_pow in zip(entries, gap_pows.tolist()):
                 if gap_pow > epsilon_pow:
                     continue
                 record = entry.record

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.distance import dtw_pow
+from repro.core.lower_bounds import lb_keogh_pow_batch
 from repro.core.windows import QueryWindowSet
 from repro.engines.base import CandidateEvaluator, Engine, EngineConfig
 from repro.exceptions import StorageError
@@ -38,8 +39,6 @@ class SeqScanEngine(Engine):
     ) -> None:
         query = window_set.query
         length = window_set.length
-        lower = window_set.envelope.lower
-        upper = window_set.envelope.upper
         store = self.index.store
         stats = evaluator.stats
         collector = evaluator.collector
@@ -65,12 +64,9 @@ class SeqScanEngine(Engine):
             for block_start in range(0, offsets, _BLOCK):
                 budget.checkpoint()
                 block = windows[block_start : block_start + _BLOCK]
-                gaps = np.maximum(block - upper, lower - block)
-                np.maximum(gaps, 0.0, out=gaps)
-                if config.p == 2.0:
-                    keogh_pows = np.einsum("ij,ij->i", gaps, gaps)
-                else:
-                    keogh_pows = np.sum(gaps**config.p, axis=1)
+                keogh_pows = lb_keogh_pow_batch(
+                    window_set.envelope, block, config.p
+                )
                 stats.candidates += block.shape[0]
                 stats.lb_keogh_computations += block.shape[0]
                 for row, keogh_pow in enumerate(keogh_pows):

@@ -2,7 +2,10 @@
 
 Beyond exactness, the paper's comparisons rest on the counters being
 meaningful: candidates, page accesses, pops, prunes, and the deferred
-mechanism's effect on access patterns.
+mechanism's effect on access patterns.  The golden tests at the bottom
+pin the exact counter values and result digests of every engine on a
+fixed workload: the vectorized kernels must not shift NUM_IO accounting
+or top-k sets by a single unit.
 """
 
 import pytest
@@ -134,3 +137,220 @@ class TestSchedulingVariants:
 
         with pytest.raises(ConfigurationError):
             RankedUnionEngine(walk_db.index, scheduling="nope")
+
+
+# ----------------------------------------------------------------------
+# Golden counters: captured from the scalar (pre-vectorization) engines
+# on the fixed workload below.  The batched kernels are required to be
+# byte-identical end to end, so every counter, every distance repr, and
+# every (sid, start) pair is pinned exactly.  If one of these moves, a
+# kernel changed engine behaviour — that is a bug, not a baseline drift.
+# ----------------------------------------------------------------------
+
+GOLDEN_STAT_KEYS = (
+    "candidates",
+    "page_accesses",
+    "sequential_page_accesses",
+    "random_page_accesses",
+    "logical_reads",
+    "dtw_computations",
+    "lb_keogh_computations",
+    "heap_pops",
+    "node_expansions",
+    "bloom_calls",
+    "deferred_flushes",
+    "pruned_by_lower_bound",
+    "pruned_by_lb_keogh",
+    "duplicates_suppressed",
+    "window_group_evaluations",
+)
+
+# Only non-zero counters are listed; every key absent from a row is
+# asserted to be exactly zero.
+GOLDEN_COUNTERS = {
+    "seqscan": {
+        "candidates": 5106, "page_accesses": 11,
+        "sequential_page_accesses": 10, "random_page_accesses": 1,
+        "logical_reads": 11, "dtw_computations": 379,
+        "lb_keogh_computations": 5106, "pruned_by_lb_keogh": 4727,
+    },
+    "hlmj": {
+        "candidates": 228, "page_accesses": 179,
+        "sequential_page_accesses": 105, "random_page_accesses": 74,
+        "logical_reads": 365, "dtw_computations": 24,
+        "lb_keogh_computations": 228, "heap_pops": 350,
+        "node_expansions": 110, "pruned_by_lb_keogh": 204,
+        "duplicates_suppressed": 11,
+    },
+    "hlmj-d": {
+        "candidates": 228, "page_accesses": 124,
+        "sequential_page_accesses": 98, "random_page_accesses": 26,
+        "logical_reads": 365, "dtw_computations": 28,
+        "lb_keogh_computations": 228, "heap_pops": 350,
+        "node_expansions": 110, "deferred_flushes": 18,
+        "pruned_by_lb_keogh": 200, "duplicates_suppressed": 11,
+    },
+    "hlmj-wg": {
+        "candidates": 46, "page_accesses": 45,
+        "sequential_page_accesses": 26, "random_page_accesses": 19,
+        "logical_reads": 160, "dtw_computations": 24,
+        "lb_keogh_computations": 46, "heap_pops": 350,
+        "node_expansions": 110, "pruned_by_lower_bound": 182,
+        "pruned_by_lb_keogh": 22, "duplicates_suppressed": 11,
+        "window_group_evaluations": 228,
+    },
+    "hlmj-wg-d": {
+        "candidates": 60, "page_accesses": 39,
+        "sequential_page_accesses": 26, "random_page_accesses": 13,
+        "logical_reads": 175, "dtw_computations": 29,
+        "lb_keogh_computations": 60, "heap_pops": 350,
+        "node_expansions": 110, "deferred_flushes": 5,
+        "pruned_by_lower_bound": 168, "pruned_by_lb_keogh": 31,
+        "duplicates_suppressed": 11, "window_group_evaluations": 228,
+    },
+    "ru": {
+        "candidates": 216, "page_accesses": 229,
+        "sequential_page_accesses": 132, "random_page_accesses": 97,
+        "logical_reads": 317, "dtw_computations": 24,
+        "lb_keogh_computations": 216, "heap_pops": 273,
+        "node_expansions": 57, "pruned_by_lb_keogh": 192,
+    },
+    "ru-d": {
+        "candidates": 216, "page_accesses": 149,
+        "sequential_page_accesses": 115, "random_page_accesses": 34,
+        "logical_reads": 317, "dtw_computations": 27,
+        "lb_keogh_computations": 216, "heap_pops": 273,
+        "node_expansions": 57, "deferred_flushes": 17,
+        "pruned_by_lb_keogh": 189,
+    },
+    "ru-cost": {
+        "candidates": 214, "page_accesses": 248,
+        "sequential_page_accesses": 144, "random_page_accesses": 104,
+        "logical_reads": 355, "dtw_computations": 24,
+        "lb_keogh_computations": 214, "heap_pops": 255,
+        "node_expansions": 99, "pruned_by_lb_keogh": 190,
+        "duplicates_suppressed": 3,
+    },
+    "ru-cost-d": {
+        "candidates": 212, "page_accesses": 161,
+        "sequential_page_accesses": 125, "random_page_accesses": 36,
+        "logical_reads": 352, "dtw_computations": 27,
+        "lb_keogh_computations": 212, "heap_pops": 252,
+        "node_expansions": 98, "deferred_flushes": 17,
+        "pruned_by_lb_keogh": 185, "duplicates_suppressed": 2,
+    },
+    "range": {
+        "candidates": 431, "page_accesses": 517,
+        "sequential_page_accesses": 263, "random_page_accesses": 254,
+        "logical_reads": 635, "dtw_computations": 5,
+        "lb_keogh_computations": 431, "node_expansions": 125,
+        "pruned_by_lb_keogh": 426, "duplicates_suppressed": 44,
+    },
+    "psm": {
+        "candidates": 3, "page_accesses": 5,
+        "sequential_page_accesses": 1, "random_page_accesses": 4,
+        "logical_reads": 37, "dtw_computations": 3,
+        "lb_keogh_computations": 3, "heap_pops": 38,
+        "node_expansions": 34, "bloom_calls": 882,
+    },
+}
+
+# Full-precision reprs: the ranked engines and range search all return
+# the identical five matches on this workload.
+GOLDEN_DISTANCES = [
+    "0.0",
+    "0.6557656093859874",
+    "0.6909614700562021",
+    "1.3058718531149556",
+    "1.6013218650370529",
+]
+GOLDEN_MATCHES = [(0, 640), (0, 639), (0, 641), (0, 642), (0, 638)]
+
+GOLDEN_PSM_DISTANCES = ["0.0", "0.831178482643337", "2.646050360682022"]
+GOLDEN_PSM_MATCHES = [(0, 200), (0, 199), (0, 201)]
+
+
+@pytest.fixture(scope="module")
+def golden_db():
+    """A fresh database matching the golden capture run exactly.
+
+    Deliberately *not* the shared ``walk_db`` fixture: golden counters
+    must not depend on what other tests ran first, so the database (and
+    its cache history) is rebuilt from scratch here.
+    """
+    import numpy as np
+
+    from repro import SubsequenceDatabase
+
+    def make_walk(n, seed):
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal(n).cumsum()
+
+    db = SubsequenceDatabase(omega=16, features=4, buffer_fraction=0.1)
+    db.insert(0, make_walk(3000, seed=11))
+    db.insert(1, make_walk(2200, seed=12))
+    db.build()
+    return db
+
+
+@pytest.fixture(scope="module")
+def golden_psm_db():
+    import numpy as np
+
+    from repro import SubsequenceDatabase
+
+    def make_walk(n, seed):
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal(n).cumsum()
+
+    db = SubsequenceDatabase(omega=8, features=4, buffer_fraction=0.1)
+    db.insert(0, make_walk(900, seed=21))
+    db.insert(1, make_walk(700, seed=22))
+    db.build(psm=True)
+    return db
+
+
+def assert_golden(result, label, distances, matches):
+    expected = GOLDEN_COUNTERS[label]
+    got = {key: getattr(result.stats, key) for key in GOLDEN_STAT_KEYS}
+    want = {key: expected.get(key, 0) for key in GOLDEN_STAT_KEYS}
+    assert got == want, f"{label}: counters drifted"
+    assert [repr(m.distance) for m in result.matches] == distances
+    assert [(m.sid, m.start) for m in result.matches] == matches
+
+
+class TestGoldenCounters:
+    @pytest.mark.parametrize(
+        "label",
+        [
+            "seqscan", "hlmj", "hlmj-d", "hlmj-wg", "hlmj-wg-d",
+            "ru", "ru-d", "ru-cost", "ru-cost-d",
+        ],
+    )
+    def test_ranked_engines_match_goldens(self, golden_db, label):
+        deferred = label.endswith("-d")
+        method = label[:-2] if deferred else label
+        query = query_from(golden_db, 640, 48)
+        golden_db.reset_cache()
+        result = golden_db.search(
+            query, k=5, rho=2, method=method, deferred=deferred
+        )
+        assert_golden(result, label, GOLDEN_DISTANCES, GOLDEN_MATCHES)
+
+    def test_range_search_matches_goldens(self, golden_db):
+        from repro.engines.range_search import RangeSearchEngine
+
+        query = query_from(golden_db, 640, 48)
+        golden_db.reset_cache()
+        result = RangeSearchEngine(golden_db.index).search(
+            query, epsilon=2.5, rho=2
+        )
+        assert_golden(result, "range", GOLDEN_DISTANCES, GOLDEN_MATCHES)
+
+    def test_psm_matches_goldens(self, golden_psm_db):
+        query = query_from(golden_psm_db, 200, 32)
+        golden_psm_db.reset_cache()
+        result = golden_psm_db.search(query, k=3, rho=1, method="psm")
+        assert_golden(
+            result, "psm", GOLDEN_PSM_DISTANCES, GOLDEN_PSM_MATCHES
+        )

@@ -1,0 +1,460 @@
+"""Differential conformance tests: vectorized kernels vs scalar oracles.
+
+The contract (module docstrings of :mod:`repro.core.distance` and
+:mod:`repro.core.lower_bounds`):
+
+* DTW at ``p == 2``, envelopes, and PAA are **bit-for-bit** equal to the
+  scalar oracles in :mod:`repro.core.reference`;
+* DTW at ``p != 2`` agrees to within 1e-9 relative (NumPy's vectorized
+  ``pow`` may differ from libm by an ULP per cell);
+* every ``*_batch`` lower bound is bit-for-bit equal to its scalar
+  production counterpart for every ``p``, and within 1e-9 of the
+  reference oracle (whose sequential summation order differs);
+* all kernels accumulate in float64 regardless of the input dtype.
+
+Inputs are generated from hypothesis-drawn seeds (the shrinker works on
+the seed, the arrays stay cheap), the style the rest of the property
+suite uses.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import (
+    dtw_pow,
+    dtw_pow_batch,
+    dtw_pow_wavefront,
+    lp_distance,
+)
+from repro.core.envelope import envelope_batch, query_envelope
+from repro.core.lower_bounds import (
+    batch_lower_bounds,
+    lb_keogh_pow,
+    lb_keogh_pow_batch,
+    lb_paa_pow,
+    lb_paa_pow_batch,
+    maxdist_pow,
+    maxdist_pow_batch,
+    mdmwp_pow,
+    mdmwp_pow_batch,
+    mindist_pow,
+    mindist_pow_batch,
+)
+from repro.core.paa import paa, paa_batch
+from repro.core.reference import (
+    reference_dtw_pow,
+    reference_envelope,
+    reference_lb_keogh_pow,
+    reference_lb_paa_pow,
+    reference_maxdist_pow,
+    reference_mindist_pow,
+    reference_paa,
+)
+from repro.exceptions import QueryError
+
+seeds = st.integers(0, 100_000)
+
+
+def rel_close(a, b, tol=1e-9):
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+class TestDTWConformance:
+    @settings(max_examples=60, deadline=None)
+    @given(seeds, st.integers(0, 8))
+    def test_batch_matches_oracle_bitwise_p2(self, seed, rho):
+        rng = np.random.default_rng(seed)
+        lanes = int(rng.integers(1, 7))
+        n = int(rng.integers(1, 41))
+        query = rng.standard_normal(n)
+        batch = rng.standard_normal((lanes, n))
+        expected = np.array(
+            [reference_dtw_pow(batch[i], query, rho) for i in range(lanes)]
+        )
+        got = dtw_pow_batch(batch, query, rho)
+        assert np.array_equal(expected, got)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.integers(1, 6))
+    def test_batch_unequal_lengths_within_band(self, seed, rho):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 24))
+        m = n + int(rng.integers(-rho, rho + 1))
+        if m < 1:
+            m = 1
+        query = rng.standard_normal(n)
+        batch = rng.standard_normal((3, m))
+        expected = np.array(
+            [reference_dtw_pow(batch[i], query, rho) for i in range(3)]
+        )
+        assert np.array_equal(expected, dtw_pow_batch(batch, query, rho))
+
+    def test_batch_band_infeasible_is_inf(self):
+        rng = np.random.default_rng(0)
+        query = rng.standard_normal(10)
+        batch = rng.standard_normal((4, 14))
+        got = dtw_pow_batch(batch, query, rho=3)
+        assert np.isinf(got).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds, st.sampled_from([1.0, 1.5, 3.0]), st.integers(0, 6))
+    def test_batch_matches_oracle_p_not_2(self, seed, p, rho):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 32))
+        query = rng.standard_normal(n)
+        batch = rng.standard_normal((4, n))
+        got = dtw_pow_batch(batch, query, rho, p=p)
+        for i in range(4):
+            assert rel_close(
+                reference_dtw_pow(batch[i], query, rho, p=p), float(got[i])
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(seeds, st.integers(0, 8))
+    def test_scalar_and_wavefront_paths_bitwise_identical(self, seed, rho):
+        # dtw_pow dispatches on the band width; both kernels must agree
+        # bit for bit so the dispatch is purely a speed decision.
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 48))
+        s = rng.standard_normal(n)
+        q = rng.standard_normal(n)
+        assert dtw_pow(s, q, rho) == dtw_pow_wavefront(s, q, rho)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_early_abandoned_lanes_truly_exceed_threshold(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 24
+        rho = 3
+        query = rng.standard_normal(n).cumsum()
+        batch = rng.standard_normal((8, n)).cumsum(axis=1)
+        full = np.array(
+            [reference_dtw_pow(batch[i], query, rho) for i in range(8)]
+        )
+        threshold_pow = float(np.median(full))
+        got = dtw_pow_batch(batch, query, rho, threshold_pow=threshold_pow)
+        for i in range(8):
+            if math.isinf(got[i]):
+                assert full[i] > threshold_pow
+            else:
+                assert got[i] == full[i]
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_scalar_early_abandon_consistent(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 20
+        rho = 2
+        s = rng.standard_normal(n).cumsum()
+        q = rng.standard_normal(n).cumsum()
+        full = reference_dtw_pow(s, q, rho)
+        got = dtw_pow(s, q, rho, threshold_pow=full / 2.0)
+        if math.isinf(got):
+            assert full > full / 2.0
+        else:
+            assert got == full
+
+
+class TestDTWEdgeCases:
+    def test_length_one_sequences(self):
+        got = dtw_pow_batch([[3.0], [5.0], [7.0]], [4.0], rho=0)
+        assert got.tolist() == [1.0, 1.0, 9.0]
+        assert dtw_pow([3.0], [4.0], rho=0) == 1.0
+
+    def test_rho_zero_equals_lp_squared(self):
+        rng = np.random.default_rng(7)
+        q = rng.standard_normal(17)
+        batch = rng.standard_normal((5, 17))
+        got = dtw_pow_batch(batch, q, rho=0)
+        for i in range(5):
+            assert rel_close(float(got[i]), lp_distance(batch[i], q) ** 2)
+
+    def test_rho_wider_than_query_is_unconstrained(self):
+        rng = np.random.default_rng(9)
+        q = rng.standard_normal(12)
+        batch = rng.standard_normal((3, 12))
+        wide = dtw_pow_batch(batch, q, rho=len(q) + 5)
+        expected = np.array(
+            [reference_dtw_pow(batch[i], q, len(q) + 5) for i in range(3)]
+        )
+        assert np.array_equal(wide, expected)
+
+    def test_constant_sequences(self):
+        q = np.full(16, 2.5)
+        batch = np.stack([np.full(16, 2.5), np.full(16, 3.5)])
+        got = dtw_pow_batch(batch, q, rho=2)
+        assert got[0] == 0.0
+        assert got[1] == reference_dtw_pow(batch[1], q, 2)
+
+    def test_empty_batch(self):
+        got = dtw_pow_batch(np.empty((0, 10)), np.zeros(10), rho=1)
+        assert got.shape == (0,)
+
+    def test_zero_length_rows(self):
+        assert (
+            dtw_pow_batch(np.empty((3, 0)), np.empty(0), rho=0) == 0.0
+        ).all()
+        assert np.isinf(
+            dtw_pow_batch(np.empty((3, 0)), np.zeros(4), rho=1)
+        ).all()
+
+    def test_nan_rejected_everywhere(self):
+        clean = np.zeros(8)
+        dirty = clean.copy()
+        dirty[3] = np.nan
+        with pytest.raises(QueryError):
+            dtw_pow_batch(np.stack([clean, dirty]), clean, rho=1)
+        with pytest.raises(QueryError):
+            dtw_pow_batch(np.stack([clean, clean]), dirty, rho=1)
+        # Both dispatch paths of the single-pair API.
+        with pytest.raises(QueryError):
+            dtw_pow(dirty, clean, rho=1)
+        with pytest.raises(QueryError):
+            dtw_pow(clean, dirty, rho=1)
+        with pytest.raises(QueryError):
+            dtw_pow_wavefront(dirty, clean, rho=1)
+
+    def test_negative_rho_rejected(self):
+        with pytest.raises(QueryError):
+            dtw_pow_batch(np.zeros((1, 4)), np.zeros(4), rho=-1)
+        with pytest.raises(QueryError):
+            dtw_pow(np.zeros(4), np.zeros(4), rho=-1)
+
+    def test_shape_validation(self):
+        with pytest.raises(QueryError):
+            dtw_pow_batch(np.zeros(4), np.zeros(4), rho=1)  # 1-D batch
+        with pytest.raises(QueryError):
+            dtw_pow_batch(np.zeros((2, 4)), np.zeros((2, 4)), rho=1)
+
+
+class TestEnvelopePAAConformance:
+    @settings(max_examples=60, deadline=None)
+    @given(seeds, st.integers(0, 10))
+    def test_envelope_batch_bitwise(self, seed, rho):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(1, 6))
+        n = int(rng.integers(1, 40))
+        batch = rng.standard_normal((rows, n))
+        lower, upper = envelope_batch(batch, rho)
+        for i in range(rows):
+            ref_lower, ref_upper = reference_envelope(batch[i], rho)
+            env = query_envelope(batch[i], rho)
+            assert np.array_equal(lower[i], ref_lower)
+            assert np.array_equal(upper[i], ref_upper)
+            assert np.array_equal(lower[i], env.lower)
+            assert np.array_equal(upper[i], env.upper)
+
+    def test_envelope_batch_rho_wider_than_rows(self):
+        batch = np.array([[1.0, -2.0, 3.0]])
+        lower, upper = envelope_batch(batch, rho=50)
+        assert lower.tolist() == [[-2.0, -2.0, -2.0]]
+        assert upper.tolist() == [[3.0, 3.0, 3.0]]
+
+    def test_envelope_batch_validation(self):
+        with pytest.raises(QueryError):
+            envelope_batch(np.zeros((2, 4)), rho=-1)
+        with pytest.raises(QueryError):
+            envelope_batch(np.zeros(4), rho=1)
+        with pytest.raises(QueryError):
+            envelope_batch(np.empty((2, 0)), rho=1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seeds, st.integers(1, 4), st.integers(1, 6))
+    def test_paa_batch_bitwise(self, seed, features, seg):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(1, 6))
+        batch = rng.standard_normal((rows, features * seg))
+        got = paa_batch(batch, features)
+        for i in range(rows):
+            assert np.array_equal(got[i], paa(batch[i], features))
+            assert np.array_equal(got[i], reference_paa(batch[i], features))
+
+    def test_paa_batch_validation(self):
+        with pytest.raises(QueryError):
+            paa_batch(np.zeros(8), 2)
+
+
+def _lb_inputs(seed, features=6):
+    rng = np.random.default_rng(seed)
+    halves = np.sort(rng.standard_normal((2, features)), axis=0)
+    points = rng.standard_normal((8, features))
+    rects = np.sort(rng.standard_normal((2, 8, features)), axis=0)
+    return halves[0], halves[1], points, rects[0], rects[1]
+
+
+class TestLowerBoundConformance:
+    @settings(max_examples=60, deadline=None)
+    @given(seeds, st.sampled_from([2.0, 3.0]))
+    def test_lb_keogh_batch_bitwise_vs_scalar(self, seed, p):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 40))
+        rho = int(rng.integers(0, 6))
+        env = query_envelope(rng.standard_normal(n), rho)
+        rows = rng.standard_normal((6, n))
+        got = lb_keogh_pow_batch(env, rows, p)
+        for i in range(6):
+            assert lb_keogh_pow(env, rows[i], p) == got[i]
+            assert rel_close(
+                reference_lb_keogh_pow(env.lower, env.upper, rows[i], p),
+                float(got[i]),
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(seeds, st.sampled_from([2.0, 3.0]), st.integers(1, 8))
+    def test_lb_paa_batch_bitwise_vs_scalar(self, seed, p, seg_len):
+        lower, upper, points, _, _ = _lb_inputs(seed)
+        got = lb_paa_pow_batch(lower, upper, points, seg_len, p)
+        for i in range(points.shape[0]):
+            assert lb_paa_pow(lower, upper, points[i], seg_len, p) == got[i]
+            assert rel_close(
+                reference_lb_paa_pow(lower, upper, points[i], seg_len, p),
+                float(got[i]),
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(seeds, st.sampled_from([2.0, 3.0]), st.integers(1, 8))
+    def test_mindist_maxdist_batch_bitwise_vs_scalar(self, seed, p, seg_len):
+        lower, upper, _, lows, highs = _lb_inputs(seed)
+        near = mindist_pow_batch(lower, upper, lows, highs, seg_len, p)
+        far = maxdist_pow_batch(lower, upper, lows, highs, seg_len, p)
+        for i in range(lows.shape[0]):
+            assert (
+                mindist_pow(lower, upper, lows[i], highs[i], seg_len, p)
+                == near[i]
+            )
+            assert (
+                maxdist_pow(lower, upper, lows[i], highs[i], seg_len, p)
+                == far[i]
+            )
+            assert rel_close(
+                reference_mindist_pow(
+                    lower, upper, lows[i], highs[i], seg_len, p
+                ),
+                float(near[i]),
+            )
+            assert rel_close(
+                reference_maxdist_pow(
+                    lower, upper, lows[i], highs[i], seg_len, p
+                ),
+                float(far[i]),
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(seeds, st.integers(1, 8))
+    def test_degenerate_rect_identity(self, seed, seg_len):
+        # A leaf entry's PAA point as a low == high rectangle: MINDIST,
+        # LB_PAA, and MAXDIST must coincide bit for bit — this is what
+        # lets batch_lower_bounds score mixed leaf/node entry blocks.
+        lower, upper, points, _, _ = _lb_inputs(seed)
+        point_vals = lb_paa_pow_batch(lower, upper, points, seg_len)
+        near = mindist_pow_batch(lower, upper, points, points, seg_len)
+        far = maxdist_pow_batch(lower, upper, points, points, seg_len)
+        assert np.array_equal(point_vals, near)
+        assert np.array_equal(point_vals, far)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.integers(1, 8))
+    def test_batch_lower_bounds_entry_point(self, seed, seg_len):
+        lower, upper, _, lows, highs = _lb_inputs(seed)
+        near, far = batch_lower_bounds(
+            lower, upper, lows, highs, seg_len, include_far=True
+        )
+        assert np.array_equal(
+            near, mindist_pow_batch(lower, upper, lows, highs, seg_len)
+        )
+        assert far is not None
+        assert np.array_equal(
+            far, maxdist_pow_batch(lower, upper, lows, highs, seg_len)
+        )
+        near_only, no_far = batch_lower_bounds(
+            lower, upper, lows, highs, seg_len
+        )
+        assert np.array_equal(near, near_only)
+        assert no_far is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.integers(1, 10))
+    def test_mdmwp_batch_matches_scalar(self, seed, r):
+        rng = np.random.default_rng(seed)
+        pows = rng.random(6)
+        got = mdmwp_pow_batch(pows, r)
+        for i in range(6):
+            assert got[i] == mdmwp_pow(float(pows[i]), r)
+        with pytest.raises(QueryError):
+            mdmwp_pow_batch(pows, 0)
+
+    def test_batch_validation_errors(self):
+        env = query_envelope(np.zeros(8), 1)
+        with pytest.raises(QueryError):
+            lb_keogh_pow_batch(env, np.zeros(8))  # 1-D
+        with pytest.raises(QueryError):
+            lb_keogh_pow_batch(env, np.zeros((2, 5)))  # wrong length
+        with pytest.raises(QueryError):
+            lb_paa_pow_batch(np.zeros(4), np.zeros(4), np.zeros((2, 4)), 0)
+        with pytest.raises(QueryError):
+            mindist_pow_batch(
+                np.zeros(4), np.zeros(4), np.zeros((2, 4)), np.zeros((3, 4)), 1
+            )
+        with pytest.raises(QueryError):
+            maxdist_pow_batch(
+                np.zeros(4), np.zeros(4), np.zeros((2, 4)), np.zeros((2, 3)), 1
+            )
+
+
+class TestFloat64Accumulation:
+    """float32 (or integer) inputs must accumulate in float64."""
+
+    def test_dtw_batch_float32(self):
+        rng = np.random.default_rng(13)
+        batch32 = rng.standard_normal((4, 20)).astype(np.float32)
+        q32 = rng.standard_normal(20).astype(np.float32)
+        got = dtw_pow_batch(batch32, q32, rho=3)
+        assert got.dtype == np.float64
+        expected = dtw_pow_batch(
+            batch32.astype(np.float64), q32.astype(np.float64), 3
+        )
+        assert np.array_equal(got, expected)
+
+    def test_dtw_scalar_paths_float32(self):
+        rng = np.random.default_rng(14)
+        s32 = rng.standard_normal(20).astype(np.float32)
+        q32 = rng.standard_normal(20).astype(np.float32)
+        want = dtw_pow(s32.astype(np.float64), q32.astype(np.float64), 3)
+        assert dtw_pow(s32, q32, 3) == want
+        assert dtw_pow_wavefront(s32, q32, 3) == want
+
+    def test_lb_keogh_batch_float32(self):
+        rng = np.random.default_rng(15)
+        env = query_envelope(rng.standard_normal(16), 2)
+        rows32 = rng.standard_normal((5, 16)).astype(np.float32)
+        got = lb_keogh_pow_batch(env, rows32)
+        assert got.dtype == np.float64
+        assert np.array_equal(
+            got, lb_keogh_pow_batch(env, rows32.astype(np.float64))
+        )
+
+    def test_envelope_and_paa_batch_float32(self):
+        rng = np.random.default_rng(16)
+        batch32 = rng.standard_normal((3, 12)).astype(np.float32)
+        batch64 = batch32.astype(np.float64)
+        lower32, upper32 = envelope_batch(batch32, 2)
+        lower64, upper64 = envelope_batch(batch64, 2)
+        assert lower32.dtype == upper32.dtype == np.float64
+        assert np.array_equal(lower32, lower64)
+        assert np.array_equal(upper32, upper64)
+        got = paa_batch(batch32, 4)
+        assert got.dtype == np.float64
+        assert np.array_equal(got, paa_batch(batch64, 4))
+
+    def test_integer_inputs_upcast(self):
+        batch = np.array([[1, 2, 3, 4]], dtype=np.int64)
+        q = np.array([2, 2, 2, 2], dtype=np.int64)
+        assert dtw_pow_batch(batch, q, rho=1)[0] == dtw_pow(
+            batch[0].astype(np.float64), q.astype(np.float64), 1
+        )

@@ -10,10 +10,19 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.distance import dtw_pow, lp_distance
+from repro.core.distance import dtw_pow, dtw_pow_batch, lp_distance
 from repro.core.envelope import query_envelope
-from repro.core.lower_bounds import lb_keogh_pow, lb_paa_pow, mindist_pow
-from repro.core.paa import paa, paa_envelope
+from repro.core.lower_bounds import (
+    batch_lower_bounds,
+    lb_keogh_pow,
+    lb_keogh_pow_batch,
+    lb_paa_pow,
+    lb_paa_pow_batch,
+    maxdist_pow_batch,
+    mindist_pow,
+    mindist_pow_batch,
+)
+from repro.core.paa import paa, paa_batch, paa_envelope
 from repro.core.results import TopKCollector
 
 finite = st.floats(
@@ -104,6 +113,58 @@ def test_mindist_lower_bounds_points_in_rect(seed):
     assert mindist_pow(
         env_low, env_high, rect_low, rect_high, 4
     ) <= lb_paa_pow(env_low, env_high, point, 4) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(0, 10_000),
+    st.integers(1, 4),
+    st.integers(0, 6),
+)
+def test_batched_lower_bound_sandwich(seed, features_exp, rho):
+    # Lemma 1's chain, LB_PAA <= LB_Keogh <= DTW_rho, must hold for
+    # every lane of the batched kernels at once.
+    rng = np.random.default_rng(seed)
+    features = 2**features_exp  # 2..16 divides 32
+    n = 32
+    q = rng.standard_normal(n).cumsum()
+    batch = rng.standard_normal((8, n)).cumsum(axis=1)
+    env = query_envelope(q, rho)
+    dtw = dtw_pow_batch(batch, q, rho)
+    keogh = lb_keogh_pow_batch(env, batch)
+    lower, upper = paa_envelope(env, features)
+    paa_bound = lb_paa_pow_batch(
+        lower, upper, paa_batch(batch, features), n // features
+    )
+    assert (dtw + 1e-9 >= keogh).all()
+    assert (keogh + 1e-9 >= paa_bound).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 8))
+def test_batched_mindist_sandwich_over_rect_points(seed, seg_len):
+    # MINDIST <= LB_PAA(point) <= MAXDIST for every point inside its
+    # rectangle, batched: the near/far bounds of batch_lower_bounds
+    # must bracket every leaf entry the rectangle could contain.
+    rng = np.random.default_rng(seed)
+    f = 4
+    env_low = np.sort(rng.standard_normal(f))
+    env_high = env_low + rng.random(f)
+    lows = rng.standard_normal((8, f))
+    highs = lows + rng.random((8, f)) * 3
+    points = lows + rng.random((8, f)) * (highs - lows)
+    near, far = batch_lower_bounds(
+        env_low, env_high, lows, highs, seg_len, include_far=True
+    )
+    point_bound = lb_paa_pow_batch(env_low, env_high, points, seg_len)
+    assert (near <= point_bound + 1e-9).all()
+    assert (point_bound <= far + 1e-9).all()
+    assert np.array_equal(
+        near, mindist_pow_batch(env_low, env_high, lows, highs, seg_len)
+    )
+    assert np.array_equal(
+        far, maxdist_pow_batch(env_low, env_high, lows, highs, seg_len)
+    )
 
 
 @settings(max_examples=60, deadline=None)
