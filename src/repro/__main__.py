@@ -28,6 +28,14 @@ Subcommands
     gated against the committed ``benchmarks/baseline.json``.  Exit 0
     (gate passed), 1 (regression / exactness failure), or 2 (usage
     error, e.g. a missing baseline).
+``trace``
+    Run one fully traced query (:mod:`repro.obs`) against a synthetic
+    dataset and write the span tree in Chrome ``chrome://tracing`` /
+    Perfetto format.  Also cross-checks the span-level page accounting
+    against the paper's NUM_IO counter and fails (exit 1) on mismatch.
+``profile``
+    Run one traced query and print the per-query profile: the hottest
+    span names ranked by self time, plus the observability counters.
 
 These are convenience smoke tests; the real experiment drivers live in
 ``benchmarks/`` (one pytest-benchmark module per figure).
@@ -162,7 +170,11 @@ def _bench(args: argparse.Namespace) -> int:
 
     from repro.bench import perf
 
-    suites = ("kernels", "engines") if args.suite == "all" else (args.suite,)
+    suites = (
+        ("kernels", "engines", "tracing")
+        if args.suite == "all"
+        else (args.suite,)
+    )
     report = perf.run_suites(suites, seed=args.seed, quick=args.quick)
     print(perf.format_report(report))
 
@@ -212,6 +224,87 @@ def _bench(args: argparse.Namespace) -> int:
     return 1
 
 
+def _traced_query(args: argparse.Namespace) -> "object":
+    """Build a dataset-backed database and run one traced query."""
+    from repro import SubsequenceDatabase
+    from repro.data import load_dataset
+    from repro.obs import Tracer
+
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    tracer = Tracer(enabled=True)
+    db = SubsequenceDatabase(omega=args.omega, features=4, tracer=tracer)
+    db.insert(0, dataset.values)
+    db.build(psm=args.engine == "psm")
+    rng = np.random.default_rng(args.seed + 1)
+    start = int(rng.integers(0, dataset.size - args.query_length))
+    query = dataset.values[start : start + args.query_length].copy()
+    db.reset_cache()
+    return db.search(
+        query,
+        k=args.k,
+        method=args.engine,
+        deferred=args.deferred,
+    )
+
+
+def _trace(args: argparse.Namespace) -> int:
+    import json
+
+    result = _traced_query(args)
+    profile = result.profile  # type: ignore[attr-defined]
+    if profile is None:
+        print("trace: query returned no profile", file=sys.stderr)
+        return 1
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(profile.to_chrome_trace(), handle)
+    fetch_spans = profile.span_count("buffer.fetch")
+    num_io = profile.stats.page_accesses
+    total_spans = sum(
+        count for count, _ in profile.span_totals().values()
+    )
+    print(
+        f"trace: {args.engine} on {args.dataset}: "
+        f"{total_spans} spans -> {args.out}"
+    )
+    print(
+        f"trace: buffer.fetch spans={fetch_spans} NUM_IO={num_io} "
+        f"({'conformant' if fetch_spans == num_io else 'MISMATCH'})"
+    )
+    if fetch_spans != num_io:
+        print(
+            "trace: span-level page accounting does not match the "
+            "NUM_IO counter",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _profile(args: argparse.Namespace) -> int:
+    result = _traced_query(args)
+    profile = result.profile  # type: ignore[attr-defined]
+    if profile is None:
+        print("profile: query returned no profile", file=sys.stderr)
+        return 1
+    print(
+        f"profile: {args.engine} on {args.dataset} "
+        f"(k={args.k}, NUM_IO={profile.stats.page_accesses}, "
+        f"candidates={profile.stats.candidates})"
+    )
+    print(f"{'span':>24s} {'count':>8s} {'total ms':>10s} {'self ms':>10s}")
+    for name, count, total_s, self_s in profile.top_spans(args.top):
+        print(
+            f"{name:>24s} {count:>8,d} {total_s * 1000:>10.2f} "
+            f"{self_s * 1000:>10.2f}"
+        )
+    counters = profile.metrics.counters
+    if counters:
+        print("counters:")
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]:,g}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -257,7 +350,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     bench.add_argument(
         "--suite",
-        choices=("kernels", "engines", "all"),
+        choices=("kernels", "engines", "tracing", "all"),
         default="all",
         help="which suite(s) to run (default: all)",
     )
@@ -281,6 +374,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(func=_bench)
+
+    engines = ("seqscan", "hlmj", "hlmj-wg", "psm", "ru", "ru-cost")
+
+    def add_query_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--size", type=int, default=40_000)
+        command.add_argument("--omega", type=int, default=32)
+        command.add_argument("--query-length", type=int, default=128)
+        command.add_argument("--k", type=int, default=5)
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument(
+            "--deferred",
+            action="store_true",
+            help="use the deferred retrieval variant",
+        )
+
+    trace = sub.add_parser(
+        "trace", help="run one traced query, export a Chrome trace"
+    )
+    trace.add_argument("dataset", help="dataset name (e.g. WALK)")
+    trace.add_argument("engine", choices=engines, help="engine to trace")
+    trace.add_argument(
+        "--out",
+        default="trace.json",
+        help="Chrome trace output path (default: trace.json)",
+    )
+    add_query_options(trace)
+    trace.set_defaults(func=_trace)
+
+    profile = sub.add_parser(
+        "profile", help="run one traced query, print the hottest spans"
+    )
+    profile.add_argument(
+        "dataset", nargs="?", default="WALK", help="dataset name"
+    )
+    profile.add_argument(
+        "engine",
+        nargs="?",
+        choices=engines,
+        default="ru-cost",
+        help="engine to profile (default: ru-cost)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=10, help="span names to show"
+    )
+    add_query_options(profile)
+    profile.set_defaults(func=_profile)
 
     from repro.analysis.cli import add_lint_parser
 

@@ -1,4 +1,4 @@
-"""The built-in repo-specific rules (RS001–RS007).
+"""The built-in repo-specific rules (RS001–RS008).
 
 Each rule polices one contract that the paper's guarantees rest on but
 that Python cannot express in the type system.  The catalog with full
@@ -474,3 +474,72 @@ class CheckpointDisciplineRule(Rule):
                         f"checkpoint at the loop boundary (see "
                         f"repro.control)",
                     )
+
+
+@register
+class SpanDisciplineRule(Rule):
+    """RS008: tracer spans must be opened via ``with`` context managers.
+
+    The observability plane's conformance guarantee — every span
+    closed, the tree well-nested, ``buffer.fetch`` span counts summing
+    exactly to NUM_IO — rests on spans being closed on *every* exit
+    path, including exceptions (budget interrupts unwind straight
+    through engine loops).  A bare ``tracer.start_span(...)`` /
+    ``tracer.span(...)`` call whose result is not a ``with`` context
+    leaks an open span: every later span nests under it, the exporter
+    reports an unclosed tree, and the conformance suite fails far from
+    the actual bug.  Long-lived spans that genuinely cannot be a
+    ``with`` block (e.g. a stream's root span closed in a finalizer)
+    must pair ``start_span`` with a guaranteed ``close()`` and suppress
+    with ``# repro: ignore[RS008]`` stating where the close happens.
+    """
+
+    code = "RS008"
+    name = "span-discipline"
+    rationale = (
+        "Bare start_span()/span() calls outside a with-statement leak "
+        "open spans, breaking span-tree nesting and NUM_IO conformance."
+    )
+
+    #: The tracer implementation itself manages span lifetimes by hand.
+    whitelist = ("repro/obs/tracer.py",)
+
+    def _is_tracer_receiver(self, expr: ast.expr) -> bool:
+        name = _terminal_name(expr)
+        return name is not None and "tracer" in name.lower()
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.path.startswith("repro/"):
+            return
+        if module.path in self.whitelist:
+            return
+        with_contexts: Set[ast.AST] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_contexts.add(item.context_expr)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "start_span":
+                pass  # any receiver: the raw opener is always suspect
+            elif func.attr == "span" and self._is_tracer_receiver(
+                func.value
+            ):
+                pass
+            else:
+                continue
+            if node in with_contexts:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"span opened without a with-statement "
+                f"({ast.unparse(func)}(...)): use "
+                f"'with tracer.span(...):' so the span closes on every "
+                f"exit path; a deliberately long-lived span must "
+                f"guarantee close() and suppress this line",
+            )

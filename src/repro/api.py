@@ -66,6 +66,8 @@ from repro.exceptions import (
     IndexNotBuiltError,
 )
 from repro.index.builder import DualMatchIndex, build_index
+from repro.obs import QueryProfile
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
 from repro.storage.buffer import BufferPool, RetryPolicy
 from repro.storage.circuit import CircuitBreaker
 from repro.storage.faults import FaultInjector, FaultyPager
@@ -126,6 +128,13 @@ class SubsequenceDatabase:
         concurrent (and queued) :meth:`search` calls; excess queries are
         rejected with
         :class:`~repro.exceptions.AdmissionRejectedError`.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  When given (and enabled)
+        every query records a structured span tree and metrics into it,
+        and results carry a :class:`~repro.obs.QueryProfile`.  Defaults
+        to the disabled null tracer — the untraced fast path is
+        byte-identical to a database built without one.  Can be swapped
+        later with :meth:`set_tracer`.
     """
 
     def __init__(
@@ -141,6 +150,7 @@ class SubsequenceDatabase:
         clock: Optional[Clock] = None,
         circuit_breaker: Optional[CircuitBreaker] = None,
         admission: Optional[AdmissionController] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not 0 < buffer_fraction <= 1:
             raise ConfigurationError(
@@ -170,6 +180,24 @@ class SubsequenceDatabase:
         self.index: Optional[DualMatchIndex] = None
         self._engines: Dict[str, Engine] = {}
         self._sliding_index = None
+        self._tracer = NULL_TRACER
+        self.set_tracer(tracer if tracer is not None else NULL_TRACER)
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer observing this database's queries."""
+        return self._tracer
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach (or swap) the tracer across the whole storage stack.
+
+        Propagates to the pager, the buffer pool, and — via the shared
+        buffer — the R*-tree and every engine constructed afterwards,
+        so one call flips the entire plane on or off.
+        """
+        self._tracer = tracer
+        self.pager.tracer = tracer
+        self.buffer.tracer = tracer
 
     @property
     def circuit_breaker(self) -> Optional[CircuitBreaker]:
@@ -333,7 +361,8 @@ class SubsequenceDatabase:
             k=k, rho=rho, deferred=deferred, p=self.p, on_fault=on_fault
         )
         control = ExecutionControl(
-            budget=budget, deadline=deadline, token=token
+            budget=budget, deadline=deadline, token=token,
+            tracer=self._tracer,
         )
         if self.admission is None:
             return engine.search(query, config, control=control)
@@ -422,7 +451,8 @@ class SubsequenceDatabase:
             rho = max(1, int(0.05 * len(query)))
         engine = RangeSearchEngine(self.index)
         control = ExecutionControl(
-            budget=budget, deadline=deadline, token=token
+            budget=budget, deadline=deadline, token=token,
+            tracer=self._tracer,
         )
         return engine.search(
             query,
@@ -471,7 +501,8 @@ class SubsequenceDatabase:
             rho = max(1, int(0.05 * len(query)))
         config = EngineConfig(k=k, rho=rho, p=self.p, on_fault=on_fault)
         control = ExecutionControl(
-            budget=budget, deadline=deadline, token=token
+            budget=budget, deadline=deadline, token=token,
+            tracer=self._tracer,
         )
         return MatchStream(
             db=self,
@@ -631,6 +662,24 @@ class MatchStream(Iterator[Match]):
             self._recorder.stats,
             lambda: pager_stats.physical_reads - reads_at_start,
         )
+        tracer = control.tracer
+        self._tracer = tracer
+        self._metrics_before = (
+            tracer.metrics.snapshot() if tracer.enabled else None
+        )
+        # The root span must stay open across ``__next__`` calls, so it
+        # cannot be a ``with`` block; :meth:`_finalize` closes it
+        # exactly once when the stream ends.
+        self._root_span = (
+            tracer.start_span(  # repro: ignore[RS008]
+                "engine.search",
+                engine="RU-STREAM",
+                k=config.k,
+                rho=config.rho,
+            )
+            if tracer.enabled
+            else None
+        )
         self._evaluator = CandidateEvaluator(
             index=db.index,
             envelope=self._window_set.envelope,
@@ -668,6 +717,9 @@ class MatchStream(Iterator[Match]):
         #: Exactness certificate at the early exit (``inf`` for a
         #: stream that ended naturally: emitted ranks are exact).
         self.certificate = math.inf
+        #: Per-query profile (``None`` until the stream ends, and
+        #: always ``None`` when tracing is disabled).
+        self.profile: Optional[QueryProfile] = None
 
     def __iter__(self) -> "MatchStream":
         return self
@@ -718,3 +770,14 @@ class MatchStream(Iterator[Match]):
             )
             self.certificate = certificate_from_pow(certificate_pow, self._p)
         self.stats = stats
+        root = self._root_span
+        if isinstance(root, Span) and self._metrics_before is not None:
+            root.close()
+            self.profile = QueryProfile(
+                span=root,
+                metrics=self._tracer.metrics.snapshot().delta(
+                    self._metrics_before
+                ),
+                stats=stats,
+                fault_report=self.fault_report,
+            )

@@ -22,6 +22,17 @@ are seeded; only wall-clock numbers vary between machines):
     shifts I/O accounting or a top-k set fails the gate even when it is
     faster.  Wall time is recorded for trend plots but never gated.
 
+``tracing``
+    Overhead and correctness of the observability plane
+    (:mod:`repro.obs`): the same seeded query runs against a database
+    with no tracer, a disabled tracer, and an enabled tracer.  The gate
+    checks that the disabled-tracer run is *byte-identical* (counters
+    and result digests) to the tracer-free run, that the traced run's
+    per-span page accounting sums exactly to NUM_IO, and that the
+    disabled tracer's wall-clock overhead stays under
+    :data:`DISABLED_OVERHEAD_LIMIT`.  Enabled-mode overhead is recorded
+    for the docs but never gated (tracing is opt-in).
+
 The committed ``benchmarks/baseline.json`` is the reference point;
 :func:`compare` applies the gate (>20 % speedup regression, any
 counter/digest drift, any exactness failure → non-zero exit).  Update
@@ -68,6 +79,13 @@ SPEEDUP_TOLERANCE = 0.20
 #: Relative tolerance for oracle comparisons whose summation order
 #: differs (sequential Python accumulation vs pairwise/einsum).
 ORACLE_RTOL = 1e-9
+
+#: Maximum wall-clock ratio a *disabled* tracer may cost versus a
+#: database built with no tracer at all.  The disabled path is a single
+#: attribute load and branch per hook, so the true ratio is ~1.0; the
+#: generous cap absorbs small-query timing noise while still catching
+#: an accidentally always-on plane.
+DISABLED_OVERHEAD_LIMIT = 1.5
 
 
 @dataclass(frozen=True)
@@ -442,6 +460,81 @@ def run_engine_suite(seed: int = 0) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Tracing suite
+# ----------------------------------------------------------------------
+
+
+def run_tracing_suite(seed: int = 0, quick: bool = False) -> Dict[str, Any]:
+    """Observability-plane overhead and conformance on a seeded query.
+
+    Three identical databases run the same ``ru-cost`` query: one with
+    no tracer, one with a disabled :class:`~repro.obs.Tracer`, and one
+    with tracing enabled.  Counters and digests of the first two must
+    match exactly; the third must conform (``buffer.fetch`` spans ==
+    NUM_IO).  Wall times are recorded as machine-relative ratios.
+    """
+    from repro import SubsequenceDatabase
+    from repro.obs import Tracer
+
+    repeats = 3 if quick else 7
+
+    def build(tracer: Optional[Tracer] = None) -> SubsequenceDatabase:
+        db = SubsequenceDatabase(
+            omega=16, features=4, buffer_fraction=0.1, tracer=tracer
+        )
+        db.insert(0, _make_walk(3000, seed=seed + 11))
+        db.insert(1, _make_walk(2200, seed=seed + 12))
+        db.build()
+        return db
+
+    plain = build()
+    disabled = build(Tracer(enabled=False))
+    enabled_tracer = Tracer(enabled=True)
+    enabled = build(enabled_tracer)
+    query = plain.store.peek_subsequence(0, 640, 48).copy()
+
+    def run(db: SubsequenceDatabase) -> Any:
+        db.reset_cache()
+        return db.search(query, k=5, rho=2, method="ru-cost")
+
+    plain_record = _engine_record(run(plain))
+    disabled_record = _engine_record(run(disabled))
+    counters_identical = (
+        plain_record["counters"] == disabled_record["counters"]
+        and plain_record["distances"] == disabled_record["distances"]
+        and plain_record["matches"] == disabled_record["matches"]
+    )
+    traced = run(enabled)
+    profile = traced.profile
+    conformant = (
+        profile is not None
+        and profile.span_count("buffer.fetch") == traced.stats.page_accesses
+    )
+
+    def run_enabled() -> Any:
+        # Reset the tracer between repeats so span accumulation across
+        # timing runs does not approach the span cap.
+        enabled_tracer.reset()
+        return run(enabled)
+
+    plain_s = _best_seconds(lambda: run(plain), repeats)
+    disabled_s = _best_seconds(lambda: run(disabled), repeats)
+    enabled_s = _best_seconds(run_enabled, repeats)
+    return {
+        "ru_cost_small": {
+            "engine": "ru-cost",
+            "counters_identical": counters_identical,
+            "conformant": conformant,
+            "untraced_ms": plain_s * 1e3,
+            "disabled_ms": disabled_s * 1e3,
+            "enabled_ms": enabled_s * 1e3,
+            "disabled_overhead": disabled_s / plain_s,
+            "enabled_overhead": enabled_s / plain_s,
+        }
+    }
+
+
+# ----------------------------------------------------------------------
 # Reports, baselines, and the gate
 # ----------------------------------------------------------------------
 
@@ -468,6 +561,8 @@ def run_suites(
         suite_block["kernels"] = run_kernel_suite(seed=seed, quick=quick)
     if "engines" in suites:
         suite_block["engines"] = run_engine_suite(seed=seed)
+    if "tracing" in suites:
+        suite_block["tracing"] = run_tracing_suite(seed=seed, quick=quick)
     report["suites"] = suite_block
     return report
 
@@ -550,6 +645,45 @@ def compare(
                             f"result digest {key!r} drifted from baseline",
                         )
                     )
+
+    base_tracing = baseline_suites.get("tracing")
+    cur_tracing = current_suites.get("tracing")
+    if base_tracing is not None and cur_tracing is not None:
+        for label in base_tracing:
+            cur = cur_tracing.get(label)
+            if cur is None:
+                regressions.append(
+                    Regression("tracing", label, "tracing run disappeared")
+                )
+                continue
+            if not cur.get("counters_identical", False):
+                regressions.append(
+                    Regression(
+                        "tracing",
+                        label,
+                        "disabled tracer changed counters or results "
+                        "(the untraced path must be byte-identical)",
+                    )
+                )
+            if not cur.get("conformant", False):
+                regressions.append(
+                    Regression(
+                        "tracing",
+                        label,
+                        "buffer.fetch span count != NUM_IO "
+                        "(span-level page accounting broke)",
+                    )
+                )
+            overhead = float(cur.get("disabled_overhead", math.inf))
+            if overhead > DISABLED_OVERHEAD_LIMIT:
+                regressions.append(
+                    Regression(
+                        "tracing",
+                        label,
+                        f"disabled-tracer overhead {overhead:.2f}x exceeds "
+                        f"{DISABLED_OVERHEAD_LIMIT:.2f}x",
+                    )
+                )
     return regressions
 
 
@@ -586,6 +720,21 @@ def format_report(report: Dict[str, Any]) -> str:
                 f"{counters['dtw_computations']:>7,d} "
                 f"{counters['heap_pops']:>7,d} "
                 f"{float(record['wall_time_s']) * 1e3:>8.1f}"
+            )
+    tracing = suites.get("tracing")
+    if tracing:
+        lines.append("")
+        lines.append(
+            f"{'tracing':>16s} {'untraced':>11s} {'disabled':>11s} "
+            f"{'enabled':>11s} {'identical':>10s} {'conformant':>11s}"
+        )
+        for label, record in tracing.items():
+            lines.append(
+                f"{label:>16s} {float(record['untraced_ms']):>9.1f}ms "
+                f"{float(record['disabled_ms']):>9.1f}ms "
+                f"{float(record['enabled_ms']):>9.1f}ms "
+                f"{'yes' if record['counters_identical'] else 'NO':>10s} "
+                f"{'yes' if record['conformant'] else 'NO':>11s}"
             )
     return "\n".join(lines)
 

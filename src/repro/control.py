@@ -46,6 +46,7 @@ from repro.exceptions import (
     ExecutionInterrupted,
     UsageError,
 )
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = [
     "AdmissionController",
@@ -191,10 +192,16 @@ class ExecutionControl:
         budget: Optional[QueryBudget] = None,
         deadline: Optional[Deadline] = None,
         token: Optional[CancellationToken] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.budget = budget
         self.deadline = deadline
         self.token = token
+        #: The query's tracer.  Defaults to the shared disabled tracer;
+        #: when enabled, limited checkpoints surface as span events so
+        #: budget/deadline pressure lands on the same timeline as the
+        #: page and verify spans.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Latest engine-reported lower bound (p-th power) on unexamined
         #: candidates.  Starts at 0.0 — the only universally sound value
         #: before the engine has reported anything.
@@ -235,10 +242,14 @@ class ExecutionControl:
         self.checkpoints += 1
         if frontier_pow is not None:
             self.frontier_pow = frontier_pow
+        if self.tracer.enabled and self.limited:
+            self.tracer.event(
+                "control.checkpoint", frontier_pow=self.frontier_pow
+            )
         if self.token is not None and self.token.is_cancelled():
-            raise ExecutionInterrupted(REASON_CANCELLED)
+            self._interrupt(REASON_CANCELLED)
         if self.deadline is not None and self.deadline.expired:
-            raise ExecutionInterrupted(REASON_DEADLINE)
+            self._interrupt(REASON_DEADLINE)
         budget = self.budget
         if budget is None:
             return
@@ -247,13 +258,19 @@ class ExecutionControl:
             and self._page_count is not None
             and self._page_count() > budget.max_page_accesses
         ):
-            raise ExecutionInterrupted(REASON_PAGE_BUDGET)
+            self._interrupt(REASON_PAGE_BUDGET)
         if (
             budget.max_candidates is not None
             and self._stats is not None
             and self._stats.candidates > budget.max_candidates
         ):
-            raise ExecutionInterrupted(REASON_CANDIDATE_BUDGET)
+            self._interrupt(REASON_CANDIDATE_BUDGET)
+
+    def _interrupt(self, reason: str) -> None:
+        """Record the trip on the trace timeline, then raise."""
+        if self.tracer.enabled:
+            self.tracer.event("control.interrupted", reason=reason)
+        raise ExecutionInterrupted(reason)
 
 
 @dataclass

@@ -39,6 +39,8 @@ from repro.exceptions import (
     StorageError,
 )
 from repro.index.builder import DualMatchIndex
+from repro.obs import QueryProfile
+from repro.obs.tracer import Span
 from repro.storage.deferred import CandidateRequest, DeferredRetrievalBuffer
 
 #: Bytes per stored value, used to express the deferred budget as a
@@ -175,6 +177,9 @@ class SearchResult:
     degraded: bool = False
     #: Per-query audit of tolerated faults (``None`` on healthy runs).
     fault_report: Optional[FaultReport] = None
+    #: Span tree + metrics delta for this query — populated only when
+    #: the bound tracer was enabled (``None`` otherwise, at zero cost).
+    profile: Optional[QueryProfile] = None
 
     @property
     def distances(self) -> List[float]:
@@ -238,6 +243,9 @@ class CandidateEvaluator:
         #: traversal-loop boundary (lint rule RS007).  A default
         #: instance has no limits and never interrupts.
         self.control = control if control is not None else ExecutionControl()
+        #: The query's tracer (disabled singleton unless the caller
+        #: wired one through the control plane).
+        self.tracer = self.control.tracer
         self.collector = TopKCollector(config.k, p=config.p)
         self.fault_report = FaultReport()
         self._seen: Set[Tuple[int, int]] = set()
@@ -249,6 +257,7 @@ class CandidateEvaluator:
                     database_bytes, config.deferred_fraction
                 )
             )
+            self._deferred.tracer = self.tracer
 
     @property
     def threshold_pow(self) -> float:
@@ -303,10 +312,14 @@ class CandidateEvaluator:
         key = (sid, start)
         if key in self._seen:
             self.stats.duplicates_suppressed += 1
+            if self.tracer.enabled:
+                self.tracer.metrics.counter("submit.duplicates").inc()
             return None
         self._seen.add(key)
         if lower_bound_pow > self.threshold_pow:
             self.stats.pruned_by_lower_bound += 1
+            if self.tracer.enabled:
+                self.tracer.metrics.counter("submit.lb_pruned").inc()
             return None
         if self._deferred is not None:
             self._deferred.add(
@@ -324,6 +337,12 @@ class CandidateEvaluator:
 
     def _evaluate(self, sid: int, start: int) -> Optional[float]:
         """Retrieve one candidate and run the LB_Keogh -> DTW cascade."""
+        if self.tracer.enabled:
+            with self.tracer.span("candidate.verify", sid=sid, start=start):
+                return self._evaluate_now(sid, start)
+        return self._evaluate_now(sid, start)
+
+    def _evaluate_now(self, sid: int, start: int) -> Optional[float]:
         try:
             values = self._index.store.get_subsequence(
                 sid, start, self.query_length
@@ -337,6 +356,8 @@ class CandidateEvaluator:
         keogh_pow = lb_keogh_pow(self._envelope, values, self._config.p)
         if keogh_pow > threshold_pow:
             self.stats.pruned_by_lb_keogh += 1
+            if self.tracer.enabled:
+                self.tracer.metrics.counter("verify.lb_keogh_pruned").inc()
             return None
         self.stats.dtw_computations += 1
         distance_pow = dtw_pow(
@@ -346,6 +367,14 @@ class CandidateEvaluator:
             p=self._config.p,
             threshold_pow=threshold_pow,
         )
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            metrics.counter("verify.dtw").inc()
+            # The early-abandoning kernel reports "above threshold"
+            # rather than an exact distance once it abandons; that
+            # outcome is the paper's DTW saving, so count it.
+            if distance_pow > threshold_pow:
+                metrics.counter("verify.dtw_abandoned").inc()
         self.collector.offer_pow(distance_pow, sid, start)
         return distance_pow
 
@@ -360,7 +389,19 @@ class CandidateEvaluator:
         if self._deferred is None or len(self._deferred) == 0:
             return
         self.stats.deferred_flushes += 1
+        if self.tracer.enabled:
+            with self.tracer.span("deferred.drain", pending=len(self._deferred)):
+                self._drain_now()
+        else:
+            self._drain_now()
+
+    def _drain_now(self) -> None:
+        assert self._deferred is not None
         requests = list(self._deferred.drain(threshold=self.threshold_pow))
+        if self.tracer.enabled:
+            self.tracer.metrics.histogram("deferred.batch_size").observe(
+                len(requests)
+            )
         for position, request in enumerate(requests):
             try:
                 self.control.checkpoint()
@@ -409,7 +450,38 @@ class Engine(abc.ABC):
         With a limited ``control``, an interrupt at any cooperative
         checkpoint yields a :class:`PartialResult` (best-k-so-far plus
         an exactness certificate) instead of an exception.
+
+        When the control plane carries an enabled tracer, the whole
+        query runs under an ``engine.search`` root span and the result
+        carries a :class:`~repro.obs.profile.QueryProfile`; otherwise
+        the traced wrapper is skipped entirely and behaviour (every
+        counter included) is identical to the un-instrumented engine.
         """
+        if control is None:
+            control = ExecutionControl()
+        tracer = control.tracer
+        if not tracer.enabled:
+            return self._execute(query, config, control)
+        metrics_before = tracer.metrics.snapshot()
+        with tracer.span(
+            "engine.search", engine=self.name, k=config.k, rho=config.rho
+        ) as root:
+            result = self._execute(query, config, control)
+        if isinstance(root, Span):
+            result.profile = QueryProfile(
+                span=root,
+                metrics=tracer.metrics.snapshot().delta(metrics_before),
+                stats=result.stats,
+                fault_report=result.fault_report,
+            )
+        return result
+
+    def _execute(
+        self,
+        query: Sequence[float],
+        config: EngineConfig,
+        control: ExecutionControl,
+    ) -> SearchResult:
         window_set = QueryWindowSet.from_query(
             query,
             omega=self.index.omega,
@@ -418,8 +490,6 @@ class Engine(abc.ABC):
             p=config.p,
             data_stride=getattr(self.index, "data_stride", None),
         )
-        if control is None:
-            control = ExecutionControl()
         recorder = StatsRecorder(
             self.index.store.pager, self.index.store.buffer
         ).start()
@@ -437,10 +507,17 @@ class Engine(abc.ABC):
             stats=recorder.stats,
             control=control,
         )
+        tracer = control.tracer
         interrupt: Optional[ExecutionInterrupted] = None
         try:
-            self._run(window_set, evaluator, config)
-            evaluator.finalize()
+            if tracer.enabled:
+                with tracer.span("engine.run"):
+                    self._run(window_set, evaluator, config)
+                with tracer.span("engine.finalize"):
+                    evaluator.finalize()
+            else:
+                self._run(window_set, evaluator, config)
+                evaluator.finalize()
         except ExecutionInterrupted as signal:
             interrupt = signal
         stats = recorder.finish()

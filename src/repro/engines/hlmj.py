@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List, Tuple
+from typing import List, Tuple, cast
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from repro.core.lower_bounds import (
     min_disjoint_windows,
 )
 from repro.core.windows import (
+    QueryWindow,
     QueryWindowSet,
     candidate_in_bounds,
     candidate_start,
@@ -46,6 +47,7 @@ from repro.core.metrics import QueryStats
 from repro.engines.base import CandidateEvaluator, Engine, EngineConfig
 from repro.exceptions import StorageError
 from repro.index.builder import DualMatchIndex
+from repro.index.rstar import RStarNode
 
 _NODE = 0
 _LEAF = 1
@@ -132,6 +134,7 @@ class HlmjEngine(Engine):
         heapq.heapify(heap)
         budget = evaluator.control
 
+        tracer = evaluator.tracer
         while heap:
             # Everything still enqueued has MDMWP-distance^p at least
             # r * top, which is therefore a sound certificate frontier.
@@ -144,58 +147,32 @@ class HlmjEngine(Engine):
                 break
             window = window_set.windows[window_pos]
             if kind == _NODE:
-                try:
-                    node = tree.read_node(payload)
-                except StorageError as error:
-                    # Degrade: drop this (window, subtree) pair and keep
-                    # draining the global queue.
-                    evaluator.fault(error, page_id=payload)
-                    continue
-                stats.node_expansions += 1
-                threshold_pow = evaluator.threshold_pow
-                entries = node.entries
-                if not entries:
-                    continue
-                # One batched kernel call scores the whole node; pushes
-                # happen in storage order with tie-break counters drawn
-                # only for survivors, so heap order is unchanged.
-                if node.is_leaf:
-                    child_pows = lb_paa_pow_batch(
-                        window.paa_lower,
-                        window.paa_upper,
-                        np.stack([entry.low for entry in entries]),
-                        seg_len,
-                        config.p,
+                page_id = cast(int, payload)
+                if tracer.enabled:
+                    tracer.metrics.histogram("queue.depth").observe(
+                        len(heap) + 1
                     )
-                    child_kind = _LEAF
-                    payloads: List[object] = [
-                        entry.record for entry in entries
-                    ]
-                else:
-                    child_pows, _far = batch_lower_bounds(
-                        window.paa_lower,
-                        window.paa_upper,
-                        np.stack([entry.low for entry in entries]),
-                        np.stack([entry.high for entry in entries]),
-                        seg_len,
-                        config.p,
-                    )
-                    child_kind = _NODE
-                    payloads = [entry.child_page for entry in entries]
-                for child_pow, child_payload in zip(
-                    child_pows.tolist(), payloads
-                ):
-                    if r * child_pow > threshold_pow:
-                        continue
-                    heapq.heappush(
-                        heap,
-                        (
-                            child_pow,
-                            next(tiebreak),
+                    with tracer.span("engine.heap_pop", kind="node"):
+                        self._expand_pair(
+                            heap,
+                            tiebreak,
+                            window,
                             window_pos,
-                            child_kind,
-                            child_payload,
-                        ),
+                            page_id,
+                            r,
+                            evaluator,
+                            config,
+                        )
+                else:
+                    self._expand_pair(
+                        heap,
+                        tiebreak,
+                        window,
+                        window_pos,
+                        page_id,
+                        r,
+                        evaluator,
+                        config,
                     )
                 continue
             record = payload
@@ -218,3 +195,90 @@ class HlmjEngine(Engine):
                 if group_pow > bound_pow:
                     bound_pow = group_pow
             evaluator.submit(record.sid, start, bound_pow)
+
+    def _expand_pair(
+        self,
+        heap: List[Tuple[float, int, int, int, object]],
+        tiebreak: "itertools.count[int]",
+        window: QueryWindow,
+        window_pos: int,
+        page_id: int,
+        r: int,
+        evaluator: CandidateEvaluator,
+        config: EngineConfig,
+    ) -> None:
+        """Expand one (window, node) pair into scored child pairs."""
+        tree = self.index.tree
+        seg_len = self.index.seg_len
+        stats = evaluator.stats
+        try:
+            node = tree.read_node(page_id)
+        except StorageError as error:
+            # Degrade: drop this (window, subtree) pair and keep
+            # draining the global queue.
+            evaluator.fault(error, page_id=page_id)
+            return
+        stats.node_expansions += 1
+        threshold_pow = evaluator.threshold_pow
+        entries = node.entries
+        if not entries:
+            return
+        tracer = evaluator.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "engine.lb_batch", n=len(entries), leaf=node.is_leaf
+            ):
+                child_pows, child_kind, payloads = self._score_entries(
+                    node, window, seg_len, config
+                )
+            tracer.metrics.histogram("lb.batch_size").observe(len(entries))
+        else:
+            child_pows, child_kind, payloads = self._score_entries(
+                node, window, seg_len, config
+            )
+        for child_pow, child_payload in zip(child_pows.tolist(), payloads):
+            if r * child_pow > threshold_pow:
+                continue
+            heapq.heappush(
+                heap,
+                (
+                    child_pow,
+                    next(tiebreak),
+                    window_pos,
+                    child_kind,
+                    child_payload,
+                ),
+            )
+
+    @staticmethod
+    def _score_entries(
+        node: RStarNode,
+        window: QueryWindow,
+        seg_len: int,
+        config: EngineConfig,
+    ) -> Tuple[np.ndarray, int, List[object]]:
+        """Score a node's entries in one batched kernel call.
+
+        Pushes happen in storage order with tie-break counters drawn
+        only for survivors, so heap order is unchanged versus scoring
+        one entry at a time.
+        """
+        entries = node.entries
+        if node.is_leaf:
+            child_pows = lb_paa_pow_batch(
+                window.paa_lower,
+                window.paa_upper,
+                np.stack([entry.low for entry in entries]),
+                seg_len,
+                config.p,
+            )
+            return child_pows, _LEAF, [entry.record for entry in entries]
+        child_pows, _far = batch_lower_bounds(
+            window.paa_lower,
+            window.paa_upper,
+            np.stack([entry.low for entry in entries]),
+            np.stack([entry.high for entry in entries]),
+            seg_len,
+            config.p,
+        )
+        return child_pows, _NODE, [entry.child_page for entry in entries]

@@ -51,7 +51,7 @@ from repro.exceptions import (
     StorageError,
 )
 from repro.index.bloom import BloomFilter
-from repro.index.rstar import LeafRecord, RStarTree
+from repro.index.rstar import LeafRecord, RStarNode, RStarTree
 from repro.storage.sequences import SequenceStore
 
 _NODE = 0
@@ -202,6 +202,7 @@ class PsmEngine(Engine):
         )
         heap: List[JoinHeapEntry] = [(0.0, next(tiebreak), root_state)]
         budget = evaluator.control
+        tracer = evaluator.tracer
 
         while heap:
             # Join states pop in non-decreasing combined-lower-bound
@@ -233,17 +234,36 @@ class PsmEngine(Engine):
             if expand_at is None:
                 self._emit_candidate(state, window_set, evaluator, score_pow)
                 continue
-            self._expand_state(
-                heap,
-                tiebreak,
-                state,
-                score_pow,
-                expand_at,
-                join_windows,
-                seg_len,
-                evaluator,
-                config,
-            )
+            if tracer.enabled:
+                tracer.metrics.histogram("queue.depth").observe(
+                    len(heap) + 1
+                )
+                with tracer.span(
+                    "engine.heap_pop", kind="state", expand_at=expand_at
+                ):
+                    self._expand_state(
+                        heap,
+                        tiebreak,
+                        state,
+                        score_pow,
+                        expand_at,
+                        join_windows,
+                        seg_len,
+                        evaluator,
+                        config,
+                    )
+            else:
+                self._expand_state(
+                    heap,
+                    tiebreak,
+                    state,
+                    score_pow,
+                    expand_at,
+                    join_windows,
+                    seg_len,
+                    evaluator,
+                    config,
+                )
 
     def _expand_state(
         self,
@@ -273,26 +293,15 @@ class PsmEngine(Engine):
         entries = node.entries
         if not entries:
             return
-        # Score the whole node with one batched kernel call; the push
-        # loop keeps storage order and per-survivor tie-break draws, so
-        # join-state order is unchanged.
-        if node.is_leaf:
-            dist_pows = lb_paa_pow_batch(
-                window.paa_lower,
-                window.paa_upper,
-                np.stack([entry.low for entry in entries]),
-                seg_len,
-                config.p,
-            )
+        tracer = evaluator.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "engine.lb_batch", n=len(entries), leaf=node.is_leaf
+            ):
+                dist_pows = self._score_node(node, window, seg_len, config)
+            tracer.metrics.histogram("lb.batch_size").observe(len(entries))
         else:
-            dist_pows, _far = batch_lower_bounds(
-                window.paa_lower,
-                window.paa_upper,
-                np.stack([entry.low for entry in entries]),
-                np.stack([entry.high for entry in entries]),
-                seg_len,
-                config.p,
-            )
+            dist_pows = self._score_node(node, window, seg_len, config)
         for entry, dist_pow in zip(entries, dist_pows.tolist()):
             if node.is_leaf:
                 component: Component = (_LEAF, entry.record, dist_pow)
@@ -307,6 +316,38 @@ class PsmEngine(Engine):
             if not self._signature_allows(new_state, evaluator):
                 continue
             heapq.heappush(heap, (new_score, next(tiebreak), new_state))
+
+    @staticmethod
+    def _score_node(
+        node: RStarNode,
+        window: QueryWindow,
+        seg_len: int,
+        config: EngineConfig,
+    ) -> np.ndarray:
+        """Score a node's entries with one batched kernel call.
+
+        The push loop keeps storage order and per-survivor tie-break
+        draws, so join-state order is unchanged versus scoring one
+        entry at a time.
+        """
+        entries = node.entries
+        if node.is_leaf:
+            return lb_paa_pow_batch(
+                window.paa_lower,
+                window.paa_upper,
+                np.stack([entry.low for entry in entries]),
+                seg_len,
+                config.p,
+            )
+        dist_pows, _far = batch_lower_bounds(
+            window.paa_lower,
+            window.paa_upper,
+            np.stack([entry.low for entry in entries]),
+            np.stack([entry.high for entry in entries]),
+            seg_len,
+            config.p,
+        )
+        return dist_pows
 
     def _signature_allows(
         self, state: Tuple[Component, ...], evaluator: CandidateEvaluator

@@ -89,6 +89,11 @@ class WindowQueue:
 
     def pop(self) -> QueueEntry:
         """Pop the minimum entry, updating pop-side bookkeeping."""
+        tracer = self._tree.tracer
+        if tracer.enabled:
+            # Depth *before* the pop: the queue pressure the scheduler
+            # saw when it chose this queue.
+            tracer.metrics.histogram("queue.depth").observe(len(self._heap))
         entry = heapq.heappop(self._heap)
         self.version += 1
         if entry[2] == LEAF:
@@ -106,6 +111,18 @@ class WindowQueue:
         entries = node.entries
         if not entries:
             return
+        tracer = self._tree.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "engine.lb_batch", n=len(entries), leaf=node.is_leaf
+            ):
+                self._score_and_push_now(node, cap_pow)
+            tracer.metrics.histogram("lb.batch_size").observe(len(entries))
+            return
+        self._score_and_push_now(node, cap_pow)
+
+    def _score_and_push_now(self, node: RStarNode, cap_pow: float) -> None:
+        entries = node.entries
         if node.is_leaf:
             points = np.stack([entry.low for entry in entries])
             near = lb_paa_pow_batch(

@@ -45,6 +45,8 @@ from repro.exceptions import (
     StorageError,
 )
 from repro.index.builder import DualMatchIndex
+from repro.obs import QueryProfile
+from repro.obs.tracer import Span
 from repro.storage.sequences import SequenceStore
 
 
@@ -92,6 +94,37 @@ class RangeSearchEngine:
         )
         if control is None:
             control = ExecutionControl()
+        tracer = control.tracer
+        if not tracer.enabled:
+            return self._execute(
+                window_set, epsilon, rho, p, on_fault, control
+            )
+        metrics_before = tracer.metrics.snapshot()
+        with tracer.span(
+            "engine.search", engine=self.name, epsilon=epsilon, rho=rho
+        ) as root:
+            result = self._execute(
+                window_set, epsilon, rho, p, on_fault, control
+            )
+        if isinstance(root, Span):
+            result.profile = QueryProfile(
+                span=root,
+                metrics=tracer.metrics.snapshot().delta(metrics_before),
+                stats=result.stats,
+                fault_report=result.fault_report,
+            )
+        return result
+
+    def _execute(
+        self,
+        window_set: QueryWindowSet,
+        epsilon: float,
+        rho: int,
+        p: float,
+        on_fault: str,
+        control: ExecutionControl,
+    ) -> SearchResult:
+        tracer = control.tracer
         recorder = StatsRecorder(
             self.index.store.pager, self.index.store.buffer
         ).start()
@@ -111,19 +144,37 @@ class RangeSearchEngine:
             # (DualMatch).
             for window in window_set.windows:
                 budget.checkpoint()
-                self._probe_window(
-                    window,
-                    window_set,
-                    epsilon**p,
-                    p,
-                    rho,
-                    stats,
-                    budget,
-                    on_fault,
-                    report,
-                    seen,
-                    matches,
-                )
+                if tracer.enabled:
+                    with tracer.span(
+                        "range.window", offset=window.sliding_offset
+                    ):
+                        self._probe_window(
+                            window,
+                            window_set,
+                            epsilon**p,
+                            p,
+                            rho,
+                            stats,
+                            budget,
+                            on_fault,
+                            report,
+                            seen,
+                            matches,
+                        )
+                else:
+                    self._probe_window(
+                        window,
+                        window_set,
+                        epsilon**p,
+                        p,
+                        rho,
+                        stats,
+                        budget,
+                        on_fault,
+                        report,
+                        seen,
+                        matches,
+                    )
         except ExecutionInterrupted as signal:
             interrupt = signal
         matches.sort()
@@ -163,6 +214,7 @@ class RangeSearchEngine:
         seg_len = self.index.seg_len
         tree = self.index.tree
         store = self.index.store
+        tracer = budget.tracer
         stack = [tree.root_page]
         while stack:
             budget.checkpoint()
@@ -182,25 +234,56 @@ class RangeSearchEngine:
             # One batched kernel call scores every entry of the node;
             # the loop below keeps the original visit order.
             if not node.is_leaf:
-                gap_pows, _far = batch_lower_bounds(
-                    window.paa_lower,
-                    window.paa_upper,
-                    np.stack([entry.low for entry in entries]),
-                    np.stack([entry.high for entry in entries]),
-                    seg_len,
-                    p,
-                )
+                if tracer.enabled:
+                    with tracer.span(
+                        "engine.lb_batch", n=len(entries), leaf=False
+                    ):
+                        gap_pows, _far = batch_lower_bounds(
+                            window.paa_lower,
+                            window.paa_upper,
+                            np.stack([entry.low for entry in entries]),
+                            np.stack([entry.high for entry in entries]),
+                            seg_len,
+                            p,
+                        )
+                    tracer.metrics.histogram("lb.batch_size").observe(
+                        len(entries)
+                    )
+                else:
+                    gap_pows, _far = batch_lower_bounds(
+                        window.paa_lower,
+                        window.paa_upper,
+                        np.stack([entry.low for entry in entries]),
+                        np.stack([entry.high for entry in entries]),
+                        seg_len,
+                        p,
+                    )
                 for entry, gap_pow in zip(entries, gap_pows.tolist()):
                     if gap_pow <= epsilon_pow:
                         stack.append(entry.child_page)
                 continue
-            gap_pows = lb_paa_pow_batch(
-                window.paa_lower,
-                window.paa_upper,
-                np.stack([entry.low for entry in entries]),
-                seg_len,
-                p,
-            )
+            if tracer.enabled:
+                with tracer.span(
+                    "engine.lb_batch", n=len(entries), leaf=True
+                ):
+                    gap_pows = lb_paa_pow_batch(
+                        window.paa_lower,
+                        window.paa_upper,
+                        np.stack([entry.low for entry in entries]),
+                        seg_len,
+                        p,
+                    )
+                tracer.metrics.histogram("lb.batch_size").observe(
+                    len(entries)
+                )
+            else:
+                gap_pows = lb_paa_pow_batch(
+                    window.paa_lower,
+                    window.paa_upper,
+                    np.stack([entry.low for entry in entries]),
+                    seg_len,
+                    p,
+                )
             for entry, gap_pow in zip(entries, gap_pows.tolist()):
                 if gap_pow > epsilon_pow:
                     continue
@@ -238,15 +321,35 @@ class RangeSearchEngine:
                     > epsilon_pow
                 ):
                     stats.pruned_by_lb_keogh += 1
+                    if tracer.enabled:
+                        tracer.metrics.counter(
+                            "verify.lb_keogh_pruned"
+                        ).inc()
                     continue
                 stats.dtw_computations += 1
-                distance_pow = dtw_pow(
-                    values,
-                    window_set.query,
-                    rho,
-                    p=p,
-                    threshold_pow=epsilon_pow,
-                )
+                if tracer.enabled:
+                    with tracer.span(
+                        "candidate.verify", sid=record.sid, start=start
+                    ):
+                        distance_pow = dtw_pow(
+                            values,
+                            window_set.query,
+                            rho,
+                            p=p,
+                            threshold_pow=epsilon_pow,
+                        )
+                    metrics = tracer.metrics
+                    metrics.counter("verify.dtw").inc()
+                    if distance_pow > epsilon_pow:
+                        metrics.counter("verify.dtw_abandoned").inc()
+                else:
+                    distance_pow = dtw_pow(
+                        values,
+                        window_set.query,
+                        rho,
+                        p=p,
+                        threshold_pow=epsilon_pow,
+                    )
                 if distance_pow <= epsilon_pow:
                     matches.append(
                         Match(

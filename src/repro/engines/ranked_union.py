@@ -165,6 +165,23 @@ class PhiOperator(ExtendedIterator):
             return Status.LB, self.current_lower_bound_pow()
         dist_pow, _seq, kind, payload, _far = queue.pop()
         self._evaluator.stats.heap_pops += 1
+        tracer = self._evaluator.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "engine.heap_pop",
+                cls=self.class_index,
+                kind="node" if kind == NODE else "leaf",
+            ):
+                self._advance_popped(queue, dist_pow, kind, payload)
+        else:
+            self._advance_popped(queue, dist_pow, kind, payload)
+        self._strategy.after_pop(queue)
+        return Status.LB, self.current_lower_bound_pow()
+
+    def _advance_popped(
+        self, queue: WindowQueue, dist_pow: float, kind: int, payload: object
+    ) -> None:
+        """Process one popped entry: expand a node or consume a leaf."""
         sibling_pow = self.sibling_sum_pow(queue)
         if kind == NODE:
             queue.expand_node(
@@ -172,9 +189,12 @@ class PhiOperator(ExtendedIterator):
                 _cap_pow(self._evaluator.threshold_pow, sibling_pow),
             )
         else:
-            self._consume_leaf_pair(queue, dist_pow, sibling_pow, payload)
-        self._strategy.after_pop(queue)
-        return Status.LB, self.current_lower_bound_pow()
+            self._consume_leaf_pair(
+                queue,
+                dist_pow,
+                sibling_pow,
+                payload,  # type: ignore[arg-type]
+            )
 
     def _consume_leaf_pair(
         self,

@@ -21,6 +21,7 @@ from repro.core.lower_bounds import lb_keogh_pow_batch
 from repro.core.windows import QueryWindowSet
 from repro.engines.base import CandidateEvaluator, Engine, EngineConfig
 from repro.exceptions import StorageError
+from repro.obs.tracer import Tracer
 
 #: Offsets processed per vectorised LB_Keogh block (~3 MB at Len(Q)=384).
 _BLOCK = 1024
@@ -44,6 +45,7 @@ class SeqScanEngine(Engine):
         collector = evaluator.collector
 
         budget = evaluator.control
+        tracer = evaluator.tracer
         for sid in store.sequence_ids():
             # A scan has no index-level bound on what it has not read
             # yet, so its certificate frontier stays at the trivial 0.0:
@@ -52,29 +54,69 @@ class SeqScanEngine(Engine):
             budget.checkpoint()
             if store.length(sid) < length:
                 continue
-            try:
-                values = store.read_full_sequence(sid)
-            except StorageError as error:
-                # Degrade: the whole sequence is unreadable past the
-                # failed page; skip it and scan the rest.
-                evaluator.fault(error, candidate=(sid, -1))
-                continue
-            offsets = values.size - length + 1
-            windows = np.lib.stride_tricks.sliding_window_view(values, length)
-            for block_start in range(0, offsets, _BLOCK):
-                budget.checkpoint()
-                block = windows[block_start : block_start + _BLOCK]
+            if tracer.enabled:
+                with tracer.span("scan.sequence", sid=sid):
+                    self._scan_sequence(
+                        sid, window_set, evaluator, config
+                    )
+            else:
+                self._scan_sequence(sid, window_set, evaluator, config)
+
+    def _scan_sequence(
+        self,
+        sid: int,
+        window_set: QueryWindowSet,
+        evaluator: CandidateEvaluator,
+        config: EngineConfig,
+    ) -> None:
+        """Scan one sequence: block LB_Keogh filter, then per-offset DTW."""
+        query = window_set.query
+        length = window_set.length
+        store = self.index.store
+        stats = evaluator.stats
+        collector = evaluator.collector
+        budget = evaluator.control
+        tracer = evaluator.tracer
+        try:
+            values = store.read_full_sequence(sid)
+        except StorageError as error:
+            # Degrade: the whole sequence is unreadable past the
+            # failed page; skip it and scan the rest.
+            evaluator.fault(error, candidate=(sid, -1))
+            return
+        offsets = values.size - length + 1
+        windows = np.lib.stride_tricks.sliding_window_view(values, length)
+        for block_start in range(0, offsets, _BLOCK):
+            budget.checkpoint()
+            block = windows[block_start : block_start + _BLOCK]
+            if tracer.enabled:
+                with tracer.span("engine.lb_batch", n=int(block.shape[0])):
+                    keogh_pows = lb_keogh_pow_batch(
+                        window_set.envelope, block, config.p
+                    )
+                tracer.metrics.histogram("lb.batch_size").observe(
+                    block.shape[0]
+                )
+            else:
                 keogh_pows = lb_keogh_pow_batch(
                     window_set.envelope, block, config.p
                 )
-                stats.candidates += block.shape[0]
-                stats.lb_keogh_computations += block.shape[0]
-                for row, keogh_pow in enumerate(keogh_pows):
-                    threshold_pow = collector.threshold_pow
-                    if keogh_pow > threshold_pow:
-                        stats.pruned_by_lb_keogh += 1
-                        continue
-                    stats.dtw_computations += 1
+            stats.candidates += block.shape[0]
+            stats.lb_keogh_computations += block.shape[0]
+            for row, keogh_pow in enumerate(keogh_pows):
+                threshold_pow = collector.threshold_pow
+                if keogh_pow > threshold_pow:
+                    stats.pruned_by_lb_keogh += 1
+                    continue
+                stats.dtw_computations += 1
+                if tracer.enabled:
+                    with tracer.span(
+                        "candidate.verify", sid=sid, start=block_start + row
+                    ):
+                        distance_pow = self._verify_offset(
+                            block[row], query, config, threshold_pow, tracer
+                        )
+                else:
                     distance_pow = dtw_pow(
                         block[row],
                         query,
@@ -82,6 +124,25 @@ class SeqScanEngine(Engine):
                         p=config.p,
                         threshold_pow=threshold_pow,
                     )
-                    collector.offer_pow(
-                        distance_pow, sid, block_start + row
-                    )
+                collector.offer_pow(distance_pow, sid, block_start + row)
+
+    @staticmethod
+    def _verify_offset(
+        values: np.ndarray,
+        query: np.ndarray,
+        config: EngineConfig,
+        threshold_pow: float,
+        tracer: Tracer,
+    ) -> float:
+        distance_pow = dtw_pow(
+            values,
+            query,
+            config.rho,
+            p=config.p,
+            threshold_pow=threshold_pow,
+        )
+        metrics = tracer.metrics
+        metrics.counter("verify.dtw").inc()
+        if distance_pow > threshold_pow:
+            metrics.counter("verify.dtw_abandoned").inc()
+        return distance_pow

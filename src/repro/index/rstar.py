@@ -29,6 +29,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError, IndexError_
 from repro.index import geometry
 from repro.index.geometry import Rect
+from repro.obs.tracer import Tracer
 from repro.storage.buffer import BufferPool
 from repro.storage.page import PageKind, index_entries_per_page
 from repro.storage.pager import Pager
@@ -141,8 +142,23 @@ class RStarTree:
         """Number of levels (1 for a lone leaf root)."""
         return self._peek(self.root_page).level + 1
 
+    @property
+    def tracer(self) -> "Tracer":
+        """The buffer pool's tracer (one observability plane per store)."""
+        return self._buffer.tracer
+
     def read_node(self, page_id: int) -> RStarNode:
-        """Query-time node read through the buffer pool (counted I/O)."""
+        """Query-time node read through the buffer pool (counted I/O).
+
+        The ``index.probe`` span is read off the buffer pool's tracer so
+        a tracer attached after construction (``db.set_tracer``) still
+        covers every probe; any ``buffer.fetch`` the probe misses into
+        nests inside it.
+        """
+        tracer = self._buffer.tracer
+        if tracer.enabled:
+            with tracer.span("index.probe", page=page_id):
+                return self._buffer.get(page_id)
         return self._buffer.get(page_id)
 
     def _peek(self, page_id: int) -> RStarNode:

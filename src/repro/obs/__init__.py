@@ -1,0 +1,57 @@
+"""Observability plane: structured tracing, metrics, per-query profiles.
+
+The paper's experimental argument is cost accounting — NUM_IO page
+accesses and the RU-COST model that predicts them.  ``QueryStats``
+reports end-of-query aggregates; this package shows *where* inside a
+query those costs happen:
+
+:class:`~repro.obs.tracer.Tracer`
+    Nested spans opened with ``with tracer.span("buffer.fetch",
+    page=...)``.  Disabled by default: a disabled tracer allocates no
+    span objects and hot paths guard on ``tracer.enabled`` so the
+    instrumented code is byte-identical in behaviour and counters to
+    the un-instrumented code.
+:class:`~repro.obs.metrics.MetricsRegistry`
+    Typed counters / gauges / fixed-bucket histograms (page fetches by
+    kind, prune counts per lower bound, DTW early abandons, queue
+    depths).  Snapshotable mid-query; snapshots subtract (per-query
+    deltas) and add (merge across queries).
+:class:`~repro.obs.profile.QueryProfile`
+    One query's span tree + metrics delta + the existing
+    :class:`~repro.core.metrics.QueryStats` /
+    :class:`~repro.results.FaultReport`, exportable as JSON and Chrome
+    ``chrome://tracing`` format (``python -m repro trace`` /
+    ``python -m repro profile``).
+
+The conformance contract — the reason this plane is trustworthy — is
+that with tracing enabled the number of ``buffer.fetch`` spans equals
+the pinned NUM_IO counter for every golden engine config
+(``tests/test_trace_conformance.py``), and with tracing disabled every
+golden counter and bench digest is unchanged.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.profile import QueryProfile
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_TRACER",
+    "QueryProfile",
+    "Span",
+    "Tracer",
+]

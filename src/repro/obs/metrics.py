@@ -1,0 +1,349 @@
+"""Typed metric instruments: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the numeric side of the observability
+plane.  Spans answer *where time and pages went inside one query*;
+metrics answer *how much, distributionally, across queries*: page
+fetches by :class:`~repro.storage.page.PageKind`, prune counts per
+lower bound (from which prune ratios fall out), DTW early-abandon
+counts, queue-depth and deferred-batch histograms.
+
+The algebra is deliberately tiny and closed:
+
+* :meth:`MetricsRegistry.snapshot` is an immutable value object, cheap
+  enough to take mid-query.
+* ``snapshot.delta(earlier)`` subtracts — that difference is the
+  per-query metrics slice stored on a
+  :class:`~repro.obs.profile.QueryProfile`.
+* ``snapshot.merge(other)`` adds — merging is associative and
+  commutative (it is pointwise integer addition), so per-query deltas
+  recombine into fleet totals in any order.  The hypothesis suite in
+  ``tests/test_property_metrics.py`` pins these laws.
+
+Instruments are typed: re-registering a name as a different kind, or a
+histogram with different buckets, raises
+:class:`~repro.exceptions.UsageError` — silent schema drift is how
+dashboards lie.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.exceptions import UsageError
+
+#: Power-of-two bucket upper bounds — a good default for the count-like
+#: quantities this repo measures (batch sizes, queue depths, abandon
+#: depths).  The implicit final bucket is +inf.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0,
+    2.0,
+    4.0,
+    8.0,
+    16.0,
+    32.0,
+    64.0,
+    128.0,
+    256.0,
+    512.0,
+    1024.0,
+)
+
+
+class Counter:
+    """A monotonically non-decreasing integer-or-float total."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise UsageError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (queue depth now, frontier POW now)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative-free, mergeable counts.
+
+    ``buckets`` are ascending upper bounds; an observation lands in the
+    first bucket whose bound is >= the value, or the implicit overflow
+    bucket.  Fixed buckets (vs. adaptive) are what make merging across
+    queries exact.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "total", "count")
+
+    def __init__(
+        self, name: str, buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        if not buckets:
+            raise UsageError(f"histogram {name!r} needs at least one bucket")
+        bounds = tuple(float(b) for b in buckets)
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise UsageError(
+                f"histogram {name!r} buckets must be strictly ascending, "
+                f"got {bounds}"
+            )
+        if any(math.isnan(b) for b in bounds):
+            raise UsageError(f"histogram {name!r} buckets cannot be NaN")
+        self.name = name
+        self.buckets = bounds
+        #: one count per bucket plus the overflow bucket
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if math.isnan(value):
+            raise UsageError(f"histogram {self.name!r} cannot observe NaN")
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+
+
+class HistogramSnapshot:
+    """Immutable histogram state; subtracts (delta) and adds (merge)."""
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(
+        self,
+        buckets: Tuple[float, ...],
+        counts: Tuple[int, ...],
+        total: float,
+        count: int,
+    ) -> None:
+        self.buckets = buckets
+        self.counts = counts
+        self.total = total
+        self.count = count
+
+    def delta(self, earlier: "HistogramSnapshot") -> "HistogramSnapshot":
+        self._check_buckets(earlier, "delta")
+        return HistogramSnapshot(
+            self.buckets,
+            tuple(a - b for a, b in zip(self.counts, earlier.counts)),
+            self.total - earlier.total,
+            self.count - earlier.count,
+        )
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        self._check_buckets(other, "merge")
+        return HistogramSnapshot(
+            self.buckets,
+            tuple(a + b for a, b in zip(self.counts, other.counts)),
+            self.total + other.total,
+            self.count + other.count,
+        )
+
+    def _check_buckets(self, other: "HistogramSnapshot", op: str) -> None:
+        if self.buckets != other.buckets:
+            raise UsageError(
+                f"cannot {op} histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "total": self.total,
+            "count": self.count,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HistogramSnapshot):
+            return NotImplemented
+        return (
+            self.buckets == other.buckets
+            and self.counts == other.counts
+            and self.total == other.total
+            and self.count == other.count
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.buckets, self.counts, self.total, self.count))
+
+
+class MetricsSnapshot:
+    """A frozen view of a registry at one instant.
+
+    Counters and histograms are flows (subtract for deltas, add for
+    merges); gauges are levels (a delta or merge keeps the most recent
+    value, i.e. the left operand's for ``delta``, the right operand's
+    for ``merge`` when present).
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(
+        self,
+        counters: Dict[str, float],
+        gauges: Dict[str, float],
+        histograms: Dict[str, HistogramSnapshot],
+    ) -> None:
+        self.counters = counters
+        self.gauges = gauges
+        self.histograms = histograms
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """This snapshot minus an ``earlier`` one (per-query slice)."""
+        counters = {
+            name: value - earlier.counters.get(name, 0.0)
+            for name, value in self.counters.items()
+        }
+        histograms = {}
+        for name, hist in self.histograms.items():
+            before = earlier.histograms.get(name)
+            if before is None:
+                before = HistogramSnapshot(
+                    hist.buckets, (0,) * len(hist.counts), 0.0, 0
+                )
+            histograms[name] = hist.delta(before)
+        return MetricsSnapshot(counters, dict(self.gauges), histograms)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Pointwise sum (associative and commutative on flows)."""
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0.0) + value
+        gauges = dict(self.gauges)
+        gauges.update(other.gauges)
+        histograms = dict(self.histograms)
+        for name, hist in other.histograms.items():
+            mine = histograms.get(name)
+            histograms[name] = hist if mine is None else mine.merge(hist)
+        return MetricsSnapshot(counters, gauges, histograms)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: hist.as_dict()
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsSnapshot):
+            return NotImplemented
+        return (
+            self.counters == other.counters
+            and self.gauges == other.gauges
+            and self.histograms == other.histograms
+        )
+
+
+#: An empty snapshot — the identity element of ``merge``.
+EMPTY_SNAPSHOT = MetricsSnapshot({}, {}, {})
+
+
+class MetricsRegistry:
+    """Creates-or-returns typed instruments by name.
+
+    The get-or-create accessors are the only way in, so one name always
+    maps to one instrument of one type for the registry's lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create ----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        self._check_free(name, self._counters, "counter")
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        self._check_free(name, self._gauges, "gauge")
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        self._check_free(name, self._histograms, "histogram")
+        instrument = self._histograms.get(name)
+        bounds = tuple(float(b) for b in buckets)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        elif instrument.buckets != bounds:
+            raise UsageError(
+                f"histogram {name!r} already registered with buckets "
+                f"{instrument.buckets}, requested {bounds}"
+            )
+        return instrument
+
+    def _check_free(
+        self, name: str, home: Dict[str, Any], kind: str
+    ) -> None:
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if table is not home and name in table:
+                raise UsageError(
+                    f"metric {name!r} is already a {other_kind}; cannot "
+                    f"re-register as a {kind}"
+                )
+
+    # -- snapshots --------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """An immutable copy of every instrument's current state."""
+        return MetricsSnapshot(
+            {name: c.value for name, c in self._counters.items()},
+            {name: g.value for name, g in self._gauges.items()},
+            {
+                name: HistogramSnapshot(
+                    h.buckets, tuple(h.counts), h.total, h.count
+                )
+                for name, h in self._histograms.items()
+            },
+        )
+
+    def reset(self) -> None:
+        """Forget every instrument (tests and tools; not query code)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -1,0 +1,125 @@
+"""Per-query profiles: one query's spans + metrics + stats, exportable.
+
+A :class:`QueryProfile` is assembled by the engine layer when tracing
+is enabled: the ``engine.search`` root span (whose subtree holds every
+``buffer.fetch`` / ``index.probe`` / ``candidate.verify`` recorded
+during the query), the :class:`~repro.obs.metrics.MetricsSnapshot`
+delta over the query's execution, and the pre-existing aggregates —
+:class:`~repro.core.metrics.QueryStats` and, when faults fired, the
+:class:`~repro.engines.base.FaultReport`.
+
+The profile is the object the conformance suite interrogates: its
+``span_count("buffer.fetch")`` must equal ``stats.page_accesses`` (the
+paper's NUM_IO) exactly, because both are counting the same physical
+reads at the same call site from two independent mechanisms.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.tracer import Span, chrome_trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    # The storage layer imports ``repro.obs`` and itself feeds
+    # ``repro.core.metrics`` / the engines, so the profile refers to
+    # those result types by annotation only.
+    from repro.core.metrics import QueryStats
+    from repro.engines.base import FaultReport
+
+
+class QueryProfile:
+    """Everything observed about one query, in one object."""
+
+    __slots__ = ("span", "metrics", "stats", "fault_report")
+
+    def __init__(
+        self,
+        span: Span,
+        metrics: MetricsSnapshot,
+        stats: "QueryStats",
+        fault_report: Optional["FaultReport"] = None,
+    ) -> None:
+        self.span = span
+        self.metrics = metrics
+        self.stats = stats
+        self.fault_report = fault_report
+
+    # -- span accounting --------------------------------------------------
+
+    def span_count(self, name: str) -> int:
+        """Spans named ``name`` in this query's subtree."""
+        return self.span.count(name)
+
+    def span_totals(self) -> Dict[str, Tuple[int, float]]:
+        """Per span name: (count, total seconds), over the subtree."""
+        totals: Dict[str, Tuple[int, float]] = {}
+        for span in self.span.iter_tree():
+            count, seconds = totals.get(span.name, (0, 0.0))
+            totals[span.name] = (count + 1, seconds + span.duration)
+        return totals
+
+    def top_spans(self, n: int = 10) -> List[Tuple[str, int, float, float]]:
+        """The ``n`` hottest span names as (name, count, total_s, self_s).
+
+        Ranked by *self* time — time not attributed to child spans —
+        because that is what identifies the hot layer rather than
+        blaming every ancestor of it.
+        """
+        by_name: Dict[str, List[float]] = {}
+        for span in self.span.iter_tree():
+            entry = by_name.setdefault(span.name, [0, 0.0, 0.0])
+            entry[0] += 1
+            entry[1] += span.duration
+            entry[2] += span.self_time()
+        ranked = sorted(
+            (
+                (name, int(count), total, self_time)
+                for name, (count, total, self_time) in by_name.items()
+            ),
+            key=lambda row: row[3],
+            reverse=True,
+        )
+        return ranked[: max(0, n)]
+
+    # -- export -----------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "stats": self.stats.as_dict(),
+            "metrics": self.metrics.as_dict(),
+            "span": self.span.as_dict(),
+        }
+        if self.fault_report is not None:
+            data["fault_report"] = {
+                "total": self.fault_report.total,
+                "suppressed": self.fault_report.suppressed,
+                "failed_pages": list(self.fault_report.failed_pages),
+                "skipped_candidates": [
+                    list(pair)
+                    for pair in self.fault_report.skipped_candidates
+                ],
+                "events": [
+                    {
+                        "error": event.error,
+                        "detail": event.detail,
+                        "page_id": event.page_id,
+                        "candidate": (
+                            list(event.candidate)
+                            if event.candidate is not None
+                            else None
+                        ),
+                    }
+                    for event in self.fault_report.events
+                ],
+            }
+        return data
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """This query's span tree in Chrome ``chrome://tracing`` format."""
+        return chrome_trace([self.span])

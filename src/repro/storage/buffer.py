@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Optional
 
 from repro.core.clock import MONOTONIC_CLOCK, Clock
 from repro.exceptions import BufferPoolError, ConfigurationError, TransientIOError
+from repro.obs.tracer import NULL_TRACER
 from repro.storage.pager import Pager
 
 if TYPE_CHECKING:
@@ -128,6 +129,12 @@ class BufferPool:
         self._clock = clock if clock is not None else MONOTONIC_CLOCK
         self.circuit_breaker = circuit_breaker
         self.stats = BufferStats()
+        #: Observability hook (attribute, not constructor argument, so
+        #: the many bare ``BufferPool(pager, n)`` construction sites stay
+        #: untouched).  :meth:`repro.api.SubsequenceDatabase.set_tracer`
+        #: swaps in an enabled tracer; the disabled default costs one
+        #: attribute load + branch per page request.
+        self.tracer = NULL_TRACER
 
     @property
     def pager(self) -> Pager:
@@ -148,9 +155,13 @@ class BufferPool:
         """Return a page payload, faulting it in from the pager on a miss."""
         if page_id in self._frames:
             self.stats.hits += 1
+            if self.tracer.enabled:
+                self.tracer.metrics.counter("buffer.hit").inc()
             self._frames.move_to_end(page_id)
             return self._frames[page_id]
         self.stats.misses += 1
+        if self.tracer.enabled:
+            self.tracer.metrics.counter("buffer.miss").inc()
         payload = self.fetch(page_id)
         self._frames[page_id] = payload
         if len(self._frames) > self._capacity:
@@ -183,7 +194,7 @@ class BufferPool:
             if breaker is not None:
                 breaker.before_attempt()
             try:
-                payload = self._pager.read(page_id)
+                payload = self._read_attempt(page_id)
             except TransientIOError:
                 if breaker is not None:
                     breaker.record_failure()
@@ -198,6 +209,24 @@ class BufferPool:
                 if breaker is not None:
                     breaker.record_success()
                 return payload
+
+    def _read_attempt(self, page_id: int) -> Any:
+        """One physical read, traced as one ``buffer.fetch`` span.
+
+        The span wraps a single pager read *attempt*, so the number of
+        ``buffer.fetch`` spans equals the pager's physical-read counter
+        — the paper's NUM_IO — even when transient faults force retries
+        (a failed attempt both counts a read and records a span, with
+        the error name attached).  The trace-conformance suite pins
+        this identity against every golden engine config.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._pager.read(page_id)
+        kind = self._pager.kind_of(page_id).name.lower()
+        tracer.metrics.counter(f"page.fetch.{kind}").inc()
+        with tracer.span("buffer.fetch", page=page_id, kind=kind):
+            return self._pager.read(page_id)
 
     def resident(self, page_id: int) -> bool:
         """Bitmap probe: is the page buffered?  Does not touch LRU order.

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional
 
 from repro.exceptions import ConfigurationError
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,11 @@ class DeferredRetrievalBuffer:
         self._capacity = capacity
         self._pending: List[CandidateRequest] = []
         self.stats = DeferredStats()
+        #: Observability hook (set by the owning evaluator); records
+        #: drop/skip decisions that the span around the drain loop —
+        #: which lives in the evaluator, because :meth:`drain` is lazy —
+        #: cannot see item-by-item.
+        self.tracer = NULL_TRACER
 
     @classmethod
     def capacity_for_database(
@@ -155,9 +161,14 @@ class DeferredRetrievalBuffer:
         pending, self._pending = self._pending, []
         self.stats.flushes += 1
         pending.sort(key=lambda request: request.sort_key)
+        traced = self.tracer.enabled
         for request in pending:
             if threshold is not None and request.lower_bound > threshold:
                 self.stats.requests_skipped += 1
+                if traced:
+                    self.tracer.metrics.counter("deferred.skipped").inc()
                 continue
             self.stats.requests_drained += 1
+            if traced:
+                self.tracer.metrics.counter("deferred.drained").inc()
             yield request

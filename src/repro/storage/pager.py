@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.exceptions import CorruptPageError, PageError
+from repro.obs.tracer import NULL_TRACER
 from repro.storage.integrity import payload_checksum
 from repro.storage.page import PAGE_SIZE_DEFAULT, PageKind
 
@@ -88,6 +89,11 @@ class Pager:
     def __init__(self, page_size: int = PAGE_SIZE_DEFAULT) -> None:
         self.page_size = page_size
         self.stats = PagerStats()
+        #: Observability hook; the disabled default costs one branch per
+        #: physical read.  ``pager.read`` spans nest inside the buffer
+        #: pool's ``buffer.fetch`` spans and isolate device time (e.g.
+        #: injected latency faults) from retry/bookkeeping time.
+        self.tracer = NULL_TRACER
         self._payloads: List[Any] = []
         self._kinds: List[PageKind] = []
         self._checksums: List[Optional[int]] = []
@@ -128,6 +134,12 @@ class Pager:
         On a sealed pager the payload is checksum-verified; a mismatch
         raises :class:`~repro.exceptions.CorruptPageError`.
         """
+        if self.tracer.enabled:
+            with self.tracer.span("pager.read", page=page_id):
+                return self._read_now(page_id)
+        return self._read_now(page_id)
+
+    def _read_now(self, page_id: int) -> Any:
         self._check(page_id)
         self.stats.record_read(page_id)
         payload = self._payloads[page_id]

@@ -10,8 +10,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from typing import Optional
+
 from repro import SubsequenceDatabase
 from repro.core.reference import brute_force_topk
+from repro.obs import Tracer
 from repro.storage.buffer import BufferPool
 from repro.storage.pager import Pager
 from repro.storage.sequences import SequenceStore
@@ -20,6 +23,67 @@ from repro.storage.sequences import SequenceStore
 def make_walk(n: int, seed: int) -> np.ndarray:
     rng = np.random.default_rng(seed)
     return rng.standard_normal(n).cumsum()
+
+
+def query_from(db: SubsequenceDatabase, start, length, sid=0):
+    """The paper-style query: a subsequence peeked from stored data."""
+    return db.store.peek_subsequence(sid, start, length).copy()
+
+
+def build_golden_db(
+    tracer: Optional[Tracer] = None,
+) -> SubsequenceDatabase:
+    """A fresh database matching the golden capture run exactly.
+
+    Deliberately *not* the shared ``walk_db`` fixture: golden counters
+    must not depend on what other tests ran first, so callers get a
+    database (and cache history) rebuilt from scratch.  The optional
+    ``tracer`` lets the trace-conformance suite run the same golden
+    workload with the observability plane on.
+    """
+    db = SubsequenceDatabase(
+        omega=16, features=4, buffer_fraction=0.1, tracer=tracer
+    )
+    db.insert(0, make_walk(3000, seed=11))
+    db.insert(1, make_walk(2200, seed=12))
+    db.build()
+    return db
+
+
+def build_golden_psm_db(
+    tracer: Optional[Tracer] = None,
+) -> SubsequenceDatabase:
+    """The golden PSM workload's database (see :func:`build_golden_db`)."""
+    db = SubsequenceDatabase(
+        omega=8, features=4, buffer_fraction=0.1, tracer=tracer
+    )
+    db.insert(0, make_walk(900, seed=21))
+    db.insert(1, make_walk(700, seed=22))
+    db.build(psm=True)
+    return db
+
+
+def build_property_db(
+    rng: np.random.Generator,
+    lengths=(300, 200),
+    psm: bool = False,
+) -> SubsequenceDatabase:
+    """The small seeded database the hypothesis engine tests generate."""
+    db = SubsequenceDatabase(omega=8, features=4, buffer_fraction=0.2)
+    for sid, n in enumerate(lengths):
+        db.insert(sid, rng.standard_normal(n).cumsum())
+    db.build(psm=psm)
+    return db
+
+
+@pytest.fixture(scope="module")
+def golden_db() -> SubsequenceDatabase:
+    return build_golden_db()
+
+
+@pytest.fixture(scope="module")
+def golden_psm_db() -> SubsequenceDatabase:
+    return build_golden_psm_db()
 
 
 @pytest.fixture(scope="session")

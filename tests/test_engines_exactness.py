@@ -9,13 +9,14 @@ scan.
 import numpy as np
 import pytest
 
-from tests.conftest import engine_distances, gold_topk, make_walk
+from tests.conftest import (
+    engine_distances,
+    gold_topk,
+    make_walk,
+    query_from,
+)
 
 INDEX_METHODS = ["seqscan", "hlmj", "ru", "ru-cost"]
-
-
-def query_from(db, start, length, sid=0):
-    return db.store.peek_subsequence(sid, start, length).copy()
 
 
 class TestEnginesMatchBruteForce:

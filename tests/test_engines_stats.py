@@ -10,9 +10,7 @@ or top-k sets by a single unit.
 
 import pytest
 
-
-def query_from(db, start, length, sid=0):
-    return db.store.peek_subsequence(sid, start, length).copy()
+from tests.conftest import query_from
 
 
 class TestSeqScanBehaviour:
@@ -270,44 +268,10 @@ GOLDEN_PSM_DISTANCES = ["0.0", "0.831178482643337", "2.646050360682022"]
 GOLDEN_PSM_MATCHES = [(0, 200), (0, 199), (0, 201)]
 
 
-@pytest.fixture(scope="module")
-def golden_db():
-    """A fresh database matching the golden capture run exactly.
-
-    Deliberately *not* the shared ``walk_db`` fixture: golden counters
-    must not depend on what other tests ran first, so the database (and
-    its cache history) is rebuilt from scratch here.
-    """
-    import numpy as np
-
-    from repro import SubsequenceDatabase
-
-    def make_walk(n, seed):
-        rng = np.random.default_rng(seed)
-        return rng.standard_normal(n).cumsum()
-
-    db = SubsequenceDatabase(omega=16, features=4, buffer_fraction=0.1)
-    db.insert(0, make_walk(3000, seed=11))
-    db.insert(1, make_walk(2200, seed=12))
-    db.build()
-    return db
-
-
-@pytest.fixture(scope="module")
-def golden_psm_db():
-    import numpy as np
-
-    from repro import SubsequenceDatabase
-
-    def make_walk(n, seed):
-        rng = np.random.default_rng(seed)
-        return rng.standard_normal(n).cumsum()
-
-    db = SubsequenceDatabase(omega=8, features=4, buffer_fraction=0.1)
-    db.insert(0, make_walk(900, seed=21))
-    db.insert(1, make_walk(700, seed=22))
-    db.build(psm=True)
-    return db
+# The golden_db / golden_psm_db fixtures live in tests/conftest.py
+# (shared with the trace-conformance suite); they rebuild the database
+# from scratch per module so cache history from other tests cannot
+# shift the counters.
 
 
 def assert_golden(result, label, distances, matches):

@@ -398,6 +398,77 @@ class TestRS007CheckpointDiscipline:
         assert findings == []
 
 
+class TestRS008SpanDiscipline:
+    def test_bare_start_span_is_flagged(self):
+        findings = lint_snippet(
+            """
+            def run(tracer):
+                span = tracer.start_span("engine.run")
+                do_work()
+                span.close()
+            """,
+            "repro/engines/novel.py",
+        )
+        assert codes(findings) == ["RS008"]
+        assert "with" in findings[0].message
+
+    def test_bare_tracer_span_is_flagged(self):
+        findings = lint_snippet(
+            """
+            def run(self):
+                self.tracer.span("engine.run", k=5)
+                do_work()
+            """,
+            "repro/engines/novel.py",
+        )
+        assert codes(findings) == ["RS008"]
+
+    def test_with_span_is_clean(self):
+        findings = lint_snippet(
+            """
+            def run(tracer):
+                with tracer.span("engine.run", k=5) as span:
+                    do_work(span)
+                with tracer.start_span("engine.other"):
+                    do_work(None)
+            """,
+            "repro/engines/novel.py",
+        )
+        assert findings == []
+
+    def test_non_tracer_span_method_is_clean(self):
+        findings = lint_snippet(
+            """
+            def rows(table):
+                return table.span("header")
+            """,
+            "repro/engines/novel.py",
+        )
+        assert findings == []
+
+    def test_tracer_module_is_whitelisted(self):
+        findings = lint_snippet(
+            """
+            def span(self, name):
+                return self.start_span(name)
+            """,
+            "repro/obs/tracer.py",
+        )
+        assert findings == []
+
+    def test_suppressed_long_lived_span_is_clean(self):
+        findings = lint_snippet(
+            """
+            def open_root(tracer):
+                return tracer.start_span(  # repro: ignore[RS008]
+                    "engine.search"
+                )
+            """,
+            "repro/api.py",
+        )
+        assert findings == []
+
+
 class TestSuppressions:
     def test_matching_code_is_suppressed(self):
         report = LintReport()
@@ -459,7 +530,7 @@ class TestFramework:
         with pytest.raises(ConfigurationError):
             all_rules(select=["RS999"])
 
-    def test_all_seven_rules_are_registered(self):
+    def test_all_eight_rules_are_registered(self):
         registered = [rule.code for rule in all_rules()]
         assert registered == [
             "RS001",
@@ -469,6 +540,7 @@ class TestFramework:
             "RS005",
             "RS006",
             "RS007",
+            "RS008",
         ]
 
 

@@ -10,11 +10,11 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import SubsequenceDatabase
-from repro.core.reference import brute_force_topk
 from repro.index.rstar import LeafRecord, RStarTree
 from repro.storage.buffer import BufferPool
 from repro.storage.pager import Pager
+
+from tests.conftest import build_property_db, engine_distances, gold_topk
 
 ENGINE_SETTINGS = settings(
     max_examples=15,
@@ -33,38 +33,25 @@ ENGINE_SETTINGS = settings(
 )
 def test_index_engines_equal_brute_force(seed, k, rho, deferred, method):
     rng = np.random.default_rng(seed)
-    db = SubsequenceDatabase(omega=8, features=4, buffer_fraction=0.2)
-    db.insert(0, rng.standard_normal(300).cumsum())
-    db.insert(1, rng.standard_normal(200).cumsum())
-    db.build()
+    db = build_property_db(rng)
     length = int(rng.integers(15, 40))
     query = rng.standard_normal(length).cumsum()
-    gold = [
-        round(m.distance, 6)
-        for m in brute_force_topk(db.store, query, k, rho)
-    ]
+    gold = gold_topk(db, query, k, rho)
     result = db.search(query, k=k, rho=rho, method=method, deferred=deferred)
-    got = [round(m.distance, 6) for m in result.matches]
-    assert got == pytest.approx(gold, abs=1e-6)
+    assert engine_distances(result) == pytest.approx(gold, abs=1e-6)
 
 
 @ENGINE_SETTINGS
 @given(seed=st.integers(0, 10_000), k=st.integers(1, 5))
 def test_psm_equals_brute_force(seed, k):
     rng = np.random.default_rng(seed)
-    db = SubsequenceDatabase(omega=8, features=4, buffer_fraction=0.2)
-    db.insert(0, rng.standard_normal(250).cumsum())
-    db.build(psm=True)
+    db = build_property_db(rng, lengths=(250,), psm=True)
     query = db.store.peek_subsequence(
         0, int(rng.integers(0, 200)), 17
     ).copy()
-    gold = [
-        round(m.distance, 6)
-        for m in brute_force_topk(db.store, query, k, rho=1)
-    ]
+    gold = gold_topk(db, query, k, rho=1)
     result = db.search(query, k=k, rho=1, method="psm")
-    got = [round(m.distance, 6) for m in result.matches]
-    assert got == pytest.approx(gold, abs=1e-6)
+    assert engine_distances(result) == pytest.approx(gold, abs=1e-6)
 
 
 @settings(max_examples=20, deadline=None)

@@ -1,0 +1,173 @@
+"""Hypothesis properties for the metrics algebra.
+
+``MetricsSnapshot.merge`` must be associative and commutative (it is
+pointwise addition over flows), ``delta`` must invert the increments
+applied between two snapshots, and counters must be monotone.  These
+laws are what let per-query metric deltas recombine into fleet totals
+in any order — the property the docs and profiles rely on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import UsageError
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import EMPTY_SNAPSHOT, HistogramSnapshot
+
+METRIC_SETTINGS = settings(max_examples=100, deadline=None)
+
+#: Small, finite magnitudes: the laws under test are exact integer /
+#: float identities, not numerical-stability claims.
+amounts = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+bucket_bounds = st.lists(
+    st.integers(min_value=0, max_value=1000), min_size=1, max_size=8
+).map(lambda xs: tuple(float(b) for b in sorted(set(xs))))
+
+
+@st.composite
+def histogram_snapshots(draw, buckets=None):
+    bounds = buckets if buckets is not None else draw(bucket_bounds)
+    observations = draw(st.lists(values, max_size=30))
+    # Build through the real instrument so snapshots are reachable
+    # states, not arbitrary tuples.
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", buckets=bounds)
+    for value in observations:
+        hist.observe(value)
+    return registry.snapshot().histograms["h"]
+
+
+FIXED_BUCKETS = (1.0, 8.0, 64.0)
+
+
+@METRIC_SETTINGS
+@given(
+    a=histogram_snapshots(buckets=FIXED_BUCKETS),
+    b=histogram_snapshots(buckets=FIXED_BUCKETS),
+    c=histogram_snapshots(buckets=FIXED_BUCKETS),
+)
+def test_histogram_merge_is_associative_and_commutative(a, b, c):
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert left.counts == right.counts
+    assert left.count == right.count
+    assert left.total == pytest.approx(right.total)
+    ab, ba = a.merge(b), b.merge(a)
+    assert ab.counts == ba.counts
+    assert ab.count == ba.count
+    assert ab.total == pytest.approx(ba.total)
+
+
+@METRIC_SETTINGS
+@given(h=histogram_snapshots())
+def test_histogram_identity_and_inverse(h):
+    zero = HistogramSnapshot(h.buckets, (0,) * len(h.counts), 0.0, 0)
+    assert h.merge(zero) == h
+    assert h.delta(zero) == h
+    roundtrip = h.merge(h).delta(h)
+    assert roundtrip.counts == h.counts
+    assert roundtrip.count == h.count
+    assert roundtrip.total == pytest.approx(h.total)
+
+
+@METRIC_SETTINGS
+@given(
+    a=histogram_snapshots(buckets=(1.0, 2.0)),
+    b=histogram_snapshots(buckets=(1.0, 4.0)),
+)
+def test_histogram_bucket_mismatch_rejected(a, b):
+    with pytest.raises(UsageError, match="different buckets"):
+        a.merge(b)
+    with pytest.raises(UsageError, match="different buckets"):
+        a.delta(b)
+
+
+@METRIC_SETTINGS
+@given(increments=st.lists(amounts, max_size=40))
+def test_snapshot_delta_equals_sum_of_increments(increments):
+    registry = MetricsRegistry()
+    registry.counter("c").inc(7.0)  # pre-existing history
+    before = registry.snapshot()
+    for amount in increments:
+        registry.counter("c").inc(amount)
+    delta = registry.snapshot().delta(before)
+    assert delta.counters["c"] == pytest.approx(sum(increments))
+
+
+@METRIC_SETTINGS
+@given(observations=st.lists(values, max_size=40))
+def test_histogram_delta_counts_only_new_observations(observations):
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", buckets=FIXED_BUCKETS)
+    hist.observe(3.0)  # pre-existing history
+    before = registry.snapshot()
+    for value in observations:
+        hist.observe(value)
+    delta = registry.snapshot().histograms["h"].delta(
+        before.histograms["h"]
+    )
+    assert delta.count == len(observations)
+    assert sum(delta.counts) == len(observations)
+    assert delta.total == pytest.approx(sum(observations))
+
+
+@METRIC_SETTINGS
+@given(amounts=st.lists(amounts, min_size=1, max_size=40))
+def test_counter_is_monotone(amounts):
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    previous = counter.value
+    for amount in amounts:
+        counter.inc(amount)
+        assert counter.value >= previous
+        previous = counter.value
+
+
+@METRIC_SETTINGS
+@given(amount=st.floats(max_value=-1e-9, allow_nan=False))
+def test_negative_increment_rejected(amount):
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    counter.inc(1.0)
+    with pytest.raises(UsageError, match="cannot decrease"):
+        counter.inc(amount)
+    assert counter.value == 1.0
+
+
+@METRIC_SETTINGS
+@given(
+    a_inc=st.lists(amounts, max_size=10),
+    b_inc=st.lists(amounts, max_size=10),
+)
+def test_registry_snapshot_merge_matches_combined_run(a_inc, b_inc):
+    """Two queries' deltas merged == one query doing both workloads."""
+
+    def run(increments):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        hist = registry.histogram("h", buckets=FIXED_BUCKETS)
+        for amount in increments:
+            counter.inc(amount)
+            hist.observe(amount)
+        return registry.snapshot()
+
+    merged = run(a_inc).merge(run(b_inc))
+    combined = run(list(a_inc) + list(b_inc))
+    assert merged.counters["c"] == pytest.approx(combined.counters["c"])
+    assert merged.histograms["h"].counts == combined.histograms["h"].counts
+
+
+def test_empty_snapshot_is_merge_identity():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(4.0)
+    registry.gauge("g").set(2.0)
+    registry.histogram("h", buckets=FIXED_BUCKETS).observe(5.0)
+    snap = registry.snapshot()
+    assert EMPTY_SNAPSHOT.merge(snap) == snap
+    assert snap.merge(EMPTY_SNAPSHOT) == snap
