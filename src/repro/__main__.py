@@ -11,6 +11,11 @@ Subcommands
     Load a saved database directory, verify every on-disk checksum and
     every in-memory page checksum plus the structural invariants, and
     exit 0 (clean) or 1 (damage found, detailed on stderr).
+``recover``
+    Roll a durable ingest root (``checkpoint/`` + ``wal.log``) forward
+    to its last committed state: replay committed WAL batches over the
+    checkpoint, discard the torn tail, verify integrity, and optionally
+    checkpoint.  Exit 0 (recovered clean) or 1.
 ``lint``
     Run the repo-specific static invariant checker
     (:mod:`repro.analysis`) over the source tree and exit 0 (clean) or
@@ -135,34 +140,83 @@ def _scrub(args: argparse.Namespace) -> int:
 
 
 def _chaos(args: argparse.Namespace) -> int:
-    from repro.chaos import run_chaos
+    from repro.chaos import run_chaos, run_ingest_chaos
 
     progress = None
     if args.verbose:
         progress = lambda message: print(f"chaos: {message}")  # noqa: E731
-    report = run_chaos(
-        seed=args.seed, iterations=args.iterations, progress=progress
-    )
-    print(
-        f"chaos: seed={report.seed} iterations={report.iterations} "
-        f"checks={report.checks} partials={report.partials}"
-    )
-    for scenario in sorted(report.scenario_counts):
-        print(
-            f"chaos:   {scenario}: {report.scenario_counts[scenario]} "
-            f"iterations"
+    runners = {
+        "search": (run_chaos,),
+        "ingest": (run_ingest_chaos,),
+        "all": (run_chaos, run_ingest_chaos),
+    }[args.suite]
+    exit_code = 0
+    for runner in runners:
+        report = runner(
+            seed=args.seed, iterations=args.iterations, progress=progress
         )
-    if report.ok:
-        print("chaos: OK — every invariant held")
-        return 0
-    for failure in report.failures:
-        print(f"chaos: VIOLATION at {failure}", file=sys.stderr)
+        print(
+            f"chaos: suite={runner.__name__} seed={report.seed} "
+            f"iterations={report.iterations} checks={report.checks} "
+            f"partials={report.partials}"
+        )
+        for scenario in sorted(report.scenario_counts):
+            print(
+                f"chaos:   {scenario}: {report.scenario_counts[scenario]} "
+                f"iterations"
+            )
+        if report.ok:
+            print("chaos: OK — every invariant held")
+            continue
+        for failure in report.failures:
+            print(f"chaos: VIOLATION at {failure}", file=sys.stderr)
+        print(
+            f"chaos: FAILED — {len(report.failures)} violations "
+            f"(replay with --seed {report.seed})",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    return exit_code
+
+
+def _recover(args: argparse.Namespace) -> int:
+    from repro.exceptions import ReproError
+    from repro.ingest import recover_database
+
+    try:
+        db, report = recover_database(args.root, psm=args.psm)
+    except FileNotFoundError as error:
+        print(f"recover: {error}", file=sys.stderr)
+        return 1
+    except ReproError as error:
+        print(
+            f"recover: {args.root}: FAILED: "
+            f"{type(error).__name__}: {error}",
+            file=sys.stderr,
+        )
+        return 1
     print(
-        f"chaos: FAILED — {len(report.failures)} violations "
-        f"(replay with --seed {report.seed})",
-        file=sys.stderr,
+        f"recover: {args.root}: checkpoint_lsn={report.checkpoint_lsn} "
+        f"replayed {report.replayed_records} record(s) in "
+        f"{report.replayed_batches} committed batch(es), "
+        f"torn_bytes_discarded={report.torn_bytes_discarded}, "
+        f"effective_lsn={report.effective_lsn}"
     )
-    return 1
+    integrity = db.verify_integrity()
+    if not integrity["ok"]:
+        for message in (
+            [f"page {p} failed checksum" for p in integrity["corrupt_pages"]]
+            + integrity["tree_errors"]
+            + integrity["counter_errors"]
+        ):
+            print(f"recover: {message}", file=sys.stderr)
+        print(f"recover: {args.root}: FAILED integrity", file=sys.stderr)
+        return 1
+    if args.checkpoint:
+        watermark = db.checkpoint()
+        print(f"recover: checkpointed at LSN {watermark}, WAL truncated")
+    print(f"recover: {args.root}: OK")
+    return 0
 
 
 def _bench(args: argparse.Namespace) -> int:
@@ -171,7 +225,7 @@ def _bench(args: argparse.Namespace) -> int:
     from repro.bench import perf
 
     suites = (
-        ("kernels", "engines", "tracing")
+        ("kernels", "engines", "tracing", "ingest")
         if args.suite == "all"
         else (args.suite,)
     )
@@ -189,6 +243,15 @@ def _bench(args: argparse.Namespace) -> int:
             f"scalar oracle",
             file=sys.stderr,
         )
+    ingest_recovery = report["suites"].get("ingest", {}).get("recovery", {})
+    for name, record in ingest_recovery.items():
+        if not record.get("exact", False):
+            exact_failures.append(f"ingest/{name}")
+            print(
+                f"bench: ingest/{name}: recovered database is not "
+                f"byte-identical to the live database",
+                file=sys.stderr,
+            )
 
     if args.json:
         perf.write_report(report, args.json)
@@ -335,8 +398,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     scrub.add_argument("directory", help="database directory to verify")
     scrub.set_defaults(func=_scrub)
 
+    recover = sub.add_parser(
+        "recover",
+        help="roll a durable root (checkpoint + wal.log) forward to its "
+        "last committed state",
+    )
+    recover.add_argument(
+        "root", help="durable root directory (holds checkpoint/ and wal.log)"
+    )
+    recover.add_argument(
+        "--psm",
+        action="store_true",
+        help="also reattach PSM's sliding index",
+    )
+    recover.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="checkpoint after replay (truncates the WAL)",
+    )
+    recover.set_defaults(func=_recover)
+
     chaos = sub.add_parser(
         "chaos", help="run the chaos / metamorphic exactness harness"
+    )
+    chaos.add_argument(
+        "--suite",
+        choices=("search", "ingest", "all"),
+        default="search",
+        help="search = query-path invariants (default); ingest = "
+        "crash-recovery exactness at seeded WAL/checkpoint crash points",
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--iterations", type=int, default=100)
@@ -350,7 +440,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     bench.add_argument(
         "--suite",
-        choices=("kernels", "engines", "tracing", "all"),
+        choices=("kernels", "engines", "tracing", "ingest", "all"),
         default="all",
         help="which suite(s) to run (default: all)",
     )

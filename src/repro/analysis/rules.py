@@ -1,4 +1,4 @@
-"""The built-in repo-specific rules (RS001–RS008).
+"""The built-in repo-specific rules (RS001–RS009).
 
 Each rule polices one contract that the paper's guarantees rest on but
 that Python cannot express in the type system.  The catalog with full
@@ -543,3 +543,110 @@ class SpanDisciplineRule(Rule):
                 f"exit path; a deliberately long-lived span must "
                 f"guarantee close() and suppress this line",
             )
+
+
+@register
+class WalDisciplineRule(Rule):
+    """RS009: page mutation outside a WAL/session context.
+
+    Crash safety of online ingest (:mod:`repro.ingest`) rests on
+    write-ahead discipline: every post-build structural mutation —
+    ``Pager.allocate``/``write``/``free`` against a sealed database —
+    must be intent-logged to the :class:`~repro.storage.wal.WriteAheadLog`
+    *before* it is applied, or recovery replays a WAL that does not
+    describe what actually happened to the pages.  A storage/index
+    function that mutates pages with no session context in sight — no
+    ``wal``/``session`` parameter and no ``self._wal``/``session``
+    reference — is either an offline build path (funnel its writes
+    through a helper and suppress with ``# repro: ignore[RS009]``
+    stating why, as the R*-tree does) or a crash-unsafe write that
+    recovery can never reproduce.  The WAL, pager, buffer,
+    fault-injection, and persistence layers implement the discipline
+    and are exempt.
+    """
+
+    code = "RS009"
+    name = "wal-discipline"
+    rationale = (
+        "Pager mutations outside a WAL/ingest-session context are "
+        "invisible to crash recovery: log intent first or funnel "
+        "through a session-threaded path."
+    )
+
+    scope = ("repro/storage/", "repro/index/")
+
+    #: Layers that implement the discipline rather than consume it.
+    whitelist = (
+        "repro/storage/pager.py",
+        "repro/storage/buffer.py",
+        "repro/storage/faults.py",
+        "repro/storage/wal.py",
+        "repro/storage/persistence.py",
+    )
+
+    #: Pager methods that mutate page state.
+    mutators = frozenset({"allocate", "write", "free"})
+
+    #: Parameter names / annotation substrings that prove session context.
+    _context_params = frozenset({"wal", "session", "ingest"})
+    _context_annotations = ("WriteAheadLog", "IngestSession")
+    _context_names = frozenset({"wal", "_wal", "session", "_session"})
+
+    def _mutator_calls(self, func: AnyFunction) -> List[ast.Call]:
+        calls = []
+        for node in _own_nodes(func):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.mutators
+            ):
+                continue
+            receiver = _terminal_name(node.func.value)
+            if receiver is None:
+                continue
+            if receiver == "Pager" or "pager" in receiver.lower():
+                calls.append(node)
+        return calls
+
+    def _has_session_context(self, func: AnyFunction) -> bool:
+        args = func.args
+        params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        for param in params:
+            if param.arg in self._context_params:
+                return True
+            if param.annotation is not None:
+                annotation = ast.unparse(param.annotation)
+                if any(
+                    hint in annotation for hint in self._context_annotations
+                ):
+                    return True
+        for node in _own_nodes(func):
+            if isinstance(node, ast.Name) and node.id in self._context_names:
+                return True
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in self._context_names
+            ):
+                return True
+        return False
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.in_package(*self.scope):
+            return
+        if module.path in self.whitelist:
+            return
+        for func in module.functions():
+            calls = self._mutator_calls(func)
+            if not calls or self._has_session_context(func):
+                continue
+            for call in calls:
+                assert isinstance(call.func, ast.Attribute)
+                yield self.finding(
+                    module,
+                    call,
+                    f"{func.name}() mutates pages via "
+                    f".{call.func.attr}() with no WAL/session context "
+                    f"(no wal/session parameter or self._wal reference): "
+                    f"log intent to the WAL before applying, or funnel "
+                    f"through a session-threaded path (see repro.ingest)",
+                )

@@ -36,6 +36,7 @@ FRM-style sliding-window index PSM joins over.
 from __future__ import annotations
 
 import math
+import pathlib
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
 
 from repro.control import (
@@ -180,6 +181,9 @@ class SubsequenceDatabase:
         self.index: Optional[DualMatchIndex] = None
         self._engines: Dict[str, Engine] = {}
         self._sliding_index = None
+        self._wal = None
+        self._durable_root = None
+        self._last_applied_lsn = 0
         self._tracer = NULL_TRACER
         self.set_tracer(tracer if tracer is not None else NULL_TRACER)
 
@@ -198,6 +202,8 @@ class SubsequenceDatabase:
         self._tracer = tracer
         self.pager.tracer = tracer
         self.buffer.tracer = tracer
+        if self._wal is not None:
+            self._wal.tracer = tracer
 
     @property
     def circuit_breaker(self) -> Optional[CircuitBreaker]:
@@ -513,6 +519,66 @@ class SubsequenceDatabase:
         )
 
     # ------------------------------------------------------------------
+    # Online ingest (WAL-backed; see :mod:`repro.ingest`)
+    # ------------------------------------------------------------------
+
+    @property
+    def wal(self):
+        """The attached write-ahead log, if this database is durable."""
+        return self._wal
+
+    @property
+    def durable_root(self):
+        """Durable root directory (checkpoint + WAL), if attached."""
+        return self._durable_root
+
+    def attach_wal(self, wal, root=None) -> None:
+        """Attach a :class:`~repro.storage.wal.WriteAheadLog`.
+
+        Usually called by :func:`repro.ingest.create_durable` /
+        :func:`repro.ingest.recover_database` rather than directly.
+        The log inherits this database's tracer.
+        """
+        self._wal = wal
+        self._durable_root = None if root is None else pathlib.Path(root)
+        wal.tracer = self._tracer
+
+    def ingest(self):
+        """Open a WAL-logged mutation session against the built database.
+
+        Use as a context manager; mutations group-commit (one fsync) on
+        clean exit.  Without an attached WAL the session applies
+        in-memory only (no durability).
+        """
+        from repro.ingest import IngestSession
+
+        return IngestSession(self, self._wal)
+
+    def append_sequence(self, sid: int, values: Sequence[float]):
+        """Add one new sequence online, as a single committed session."""
+        with self.ingest() as session:
+            session.append(sid, values)
+        return session.commit_lsn
+
+    def extend_sequence(self, sid: int, values: Sequence[float]):
+        """Append values to a stored sequence, as one committed session."""
+        with self.ingest() as session:
+            session.extend(sid, values)
+        return session.commit_lsn
+
+    def delete_sequence(self, sid: int):
+        """Delete a stored sequence, as a single committed session."""
+        with self.ingest() as session:
+            session.delete(sid)
+        return session.commit_lsn
+
+    def checkpoint(self) -> int:
+        """Checkpoint the durable root and truncate the WAL."""
+        from repro.ingest import checkpoint_database
+
+        return checkpoint_database(self)
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
 
@@ -588,9 +654,7 @@ class SubsequenceDatabase:
                     f"sequence {sid}: {meta.num_pages} pages recorded, "
                     f"{expected} required for {meta.length} values"
                 )
-            for page_id in range(
-                meta.first_page, meta.first_page + meta.num_pages
-            ):
+            for page_id in meta.pages:
                 if self.pager.kind_of(page_id) != PageKind.DATA:
                     counter_errors.append(
                         f"sequence {sid}: page {page_id} is "

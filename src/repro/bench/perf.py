@@ -33,6 +33,18 @@ are seeded; only wall-clock numbers vary between machines):
     :data:`DISABLED_OVERHEAD_LIMIT`.  Enabled-mode overhead is recorded
     for the docs but never gated (tracing is opt-in).
 
+``ingest``
+    Online-ingest throughput and recovery scaling
+    (:mod:`repro.ingest`): appends/second through the WAL-backed write
+    path (fsync'd and unsynced), and wall-clock recovery time as a
+    function of WAL length.  Every recovery run re-verifies exactness —
+    the recovered database must return byte-identical matches,
+    distances, and NUM_IO for a seeded query versus the live database
+    it was replayed from.  The gate compares the exactness flags and
+    the deterministic replay counters (records/batches per WAL length);
+    throughput and recovery wall time are recorded for trend plots but
+    never gated.
+
 The committed ``benchmarks/baseline.json`` is the reference point;
 :func:`compare` applies the gate (>20 % speedup regression, any
 counter/digest drift, any exactness failure → non-zero exit).  Update
@@ -535,6 +547,101 @@ def run_tracing_suite(seed: int = 0, quick: bool = False) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Ingest suite
+# ----------------------------------------------------------------------
+
+
+def _ingest_fingerprint(db: Any, query: np.ndarray) -> List[Any]:
+    """Exact (sid, start, distance-repr, NUM_IO) digest of a seeded query."""
+    db.reset_cache()
+    result = db.search(query, k=5, rho=2, method="ru")
+    return [
+        [
+            [match.sid, match.start, repr(match.distance)]
+            for match in result.matches
+        ],
+        result.stats.page_accesses,
+    ]
+
+
+def run_ingest_suite(seed: int = 0, quick: bool = False) -> Dict[str, Any]:
+    """WAL-backed ingest throughput and recovery-time scaling.
+
+    Throughput numbers are wall-clock and machine-relative (never
+    gated).  Each recovery run also replays its WAL into a fresh
+    database and checks that matches, distances, and NUM_IO are
+    byte-identical to the live database — that ``exact`` flag and the
+    replay counters are what the gate compares.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro import SubsequenceDatabase
+    from repro.ingest import WAL_NAME, create_durable, recover_database
+
+    def make_db() -> SubsequenceDatabase:
+        db = SubsequenceDatabase(omega=16, features=4, buffer_fraction=0.1)
+        db.insert(0, _make_walk(2000, seed=seed + 31))
+        db.insert(1, _make_walk(1500, seed=seed + 32))
+        db.build()
+        return db
+
+    rng = np.random.default_rng(seed + 33)
+    values = [
+        np.asarray(rng.standard_normal(96).cumsum()) for _ in range(16)
+    ]
+    results: Dict[str, Any] = {}
+    workdir = tempfile.mkdtemp(prefix="repro-bench-ingest-")
+    try:
+        batch = 16 if quick else 64
+        for sync, label in ((True, "fsync"), (False, "nosync")):
+            root = os.path.join(workdir, f"tput-{label}")
+            db = make_db()
+            wal = create_durable(db, root, sync=sync)
+            started = time.perf_counter()
+            for i in range(batch):
+                db.append_sequence(100 + i, values[i % len(values)])
+            elapsed = time.perf_counter() - started
+            results[f"append_throughput_{label}"] = {
+                "appends": batch,
+                "values_per_append": len(values[0]),
+                "seconds": elapsed,
+                "appends_per_s": batch / elapsed,
+                "wal_bytes": os.path.getsize(os.path.join(root, WAL_NAME)),
+            }
+            wal.close()
+
+        recovery: Dict[str, Any] = {}
+        for length in (8, 32) if quick else (8, 32, 128):
+            root = os.path.join(workdir, f"recover-{length}")
+            db = make_db()
+            wal = create_durable(db, root, sync=False)
+            for i in range(length):
+                db.append_sequence(200 + i, values[i % len(values)])
+            wal.close()
+            started = time.perf_counter()
+            recovered, report = recover_database(root, sync=False)
+            recover_s = time.perf_counter() - started
+            query = db.store.peek_subsequence(0, 640, 48).copy()
+            exact = _ingest_fingerprint(db, query) == _ingest_fingerprint(
+                recovered, query
+            )
+            recovery[f"wal_{length}"] = {
+                "appended": length,
+                "replayed_records": report.replayed_records,
+                "replayed_batches": report.replayed_batches,
+                "recover_ms": recover_s * 1e3,
+                "exact": exact,
+            }
+            recovered.wal.close()
+        results["recovery"] = recovery
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return results
+
+
+# ----------------------------------------------------------------------
 # Reports, baselines, and the gate
 # ----------------------------------------------------------------------
 
@@ -563,6 +670,8 @@ def run_suites(
         suite_block["engines"] = run_engine_suite(seed=seed)
     if "tracing" in suites:
         suite_block["tracing"] = run_tracing_suite(seed=seed, quick=quick)
+    if "ingest" in suites:
+        suite_block["ingest"] = run_ingest_suite(seed=seed, quick=quick)
     report["suites"] = suite_block
     return report
 
@@ -684,6 +793,38 @@ def compare(
                         f"{DISABLED_OVERHEAD_LIMIT:.2f}x",
                     )
                 )
+
+    base_ingest = baseline_suites.get("ingest")
+    cur_ingest = current_suites.get("ingest")
+    if base_ingest is not None and cur_ingest is not None:
+        base_recovery = base_ingest.get("recovery", {})
+        cur_recovery = cur_ingest.get("recovery", {})
+        for label, base in base_recovery.items():
+            cur = cur_recovery.get(label)
+            if cur is None:
+                regressions.append(
+                    Regression("ingest", label, "recovery run disappeared")
+                )
+                continue
+            if not cur.get("exact", False):
+                regressions.append(
+                    Regression(
+                        "ingest",
+                        label,
+                        "recovered database no longer byte-identical "
+                        "(matches, distances, or NUM_IO drifted)",
+                    )
+                )
+            for key in ("replayed_records", "replayed_batches"):
+                if cur.get(key) != base.get(key):
+                    regressions.append(
+                        Regression(
+                            "ingest",
+                            label,
+                            f"counter {key} drifted: "
+                            f"{base.get(key)} -> {cur.get(key)}",
+                        )
+                    )
     return regressions
 
 
@@ -736,6 +877,30 @@ def format_report(report: Dict[str, Any]) -> str:
                 f"{'yes' if record['counters_identical'] else 'NO':>10s} "
                 f"{'yes' if record['conformant'] else 'NO':>11s}"
             )
+    ingest = suites.get("ingest")
+    if ingest:
+        lines.append("")
+        for label in ("append_throughput_fsync", "append_throughput_nosync"):
+            record = ingest.get(label)
+            if record:
+                lines.append(
+                    f"{label:>26s} {record['appends']:>5d} appends "
+                    f"{float(record['appends_per_s']):>10.1f}/s "
+                    f"({record['wal_bytes']:,d} WAL bytes)"
+                )
+        recovery = ingest.get("recovery")
+        if recovery:
+            lines.append(
+                f"{'recovery':>16s} {'records':>8s} {'batches':>8s} "
+                f"{'ms':>8s} {'exact':>6s}"
+            )
+            for label, record in recovery.items():
+                lines.append(
+                    f"{label:>16s} {record['replayed_records']:>8,d} "
+                    f"{record['replayed_batches']:>8,d} "
+                    f"{float(record['recover_ms']):>8.1f} "
+                    f"{'yes' if record['exact'] else 'NO':>6s}"
+                )
     return "\n".join(lines)
 
 

@@ -467,3 +467,307 @@ def _run_iteration(
             )
         else:
             record(it, "circuit", None)
+
+
+# ----------------------------------------------------------------------
+# Ingest / crash-recovery chaos (``repro chaos --suite ingest``)
+# ----------------------------------------------------------------------
+
+_INGEST_ENGINES = ("seqscan", "hlmj", "hlmj-wg", "ru", "ru-cost")
+
+
+@dataclass
+class _IngestOp:
+    """One planned mutation (pre-validated against the evolving sid set)."""
+
+    op: str  # "append" | "extend" | "delete"
+    sid: int
+    values: Optional[np.ndarray] = None
+
+
+class _IngestPlan:
+    """A seeded base database plus a session/checkpoint schedule.
+
+    The same plan is executed three times per iteration: a *dry run*
+    (counting crash-point invocations and recording commit LSNs), a
+    *crash run* (dying at one seeded crash point), and — after
+    recovering the crash run — a WAL-less *oracle* applying exactly the
+    sessions whose commits survived.  Byte-identical results between
+    the recovered database and the oracle at every crash point is the
+    committed-prefix guarantee.
+    """
+
+    def __init__(self, seed: int, iteration: int) -> None:
+        self.iteration = iteration
+        self.rng = random.Random(f"{seed}:ingest:{iteration}")
+        self.omega = self.rng.choice((8, 16))
+        self.with_psm = self.rng.random() < 0.25
+        self.np_rng = np.random.default_rng(
+            [seed & 0x7FFFFFFF, iteration, 0x1463E57]
+        )
+        self.base = [
+            self.np_rng.standard_normal(
+                int(self.np_rng.integers(280, 700))
+            ).cumsum()
+            for _ in range(2)
+        ]
+        # Plan sessions against a simulated sid set so every op is valid
+        # when executed (ingest pre-validates before WAL-logging).
+        live = {0, 1}
+        next_sid = 2
+        self.sessions: List[List[_IngestOp]] = []
+        self.checkpoint_after: List[bool] = []
+        for _ in range(self.rng.randint(2, 4)):
+            ops: List[_IngestOp] = []
+            for _ in range(self.rng.randint(1, 3)):
+                choices = ["append"]
+                if live:
+                    choices.append("extend")
+                if len(live) > 1:
+                    choices.append("delete")
+                kind = self.rng.choice(choices)
+                if kind == "append":
+                    values = self.np_rng.standard_normal(
+                        int(self.np_rng.integers(40, 200))
+                    ).cumsum()
+                    ops.append(_IngestOp("append", next_sid, values))
+                    live.add(next_sid)
+                    next_sid += 1
+                elif kind == "extend":
+                    sid = self.rng.choice(sorted(live))
+                    values = self.np_rng.standard_normal(
+                        int(self.np_rng.integers(10, 100))
+                    ).cumsum()
+                    ops.append(_IngestOp("extend", sid, values))
+                else:
+                    sid = self.rng.choice(sorted(live))
+                    ops.append(_IngestOp("delete", sid))
+                    live.discard(sid)
+            self.sessions.append(ops)
+            self.checkpoint_after.append(self.rng.random() < 0.4)
+
+    def build_base(self) -> SubsequenceDatabase:
+        db = SubsequenceDatabase(
+            omega=self.omega,
+            features=4,
+            page_size=1024,
+            buffer_fraction=0.1,
+        )
+        for sid, values in enumerate(self.base):
+            db.insert(sid, values)
+        db.build(psm=self.with_psm)
+        return db
+
+    def run_sessions(
+        self,
+        db: SubsequenceDatabase,
+        first: int = 0,
+        last: Optional[int] = None,
+        checkpoints: bool = True,
+    ) -> List[Optional[int]]:
+        """Execute sessions ``[first, last)``; returns their commit LSNs."""
+        commit_lsns: List[Optional[int]] = []
+        stop = len(self.sessions) if last is None else last
+        for position in range(first, stop):
+            with db.ingest() as session:
+                for op in self.sessions[position]:
+                    if op.op == "append":
+                        session.append(op.sid, op.values)
+                    elif op.op == "extend":
+                        session.extend(op.sid, op.values)
+                    else:
+                        session.delete(op.sid)
+            commit_lsns.append(session.commit_lsn)
+            if checkpoints and self.checkpoint_after[position]:
+                db.checkpoint()
+        return commit_lsns
+
+    def make_query(self) -> np.ndarray:
+        length = 2 * self.omega
+        return self.np_rng.standard_normal(length).cumsum()
+
+    def engines(self) -> Tuple[str, ...]:
+        if self.with_psm:
+            return _INGEST_ENGINES + ("psm",)
+        return _INGEST_ENGINES
+
+
+def _search_fingerprint(
+    db: SubsequenceDatabase, query: np.ndarray, k: int, engine: str
+) -> List[Tuple[int, int, float, int]]:
+    """Exact (sid, start, distance, NUM_IO) fingerprint of one search."""
+    db.reset_cache()
+    result = db.search(query, k=k, method=engine)
+    return [
+        (match.sid, match.start, match.distance, result.stats.page_accesses)
+        for match in result.matches
+    ]
+
+
+def run_ingest_chaos(
+    seed: int = 0,
+    iterations: int = 100,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Crash-recovery chaos: die at a seeded WAL/checkpoint step, recover,
+    and demand byte-identical equality with a never-crashed oracle.
+
+    Per iteration: a dry run of the ingest plan counts every crash-point
+    invocation ``S`` and records each session's commit LSN; a fresh
+    crash run dies at crash point ``c ~ U[0, S)`` (with a torn partial
+    frame half the time); :func:`repro.ingest.recover_database` rolls
+    the durable root forward; the recovered LSN must be exactly a
+    committed-session boundary (committed-prefix property); and every
+    engine's top-k — matches, distances, *and* page-access counts — must
+    equal a WAL-less oracle that applied exactly the surviving sessions.
+    The remaining sessions are then applied to both databases and the
+    comparison repeats, proving the recovered database ingests on.
+    """
+    import shutil
+    import tempfile
+
+    from repro.ingest import recover_database
+    from repro.ingest import create_durable
+    from repro.storage.wal import SimulatedCrash
+
+    report = ChaosReport(seed=seed)
+
+    def record(plan: _IngestPlan, scenario: str, engine: str,
+               message: Optional[str]) -> None:
+        report.checks += 1
+        if message is not None:
+            report.failures.append(
+                ChaosFailure(
+                    iteration=plan.iteration,
+                    scenario=scenario,
+                    engine=engine,
+                    message=message,
+                )
+            )
+
+    for iteration in range(iterations):
+        plan = _IngestPlan(seed, iteration)
+        report.iterations += 1
+        workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+        try:
+            _run_ingest_iteration(
+                plan, report, record, workdir,
+                create_durable, recover_database, SimulatedCrash,
+            )
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+        if progress is not None:
+            progress(f"iteration {iteration}: ingest")
+    return report
+
+
+def _run_ingest_iteration(
+    plan: "_IngestPlan",
+    report: ChaosReport,
+    record: Callable[["_IngestPlan", str, str, Optional[str]], None],
+    workdir: str,
+    create_durable: Callable,
+    recover_database: Callable,
+    SimulatedCrash: type,
+) -> None:
+    import os
+
+    # -- dry run: count crash-point invocations, learn commit LSNs ----
+    dry_root = os.path.join(workdir, "dry")
+    dry_db = plan.build_base()
+    dry_wal = create_durable(dry_db, dry_root, sync=False)
+    steps = 0
+
+    def counting_hook(point: str) -> None:
+        nonlocal steps
+        steps += 1
+
+    dry_wal.crash_hook = counting_hook
+    commit_lsns = plan.run_sessions(dry_db)
+    total_steps = steps
+    if total_steps == 0:  # pragma: no cover — plans always log something
+        return
+
+    # -- crash run: same plan, fresh root, die at step c ---------------
+    crash_step = plan.rng.randrange(total_steps)
+    torn = plan.rng.random() < 0.5
+    crash_root = os.path.join(workdir, "crash")
+    crash_db = plan.build_base()
+    crash_wal = create_durable(crash_db, crash_root, sync=False)
+    fired = {"point": None}
+    count = {"n": 0}
+
+    def crashing_hook(point: str) -> None:
+        count["n"] += 1
+        if count["n"] - 1 == crash_step:
+            fired["point"] = point
+            raise SimulatedCrash(
+                point, torn_fraction=0.5 if torn else None
+            )
+
+    crash_wal.crash_hook = crashing_hook
+    try:
+        plan.run_sessions(crash_db)
+    except SimulatedCrash:
+        pass
+    scenario = f"crash@{fired['point'] or 'end'}"
+    report.scenario_counts[scenario] = (
+        report.scenario_counts.get(scenario, 0) + 1
+    )
+
+    # -- recover and check the committed-prefix property ---------------
+    recovered, recovery = recover_database(
+        crash_root, psm=plan.with_psm, sync=False
+    )
+    effective = recovery.effective_lsn
+    committed = [lsn for lsn in commit_lsns if lsn is not None]
+    if effective != 0 and effective not in committed:
+        record(
+            plan, scenario, "recovery",
+            f"effective LSN {effective} is not a session commit "
+            f"boundary {committed}",
+        )
+        return
+    record(plan, scenario, "recovery", None)
+    survivors = sum(1 for lsn in committed if lsn <= effective)
+
+    integrity = recovered.verify_integrity()
+    record(
+        plan, scenario, "scrub",
+        None if integrity["ok"] else f"recovered database fails scrub: "
+        f"{integrity}",
+    )
+
+    # -- oracle: never crashed, applied exactly the surviving sessions -
+    oracle = plan.build_base()
+    plan.run_sessions(oracle, first=0, last=survivors, checkpoints=False)
+
+    query = plan.make_query()
+    k = plan.rng.randint(1, 8)
+    for engine in plan.engines():
+        got = _search_fingerprint(recovered, query, k, engine)
+        want = _search_fingerprint(oracle, query, k, engine)
+        record(
+            plan, scenario, engine,
+            None if got == want else (
+                f"post-recovery results diverge from oracle after "
+                f"{survivors}/{len(committed)} sessions: {got} != {want}"
+            ),
+        )
+
+    # -- the recovered database must ingest on ------------------------
+    if survivors < len(plan.sessions):
+        plan.run_sessions(
+            recovered, first=survivors, checkpoints=False
+        )
+        plan.run_sessions(oracle, first=survivors, checkpoints=False)
+        for engine in plan.engines():
+            got = _search_fingerprint(recovered, query, k, engine)
+            want = _search_fingerprint(oracle, query, k, engine)
+            record(
+                plan, scenario, f"{engine}+resume",
+                None if got == want else (
+                    f"post-resume results diverge from oracle: "
+                    f"{got} != {want}"
+                ),
+            )

@@ -60,6 +60,26 @@ class BufferPoolError(StorageError):
     """The buffer pool was misconfigured or misused (e.g. zero capacity)."""
 
 
+class WalError(StorageError):
+    """The write-ahead log was misused or could not perform I/O.
+
+    Covers protocol violations (appending to a closed log, truncating
+    to an LSN ahead of the tail) and unrecoverable file-level failures
+    that survive the WAL's retry policy.
+    """
+
+
+class WalCorruptError(WalError):
+    """The write-ahead log file is structurally unreadable.
+
+    Raised when the magic marker or the framed header fails to parse —
+    the log cannot be trusted at all.  A torn *tail* (a half-written
+    final record after a crash) is **not** this error: torn tails are
+    expected, detected by per-record CRC32s, and silently discarded on
+    replay (only committed prefixes are ever applied).
+    """
+
+
 class SequenceNotFoundError(StorageError):
     """A sequence id was requested that is not present in the store."""
 

@@ -68,6 +68,31 @@ class BloomFilter:
                 return False
         return True
 
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot (persisted with PSM's sliding index).
+
+        Key hashing is deterministic for the integer-tuple keys PSM
+        uses (``PYTHONHASHSEED`` only perturbs str/bytes hashing), so a
+        restored filter answers probes identically across processes.
+        """
+        return {
+            "num_bits": self._num_bits,
+            "num_hashes": self._num_hashes,
+            "bits_hex": format(self._bits, "x"),
+            "items_added": self.items_added,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BloomFilter":
+        """Rebuild a filter from :meth:`to_state` output."""
+        bloom = cls(
+            num_bits=int(state["num_bits"]),
+            num_hashes=int(state["num_hashes"]),
+        )
+        bloom._bits = int(state["bits_hex"], 16)
+        bloom.items_added = int(state.get("items_added", 0))
+        return bloom
+
     @classmethod
     def with_capacity(cls, expected_items: int, bits_per_item: int = 10) -> "BloomFilter":
         """Size a filter for an expected item count (~1 % FPR at 10 bpi)."""

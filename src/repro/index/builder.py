@@ -77,6 +77,25 @@ class DualMatchIndex:
             }
         return self._window_points
 
+    def note_window(self, record: LeafRecord, point: np.ndarray) -> None:
+        """Record a newly indexed window in the lazy point table.
+
+        Called by the ingest path after inserting a leaf entry so that a
+        previously materialised :meth:`window_point_table` stays in sync
+        (a ``None`` table will simply be rebuilt from the tree on first
+        use, so nothing to do then).
+        """
+        if self._window_points is not None:
+            self._window_points[
+                (record.sid, record.window_index)
+            ] = np.asarray(point, dtype=np.float64)
+
+    def forget_sequence(self, sid: int) -> None:
+        """Drop every cached window point of one sequence (on delete)."""
+        if self._window_points is not None:
+            for key in [k for k in self._window_points if k[0] == sid]:
+                del self._window_points[key]
+
     @property
     def seg_len(self) -> int:
         """Raw values per PAA dimension (``omega / f``)."""

@@ -123,7 +123,8 @@ class RStarTree:
         self.min_entries = max(2, int(self.max_entries * MIN_FILL_FRACTION))
         self._size = 0
         root = RStarNode(level=0)
-        self.root_page = self._pager.allocate(PageKind.INDEX_LEAF, root)
+        # Offline construction (pre-seal, pre-WAL by definition).
+        self.root_page = self._pager.allocate(PageKind.INDEX_LEAF, root)  # repro: ignore[RS009]
 
     # ------------------------------------------------------------------
     # Accessors
@@ -165,6 +166,27 @@ class RStarTree:
         """Offline node read (no I/O accounting) for build paths."""
         return self._pager.peek(page_id)
 
+    def _write_back(self, page_id: int) -> None:
+        """Persist an in-place node mutation on a *sealed* pager.
+
+        During offline build the pager is unsealed and checksums do not
+        exist yet, so this is a no-op there (keeping build-time write
+        counters byte-identical to the pre-ingest library).  After
+        ``seal()`` every node mutation must write through so the page's
+        checksum stays current — otherwise the next verified read would
+        report phantom corruption.
+        """
+        if self._pager.sealed:
+            # Structure maintenance beneath insert()/delete(); the
+            # mutation intent is WAL-logged at the IngestSession layer.
+            self._pager.write(page_id, self._peek(page_id))  # repro: ignore[RS009]
+
+    def _free_page(self, page_id: int) -> None:
+        """Release a condensed-away node page (and its buffer frame)."""
+        self._buffer.invalidate(page_id)
+        # Structure maintenance beneath delete(); WAL-logged upstream.
+        self._pager.free(page_id)  # repro: ignore[RS009]
+
     # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------
@@ -188,6 +210,7 @@ class RStarTree:
         node_page = path[-1]
         node = self._peek(node_page)
         node.entries.append(entry)
+        self._write_back(node_page)
         self._handle_overflow(path, reinserted_levels)
 
     def _choose_path(self, rect: Rect, target_level: int) -> List[int]:
@@ -283,6 +306,7 @@ class RStarTree:
             if entry.child_page == child_page:
                 entry.low = low
                 entry.high = high
+                self._write_back(parent_page)
                 return
 
     def _reinsert(
@@ -302,7 +326,8 @@ class RStarTree:
         )
         evicted = node.entries[-count:]
         del node.entries[-count:]
-        self._pager.write(node_page, node)
+        # Structure maintenance beneath insert(); WAL-logged upstream.
+        self._pager.write(node_page, node)  # repro: ignore[RS009]
         # Refresh ancestors before reinserting so choose-subtree sees
         # tightened MBRs.
         for depth in range(len(ancestor_path) - 1, -1, -1):
@@ -321,8 +346,9 @@ class RStarTree:
         node.entries = group_a
         sibling = RStarNode(level=node.level, entries=group_b)
         kind = PageKind.INDEX_LEAF if node.is_leaf else PageKind.INDEX_INTERNAL
-        sibling_page = self._pager.allocate(kind, sibling)
-        self._pager.write(node_page, node)
+        # Structure maintenance beneath insert(); WAL-logged upstream.
+        sibling_page = self._pager.allocate(kind, sibling)  # repro: ignore[RS009]
+        self._pager.write(node_page, node)  # repro: ignore[RS009]
         if node_page == self.root_page:
             new_root = RStarNode(level=node.level + 1)
             low_a, high_a = node.mbr()
@@ -331,7 +357,7 @@ class RStarTree:
                 Entry(low=low_a, high=high_a, child_page=node_page),
                 Entry(low=low_b, high=high_b, child_page=sibling_page),
             ]
-            self.root_page = self._pager.allocate(
+            self.root_page = self._pager.allocate(  # repro: ignore[RS009]
                 PageKind.INDEX_INTERNAL, new_root
             )
             return
@@ -428,6 +454,110 @@ class RStarTree:
         return prefix_low, prefix_high, suffix_low, suffix_high
 
     # ------------------------------------------------------------------
+    # Deletion (classic R-tree CondenseTree with R* reinsertion)
+    # ------------------------------------------------------------------
+
+    def delete(self, point: Sequence[float], record: LeafRecord) -> bool:
+        """Remove one leaf record; returns ``False`` when absent.
+
+        Follows Guttman's delete: locate the leaf holding the record,
+        remove the entry, then **CondenseTree** — ancestors that fall
+        below the minimum fill are eliminated bottom-up, their surviving
+        entries re-inserted at their original level (via the R* insert
+        path, so reinsertion may trigger splits/forced reinserts), and
+        an internal root left with a single child collapses, shrinking
+        the tree.  Condensed-away node pages are freed.
+        """
+        array = np.ascontiguousarray(point, dtype=np.float64)
+        if array.shape != (self.dimensions,):
+            raise IndexError_(
+                f"point shape {array.shape} does not match index "
+                f"dimensionality ({self.dimensions},)"
+            )
+        path = self._find_leaf(self.root_page, array, record)
+        if path is None:
+            return False
+        leaf_page = path[-1]
+        leaf = self._peek(leaf_page)
+        leaf.entries = [
+            entry
+            for entry in leaf.entries
+            if not (
+                entry.record == record and np.array_equal(entry.low, array)
+            )
+        ]
+        self._write_back(leaf_page)
+        self._condense(path)
+        self._shrink_root()
+        self._size -= 1
+        return True
+
+    def _find_leaf(
+        self, page_id: int, array: np.ndarray, record: LeafRecord
+    ) -> Optional[List[int]]:
+        """Root-to-leaf page path of the entry holding ``record``."""
+        node = self._peek(page_id)
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.record == record and np.array_equal(
+                    entry.low, array
+                ):
+                    return [page_id]
+            return None
+        for entry in node.entries:
+            low, high = entry.rect
+            if np.all(low <= array) and np.all(array <= high):
+                below = self._find_leaf(entry.child_page, array, record)  # type: ignore[arg-type]
+                if below is not None:
+                    return [page_id, *below]
+        return None
+
+    def _condense(self, path: List[int]) -> None:
+        """Eliminate underfull nodes bottom-up, reinserting orphans."""
+        orphans: List[Tuple[int, List[Entry]]] = []
+        for depth in range(len(path) - 1, 0, -1):
+            node_page = path[depth]
+            parent_page = path[depth - 1]
+            node = self._peek(node_page)
+            if len(node.entries) < self.min_entries:
+                parent = self._peek(parent_page)
+                parent.entries = [
+                    entry
+                    for entry in parent.entries
+                    if entry.child_page != node_page
+                ]
+                self._write_back(parent_page)
+                if node.entries:
+                    orphans.append((node.level, list(node.entries)))
+                self._free_page(node_page)
+            else:
+                self._refresh_parent_mbr(parent_page, node_page)
+        reinserted: Set[int] = set()
+        for level, entries in orphans:
+            for entry in entries:
+                self._insert_entry(
+                    entry, target_level=level, reinserted_levels=reinserted
+                )
+
+    def _shrink_root(self) -> None:
+        """Collapse an internal root down to its single surviving child."""
+        while True:
+            root = self._peek(self.root_page)
+            if root.is_leaf:
+                return
+            if len(root.entries) == 1:
+                child_page = root.entries[0].child_page
+                old_root = self.root_page
+                self.root_page = child_page  # type: ignore[assignment]
+                self._free_page(old_root)
+                continue
+            if not root.entries:
+                # Every subtree condensed away: become an empty leaf.
+                root.level = 0
+                self._write_back(self.root_page)
+            return
+
+    # ------------------------------------------------------------------
     # Bulk loading (Sort-Tile-Recursive)
     # ------------------------------------------------------------------
 
@@ -472,7 +602,8 @@ class RStarTree:
                 for index in chunk
             ]
             node = RStarNode(level=0, entries=entries)
-            leaf_pages.append(self._pager.allocate(PageKind.INDEX_LEAF, node))
+            # Offline bulk load (pre-seal, pre-WAL by definition).
+            leaf_pages.append(self._pager.allocate(PageKind.INDEX_LEAF, node))  # repro: ignore[RS009]
         self._size = array.shape[0]
 
         level = 0
@@ -489,7 +620,7 @@ class RStarTree:
                     )
                 node = RStarNode(level=level, entries=entries)
                 parents.append(
-                    self._pager.allocate(PageKind.INDEX_INTERNAL, node)
+                    self._pager.allocate(PageKind.INDEX_INTERNAL, node)  # repro: ignore[RS009]
                 )
             pages = parents
         self.root_page = pages[0]

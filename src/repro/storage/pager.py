@@ -163,6 +163,23 @@ class Pager:
         if self._sealed:
             self._checksums[page_id] = payload_checksum(payload)
 
+    def free(self, page_id: int) -> None:
+        """Retire a page: drop its payload and retag it ``FREE``.
+
+        Used by the ingest path when a sequence is deleted or an index
+        node is condensed away.  The page id is never reused (the pager
+        stays append-only, so saved layouts remain stable), but the
+        payload is released and the page drops out of the ``DATA`` /
+        index kind histograms.  Counted as a physical write — the freed
+        page's header must reach disk.
+        """
+        self._check(page_id)
+        self.stats.record_write()
+        self._payloads[page_id] = None
+        self._kinds[page_id] = PageKind.FREE
+        if self._sealed:
+            self._checksums[page_id] = payload_checksum(None)
+
     def kind_of(self, page_id: int) -> PageKind:
         """Return the :class:`PageKind` recorded at allocation time."""
         self._check(page_id)

@@ -116,13 +116,21 @@ def _check_save_target(path: pathlib.Path) -> None:
         )
 
 
-def save_database(db: "SubsequenceDatabase", directory: PathLike) -> None:
+def save_database(
+    db: "SubsequenceDatabase",
+    directory: PathLike,
+    extra_meta: Dict[str, Any] = None,
+) -> None:
     """Serialize a built database into ``directory``, atomically.
 
     The write lands in a temporary sibling directory first and is
     renamed into place only once every file (including the ``MANIFEST``
     commit sentinel) is on disk; on any failure the temp directory is
     removed and an existing database at ``directory`` is untouched.
+
+    ``extra_meta`` keys are merged into ``meta.json`` — the ingest
+    checkpoint records its ``wal_lsn`` watermark this way, so recovery
+    knows which WAL records the checkpoint already contains.
     """
     if db.index is None:
         raise ConfigurationError("cannot save before build()")
@@ -134,7 +142,7 @@ def save_database(db: "SubsequenceDatabase", directory: PathLike) -> None:
         tempfile.mkdtemp(prefix=f".{path.name}.tmp-", dir=path.parent)
     )
     try:
-        _write_database(db, temp)
+        _write_database(db, temp, extra_meta)
         _fsync_dir(temp)
         _commit(temp, path)
     except BaseException:
@@ -162,7 +170,11 @@ def _commit(temp: pathlib.Path, path: pathlib.Path) -> None:
         temp.rename(path)
 
 
-def _write_database(db: "SubsequenceDatabase", path: pathlib.Path) -> None:
+def _write_database(
+    db: "SubsequenceDatabase",
+    path: pathlib.Path,
+    extra_meta: Dict[str, Any] = None,
+) -> None:
     """Write all four files into ``path`` (already existing and empty)."""
     tree = db.index.tree
 
@@ -239,8 +251,7 @@ def _write_database(db: "SubsequenceDatabase", path: pathlib.Path) -> None:
             {
                 "sid": m.sid,
                 "length": m.length,
-                "first_page": m.first_page,
-                "num_pages": m.num_pages,
+                "pages": list(m.pages),
             }
             for m in (db.store.meta(sid) for sid in db.store.sequence_ids())
         ],
@@ -262,6 +273,22 @@ def _write_database(db: "SubsequenceDatabase", path: pathlib.Path) -> None:
             },
         },
     }
+    sliding = db._sliding_index  # noqa: SLF001
+    if sliding is not None:
+        # PSM's sliding-tree nodes already live in the shared pager (so
+        # they are in index.npz with every other index page); recording
+        # its root/size/bloom here lets load reattach it page-for-page
+        # instead of rebuilding — which online ingest requires, since an
+        # incrementally maintained tree differs from a fresh bulk load.
+        meta["sliding"] = {
+            "root_page": sliding.tree.root_page,
+            "max_entries": sliding.tree.max_entries,
+            "tree_size": len(sliding.tree),
+            "stride": sliding.stride,
+            "bloom": sliding.bloom.to_state(),
+        }
+    if extra_meta:
+        meta.update(extra_meta)
     meta_bytes = json.dumps(meta).encode()
     (path / "meta.json").write_bytes(meta_bytes)
     _fsync_file(path / "meta.json")
@@ -373,6 +400,21 @@ def _load_npz(
     return data
 
 
+def _sequence_pages(seq: Dict[str, Any]) -> List[int]:
+    """Page-id list of one meta.json sequence entry.
+
+    Newer saves record the explicit (possibly non-contiguous, after
+    online extends) ``pages`` list; older version-2 saves recorded only
+    ``first_page``/``num_pages`` for the contiguous layout.
+    """
+    pages = seq.get("pages")
+    if pages is not None:
+        return [int(page_id) for page_id in pages]
+    return list(
+        range(seq["first_page"], seq["first_page"] + seq["num_pages"])
+    )
+
+
 def load_database(
     directory: PathLike, psm: bool = False
 ) -> "SubsequenceDatabase":
@@ -471,11 +513,8 @@ def load_database(
 
     per_page = values_per_page(meta["page_size"])
     for seq in meta["sequences"]:
-        for index in range(seq["num_pages"]):
-            page_owner[seq["first_page"] + index] = (
-                seq["sid"],
-                index * per_page,
-            )
+        for index, page_id in enumerate(_sequence_pages(seq)):
+            page_owner[page_id] = (seq["sid"], index * per_page)
     for page_id, kind in enumerate(kinds):
         if kind == PageKind.DATA:
             if page_id not in page_owner:
@@ -485,6 +524,10 @@ def load_database(
                 )
             sid, offset = page_owner[page_id]
             payload = arrays[sid][offset : offset + per_page]
+        elif kind == PageKind.FREE:
+            # A retired page (deleted sequence / condensed index node):
+            # its slot is preserved so every surviving page id is stable.
+            payload = None
         else:
             if page_id not in nodes:
                 raise IntegrityError(
@@ -500,8 +543,7 @@ def load_database(
         store._meta[seq["sid"]] = SequenceMeta(  # noqa: SLF001
             sid=seq["sid"],
             length=seq["length"],
-            first_page=seq["first_page"],
-            num_pages=seq["num_pages"],
+            pages=tuple(_sequence_pages(seq)),
         )
         store._arrays[seq["sid"]] = arrays[seq["sid"]]  # noqa: SLF001
 
@@ -529,11 +571,47 @@ def load_database(
         data_stride=meta.get("data_stride"),
     )
     if psm:
-        from repro.engines.psm import build_sliding_index
+        sliding_meta = meta.get("sliding")
+        if sliding_meta is not None:
+            from repro.engines.psm import SlidingWindowIndex
+            from repro.index.bloom import BloomFilter
 
-        db._sliding_index = build_sliding_index(  # noqa: SLF001
-            store, omega=meta["omega"], features=meta["features"], p=meta["p"]
-        )
+            if not 0 <= sliding_meta["root_page"] < pager.num_pages:
+                raise IntegrityError(
+                    f"meta.json sliding root_page "
+                    f"{sliding_meta['root_page']} is outside the page "
+                    f"file [0, {pager.num_pages})"
+                )
+            sliding_tree = RStarTree.__new__(RStarTree)
+            sliding_tree._pager = pager  # noqa: SLF001
+            sliding_tree._buffer = db.buffer  # noqa: SLF001
+            sliding_tree.dimensions = meta["features"]
+            sliding_tree.max_entries = sliding_meta["max_entries"]
+            sliding_tree.min_entries = max(
+                2, int(sliding_meta["max_entries"] * 0.4)
+            )
+            sliding_tree._size = sliding_meta["tree_size"]  # noqa: SLF001
+            sliding_tree.root_page = sliding_meta["root_page"]
+            db._sliding_index = SlidingWindowIndex(  # noqa: SLF001
+                tree=sliding_tree,
+                store=store,
+                omega=meta["omega"],
+                features=meta["features"],
+                bloom=BloomFilter.from_state(sliding_meta["bloom"]),
+                stride=sliding_meta["stride"],
+                p=meta["p"],
+            )
+        else:
+            # Pre-ingest saves recorded no sliding metadata: rebuild
+            # deterministically, as older loads always did.
+            from repro.engines.psm import build_sliding_index
+
+            db._sliding_index = build_sliding_index(  # noqa: SLF001
+                store,
+                omega=meta["omega"],
+                features=meta["features"],
+                p=meta["p"],
+            )
     db.pager.seal()
     db.resize_buffer(meta["buffer_fraction"])
     db.reset_cache()

@@ -12,7 +12,7 @@ Offsets are **0-based** throughout the library; the paper's 1-based
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,12 +24,28 @@ from repro.storage.pager import Pager
 
 @dataclass(frozen=True)
 class SequenceMeta:
-    """Placement of one sequence in the page file."""
+    """Placement of one sequence in the page file.
+
+    ``pages`` lists the owning page ids in *logical* order: page ``i``
+    holds values ``[i * vpp, (i + 1) * vpp)``.  A freshly added
+    sequence occupies contiguous pages, but online ``extend_sequence``
+    appends pages at the end of an append-only file, so extended
+    sequences are generally non-contiguous.
+    """
 
     sid: int
     length: int
-    first_page: int
-    num_pages: int
+    pages: Tuple[int, ...]
+
+    @property
+    def first_page(self) -> int:
+        """Page id of the first data page (compat accessor)."""
+        return self.pages[0] if self.pages else -1
+
+    @property
+    def num_pages(self) -> int:
+        """Number of data pages the sequence occupies."""
+        return len(self.pages)
 
 
 class SequenceStore:
@@ -83,10 +99,12 @@ class SequenceStore:
         """All stored sequence ids, in insertion order."""
         return list(self._meta)
 
-    def add_sequence(self, sid: int, values: Sequence[float]) -> SequenceMeta:
-        """Append a sequence to the store, packing it into data pages."""
-        if sid in self._meta:
-            raise PageError(f"sequence id {sid} already stored")
+    def has_sequence(self, sid: int) -> bool:
+        """Whether sequence ``sid`` is currently stored."""
+        return sid in self._meta
+
+    @staticmethod
+    def _validated(sid: int, values: Sequence[float]) -> np.ndarray:
         array = np.ascontiguousarray(values, dtype=np.float64)
         if array.ndim != 1:
             raise PageError(
@@ -100,23 +118,88 @@ class SequenceStore:
                 f"sequence {sid} contains NaN or infinite values; the "
                 f"distance bounds assume finite reals"
             )
+        return array
+
+    def add_sequence(
+        self,
+        sid: int,
+        values: Sequence[float],
+        session: Optional[object] = None,
+    ) -> SequenceMeta:
+        """Append a sequence to the store, packing it into data pages.
+
+        ``session`` marks the active :class:`~repro.ingest.IngestSession`
+        when called on a built (sealed) database — post-build mutation
+        must be WAL-logged so it survives a crash (lint rule RS009).
+        Pre-build loading passes ``None``.
+        """
+        if sid in self._meta:
+            raise PageError(f"sequence id {sid} already stored")
+        array = self._validated(sid, values)
         array.setflags(write=False)
-        first_page = -1
-        num_pages = 0
+        pages: List[int] = []
         for offset in range(0, array.size, self._values_per_page):
             chunk = array[offset : offset + self._values_per_page]
-            page_id = self._pager.allocate(PageKind.DATA, chunk)
-            if first_page < 0:
-                first_page = page_id
-            num_pages += 1
-        meta = SequenceMeta(
-            sid=sid,
-            length=array.size,
-            first_page=first_page,
-            num_pages=num_pages,
-        )
+            pages.append(self._pager.allocate(PageKind.DATA, chunk))
+        meta = SequenceMeta(sid=sid, length=array.size, pages=tuple(pages))
         self._meta[sid] = meta
         self._arrays[sid] = array
+        return meta
+
+    def extend_sequence(
+        self,
+        sid: int,
+        values: Sequence[float],
+        session: Optional[object] = None,
+    ) -> SequenceMeta:
+        """Append values to an existing sequence, reusing its last page.
+
+        The partially filled final page (if any) is rewritten in place
+        with its page slot topped up; wholly new values go into freshly
+        allocated pages at the end of the file.  Every touched page is
+        invalidated in the buffer pool so no reader can observe the
+        stale payload (mutation invalidates, it does not wait for LRU
+        pressure).  ``session`` marks the active ingest session (RS009).
+        """
+        meta = self._require(sid)
+        extra = self._validated(sid, values)
+        combined = np.concatenate([self._arrays[sid], extra])
+        combined.setflags(write=False)
+        vpp = self._values_per_page
+        pages = list(meta.pages)
+        filled = meta.length % vpp
+        if filled:
+            # Rewrite the partial last page with its slot now fuller.
+            start = (len(pages) - 1) * vpp
+            self._pager.write(pages[-1], combined[start : start + vpp])
+            self._buffer.invalidate(pages[-1])
+        for offset in range(len(pages) * vpp, combined.size, vpp):
+            pages.append(
+                self._pager.allocate(
+                    PageKind.DATA, combined[offset : offset + vpp]
+                )
+            )
+        new_meta = SequenceMeta(
+            sid=sid, length=combined.size, pages=tuple(pages)
+        )
+        self._meta[sid] = new_meta
+        self._arrays[sid] = combined
+        return new_meta
+
+    def remove_sequence(
+        self, sid: int, session: Optional[object] = None
+    ) -> SequenceMeta:
+        """Drop a sequence, freeing its pages and evicting them from the
+        buffer pool.  Returns the removed placement metadata.
+
+        ``session`` marks the active ingest session (RS009).
+        """
+        meta = self._require(sid)
+        for page_id in meta.pages:
+            self._buffer.invalidate(page_id)
+            self._pager.free(page_id)
+        del self._meta[sid]
+        del self._arrays[sid]
         return meta
 
     def _require(self, sid: int) -> SequenceMeta:
@@ -143,9 +226,9 @@ class SequenceStore:
         """
         meta = self._require(sid)
         self._check_range(meta, start, length)
-        first = meta.first_page + start // self._values_per_page
-        last = meta.first_page + (start + length - 1) // self._values_per_page
-        return list(range(first, last + 1))
+        first = start // self._values_per_page
+        last = (start + length - 1) // self._values_per_page
+        return list(meta.pages[first : last + 1])
 
     @staticmethod
     def _check_range(meta: SequenceMeta, start: int, length: int) -> None:
@@ -178,7 +261,7 @@ class SequenceStore:
         per page — the constant cost the paper reports for SeqScan.
         """
         meta = self._require(sid)
-        for page_id in range(meta.first_page, meta.first_page + meta.num_pages):
+        for page_id in meta.pages:
             self._buffer.get(page_id)
         return self._arrays[sid]
 

@@ -469,6 +469,106 @@ class TestRS008SpanDiscipline:
         assert findings == []
 
 
+class TestRS009WalDiscipline:
+    def test_sealed_mutation_without_session_is_flagged(self):
+        findings = lint_snippet(
+            """
+            class Store:
+                def overwrite(self, page_id, payload):
+                    self._pager.write(page_id, payload)
+            """,
+            "repro/storage/bad_ingest.py",
+        )
+        assert codes(findings) == ["RS009"]
+        assert "WAL" in findings[0].message
+
+    def test_allocate_and_free_are_flagged(self):
+        findings = lint_snippet(
+            """
+            def grow(pager, payload):
+                new = pager.allocate("DATA", payload)
+                pager.free(new)
+            """,
+            "repro/index/novel.py",
+        )
+        assert codes(findings) == ["RS009"]
+        assert len(findings) == 2
+
+    def test_session_parameter_is_clean(self):
+        findings = lint_snippet(
+            """
+            class Store:
+                def add(self, sid, payload, session=None):
+                    return self._pager.allocate("DATA", payload)
+            """,
+            "repro/storage/sequences.py",
+        )
+        assert findings == []
+
+    def test_wal_attribute_reference_is_clean(self):
+        findings = lint_snippet(
+            """
+            class Store:
+                def add(self, sid, payload):
+                    self._wal.append("append", sid=sid)
+                    return self._pager.allocate("DATA", payload)
+            """,
+            "repro/storage/sequences.py",
+        )
+        assert findings == []
+
+    def test_annotated_session_is_clean(self):
+        findings = lint_snippet(
+            """
+            def apply(db, record: "IngestSession", payload):
+                db._pager.write(0, payload)
+            """,
+            "repro/storage/novel.py",
+        )
+        assert findings == []
+
+    def test_wal_layer_is_whitelisted(self):
+        findings = lint_snippet(
+            """
+            def truncate(self):
+                self._pager.free(0)
+            """,
+            "repro/storage/wal.py",
+        )
+        assert findings == []
+
+    def test_engine_layer_is_out_of_scope(self):
+        findings = lint_snippet(
+            """
+            def hack(pager, payload):
+                pager.write(0, payload)
+            """,
+            "repro/engines/novel.py",
+        )
+        assert findings == []
+
+    def test_suppressed_build_path_is_clean(self):
+        findings = lint_snippet(
+            """
+            class Tree:
+                def _write_back(self, page_id):
+                    self._pager.write(page_id, self._peek(page_id))  # repro: ignore[RS009]
+            """,
+            "repro/index/rstar.py",
+        )
+        assert findings == []
+
+    def test_non_pager_receiver_is_clean(self):
+        findings = lint_snippet(
+            """
+            def save(handle, payload):
+                handle.write(payload)
+            """,
+            "repro/storage/novel.py",
+        )
+        assert findings == []
+
+
 class TestSuppressions:
     def test_matching_code_is_suppressed(self):
         report = LintReport()
@@ -541,6 +641,7 @@ class TestFramework:
             "RS006",
             "RS007",
             "RS008",
+            "RS009",
         ]
 
 
@@ -584,6 +685,8 @@ class TestSelfCheck:
             "RS005",
             "RS006",
             "RS007",
+            "RS008",
+            "RS009",
         ):
             assert code in out
 
