@@ -8,13 +8,23 @@ the :class:`~repro.storage.buffer.BufferPool`, so the paper's
 is enforced by the type system, and both can be silently violated by an
 innocent-looking refactor.  This package makes them machine-checked:
 
-* :mod:`repro.analysis.framework` — the rule registry, suppression
-  comments (``# repro: ignore[RS001]``), and the linting driver;
-* :mod:`repro.analysis.rules` — the repo-specific rules (RS001–RS006);
+* :mod:`repro.analysis.framework` — the rule registry (node-rules and
+  flow-rules), suppression comments (``# repro: ignore[RS001]``), and
+  the linting driver;
+* :mod:`repro.analysis.rules` — the per-node AST rules (RS001–RS009);
+* :mod:`repro.analysis.cfg` / :mod:`repro.analysis.dataflow` — the
+  per-function control-flow graphs and the generic forward/backward
+  gen-kill worklist solver the flow-rules run on;
+* :mod:`repro.analysis.concurrency` — the sharing-contract vocabulary
+  (``@shared_across_queries``, ``@guarded_by``, ``@single_query``,
+  ``@requires_lock``), both runtime decorators and their AST reader;
+* :mod:`repro.analysis.flow_rules` — the CFG/dataflow rules
+  (RS010 lock-discipline, RS011 resource-lifecycle,
+  RS012 check-then-act);
 * :mod:`repro.analysis.contracts` — the static lower-bound contract
   table that RS005 cross-checks against ``repro/core/lower_bounds.py``;
-* :mod:`repro.analysis.cli` — output formatting and the ``lint``
-  subcommand behind ``python -m repro lint``.
+* :mod:`repro.analysis.cli` — output formatting (human, JSON, SARIF)
+  and the ``lint`` subcommand behind ``python -m repro lint``.
 
 The framework is intentionally self-contained (stdlib ``ast`` only) so
 the linter can gate CI without any third-party dependency.
@@ -24,6 +34,7 @@ from __future__ import annotations
 
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.framework import (
+    FlowRule,
     Rule,
     all_rules,
     lint_paths,
@@ -31,11 +42,13 @@ from repro.analysis.framework import (
     rule_registry,
 )
 
-# Importing the rules module registers every built-in rule.
+# Importing the rule modules registers every built-in rule.
 from repro.analysis import rules as _rules  # noqa: F401  (side effect)
+from repro.analysis import flow_rules as _flow_rules  # noqa: F401  (side effect)
 
 __all__ = [
     "Finding",
+    "FlowRule",
     "Rule",
     "Severity",
     "all_rules",

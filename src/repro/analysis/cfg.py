@@ -1,0 +1,519 @@
+"""Per-function control-flow graphs for the flow-rule engine.
+
+:func:`build_cfg` turns one ``def`` into a :class:`CFG` of
+:class:`BasicBlock` nodes — one statement per block, plus a handful of
+synthetic blocks (function entry/exit, ``with`` cleanup, ``finally``
+entry, ``except`` handler entry).  Edges carry a *kind*:
+
+``normal``
+    sequential fall-through;
+``true`` / ``false``
+    the two sides of an ``if``/``while``/``for``/``match`` test;
+``loop``
+    the back edge from a loop body to its header;
+``exception``
+    control transferred by a raised exception — from any statement
+    that can raise to the innermost handler/cleanup, or to the
+    function exit when nothing intervenes.
+
+Cleanup semantics (the part the concurrency rules lean on):
+
+* ``with`` statements get a header block (the context expression), a
+  synthetic *normal-exit* block and a synthetic *exceptional-exit*
+  block, both carrying ``origin`` pointing back at the ``With`` node —
+  a dataflow client can kill "lock held" / "resource open" facts at
+  exactly those blocks, on *every* path out of the body, including
+  ``return`` and raised exceptions.  An exception raised by the header
+  itself (``__enter__`` failing) bypasses both cleanup blocks, because
+  ``__exit__`` never runs in that case.
+* ``try/finally`` routes body exceptions, early ``return``/``break``/
+  ``continue`` and normal completion through the single ``finally``
+  subgraph, then re-dispatches each pending continuation in the outer
+  context — nested ``finally`` chains compose.  The ``finally`` body
+  is built once, so continuations that co-occur merge there; this can
+  add paths that no concrete execution takes, which is sound (extra
+  paths only make must-analyses more conservative).
+* ``try/except`` adds an exception edge from every raising statement
+  in the body to every handler entry *and* keeps propagating outward
+  (a handler may not match the raised type — the graph cannot know).
+
+Nested ``def``/``class`` statements are opaque: they occupy one block
+in the enclosing function's CFG and their bodies are never descended
+into.  Statements after a ``return``/``raise``/``break``/``continue``
+become blocks with no incoming edges (dead code, analyzed as
+unreachable).
+
+Everything here is stdlib-``ast`` only, like the rest of
+``repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Edge kinds.
+NORMAL = "normal"
+TRUE = "true"
+FALSE = "false"
+LOOP = "loop"
+EXCEPTION = "exception"
+
+#: Statements that can never raise on their own.
+_NO_RAISE = (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)
+
+#: Statements whose body lives in a different scope — one opaque block.
+_OPAQUE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One directed control-flow edge."""
+
+    src: int
+    dst: int
+    kind: str
+
+
+@dataclass
+class BasicBlock:
+    """One node of the CFG.
+
+    ``statements`` holds at most one statement; for compound statements
+    (``if``/``while``/``for``/``with``/``match``) the block represents
+    the *header* — only the expressions returned by
+    :func:`evaluated_nodes` are evaluated in it, the suites live in
+    their own blocks.  Synthetic blocks (``label`` of ``entry``,
+    ``exit``, ``with-exit``, ``with-except``, ``finally-entry``,
+    ``except-entry``) hold no statements; cleanup blocks carry
+    ``origin`` pointing at the ``with``/``try``/handler node they
+    serve.
+    """
+
+    block_id: int
+    statements: List[ast.stmt] = field(default_factory=list)
+    label: str = ""
+    origin: Optional[ast.AST] = None
+    succs: List[Edge] = field(default_factory=list)
+    preds: List[Edge] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function."""
+
+    func: FunctionNode
+    blocks: List[BasicBlock]
+    entry: int
+    exit: int
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def statement_block(self, stmt: ast.stmt) -> Optional[BasicBlock]:
+        """The unique block holding ``stmt`` (header block for compounds)."""
+        for block in self.blocks:
+            if any(existing is stmt for existing in block.statements):
+                return block
+        return None
+
+    def reachable(self) -> Set[int]:
+        """Block ids reachable from the entry block."""
+        seen: Set[int] = set()
+        stack = [self.entry]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for edge in self.blocks[current].succs:
+                if edge.dst not in seen:
+                    stack.append(edge.dst)
+        return seen
+
+    def dominators(self) -> Dict[int, Set[int]]:
+        """Classic iterative dominator sets over reachable blocks.
+
+        ``dom[b]`` is the set of blocks that appear on *every* path
+        from entry to ``b``; unreachable blocks are absent.
+        """
+        reachable = self.reachable()
+        universe = set(reachable)
+        dom: Dict[int, Set[int]] = {b: set(universe) for b in reachable}
+        dom[self.entry] = {self.entry}
+        changed = True
+        while changed:
+            changed = False
+            for block_id in sorted(reachable):
+                if block_id == self.entry:
+                    continue
+                preds = [
+                    edge.src
+                    for edge in self.blocks[block_id].preds
+                    if edge.src in reachable
+                ]
+                if preds:
+                    new = set.intersection(*(dom[p] for p in preds))
+                else:
+                    new = set(universe)
+                new.add(block_id)
+                if new != dom[block_id]:
+                    dom[block_id] = new
+                    changed = True
+        return dom
+
+
+def evaluated_nodes(stmt: ast.stmt) -> List[ast.AST]:
+    """The AST nodes actually *evaluated* in the block holding ``stmt``.
+
+    For simple statements that is the statement itself; for compound
+    headers it is only the header expressions (test, iterable, context
+    expressions) — the suites belong to other blocks.  Opaque nested
+    scopes evaluate nothing in the enclosing function.
+    """
+    if isinstance(stmt, _OPAQUE):
+        return []
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        nodes: List[ast.AST] = []
+        for item in stmt.items:
+            nodes.append(item.context_expr)
+            if item.optional_vars is not None:
+                nodes.append(item.optional_vars)
+        return nodes
+    if isinstance(stmt, ast.Try) or stmt.__class__.__name__ == "TryStar":
+        return []
+    match_type = getattr(ast, "Match", None)
+    if match_type is not None and isinstance(stmt, match_type):
+        return [stmt.subject]
+    return [stmt]
+
+
+def walk_evaluated(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Walk every node evaluated in the block holding ``stmt``.
+
+    Like ``ast.walk`` over :func:`evaluated_nodes`, but pruning nested
+    ``lambda`` bodies (they run later, in their own frame).
+    """
+    pending: List[ast.AST] = list(evaluated_nodes(stmt))
+    while pending:
+        node = pending.pop()
+        yield node
+        if isinstance(node, ast.Lambda):
+            pending.extend(node.args.defaults)
+            pending.extend(
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            )
+            continue
+        pending.extend(ast.iter_child_nodes(node))
+
+
+#: Continuation requests recorded against a cleanup frame while the
+#: suite it protects is being built, resolved once the frame pops.
+_FALL = "fallthrough"
+_RETURN = "return"
+_RAISE = "exception"
+_BREAK = "break"
+_CONTINUE = "continue"
+
+
+@dataclass
+class _CleanupFrame:
+    kind: str  # "except" | "finally" | "with"
+    handler_entries: List[int] = field(default_factory=list)
+    entry: int = -1  # finally entry, or the with normal-exit block
+    entry_exc: int = -1  # with exceptional-exit block
+    pending: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class _LoopFrame:
+    header: int
+    after: int
+    depth: int  # cleanup-stack depth when the loop was entered
+
+
+_End = Tuple[int, str]  # (block id, edge kind for the outgoing edge)
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.blocks: List[BasicBlock] = []
+        self.cleanup: List[_CleanupFrame] = []
+        self.loops: List[_LoopFrame] = []
+        self.entry_id = self.new_block(label="entry")
+        self.exit_id = self.new_block(label="exit")
+
+    # -- plumbing -----------------------------------------------------
+
+    def new_block(
+        self, label: str = "", origin: Optional[ast.AST] = None
+    ) -> int:
+        block = BasicBlock(block_id=len(self.blocks), label=label, origin=origin)
+        self.blocks.append(block)
+        return block.block_id
+
+    def edge(self, src: int, dst: int, kind: str) -> None:
+        edge = Edge(src=src, dst=dst, kind=kind)
+        if edge in self.blocks[src].succs:
+            return
+        self.blocks[src].succs.append(edge)
+        self.blocks[dst].preds.append(edge)
+
+    def wire(self, preds: Sequence[_End], dst: int) -> None:
+        for src, kind in preds:
+            self.edge(src, dst, kind)
+
+    # -- non-local routing --------------------------------------------
+
+    def route_exception(self, src: int) -> None:
+        """Wire ``src`` to wherever a raised exception can go."""
+        for frame in reversed(self.cleanup):
+            if frame.kind == "except":
+                for handler in frame.handler_entries:
+                    self.edge(src, handler, EXCEPTION)
+                # A handler may not match; keep propagating outward.
+                continue
+            if frame.kind == "finally":
+                self.edge(src, frame.entry, EXCEPTION)
+                frame.pending.add(_RAISE)
+                return
+            if frame.kind == "with":
+                self.edge(src, frame.entry_exc, EXCEPTION)
+                return
+        self.edge(src, self.exit_id, EXCEPTION)
+
+    def _route_through_cleanup(
+        self, src: int, request: str, floor: int
+    ) -> bool:
+        """Route an early exit through the innermost absorbing frame.
+
+        Returns True when a cleanup frame absorbed the exit; False when
+        the caller should wire ``src`` to the final target directly.
+        Only frames at stack depth >= ``floor`` are considered (break/
+        continue must not run cleanups outside their loop).
+        """
+        for index in range(len(self.cleanup) - 1, floor - 1, -1):
+            frame = self.cleanup[index]
+            if frame.kind == "except":
+                continue  # returns/breaks do not trigger handlers
+            self.edge(src, frame.entry, NORMAL)
+            frame.pending.add(request)
+            return True
+        return False
+
+    def route_return(self, src: int) -> None:
+        if not self._route_through_cleanup(src, _RETURN, 0):
+            self.edge(src, self.exit_id, NORMAL)
+
+    def route_break(self, src: int) -> None:
+        if not self.loops:  # malformed input; degrade to function exit
+            self.edge(src, self.exit_id, NORMAL)
+            return
+        loop = self.loops[-1]
+        if not self._route_through_cleanup(src, _BREAK, loop.depth):
+            self.edge(src, loop.after, NORMAL)
+
+    def route_continue(self, src: int) -> None:
+        if not self.loops:
+            self.edge(src, self.exit_id, NORMAL)
+            return
+        loop = self.loops[-1]
+        if not self._route_through_cleanup(src, _CONTINUE, loop.depth):
+            self.edge(src, loop.header, LOOP)
+
+    # -- statement construction ---------------------------------------
+
+    def build_body(
+        self, stmts: Sequence[ast.stmt], preds: List[_End]
+    ) -> List[_End]:
+        for stmt in stmts:
+            preds = self.build_stmt(stmt, preds)
+        return preds
+
+    def build_stmt(self, stmt: ast.stmt, preds: List[_End]) -> List[_End]:
+        if isinstance(stmt, (ast.If,)):
+            return self._build_if(stmt, preds)
+        if isinstance(stmt, (ast.While,)):
+            return self._build_loop(stmt, preds, header_can_raise=True)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, preds, header_can_raise=True)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, preds)
+        if isinstance(stmt, ast.Try) or stmt.__class__.__name__ == "TryStar":
+            return self._build_try(stmt, preds)
+        match_type = getattr(ast, "Match", None)
+        if match_type is not None and isinstance(stmt, match_type):
+            return self._build_match(stmt, preds)
+
+        block = self._leaf_block(stmt, preds)
+        if isinstance(stmt, ast.Return):
+            self.route_exception(block)  # the value expression can raise
+            self.route_return(block)
+            return []
+        if isinstance(stmt, ast.Raise):
+            self.route_exception(block)
+            return []
+        if isinstance(stmt, ast.Break):
+            self.route_break(block)
+            return []
+        if isinstance(stmt, ast.Continue):
+            self.route_continue(block)
+            return []
+        if not isinstance(stmt, _NO_RAISE):
+            self.route_exception(block)
+        return [(block, NORMAL)]
+
+    def _leaf_block(self, stmt: ast.stmt, preds: List[_End]) -> int:
+        block = self.new_block()
+        self.blocks[block].statements.append(stmt)
+        self.wire(preds, block)
+        return block
+
+    def _build_if(self, stmt: ast.If, preds: List[_End]) -> List[_End]:
+        header = self._leaf_block(stmt, preds)
+        self.route_exception(header)  # evaluating the test can raise
+        body_ends = self.build_body(stmt.body, [(header, TRUE)])
+        else_ends = self.build_body(stmt.orelse, [(header, FALSE)])
+        return body_ends + else_ends
+
+    def _build_loop(
+        self,
+        stmt: Union[ast.While, ast.For, ast.AsyncFor],
+        preds: List[_End],
+        header_can_raise: bool,
+    ) -> List[_End]:
+        header = self._leaf_block(stmt, preds)
+        if header_can_raise:
+            self.route_exception(header)
+        after = self.new_block(label="loop-after", origin=stmt)
+        self.loops.append(
+            _LoopFrame(header=header, after=after, depth=len(self.cleanup))
+        )
+        body_ends = self.build_body(stmt.body, [(header, TRUE)])
+        for src, _kind in body_ends:
+            self.edge(src, header, LOOP)
+        self.loops.pop()
+        else_ends = self.build_body(stmt.orelse, [(header, FALSE)])
+        self.wire(else_ends, after)
+        return [(after, NORMAL)]
+
+    def _build_with(
+        self, stmt: Union[ast.With, ast.AsyncWith], preds: List[_End]
+    ) -> List[_End]:
+        header = self._leaf_block(stmt, preds)
+        # The context expression / __enter__ can raise; if it does,
+        # __exit__ never runs, so this edge bypasses the cleanup blocks.
+        self.route_exception(header)
+        normal_exit = self.new_block(label="with-exit", origin=stmt)
+        exc_exit = self.new_block(label="with-except", origin=stmt)
+        frame = _CleanupFrame(
+            kind="with", entry=normal_exit, entry_exc=exc_exit
+        )
+        self.cleanup.append(frame)
+        body_ends = self.build_body(stmt.body, [(header, NORMAL)])
+        if body_ends:
+            self.wire(body_ends, normal_exit)
+            frame.pending.add(_FALL)
+        self.cleanup.pop()
+        # The exceptional exit runs __exit__ then re-raises outward.
+        if self.blocks[exc_exit].preds:
+            self.route_exception(exc_exit)
+        results: List[_End] = []
+        if _FALL in frame.pending:
+            results.append((normal_exit, NORMAL))
+        if _RETURN in frame.pending:
+            self.route_return(normal_exit)
+        if _BREAK in frame.pending:
+            self.route_break(normal_exit)
+        if _CONTINUE in frame.pending:
+            self.route_continue(normal_exit)
+        return results
+
+    def _build_try(self, stmt: ast.Try, preds: List[_End]) -> List[_End]:
+        has_finally = bool(stmt.finalbody)
+        fin_frame: Optional[_CleanupFrame] = None
+        fin_ends: List[_End] = []
+        if has_finally:
+            # Built *before* any frame is pushed: exceptions raised by
+            # the finally body itself propagate in the outer context.
+            fin_entry = self.new_block(label="finally-entry", origin=stmt)
+            fin_ends = self.build_body(stmt.finalbody, [(fin_entry, NORMAL)])
+            fin_frame = _CleanupFrame(kind="finally", entry=fin_entry)
+            self.cleanup.append(fin_frame)
+
+        # Handler bodies run under the finally frame but outside the
+        # except frame (a handler's own exceptions are not re-caught).
+        handler_entries: List[int] = []
+        handler_ends: List[_End] = []
+        for handler in stmt.handlers:
+            entry = self.new_block(label="except-entry", origin=handler)
+            handler_entries.append(entry)
+            handler_ends.extend(
+                self.build_body(handler.body, [(entry, NORMAL)])
+            )
+
+        if handler_entries:
+            self.cleanup.append(
+                _CleanupFrame(kind="except", handler_entries=handler_entries)
+            )
+        body_ends = self.build_body(stmt.body, preds)
+        if handler_entries:
+            self.cleanup.pop()
+        # else-suite: runs on normal body completion, outside the
+        # except frame.
+        else_ends = self.build_body(stmt.orelse, body_ends)
+        exits = else_ends + handler_ends
+
+        if fin_frame is None:
+            return exits
+        self.cleanup.pop()
+        if exits:
+            self.wire(exits, fin_frame.entry)
+            fin_frame.pending.add(_FALL)
+        results: List[_End] = []
+        if _FALL in fin_frame.pending:
+            results.extend(fin_ends)
+        if _RAISE in fin_frame.pending:
+            for src, _kind in fin_ends:
+                self.route_exception(src)
+        if _RETURN in fin_frame.pending:
+            for src, _kind in fin_ends:
+                self.route_return(src)
+        if _BREAK in fin_frame.pending:
+            for src, _kind in fin_ends:
+                self.route_break(src)
+        if _CONTINUE in fin_frame.pending:
+            for src, _kind in fin_ends:
+                self.route_continue(src)
+        return results
+
+    def _build_match(self, stmt: ast.stmt, preds: List[_End]) -> List[_End]:
+        header = self._leaf_block(stmt, preds)
+        self.route_exception(header)
+        ends: List[_End] = [(header, FALSE)]  # no case may match
+        for case in stmt.cases:  # type: ignore[attr-defined]
+            ends.extend(self.build_body(case.body, [(header, TRUE)]))
+        return ends
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    builder = _Builder(func)
+    ends = builder.build_body(func.body, [(builder.entry_id, NORMAL)])
+    builder.wire(ends, builder.exit_id)
+    return CFG(
+        func=func,
+        blocks=builder.blocks,
+        entry=builder.entry_id,
+        exit=builder.exit_id,
+    )

@@ -1,0 +1,194 @@
+"""Generic forward/backward dataflow over :mod:`repro.analysis.cfg`.
+
+A :class:`DataflowProblem` describes a gen/kill analysis over sets of
+opaque facts (lock names, resource variables, ...).  :func:`solve`
+runs a worklist to fixpoint and returns per-block *before*/*after*
+values in **program order** regardless of direction — ``before[b]`` is
+the value at the top of block ``b``, ``after[b]`` at the bottom.
+
+Two meet flavours cover the rules shipped here:
+
+* **may** (union): a fact holds if it holds on *some* path.  Interior
+  initial value is the empty set.  Used by RS011 ("this resource may
+  still be open").
+* **must** (intersection): a fact holds only if it holds on *every*
+  path.  Interior initial value is :data:`TOP` — the "unknown /
+  everything" lattice top, the identity of intersection — so
+  unreachable blocks never weaken a join.  Used by RS010 ("this lock
+  is held however we got here").
+
+Transfers default to ``(value - kill(block)) | gen(block)`` and may be
+made *edge-sensitive* via :meth:`DataflowProblem.edge_value`: the value
+propagated along one outgoing edge can differ from the block's after
+value.  The rules use this to drop a gen along the ``exception`` edge
+leaving the very block that generated it (a lock acquisition or
+resource construction that raised never happened).
+
+Fixpoint existence: transfers must be monotone (gen/kill always is).
+The solver is deterministic and, per the classic Kildall result,
+converges to the same fixpoint for any worklist order — a property the
+test suite checks directly by shuffling the seed order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Union
+
+from repro.analysis.cfg import CFG, BasicBlock, Edge
+from repro.exceptions import ConfigurationError
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class _Top:
+    """Lattice top for must-analyses; identity of intersection."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "TOP"
+
+
+TOP = _Top()
+
+Value = Union[_Top, FrozenSet[str]]
+
+
+def is_top(value: Value) -> bool:
+    """Whether a block value is the unreachable/unknown lattice top."""
+    return value is TOP
+
+
+class DataflowProblem:
+    """One gen/kill analysis; subclass and override what you need."""
+
+    #: :data:`FORWARD` or :data:`BACKWARD`.
+    direction: str = FORWARD
+    #: True for union meet (may-analysis), False for intersection
+    #: (must-analysis).
+    may: bool = True
+
+    def boundary(self, cfg: CFG) -> FrozenSet[str]:
+        """Value at the entry (forward) or exit (backward) block."""
+        return frozenset()
+
+    def gen(self, block: BasicBlock) -> FrozenSet[str]:
+        return frozenset()
+
+    def kill(self, block: BasicBlock) -> FrozenSet[str]:
+        return frozenset()
+
+    def transfer(self, block: BasicBlock, value: FrozenSet[str]) -> FrozenSet[str]:
+        return (value - self.kill(block)) | self.gen(block)
+
+    def edge_value(
+        self, block: BasicBlock, edge: Edge, value: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        """Value leaving ``block`` along ``edge`` (default: after value)."""
+        return value
+
+
+@dataclass
+class DataflowResult:
+    """Fixpoint values in program order (before = top of block)."""
+
+    before: Dict[int, Value] = field(default_factory=dict)
+    after: Dict[int, Value] = field(default_factory=dict)
+
+
+def _meet(problem: DataflowProblem, values: List[Value]) -> Value:
+    result: Value = TOP
+    for value in values:
+        if value is TOP:
+            continue
+        if result is TOP:
+            result = value
+        elif problem.may:
+            result = result | value  # type: ignore[operator]
+        else:
+            result = result & value  # type: ignore[operator]
+    if result is TOP and problem.may:
+        return frozenset()
+    return result
+
+
+def solve(
+    cfg: CFG,
+    problem: DataflowProblem,
+    order: Optional[Sequence[int]] = None,
+) -> DataflowResult:
+    """Run ``problem`` over ``cfg`` to fixpoint.
+
+    ``order`` seeds the worklist (any permutation of block ids); the
+    fixpoint reached is order-independent, so this is only a knob for
+    tests and performance.
+    """
+    forward = problem.direction == FORWARD
+    boundary_block = cfg.entry if forward else cfg.exit
+    seed: Value = frozenset(problem.boundary(cfg))
+
+    # "upstream" value = before (forward) / after (backward);
+    # "downstream" value = the other one.
+    upstream: Dict[int, Value] = {}
+    downstream: Dict[int, Value] = {}
+    for block in cfg.blocks:
+        upstream[block.block_id] = TOP
+        downstream[block.block_id] = TOP
+    upstream[boundary_block] = seed
+
+    if order is None:
+        order = [block.block_id for block in cfg.blocks]
+    worklist: Deque[int] = deque(order)
+    queued = set(worklist)
+    budget = 64 * (len(cfg.blocks) + 2) * (len(cfg.blocks) + 2) + 1024
+
+    while worklist:
+        budget -= 1
+        if budget < 0:
+            raise ConfigurationError(
+                "dataflow solver failed to converge; non-monotone transfer?"
+            )
+        block_id = worklist.popleft()
+        queued.discard(block_id)
+        block = cfg.blocks[block_id]
+
+        if block_id == boundary_block:
+            in_value: Value = seed
+        else:
+            incoming: List[Value] = []
+            edges = block.preds if forward else block.succs
+            for edge in edges:
+                other = edge.src if forward else edge.dst
+                other_value = downstream[other]
+                if other_value is TOP:
+                    incoming.append(TOP)
+                else:
+                    incoming.append(
+                        problem.edge_value(
+                            cfg.blocks[other], edge, other_value
+                        )
+                    )
+            in_value = _meet(problem, incoming)
+            if in_value is TOP and problem.may:
+                in_value = frozenset()
+        upstream[block_id] = in_value
+
+        if in_value is TOP:
+            out_value: Value = TOP
+        else:
+            out_value = problem.transfer(block, in_value)
+        if out_value != downstream[block_id]:
+            downstream[block_id] = out_value
+            targets = block.succs if forward else block.preds
+            for edge in targets:
+                nxt = edge.dst if forward else edge.src
+                if nxt not in queued:
+                    worklist.append(nxt)
+                    queued.add(nxt)
+
+    if forward:
+        return DataflowResult(before=upstream, after=downstream)
+    return DataflowResult(before=downstream, after=upstream)

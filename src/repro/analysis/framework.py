@@ -25,10 +25,24 @@ import pathlib
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
 
 from repro.analysis.findings import Finding, Severity
 from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.cfg import CFG, FunctionNode
 
 #: Matches one suppression comment.  ``# repro: ignore`` suppresses every
 #: rule on the line; ``# repro: ignore[RS001, RS003]`` only those codes.
@@ -70,6 +84,52 @@ class ModuleSource:
         for node in ast.walk(self.tree):
             if isinstance(node, ast.FunctionDef):
                 yield node
+
+    def function_contexts(
+        self,
+    ) -> Iterator[Tuple[Optional[ast.ClassDef], "FunctionNode"]]:
+        """Every function definition with its owning class, if any.
+
+        The owner is the class whose *body* directly contains the
+        ``def`` — functions nested inside methods have ``None`` (they
+        do not define methods, and ``self`` inside them is a closure
+        variable the flow rules deliberately do not chase).
+        """
+
+        def visit(
+            body: Sequence[ast.stmt], owner: Optional[ast.ClassDef]
+        ) -> Iterator[Tuple[Optional[ast.ClassDef], "FunctionNode"]]:
+            for node in body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield owner, node
+                    yield from visit(node.body, None)
+                elif isinstance(node, ast.ClassDef):
+                    yield from visit(node.body, node)
+                elif isinstance(node, (ast.If, ast.Try)):
+                    # Conditionally-defined functions still get checked.
+                    yield from visit(getattr(node, "body", []), owner)
+                    yield from visit(getattr(node, "orelse", []), owner)
+                    yield from visit(getattr(node, "finalbody", []), owner)
+                    for handler in getattr(node, "handlers", []):
+                        yield from visit(handler.body, owner)
+
+        yield from visit(self.tree.body, None)
+
+    def cfg(self, func: "FunctionNode") -> "CFG":
+        """Build (and cache) the control-flow graph of one function.
+
+        Cached per :class:`ModuleSource` so several flow rules can
+        analyze the same module without rebuilding graphs.
+        """
+        from repro.analysis.cfg import build_cfg
+
+        cache: Dict[int, "CFG"] = self.__dict__.get("_cfg_cache", {})
+        if "_cfg_cache" not in self.__dict__:
+            object.__setattr__(self, "_cfg_cache", cache)
+        key = id(func)
+        if key not in cache:
+            cache[key] = build_cfg(func)
+        return cache[key]
 
 
 class Rule(abc.ABC):
@@ -115,6 +175,27 @@ class Rule(abc.ABC):
             message=message,
             severity=self.severity,
         )
+
+
+class FlowRule(Rule):
+    """Base class for rules that reason over control flow.
+
+    Node-rules (RS001–RS009) pattern-match single AST nodes; flow-rules
+    (RS010+) need the per-function CFGs from
+    :mod:`repro.analysis.cfg` and the dataflow solver from
+    :mod:`repro.analysis.dataflow` to make path-sensitive claims
+    ("this lock is held on *every* path reaching the access",
+    "this resource escapes *some* path unclosed").  Both kinds live in
+    the same registry and run through the same driver; this base class
+    only adds the CFG plumbing.
+    """
+
+    def function_cfgs(
+        self, module: ModuleSource
+    ) -> Iterator[Tuple[Optional[ast.ClassDef], "FunctionNode", "CFG"]]:
+        """Every function in the module with its owner class and CFG."""
+        for owner, func in module.function_contexts():
+            yield owner, func, module.cfg(func)
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}
@@ -208,6 +289,59 @@ def parse_suppressions(source: str) -> Dict[int, Set[str]]:
     return suppressions
 
 
+#: Compound statements whose ``end_lineno`` spans a whole suite; their
+#: headers must *not* alias suppressions, or a comment on an ``if`` line
+#: would silence every finding in its body.
+_COMPOUND_STMTS = (
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+)
+
+
+def suppression_aliases(tree: ast.Module) -> Dict[int, Set[int]]:
+    """Map finding lines to the other lines whose comments cover them.
+
+    Two cases beyond the exact-line match:
+
+    * a *multi-line simple statement* — a suppression comment on the
+      logical line's first physical line covers findings anchored
+      anywhere in the statement's span;
+    * a *decorated definition* — a comment on any decorator line or on
+      the ``def``/``class`` line covers findings anchored anywhere in
+      the definition's header (decorators through the signature).
+    """
+    alias: Dict[int, Set[int]] = {}
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            anchors = {dec.lineno for dec in node.decorator_list}
+            anchors.add(node.lineno)
+            start = min(anchors)
+            end = node.body[0].lineno - 1 if node.body else node.lineno
+        elif isinstance(node, ast.stmt) and not isinstance(
+            node, _COMPOUND_STMTS
+        ):
+            end = getattr(node, "end_lineno", None) or node.lineno
+            if end == node.lineno:
+                continue  # single-line: exact match already covers it
+            anchors = {node.lineno}
+            start = node.lineno
+        else:
+            continue
+        for line in range(start, end + 1):
+            alias.setdefault(line, set()).update(anchors)
+    return alias
+
+
 @dataclass
 class LintReport:
     """Findings plus bookkeeping for one lint run."""
@@ -253,10 +387,14 @@ def lint_source(
         return [finding]
     module = ModuleSource(path=path, source=source, tree=tree)
     suppressions = parse_suppressions(source)
+    aliases = suppression_aliases(tree) if suppressions else {}
     kept: List[Finding] = []
     for rule in rules:
         for finding in rule.check(module):
-            suppressed_here = suppressions.get(finding.line, set())
+            lines = {finding.line} | aliases.get(finding.line, set())
+            suppressed_here: Set[str] = set()
+            for line in lines:
+                suppressed_here |= suppressions.get(line, set())
             if _ALL_CODES in suppressed_here or finding.code in suppressed_here:
                 report.suppressed += 1
                 continue

@@ -676,15 +676,18 @@ def _run_ingest_iteration(
     dry_root = os.path.join(workdir, "dry")
     dry_db = plan.build_base()
     dry_wal = create_durable(dry_db, dry_root, sync=False)
-    steps = 0
+    try:
+        steps = 0
 
-    def counting_hook(point: str) -> None:
-        nonlocal steps
-        steps += 1
+        def counting_hook(point: str) -> None:
+            nonlocal steps
+            steps += 1
 
-    dry_wal.crash_hook = counting_hook
-    commit_lsns = plan.run_sessions(dry_db)
-    total_steps = steps
+        dry_wal.crash_hook = counting_hook
+        commit_lsns = plan.run_sessions(dry_db)
+        total_steps = steps
+    finally:
+        dry_wal.close()
     if total_steps == 0:  # pragma: no cover — plans always log something
         return
 
@@ -693,7 +696,10 @@ def _run_ingest_iteration(
     torn = plan.rng.random() < 0.5
     crash_root = os.path.join(workdir, "crash")
     crash_db = plan.build_base()
-    crash_wal = create_durable(crash_db, crash_root, sync=False)
+    # The crash handle is deliberately never closed: it stands in for a
+    # process that died mid-write, and close() would flush/fsync state
+    # the "crash" is supposed to lose.
+    crash_wal = create_durable(crash_db, crash_root, sync=False)  # repro: ignore[RS011]
     fired = {"point": None}
     count = {"n": 0}
 

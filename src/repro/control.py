@@ -38,6 +38,12 @@ from dataclasses import dataclass
 from types import TracebackType
 from typing import Callable, Optional, Type
 
+from repro.analysis.concurrency import (
+    guarded_by,
+    requires_lock,
+    shared_across_queries,
+    single_query,
+)
 from repro.core.clock import MONOTONIC_CLOCK, Clock, FakeClock, MonotonicClock
 from repro.core.metrics import QueryStats
 from repro.exceptions import (
@@ -172,6 +178,7 @@ class CancellationToken:
         return self._cancelled
 
 
+@single_query
 class ExecutionControl:
     """Runtime budget/deadline/cancellation state for one query.
 
@@ -308,6 +315,8 @@ class _AdmissionTicket:
             self._controller._release()
 
 
+@shared_across_queries
+@guarded_by("_condition", "_active", "_waiting", "stats")
 class AdmissionController:
     """Bounded-concurrency admission control for query execution.
 
@@ -317,6 +326,11 @@ class AdmissionController:
     :class:`~repro.exceptions.AdmissionRejectedError` — fail-fast
     back-pressure instead of unbounded queueing, which is what the
     ROADMAP's heavy-traffic scenario needs from a front door.
+
+    Thread safety: the slot counters and stats are guarded by
+    ``_condition`` (a :class:`threading.Condition` doubling as the
+    mutex); ``admit``/``_release`` block on it, and the ``active`` /
+    ``waiting`` properties take it so monitors never see torn state.
     """
 
     def __init__(
@@ -348,12 +362,14 @@ class AdmissionController:
     @property
     def active(self) -> int:
         """Queries currently admitted and running."""
-        return self._active
+        with self._condition:
+            return self._active
 
     @property
     def waiting(self) -> int:
         """Queries currently waiting in the admission queue."""
-        return self._waiting
+        with self._condition:
+            return self._waiting
 
     def admit(self) -> _AdmissionTicket:
         """Acquire one execution slot (blocking in the queue if allowed).
@@ -393,6 +409,7 @@ class AdmissionController:
             self._admit_locked()
             return _AdmissionTicket(self)
 
+    @requires_lock("_condition")
     def _admit_locked(self) -> None:
         self._active += 1
         self.stats.admitted += 1

@@ -13,14 +13,21 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.analysis.concurrency import single_query
 from repro.exceptions import ConfigurationError, UsageError
 from repro.storage.buffer import BufferPool
 from repro.storage.pager import Pager
 
 
+@single_query
 @dataclass
 class QueryStats:
-    """Counters for one executed query."""
+    """Counters for one executed query.
+
+    Concurrency contract: ``@single_query`` — owned by exactly one
+    in-flight query; never share an instance between threads.  Cross-
+    query aggregation goes through :class:`repro.obs.metrics` instead.
+    """
 
     #: Candidate subsequences whose full values were retrieved (the
     #: paper's "number of candidates").
@@ -116,6 +123,7 @@ class QueryStats:
         return averaged
 
 
+@single_query
 class StatsRecorder:
     """Context helper that turns shared storage counters into deltas.
 

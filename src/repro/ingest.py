@@ -72,7 +72,7 @@ from __future__ import annotations
 import json
 import pathlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -449,6 +449,22 @@ def recover_database(
         circuit_breaker=circuit_breaker,
         sync=sync,
     )
+    try:
+        return _finish_recovery(db, wal, root_path, checkpoint_lsn)
+    except BaseException:
+        # Replay failed before the database took ownership of the
+        # handle; close it so the torn root can be reopened.
+        wal.close()
+        raise
+
+
+def _finish_recovery(
+    db: "SubsequenceDatabase",
+    wal: WriteAheadLog,
+    root_path: pathlib.Path,
+    checkpoint_lsn: int,
+) -> Tuple["SubsequenceDatabase", RecoveryReport]:
+    """Replay the committed WAL suffix and attach the handle to ``db``."""
     tracer = db.tracer
     replayed_batches = 0
     replayed_records = 0

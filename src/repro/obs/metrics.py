@@ -28,9 +28,19 @@ dashboards lie.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Iterable, List, Tuple
+import threading
+from typing import Any, ContextManager, Dict, Iterable, List, Optional, Tuple
 
+from repro.analysis.concurrency import (
+    guarded_by,
+    requires_lock,
+    shared_across_queries,
+)
 from repro.exceptions import UsageError
+
+#: The concrete ``threading.RLock()`` type has no public name; all the
+#: instruments need is the context-manager protocol.
+_Lock = ContextManager[bool]
 
 #: Power-of-two bucket upper bounds — a good default for the count-like
 #: quantities this repo measures (batch sizes, queue depths, abandon
@@ -50,13 +60,21 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 )
 
 
+@shared_across_queries
+@guarded_by("_lock", "_value")
 class Counter:
-    """A monotonically non-decreasing integer-or-float total."""
+    """A monotonically non-decreasing integer-or-float total.
 
-    __slots__ = ("name", "_value")
+    ``inc`` is a read-modify-write, so concurrent queries updating the
+    same counter need the lock; a registry-created instrument shares its
+    registry's lock, which is what makes registry snapshots untorn.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: Optional[_Lock] = None) -> None:
         self.name = name
+        self._lock = lock if lock is not None else threading.RLock()
         self._value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -64,43 +82,56 @@ class Counter:
             raise UsageError(
                 f"counter {self.name!r} cannot decrease (inc({amount}))"
             )
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
+@shared_across_queries
+@guarded_by("_lock", "_value")
 class Gauge:
     """A point-in-time value (queue depth now, frontier POW now)."""
 
-    __slots__ = ("name", "_value")
+    __slots__ = ("name", "_lock", "_value")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Optional[_Lock] = None) -> None:
         self.name = name
+        self._lock = lock if lock is not None else threading.RLock()
         self._value = 0.0
 
     def set(self, value: float) -> None:
-        self._value = float(value)
+        with self._lock:
+            self._value = float(value)
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
+@shared_across_queries
+@guarded_by("_lock", "counts", "total", "count")
 class Histogram:
     """Fixed-bucket histogram: cumulative-free, mergeable counts.
 
     ``buckets`` are ascending upper bounds; an observation lands in the
     first bucket whose bound is >= the value, or the implicit overflow
     bucket.  Fixed buckets (vs. adaptive) are what make merging across
-    queries exact.
+    queries exact.  ``buckets`` is immutable after construction and
+    needs no lock; the mutable tallies are guarded by ``_lock``.
     """
 
-    __slots__ = ("name", "buckets", "counts", "total", "count")
+    __slots__ = ("name", "_lock", "buckets", "counts", "total", "count")
 
     def __init__(
-        self, name: str, buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+        self,
+        name: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        lock: Optional[_Lock] = None,
     ) -> None:
         if not buckets:
             raise UsageError(f"histogram {name!r} needs at least one bucket")
@@ -113,6 +144,7 @@ class Histogram:
         if any(math.isnan(b) for b in bounds):
             raise UsageError(f"histogram {name!r} buckets cannot be NaN")
         self.name = name
+        self._lock = lock if lock is not None else threading.RLock()
         self.buckets = bounds
         #: one count per bucket plus the overflow bucket
         self.counts: List[int] = [0] * (len(bounds) + 1)
@@ -127,9 +159,10 @@ class Histogram:
             if value <= bound:
                 index = i
                 break
-        self.counts[index] += 1
-        self.total += value
-        self.count += 1
+        with self._lock:
+            self.counts[index] += 1
+            self.total += value
+            self.count += 1
 
 
 class HistogramSnapshot:
@@ -270,14 +303,23 @@ class MetricsSnapshot:
 EMPTY_SNAPSHOT = MetricsSnapshot({}, {}, {})
 
 
+@shared_across_queries
+@guarded_by("_lock", "_counters", "_gauges", "_histograms")
 class MetricsRegistry:
     """Creates-or-returns typed instruments by name.
 
     The get-or-create accessors are the only way in, so one name always
     maps to one instrument of one type for the registry's lifetime.
+
+    Thread safety: the instrument tables are guarded by ``_lock``, and
+    every instrument this registry creates *shares* that lock, so
+    :meth:`snapshot` observes all instruments atomically — a snapshot
+    taken while eight queries increment counters is a consistent cut,
+    never a torn one.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -285,34 +327,44 @@ class MetricsRegistry:
     # -- get-or-create ----------------------------------------------------
 
     def counter(self, name: str) -> Counter:
-        self._check_free(name, self._counters, "counter")
-        instrument = self._counters.get(name)
-        if instrument is None:
-            instrument = self._counters[name] = Counter(name)
-        return instrument
+        with self._lock:
+            self._check_free(name, self._counters, "counter")
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(
+                    name, lock=self._lock
+                )
+            return instrument
 
     def gauge(self, name: str) -> Gauge:
-        self._check_free(name, self._gauges, "gauge")
-        instrument = self._gauges.get(name)
-        if instrument is None:
-            instrument = self._gauges[name] = Gauge(name)
-        return instrument
+        with self._lock:
+            self._check_free(name, self._gauges, "gauge")
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(
+                    name, lock=self._lock
+                )
+            return instrument
 
     def histogram(
         self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS
     ) -> Histogram:
-        self._check_free(name, self._histograms, "histogram")
-        instrument = self._histograms.get(name)
-        bounds = tuple(float(b) for b in buckets)
-        if instrument is None:
-            instrument = self._histograms[name] = Histogram(name, bounds)
-        elif instrument.buckets != bounds:
-            raise UsageError(
-                f"histogram {name!r} already registered with buckets "
-                f"{instrument.buckets}, requested {bounds}"
-            )
-        return instrument
+        with self._lock:
+            self._check_free(name, self._histograms, "histogram")
+            instrument = self._histograms.get(name)
+            bounds = tuple(float(b) for b in buckets)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(
+                    name, bounds, lock=self._lock
+                )
+            elif instrument.buckets != bounds:
+                raise UsageError(
+                    f"histogram {name!r} already registered with buckets "
+                    f"{instrument.buckets}, requested {bounds}"
+                )
+            return instrument
 
+    @requires_lock("_lock")
     def _check_free(
         self, name: str, home: Dict[str, Any], kind: str
     ) -> None:
@@ -330,20 +382,26 @@ class MetricsRegistry:
     # -- snapshots --------------------------------------------------------
 
     def snapshot(self) -> MetricsSnapshot:
-        """An immutable copy of every instrument's current state."""
-        return MetricsSnapshot(
-            {name: c.value for name, c in self._counters.items()},
-            {name: g.value for name, g in self._gauges.items()},
-            {
-                name: HistogramSnapshot(
-                    h.buckets, tuple(h.counts), h.total, h.count
-                )
-                for name, h in self._histograms.items()
-            },
-        )
+        """An immutable copy of every instrument's current state.
+
+        Taken under the registry lock shared with every instrument, so
+        the copy is a consistent cut across all of them.
+        """
+        with self._lock:
+            return MetricsSnapshot(
+                {name: c.value for name, c in self._counters.items()},
+                {name: g.value for name, g in self._gauges.items()},
+                {
+                    name: HistogramSnapshot(
+                        h.buckets, tuple(h.counts), h.total, h.count
+                    )
+                    for name, h in self._histograms.items()
+                },
+            )
 
     def reset(self) -> None:
         """Forget every instrument (tests and tools; not query code)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

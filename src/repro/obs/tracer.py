@@ -31,14 +31,20 @@ with ``FakeClock(auto_advance=...)`` every enter/exit tick is distinct,
 which is how the conformance suite asserts strict monotonicity without
 trusting the host clock.
 
-Tracers are deliberately not thread-safe: one tracer belongs to one
-query-executing thread, matching the engine execution model.
+Thread safety (multi-query era): a tracer may be shared by several
+query threads.  The open-span *stack* is thread-local — each thread
+records its own well-formed tree, and nesting errors are detected per
+thread — while the shared aggregates (recorded roots, span/event
+counts, drop counters) are guarded by a lock.  The disabled fast path
+takes no lock at all: it is still one attribute load and one branch.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterator, List, Optional, Union
 
+from repro.analysis.concurrency import guarded_by, shared_across_queries
 from repro.core.clock import MONOTONIC_CLOCK, Clock
 from repro.exceptions import ConfigurationError, UsageError
 from repro.obs.metrics import MetricsRegistry
@@ -179,8 +185,22 @@ NULL_SPAN = NullSpan()
 AnySpan = Union[Span, NullSpan]
 
 
+@shared_across_queries
+@guarded_by(
+    "_lock",
+    "roots",
+    "dropped_spans",
+    "dropped_events",
+    "_span_count",
+    "_event_count",
+)
 class Tracer:
     """Records nested spans and events on an injectable clock.
+
+    Thread safety: the open-span stack lives in a ``threading.local``,
+    so concurrent queries each build well-formed per-thread trees; the
+    shared aggregates (``roots`` and the span/event/drop counters) are
+    guarded by ``_lock``.  A *disabled* tracer never touches the lock.
 
     Parameters
     ----------
@@ -220,9 +240,18 @@ class Tracer:
         self.roots: List[Span] = []
         self.dropped_spans = 0
         self.dropped_events = 0
-        self._stack: List[Span] = []
+        self._lock = threading.RLock()
+        self._local = threading.local()
         self._span_count = 0
         self._event_count = 0
+
+    @property
+    def _stack(self) -> List[Span]:
+        """This thread's open-span stack (created lazily per thread)."""
+        stack: Optional[List[Span]] = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- span lifecycle ---------------------------------------------------
 
@@ -235,16 +264,19 @@ class Tracer:
         """
         if not self.enabled:
             return NULL_SPAN
-        if self._span_count >= self.max_spans:
-            self.dropped_spans += 1
-            return NULL_SPAN
+        with self._lock:
+            if self._span_count >= self.max_spans:
+                self.dropped_spans += 1
+                return NULL_SPAN
+            self._span_count += 1
         span = Span(name, attrs, self.clock.monotonic(), self)
-        if self._stack:
-            self._stack[-1].children.append(span)
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
         else:
-            self.roots.append(span)
-        self._stack.append(span)
-        self._span_count += 1
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
         return span
 
     #: ``span`` is the public spelling used at instrumentation sites;
@@ -253,15 +285,16 @@ class Tracer:
         return self.start_span(name, **attrs)
 
     def end_span(self, span: AnySpan) -> None:
-        """Close ``span``; it must be the innermost open span."""
+        """Close ``span``; it must be this thread's innermost open span."""
         if span is NULL_SPAN or not isinstance(span, Span):
             return
-        if not self._stack or self._stack[-1] is not span:
+        stack = self._stack
+        if not stack or stack[-1] is not span:
             raise UsageError(
                 f"out-of-order span close for {span.name!r}: spans must "
                 "close innermost-first (open them with 'with')"
             )
-        self._stack.pop()
+        stack.pop()
         span.end = self.clock.monotonic()
 
     def event(self, name: str, **attrs: Any) -> None:
@@ -272,31 +305,37 @@ class Tracer:
         """
         if not self.enabled:
             return
-        if not self._stack or self._event_count >= self.max_events:
-            self.dropped_events += 1
-            return
-        self._stack[-1].events.append(
+        stack = self._stack
+        with self._lock:
+            if not stack or self._event_count >= self.max_events:
+                self.dropped_events += 1
+                return
+            self._event_count += 1
+        stack[-1].events.append(
             SpanEvent(name, self.clock.monotonic(), attrs)
         )
-        self._event_count += 1
 
     # -- introspection ----------------------------------------------------
 
     @property
     def depth(self) -> int:
-        """Number of currently open spans."""
+        """Number of spans currently open *on the calling thread*."""
         return len(self._stack)
 
     @property
     def span_total(self) -> int:
-        """Spans recorded since the last :meth:`reset`."""
-        return self._span_count
+        """Spans recorded since the last :meth:`reset` (all threads)."""
+        with self._lock:
+            return self._span_count
 
     def current_span(self) -> Optional[Span]:
-        return self._stack[-1] if self._stack else None
+        stack = self._stack
+        return stack[-1] if stack else None
 
     def iter_spans(self) -> Iterator[Span]:
-        for root in self.roots:
+        with self._lock:
+            roots = list(self.roots)
+        for root in roots:
             yield from root.iter_tree()
 
     def span_count(self, name: str) -> int:
@@ -305,18 +344,22 @@ class Tracer:
 
     def reset(self) -> None:
         """Drop all recorded spans/events (open spans included)."""
-        self.roots = []
-        self._stack = []
-        self._span_count = 0
-        self._event_count = 0
-        self.dropped_spans = 0
-        self.dropped_events = 0
+        with self._lock:
+            self.roots = []
+            # A fresh threading.local drops every thread's open stack.
+            self._local = threading.local()
+            self._span_count = 0
+            self._event_count = 0
+            self.dropped_spans = 0
+            self.dropped_events = 0
 
     # -- export -----------------------------------------------------------
 
     def to_chrome_trace(self) -> Dict[str, Any]:
         """All recorded roots in Chrome ``chrome://tracing`` format."""
-        return chrome_trace(self.roots)
+        with self._lock:
+            roots = list(self.roots)
+        return chrome_trace(roots)
 
 
 def chrome_trace(

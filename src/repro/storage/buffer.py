@@ -10,10 +10,17 @@ is that bitmap probe.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterable, Optional
+from types import TracebackType
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional, Type
 
+from repro.analysis.concurrency import (
+    guarded_by,
+    requires_lock,
+    shared_across_queries,
+)
 from repro.core.clock import MONOTONIC_CLOCK, Clock
 from repro.exceptions import BufferPoolError, ConfigurationError, TransientIOError
 from repro.obs.tracer import NULL_TRACER
@@ -87,8 +94,50 @@ class BufferStats:
         self.retries = 0
 
 
+class PagePin:
+    """Guard holding one page resident; release via ``with`` or
+    :meth:`release` (idempotent).  RS011 checks that pins taken outside
+    a ``with`` are released on every path out of the taking function.
+    """
+
+    __slots__ = ("_pool", "page_id", "_released")
+
+    def __init__(self, pool: "BufferPool", page_id: int) -> None:
+        self._pool = pool
+        self.page_id = page_id
+        self._released = False
+
+    def release(self) -> None:
+        """Drop this pin (safe to call more than once)."""
+        if not self._released:
+            self._released = True
+            self._pool.unpin(self.page_id)
+
+    def __enter__(self) -> "PagePin":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.release()
+
+
+@shared_across_queries
+@guarded_by("_lock", "_frames", "_capacity", "_pins", "stats")
 class BufferPool:
     """A fixed-capacity LRU cache of pages in front of a :class:`Pager`.
+
+    Thread-safety contract (machine-checked by RS010/RS012): instances
+    are shared across in-flight queries once the serve layer lands, so
+    every touch of the frame table, pin table, capacity, and hit/miss
+    stats happens under ``_lock`` (an ``RLock``; uncontended today —
+    single-query paths pay one uncontested acquire per page request).
+    A cache miss performs the physical read while holding the lock,
+    serializing concurrent misses; sharding the pool is ROADMAP work,
+    not this layer's problem.
 
     Parameters
     ----------
@@ -125,6 +174,8 @@ class BufferPool:
         self._pager = pager
         self._capacity = capacity_pages
         self._frames: "OrderedDict[int, Any]" = OrderedDict()
+        self._pins: Dict[int, int] = {}
+        self._lock = threading.RLock()
         self.retry_policy = retry_policy or RetryPolicy()
         self._clock = clock if clock is not None else MONOTONIC_CLOCK
         self.circuit_breaker = circuit_breaker
@@ -144,30 +195,32 @@ class BufferPool:
     @property
     def capacity(self) -> int:
         """Configured capacity in pages."""
-        return self._capacity
+        with self._lock:
+            return self._capacity
 
     @property
     def num_resident(self) -> int:
         """Number of pages currently buffered."""
-        return len(self._frames)
+        with self._lock:
+            return len(self._frames)
 
     def get(self, page_id: int) -> Any:
         """Return a page payload, faulting it in from the pager on a miss."""
-        if page_id in self._frames:
-            self.stats.hits += 1
+        with self._lock:
+            if page_id in self._frames:
+                self.stats.hits += 1
+                if self.tracer.enabled:
+                    self.tracer.metrics.counter("buffer.hit").inc()
+                self._frames.move_to_end(page_id)
+                return self._frames[page_id]
+            self.stats.misses += 1
             if self.tracer.enabled:
-                self.tracer.metrics.counter("buffer.hit").inc()
-            self._frames.move_to_end(page_id)
-            return self._frames[page_id]
-        self.stats.misses += 1
-        if self.tracer.enabled:
-            self.tracer.metrics.counter("buffer.miss").inc()
-        payload = self.fetch(page_id)
-        self._frames[page_id] = payload
-        if len(self._frames) > self._capacity:
-            self._frames.popitem(last=False)
-            self.stats.evictions += 1
-        return payload
+                self.tracer.metrics.counter("buffer.miss").inc()
+            payload = self.fetch(page_id)
+            self._frames[page_id] = payload
+            if len(self._frames) > self._capacity:
+                self._evict_one()
+            return payload
 
     def fetch(self, page_id: int) -> Any:
         """Physically read a page, retrying transient faults.
@@ -200,7 +253,8 @@ class BufferPool:
                     breaker.record_failure()
                 if attempt >= policy.max_attempts:
                     raise
-                self.stats.retries += 1
+                with self._lock:
+                    self.stats.retries += 1
                 if delay > 0:
                     self._clock.sleep(delay)
                     delay *= policy.multiplier
@@ -235,38 +289,95 @@ class BufferPool:
         entries, how many subsequence pages would actually hit the disk
         (``NUM_IO`` in Definition 7) without performing the reads.
         """
-        return page_id in self._frames
+        with self._lock:
+            return page_id in self._frames
 
     def count_non_resident(self, page_ids: Iterable[int]) -> int:
         """Number of *distinct* pages in ``page_ids`` that would miss."""
-        return sum(
-            1 for page_id in set(page_ids) if page_id not in self._frames
-        )
+        with self._lock:
+            return sum(
+                1 for page_id in set(page_ids) if page_id not in self._frames
+            )
+
+    def pin(self, page_id: int) -> PagePin:
+        """Fault a page in and hold it resident until the pin releases.
+
+        Counts as a normal page request (hit or miss) for stats and
+        NUM_IO.  Pinned pages are skipped by LRU eviction; a pool whose
+        resident pages are all pinned may temporarily exceed capacity
+        until a pin is released.  Pins nest: a page is evictable again
+        once every :class:`PagePin` taken on it has been released.
+        """
+        with self._lock:
+            self.get(page_id)
+            self._pins[page_id] = self._pins.get(page_id, 0) + 1
+            return PagePin(self, page_id)
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin on a page (no-op when not pinned)."""
+        with self._lock:
+            count = self._pins.get(page_id, 0)
+            if count <= 1:
+                self._pins.pop(page_id, None)
+            else:
+                self._pins[page_id] = count - 1
+
+    def pinned(self, page_id: int) -> bool:
+        """Whether at least one pin currently holds the page."""
+        with self._lock:
+            return self._pins.get(page_id, 0) > 0
+
+    @requires_lock("_lock")
+    def _evict_one(self) -> bool:
+        """Evict the least-recently-used unpinned page, if any."""
+        for page_id in self._frames:
+            if self._pins.get(page_id, 0) == 0:
+                del self._frames[page_id]
+                self.stats.evictions += 1
+                return True
+        return False  # every resident page is pinned; stay overfull
 
     def put(self, page_id: int, payload: Any) -> None:
         """Install a payload (write-through), evicting LRU if needed."""
-        self._pager.write(page_id, payload)
-        self._frames[page_id] = payload
-        self._frames.move_to_end(page_id)
-        if len(self._frames) > self._capacity:
-            self._frames.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._pager.write(page_id, payload)
+            self._frames[page_id] = payload
+            self._frames.move_to_end(page_id)
+            if len(self._frames) > self._capacity:
+                self._evict_one()
 
     def invalidate(self, page_id: int) -> None:
-        """Drop a page from the pool if resident (used after rebuilds)."""
-        self._frames.pop(page_id, None)
+        """Drop a page from the pool if resident (used after rebuilds).
+
+        Staleness wins over pinning: a rebuilt page's old payload must
+        go even while pinned — the pin keeps the *slot* hot, so the
+        next request re-faults fresh bytes.
+        """
+        with self._lock:
+            self._frames.pop(page_id, None)
 
     def clear(self) -> None:
-        """Empty the pool (cold-cache state for a fresh experiment run)."""
-        self._frames.clear()
+        """Empty the pool (cold-cache state for a fresh experiment run).
+
+        Pinned pages stay resident — callers holding a
+        :class:`PagePin` were promised the page would not vanish.
+        """
+        with self._lock:
+            if not self._pins:
+                self._frames.clear()
+                return
+            for page_id in list(self._frames):
+                if self._pins.get(page_id, 0) == 0:
+                    del self._frames[page_id]
 
     def resize(self, capacity_pages: int) -> None:
-        """Change capacity, evicting LRU pages if shrinking."""
+        """Change capacity, evicting LRU (unpinned) pages if shrinking."""
         if capacity_pages < 1:
             raise BufferPoolError(
                 f"buffer capacity must be >= 1 page, got {capacity_pages}"
             )
-        self._capacity = capacity_pages
-        while len(self._frames) > self._capacity:
-            self._frames.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._capacity = capacity_pages
+            while len(self._frames) > self._capacity:
+                if not self._evict_one():
+                    break

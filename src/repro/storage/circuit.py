@@ -28,10 +28,16 @@ is handled by checksums + the degrade path instead.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional
 
+from repro.analysis.concurrency import (
+    guarded_by,
+    requires_lock,
+    shared_across_queries,
+)
 from repro.core.clock import MONOTONIC_CLOCK, Clock
 from repro.exceptions import CircuitOpenError, ConfigurationError
 
@@ -56,8 +62,26 @@ class CircuitStats:
     probes: int = 0
 
 
+@shared_across_queries
+@guarded_by(
+    "_lock",
+    "_state",
+    "_outcomes",
+    "_opened_at",
+    "_probe_successes",
+    "_probes_in_flight",
+    "stats",
+)
 class CircuitBreaker:
     """Failure-rate circuit breaker over physical page-read outcomes.
+
+    Thread safety: one breaker is shared by every query hitting the same
+    pager, and each state transition is a check-then-act sequence
+    (read the state / window, then mutate it).  All mutable state is
+    therefore guarded by ``_lock``; every public method takes it.  The
+    lock is re-entrant so internal transitions
+    (:meth:`_maybe_enter_half_open`, :meth:`_trip_open`) can run from
+    already-locked callers.
 
     Parameters
     ----------
@@ -112,6 +136,7 @@ class CircuitBreaker:
         self.reset_timeout_s = reset_timeout_s
         self.half_open_probes = half_open_probes
         self._clock = clock if clock is not None else MONOTONIC_CLOCK
+        self._lock = threading.RLock()
         self.stats = CircuitStats()
         self._state = CLOSED
         #: Sliding window of outcomes: True = failure, False = success.
@@ -124,15 +149,18 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         """Current state (resolving any due open -> half-open transition)."""
-        self._maybe_enter_half_open()
-        return self._state
+        with self._lock:
+            self._maybe_enter_half_open()
+            return self._state
 
     def failure_rate(self) -> float:
         """Failure fraction over the current outcome window."""
-        if not self._outcomes:
-            return 0.0
-        return sum(self._outcomes) / len(self._outcomes)
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return sum(self._outcomes) / len(self._outcomes)
 
+    @requires_lock("_lock")
     def _maybe_enter_half_open(self) -> None:
         if self._state != OPEN:
             return
@@ -143,6 +171,7 @@ class CircuitBreaker:
             self._probes_in_flight = 0
             self.stats.probes += 1
 
+    @requires_lock("_lock")
     def _trip_open(self) -> None:
         self._state = OPEN
         self._opened_at = self._clock.monotonic()
@@ -155,54 +184,58 @@ class CircuitBreaker:
         breaker is open, or when it is half-open and the probe quota is
         already in flight.
         """
-        self._maybe_enter_half_open()
-        if self._state == OPEN:
-            self.stats.rejections += 1
-            raise CircuitOpenError(
-                f"circuit open (failure rate "
-                f"{self.failure_rate():.0%} over last "
-                f"{len(self._outcomes)} reads); retry after "
-                f"{self.reset_timeout_s} s"
-            )
-        if self._state == HALF_OPEN:
-            if self._probes_in_flight >= self.half_open_probes:
+        with self._lock:
+            self._maybe_enter_half_open()
+            if self._state == OPEN:
                 self.stats.rejections += 1
                 raise CircuitOpenError(
-                    "circuit half-open: probe quota in flight"
+                    f"circuit open (failure rate "
+                    f"{self.failure_rate():.0%} over last "
+                    f"{len(self._outcomes)} reads); retry after "
+                    f"{self.reset_timeout_s} s"
                 )
-            self._probes_in_flight += 1
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight >= self.half_open_probes:
+                    self.stats.rejections += 1
+                    raise CircuitOpenError(
+                        "circuit half-open: probe quota in flight"
+                    )
+                self._probes_in_flight += 1
 
     def record_success(self) -> None:
         """Record one successful physical read."""
-        self.stats.successes += 1
-        if self._state == HALF_OPEN:
-            self._probes_in_flight = max(0, self._probes_in_flight - 1)
-            self._probe_successes += 1
-            if self._probe_successes >= self.half_open_probes:
-                self._state = CLOSED
-                self._outcomes.clear()
-                self.stats.closes += 1
-                return
-        self._outcomes.append(False)
+        with self._lock:
+            self.stats.successes += 1
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._state = CLOSED
+                    self._outcomes.clear()
+                    self.stats.closes += 1
+                    return
+            self._outcomes.append(False)
 
     def record_failure(self) -> None:
         """Record one transient physical-read failure."""
-        self.stats.failures += 1
-        self._outcomes.append(True)
-        if self._state == HALF_OPEN:
-            self._probes_in_flight = max(0, self._probes_in_flight - 1)
-            self._trip_open()
-            return
-        if (
-            self._state == CLOSED
-            and len(self._outcomes) >= self.min_samples
-            and self.failure_rate() >= self.failure_threshold
-        ):
-            self._trip_open()
+        with self._lock:
+            self.stats.failures += 1
+            self._outcomes.append(True)
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._trip_open()
+                return
+            if (
+                self._state == CLOSED
+                and len(self._outcomes) >= self.min_samples
+                and self.failure_rate() >= self.failure_threshold
+            ):
+                self._trip_open()
 
     def reset(self) -> None:
         """Force the breaker closed and forget all outcomes."""
-        self._state = CLOSED
-        self._outcomes.clear()
-        self._probe_successes = 0
-        self._probes_in_flight = 0
+        with self._lock:
+            self._state = CLOSED
+            self._outcomes.clear()
+            self._probe_successes = 0
+            self._probes_in_flight = 0

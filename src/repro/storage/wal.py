@@ -59,6 +59,7 @@ import json
 import os
 import pathlib
 import struct
+import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import (
@@ -73,6 +74,11 @@ from typing import (
     Union,
 )
 
+from repro.analysis.concurrency import (
+    guarded_by,
+    requires_lock,
+    shared_across_queries,
+)
 from repro.core.clock import MONOTONIC_CLOCK, Clock
 from repro.exceptions import (
     TransientIOError,
@@ -234,8 +240,24 @@ def _scan_bytes(raw: bytes) -> WalScan:
     return scan
 
 
+@shared_across_queries
+@guarded_by(
+    "_lock",
+    "_handle",
+    "_last_lsn",
+    "_base_lsn",
+    "_record_count",
+    "_closed",
+)
 class WriteAheadLog:
     """Append-only, CRC-framed, LSN-stamped intent log.
+
+    Thread safety: one log is shared by every ingest session against
+    the same database, so the file handle and the LSN bookkeeping are
+    guarded by ``_lock`` (re-entrant: ``commit`` composes ``append`` +
+    ``sync`` into one atomic group).  The durable-step closures inside
+    ``append``/``sync``/``truncate`` run with the lock already held by
+    their enclosing public method.
 
     Parameters
     ----------
@@ -265,6 +287,7 @@ class WriteAheadLog:
         sync: bool = True,
     ) -> None:
         self._path = pathlib.Path(path)
+        self._lock = threading.RLock()
         self.retry_policy = retry_policy or RetryPolicy()
         self._clock = clock if clock is not None else MONOTONIC_CLOCK
         self.circuit_breaker = circuit_breaker
@@ -318,26 +341,31 @@ class WriteAheadLog:
     @property
     def last_lsn(self) -> int:
         """LSN of the most recently appended record."""
-        return self._last_lsn
+        with self._lock:
+            return self._last_lsn
 
     @property
     def base_lsn(self) -> int:
         """LSN the current log segment starts after (checkpoint LSN)."""
-        return self._base_lsn
+        with self._lock:
+            return self._base_lsn
 
     @property
     def record_count(self) -> int:
         """Number of intact records in the current segment."""
-        return self._record_count
+        with self._lock:
+            return self._record_count
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     # ------------------------------------------------------------------
     # Durable steps (retry / breaker / crash-point plumbing)
     # ------------------------------------------------------------------
 
+    @requires_lock("_lock")
     def crash_point(self, point: str, pending: Optional[bytes] = None) -> None:
         """Invoke the chaos crash hook at a named durable step.
 
@@ -359,6 +387,7 @@ class WriteAheadLog:
                 self._handle.flush()
             raise
 
+    @requires_lock("_lock")
     def _io(self, point: str, step: Callable[[], None]) -> None:
         """Run one durable step under the retry policy and breaker."""
         policy = self.retry_policy
@@ -389,6 +418,7 @@ class WriteAheadLog:
     # Appending
     # ------------------------------------------------------------------
 
+    @requires_lock("_lock")
     def _require_open(self) -> None:
         if self._closed:
             raise WalError("write-ahead log is closed")
@@ -399,35 +429,39 @@ class WriteAheadLog:
         Returns the record's LSN.  ``fields`` must be JSON-serializable;
         float values round-trip exactly through the canonical encoding.
         """
-        self._require_open()
-        if op not in WAL_OPS:
-            raise WalError(f"unknown WAL op {op!r}; expected one of {WAL_OPS}")
-        lsn = self._last_lsn + 1
-        payload = json.dumps({"lsn": lsn, "op": op, **fields}).encode()
-        frame = _encode_frame(payload)
+        with self._lock:
+            self._require_open()
+            if op not in WAL_OPS:
+                raise WalError(
+                    f"unknown WAL op {op!r}; expected one of {WAL_OPS}"
+                )
+            lsn = self._last_lsn + 1
+            payload = json.dumps({"lsn": lsn, "op": op, **fields}).encode()
+            frame = _encode_frame(payload)
 
-        def write() -> None:
-            self.crash_point("wal.append.write", pending=frame)
-            self._handle.write(frame)
-            self._handle.flush()
+            def write() -> None:
+                self.crash_point("wal.append.write", pending=frame)
+                self._handle.write(frame)
+                self._handle.flush()
 
-        self._io("wal.append", write)
-        self._last_lsn = lsn
-        self._record_count += 1
+            self._io("wal.append", write)
+            self._last_lsn = lsn
+            self._record_count += 1
         if self.tracer.enabled:
             self.tracer.metrics.counter("wal.append").inc()
         return lsn
 
     def sync(self) -> None:
         """Force the log to stable storage (the group-commit fsync)."""
-        self._require_open()
+        with self._lock:
+            self._require_open()
 
-        def fsync() -> None:
-            self._handle.flush()
-            if self._sync:
-                os.fsync(self._handle.fileno())
+            def fsync() -> None:
+                self._handle.flush()
+                if self._sync:
+                    os.fsync(self._handle.fileno())
 
-        self._io("wal.fsync", fsync)
+            self._io("wal.fsync", fsync)
         if self.tracer.enabled:
             self.tracer.metrics.counter("wal.fsync").inc()
 
@@ -435,11 +469,14 @@ class WriteAheadLog:
         """Append the commit marker and fsync once (group commit).
 
         Returns the commit record's LSN; every record at or below it is
-        now durable and will be replayed by recovery.
+        now durable and will be replayed by recovery.  The marker and
+        its fsync happen under one lock hold, so another session's
+        records can never land between them.
         """
-        lsn = self.append("commit", {})
-        self.sync()
-        return lsn
+        with self._lock:
+            lsn = self.append("commit", {})
+            self.sync()
+            return lsn
 
     def rollback(self) -> int:
         """Discard records appended after the last commit marker.
@@ -451,20 +488,21 @@ class WriteAheadLog:
         discarded.  (After a real crash the open-time scan performs the
         same truncation.)
         """
-        self._require_open()
-        scan = self.scan()
-        dropped = len(scan.records) - scan.committed_records
-        if dropped:
-            self._handle.close()
-            with open(self._path, "r+b") as handle:
-                handle.truncate(scan.committed_end)
-                handle.flush()
-                if self._sync:
-                    os.fsync(handle.fileno())
-            self._handle = open(self._path, "ab")
-            self._last_lsn = scan.committed_lsn
-            self._record_count = scan.committed_records
-        return dropped
+        with self._lock:
+            self._require_open()
+            scan = self.scan()
+            dropped = len(scan.records) - scan.committed_records
+            if dropped:
+                self._handle.close()
+                with open(self._path, "r+b") as handle:
+                    handle.truncate(scan.committed_end)
+                    handle.flush()
+                    if self._sync:
+                        os.fsync(handle.fileno())
+                self._handle = open(self._path, "ab")
+                self._last_lsn = scan.committed_lsn
+                self._record_count = scan.committed_records
+            return dropped
 
     # ------------------------------------------------------------------
     # Replay
@@ -472,8 +510,9 @@ class WriteAheadLog:
 
     def scan(self) -> WalScan:
         """Re-read and parse the log file (intact prefix only)."""
-        self._handle.flush()
-        return _scan_bytes(self._path.read_bytes())
+        with self._lock:
+            self._handle.flush()
+            return _scan_bytes(self._path.read_bytes())
 
     def iter_records(self) -> Iterator[WalRecord]:
         """Every intact record, committed or not (diagnostics)."""
@@ -510,50 +549,52 @@ class WriteAheadLog:
         ``os.replace`` — a crash leaves either the old log or the new
         empty one, never a torn mix.
         """
-        self._require_open()
-        base = self._last_lsn if base_lsn is None else base_lsn
-        if base > self._last_lsn:
-            raise WalError(
-                f"cannot truncate to base_lsn {base} ahead of the log "
-                f"tail {self._last_lsn}"
-            )
-        temp = self._path.with_name(self._path.name + ".tmp")
-        header = _encode_frame(json.dumps({"base_lsn": base}).encode())
+        with self._lock:
+            self._require_open()
+            base = self._last_lsn if base_lsn is None else base_lsn
+            if base > self._last_lsn:
+                raise WalError(
+                    f"cannot truncate to base_lsn {base} ahead of the log "
+                    f"tail {self._last_lsn}"
+                )
+            temp = self._path.with_name(self._path.name + ".tmp")
+            header = _encode_frame(json.dumps({"base_lsn": base}).encode())
 
-        def swap() -> None:
-            with open(temp, "wb") as handle:
-                handle.write(WAL_MAGIC + header)
-                handle.flush()
-                if self._sync:
-                    os.fsync(handle.fileno())
-            self.crash_point("wal.truncate")
-            os.replace(temp, self._path)
+            def swap() -> None:
+                with open(temp, "wb") as handle:
+                    handle.write(WAL_MAGIC + header)
+                    handle.flush()
+                    if self._sync:
+                        os.fsync(handle.fileno())
+                self.crash_point("wal.truncate")
+                os.replace(temp, self._path)
 
-        try:
-            self._io("wal.truncate.write", swap)
-        finally:
-            if temp.exists():  # crashed/failed between write and replace
-                try:
-                    temp.unlink()
-                except OSError:  # pragma: no cover — best-effort cleanup
-                    pass
-        self._handle.close()
-        self._handle = open(self._path, "ab")
-        self._base_lsn = base
-        self._last_lsn = base
-        self._record_count = 0
+            try:
+                self._io("wal.truncate.write", swap)
+            finally:
+                if temp.exists():  # crashed/failed between write and replace
+                    try:
+                        temp.unlink()
+                    except OSError:  # pragma: no cover — best-effort cleanup
+                        pass
+            self._handle.close()
+            self._handle = open(self._path, "ab")
+            self._base_lsn = base
+            self._last_lsn = base
+            self._record_count = 0
         if self.tracer.enabled:
             self.tracer.metrics.counter("wal.truncate").inc()
 
     def close(self) -> None:
         """Flush and close the file handle.  Idempotent."""
-        if self._closed:
-            return
-        self._closed = True
-        try:
-            self._handle.flush()
-        finally:
-            self._handle.close()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._handle.flush()
+            finally:
+                self._handle.close()
 
     def __enter__(self) -> "WriteAheadLog":
         return self

@@ -72,13 +72,36 @@ class TestCompareGate:
         cur = make_report(kernels=kernel_block(speedup=8.01))
         assert perf.compare(cur, base) == []
 
-    def test_speedup_regression_fails(self):
+    def test_environment_drift_above_floor_passes(self):
+        # More than 20% below the baseline ratio, but still above the
+        # 6.0x absolute floor for dtw_wavefront_len256: the dual
+        # criterion reads this as environment drift, not a regression.
         base = make_report(kernels=kernel_block(speedup=10.0))
         cur = make_report(kernels=kernel_block(speedup=7.9))
+        assert perf.compare(cur, base) == []
+
+    def test_speedup_regression_fails(self):
+        # Below the relative floor AND below the absolute floor: a
+        # real regression (e.g. a de-vectorized kernel).
+        base = make_report(kernels=kernel_block(speedup=10.0))
+        cur = make_report(kernels=kernel_block(speedup=4.0))
         regressions = perf.compare(cur, base)
         assert len(regressions) == 1
         assert regressions[0].suite == "kernels"
         assert "fell below" in str(regressions[0])
+        assert "absolute floor" in str(regressions[0])
+
+    def test_unregistered_kernel_keeps_relative_gate(self):
+        # A kernel with no SPEEDUP_FLOORS entry falls back to the pure
+        # relative criterion (safe default for newly added benches).
+        base = make_report(
+            kernels={"new_kernel": dict(kernel_block()["dtw_wavefront_len256"])}
+        )
+        cur = copy.deepcopy(base)
+        cur["suites"]["kernels"]["new_kernel"]["speedup"] = 7.9
+        regressions = perf.compare(cur, base)
+        assert len(regressions) == 1
+        assert "absolute floor" not in str(regressions[0])
 
     def test_exactness_failure_fails(self):
         base = make_report(kernels=kernel_block())
@@ -178,11 +201,20 @@ class TestCLIExitCodes:
         assert main(["bench", "--baseline", baseline, "--update-baseline"]) == 0
         assert main(["bench", "--baseline", baseline]) == 0
 
-    def test_regression_exits_one(self, fake_suite, tmp_path):
+    def test_regression_exits_one(self, fake_suite, tmp_path, monkeypatch):
         baseline = str(tmp_path / "baseline.json")
         better = copy.deepcopy(fake_suite)
         better["suites"]["kernels"]["dtw_wavefront_len256"]["speedup"] = 100.0
         perf.write_report(better, baseline)
+        # The measured 10.0x is above the kernel's 6.0x absolute floor,
+        # so push the current run below both criteria.
+        worse = copy.deepcopy(fake_suite)
+        worse["suites"]["kernels"]["dtw_wavefront_len256"]["speedup"] = 4.0
+
+        def fake_run_suites(suites, seed=0, quick=False):
+            return copy.deepcopy(worse)
+
+        monkeypatch.setattr(perf, "run_suites", fake_run_suites)
         assert main(["bench", "--baseline", baseline]) == 1
 
     def test_json_report_written(self, fake_suite, tmp_path):

@@ -1,0 +1,521 @@
+"""CFG construction and dataflow-solver properties.
+
+Two layers of coverage for :mod:`repro.analysis.cfg` and
+:mod:`repro.analysis.dataflow`:
+
+* Hypothesis properties over randomly generated function bodies —
+  every statement lands in exactly one block, the edge lists are
+  mutually consistent, and the worklist solver reaches a genuine
+  fixpoint that is independent of the seed order (Kildall).
+* Deterministic edge-shape tests for the cleanup semantics the
+  concurrency rules lean on: ``try/finally`` routing of returns and
+  exceptions, ``except`` propagation, ``with`` normal/exceptional
+  exits and the ``__enter__``-failure bypass, and loop back edges.
+
+Plus one budget test: linting the entire ``src/`` tree (which builds a
+CFG and runs all three flow rules for every function) must finish in
+well under the ten-second ceiling promised by the docs.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import time
+from typing import Dict, List, Optional
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import lint_paths
+from repro.analysis.cfg import (
+    CFG,
+    EXCEPTION,
+    FALSE,
+    LOOP,
+    NORMAL,
+    TRUE,
+    BasicBlock,
+    build_cfg,
+    evaluated_nodes,
+)
+from repro.analysis.dataflow import (
+    TOP,
+    DataflowProblem,
+    DataflowResult,
+    Edge,
+    is_top,
+    solve,
+)
+
+CFG_SETTINGS = settings(max_examples=100, deadline=None)
+
+EDGE_KINDS = {NORMAL, TRUE, FALSE, LOOP, EXCEPTION}
+
+
+# ---------------------------------------------------------------------------
+# Source generator
+# ---------------------------------------------------------------------------
+#
+# Functions are generated as *source text* (not raw ASTs) so every
+# example is a genuinely compilable Python function — ``ast.parse``
+# acts as the oracle for well-formedness.  ``break``/``continue`` are
+# only offered inside loop bodies.
+
+_SIMPLE = ["x = work()", "use(x)", "x += 1", "pass", "return x", "raise Boom()"]
+_LOOP_ONLY = ["break", "continue"]
+
+
+@st.composite
+def _statement(draw: st.DrawFn, depth: int, in_loop: bool) -> List[str]:
+    """One statement, rendered as lines indented relative to its suite."""
+    choices = _SIMPLE + (_LOOP_ONLY if in_loop else [])
+    if depth <= 0 or draw(st.integers(min_value=0, max_value=3)) > 0:
+        return [draw(st.sampled_from(choices))]
+    kind = draw(
+        st.sampled_from(["if", "ifelse", "while", "for", "with", "tryfin", "tryexc"])
+    )
+    body = draw(_suite(depth - 1, in_loop or kind in ("while", "for")))
+    if kind == "if":
+        return ["if cond():"] + body
+    if kind == "ifelse":
+        orelse = draw(_suite(depth - 1, in_loop))
+        return ["if cond():"] + body + ["else:"] + orelse
+    if kind == "while":
+        return ["while cond():"] + body
+    if kind == "for":
+        return ["for item in items():"] + body
+    if kind == "with":
+        return ["with ctx() as handle:"] + body
+    if kind == "tryfin":
+        fin = draw(_suite(depth - 1, in_loop))
+        return ["try:"] + body + ["finally:"] + fin
+    handler = draw(_suite(depth - 1, in_loop))
+    return ["try:"] + body + ["except Boom:"] + handler
+
+
+@st.composite
+def _suite(draw: st.DrawFn, depth: int, in_loop: bool) -> List[str]:
+    count = draw(st.integers(min_value=1, max_value=3))
+    lines: List[str] = []
+    for _ in range(count):
+        lines.extend("    " + line for line in draw(_statement(depth, in_loop)))
+    return lines
+
+
+@st.composite
+def function_sources(draw: st.DrawFn) -> str:
+    body = draw(_suite(depth=2, in_loop=False))
+    return "def generated(x):\n" + "\n".join(body) + "\n"
+
+
+def _parse_function(source: str) -> ast.FunctionDef:
+    module = ast.parse(source)
+    func = module.body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return func
+
+
+def _all_statements(func: ast.FunctionDef) -> List[ast.stmt]:
+    """Every statement of the function body, at any nesting depth."""
+    return [
+        node
+        for node in ast.walk(func)
+        if isinstance(node, ast.stmt) and node is not func
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Toy dataflow problems (monotone gen/kill, one edge-sensitive)
+# ---------------------------------------------------------------------------
+
+
+def _stored_names(block: BasicBlock) -> frozenset:
+    names = set()
+    for stmt in block.statements:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                names.add(node.id)
+    return frozenset(names)
+
+
+def _loaded_names(block: BasicBlock) -> frozenset:
+    names = set()
+    for stmt in block.statements:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                names.add(node.id)
+    return frozenset(names)
+
+
+class _MayAssigned(DataflowProblem):
+    """May-analysis: names assigned on *some* path to the block."""
+
+    may = True
+
+    def gen(self, block: BasicBlock) -> frozenset:
+        return _stored_names(block)
+
+
+class _MustAssigned(DataflowProblem):
+    """Must-analysis: assigned on every path, killed by any read.
+
+    The gen/kill choice is arbitrary — the point is a monotone must
+    problem whose facts actually vary across generated programs.
+    """
+
+    may = False
+
+    def gen(self, block: BasicBlock) -> frozenset:
+        return _stored_names(block)
+
+    def kill(self, block: BasicBlock) -> frozenset:
+        return _loaded_names(block) - _stored_names(block)
+
+
+class _EdgeSensitiveMust(_MustAssigned):
+    """Like the real lock rule: a gen never happened along the
+    exception edge leaving the block that generated it."""
+
+    def edge_value(self, block: BasicBlock, edge: Edge, value: frozenset) -> frozenset:
+        if edge.kind == EXCEPTION:
+            return value - self.gen(block)
+        return value
+
+
+_PROBLEMS = [_MayAssigned, _MustAssigned, _EdgeSensitiveMust]
+
+
+def _assert_is_fixpoint(
+    cfg: CFG, problem: DataflowProblem, result: DataflowResult
+) -> None:
+    """Re-apply the dataflow equations once; nothing may change."""
+    boundary = cfg.entry
+    for block in cfg.blocks:
+        before = result.before[block.block_id]
+        after = result.after[block.block_id]
+        # after = transfer(before) (TOP stays TOP: unreachable).
+        if is_top(before):
+            assert is_top(after)
+        else:
+            assert after == problem.transfer(block, before)
+        # before = meet over incoming edge values.
+        if block.block_id == boundary:
+            assert before == frozenset(problem.boundary(cfg))
+            continue
+        met = TOP
+        for edge in block.preds:
+            pred_after = result.after[edge.src]
+            if is_top(pred_after):
+                continue
+            contributed = problem.edge_value(cfg.blocks[edge.src], edge, pred_after)
+            if is_top(met):
+                met = contributed
+            elif problem.may:
+                met = met | contributed
+            else:
+                met = met & contributed
+        if is_top(met) and problem.may:
+            met = frozenset()
+        if is_top(met):
+            assert is_top(before)
+        else:
+            assert before == met
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties
+# ---------------------------------------------------------------------------
+
+
+class TestCFGProperties:
+    @CFG_SETTINGS
+    @given(source=function_sources())
+    def test_every_statement_in_exactly_one_block(self, source: str) -> None:
+        func = _parse_function(source)
+        cfg = build_cfg(func)
+        for stmt in _all_statements(func):
+            holders = sum(
+                1
+                for block in cfg.blocks
+                if any(existing is stmt for existing in block.statements)
+            )
+            if isinstance(stmt, ast.Try):
+                # A try statement evaluates nothing itself; only its
+                # suites (and the synthetic finally/handler entries)
+                # occupy blocks.
+                assert holders == 0
+            else:
+                assert holders == 1
+                block = cfg.statement_block(stmt)
+                assert block is not None
+                assert any(existing is stmt for existing in block.statements)
+
+    @CFG_SETTINGS
+    @given(source=function_sources())
+    def test_edges_are_consistent(self, source: str) -> None:
+        func = _parse_function(source)
+        cfg = build_cfg(func)
+        ids = {block.block_id for block in cfg.blocks}
+        assert cfg.entry in ids and cfg.exit in ids
+        for block in cfg.blocks:
+            assert cfg.block(block.block_id) is block
+            for edge in block.succs:
+                assert edge.src == block.block_id
+                assert edge.dst in ids
+                assert edge.kind in EDGE_KINDS
+                assert edge in cfg.block(edge.dst).preds
+            for edge in block.preds:
+                assert edge.dst == block.block_id
+                assert edge.src in ids
+                assert edge in cfg.block(edge.src).succs
+        # The exit block never flows anywhere.
+        assert cfg.block(cfg.exit).succs == []
+        # Entry dominates every reachable block.
+        dom = cfg.dominators()
+        for block_id in cfg.reachable():
+            assert cfg.entry in dom[block_id]
+
+    @CFG_SETTINGS
+    @given(source=function_sources(), data=st.data())
+    def test_solver_fixpoint_and_order_independence(
+        self, source: str, data: st.DataObject
+    ) -> None:
+        func = _parse_function(source)
+        cfg = build_cfg(func)
+        block_ids = [block.block_id for block in cfg.blocks]
+        for problem_class in _PROBLEMS:
+            problem = problem_class()
+            reference = solve(cfg, problem)
+            _assert_is_fixpoint(cfg, problem, reference)
+            shuffled = data.draw(
+                st.permutations(block_ids), label=f"order:{problem_class.__name__}"
+            )
+            assert solve(cfg, problem, order=shuffled) == reference
+
+
+# ---------------------------------------------------------------------------
+# Deterministic edge-shape tests
+# ---------------------------------------------------------------------------
+
+
+def _cfg_of(body: str) -> CFG:
+    return build_cfg(_parse_function("def f(x):\n" + body))
+
+
+def _stmt_block(cfg: CFG, needle: str) -> BasicBlock:
+    """The block whose (unique) *evaluated* source contains ``needle``.
+
+    Matching the evaluated nodes rather than the whole statement keeps
+    compound headers from also matching on their nested suites.
+    """
+    matches = [
+        block
+        for block in cfg.blocks
+        if block.statements
+        and needle
+        in " ".join(
+            ast.unparse(node) for node in evaluated_nodes(block.statements[0])
+        )
+    ]
+    assert len(matches) == 1, f"{needle!r} matched {len(matches)} blocks"
+    return matches[0]
+
+
+def _labeled(cfg: CFG, label: str) -> List[BasicBlock]:
+    return [block for block in cfg.blocks if block.label == label]
+
+
+class TestTryFinallyEdges:
+    def test_return_routes_through_finally(self) -> None:
+        cfg = _cfg_of(
+            "    try:\n"
+            "        return x\n"
+            "    finally:\n"
+            "        cleanup()\n"
+        )
+        (fin_entry,) = _labeled(cfg, "finally-entry")
+        ret = _stmt_block(cfg, "return x")
+        # The return transfers into the finally subgraph, never
+        # straight to the function exit.
+        assert [e.dst for e in ret.succs if e.kind == NORMAL] == [
+            fin_entry.block_id
+        ]
+        assert cfg.exit not in [e.dst for e in ret.succs]
+        # ...and the finally body re-dispatches the pending return.
+        cleanup = _stmt_block(cfg, "cleanup()")
+        assert cfg.exit in [e.dst for e in cleanup.succs if e.kind == NORMAL]
+
+    def test_exception_routes_through_finally(self) -> None:
+        cfg = _cfg_of(
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        cleanup()\n"
+        )
+        (fin_entry,) = _labeled(cfg, "finally-entry")
+        work = _stmt_block(cfg, "work()")
+        exc_dsts = [e.dst for e in work.succs if e.kind == EXCEPTION]
+        assert exc_dsts == [fin_entry.block_id]
+        # The finally body then re-raises toward the function exit.
+        cleanup = _stmt_block(cfg, "cleanup()")
+        assert cfg.exit in [e.dst for e in cleanup.succs if e.kind == EXCEPTION]
+
+    def test_normal_completion_also_runs_finally(self) -> None:
+        cfg = _cfg_of(
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        cleanup()\n"
+            "    after()\n"
+        )
+        work = _stmt_block(cfg, "work()")
+        cleanup = _stmt_block(cfg, "cleanup()")
+        after = _stmt_block(cfg, "after()")
+        (fin_entry,) = _labeled(cfg, "finally-entry")
+        assert fin_entry.block_id in [
+            e.dst for e in work.succs if e.kind == NORMAL
+        ]
+        assert after.block_id in [
+            e.dst for e in cleanup.succs if e.kind == NORMAL
+        ]
+
+    def test_except_handles_and_propagates(self) -> None:
+        cfg = _cfg_of(
+            "    try:\n"
+            "        work()\n"
+            "    except Boom:\n"
+            "        recover()\n"
+        )
+        (handler_entry,) = _labeled(cfg, "except-entry")
+        work = _stmt_block(cfg, "work()")
+        exc_dsts = {e.dst for e in work.succs if e.kind == EXCEPTION}
+        # Both the handler and the outward propagation path exist:
+        # the graph cannot prove the handler matches the raised type.
+        assert handler_entry.block_id in exc_dsts
+        assert cfg.exit in exc_dsts
+
+    def test_nested_finally_chains_compose(self) -> None:
+        cfg = _cfg_of(
+            "    try:\n"
+            "        try:\n"
+            "            return x\n"
+            "        finally:\n"
+            "            inner()\n"
+            "    finally:\n"
+            "        outer()\n"
+        )
+        inner = _stmt_block(cfg, "inner()")
+        outer = _stmt_block(cfg, "outer()")
+        ret = _stmt_block(cfg, "return x")
+        inner_entry = next(
+            b
+            for b in _labeled(cfg, "finally-entry")
+            if any(e.src == ret.block_id for e in b.preds)
+        )
+        assert inner_entry.block_id in [e.dst for e in ret.succs]
+        # The inner finally forwards the pending return to the outer
+        # finally, which forwards it to the exit.
+        outer_entry = next(
+            b
+            for b in _labeled(cfg, "finally-entry")
+            if b.block_id != inner_entry.block_id
+        )
+        assert outer_entry.block_id in [e.dst for e in inner.succs]
+        assert cfg.exit in [e.dst for e in outer.succs]
+
+
+class TestWithEdges:
+    def test_with_exit_blocks_carry_origin(self) -> None:
+        source = "    with ctx() as handle:\n        work()\n"
+        func = _parse_function("def f(x):\n" + source)
+        cfg = build_cfg(func)
+        with_stmt = func.body[0]
+        (normal_exit,) = _labeled(cfg, "with-exit")
+        (exc_exit,) = _labeled(cfg, "with-except")
+        assert normal_exit.origin is with_stmt
+        assert exc_exit.origin is with_stmt
+
+    def test_body_exception_reaches_with_except(self) -> None:
+        cfg = _cfg_of("    with ctx() as handle:\n        work()\n")
+        (exc_exit,) = _labeled(cfg, "with-except")
+        work = _stmt_block(cfg, "work()")
+        assert exc_exit.block_id in [
+            e.dst for e in work.succs if e.kind == EXCEPTION
+        ]
+
+    def test_return_routes_through_with_exit(self) -> None:
+        cfg = _cfg_of("    with ctx() as handle:\n        return x\n")
+        (normal_exit,) = _labeled(cfg, "with-exit")
+        ret = _stmt_block(cfg, "return x")
+        # The pending return travels the normal edge into the cleanup
+        # block (the exception edge goes to with-except instead).
+        assert [e.dst for e in ret.succs if e.kind == NORMAL] == [
+            normal_exit.block_id
+        ]
+        assert cfg.exit in [e.dst for e in normal_exit.succs]
+
+    def test_enter_failure_bypasses_cleanup(self) -> None:
+        # If ctx() / __enter__ raises, __exit__ never runs: the
+        # header's exception edge must skip both cleanup blocks.
+        cfg = _cfg_of("    with ctx() as handle:\n        work()\n")
+        header = _stmt_block(cfg, "ctx()")
+        (normal_exit,) = _labeled(cfg, "with-exit")
+        (exc_exit,) = _labeled(cfg, "with-except")
+        exc_dsts = [e.dst for e in header.succs if e.kind == EXCEPTION]
+        assert exc_dsts == [cfg.exit]
+        assert normal_exit.block_id not in exc_dsts
+        assert exc_exit.block_id not in exc_dsts
+
+
+class TestLoopEdges:
+    def test_while_true_false_and_back_edge(self) -> None:
+        cfg = _cfg_of(
+            "    while cond():\n"
+            "        work()\n"
+            "    after()\n"
+        )
+        header = _stmt_block(cfg, "cond()")
+        work = _stmt_block(cfg, "work()")
+        after = _stmt_block(cfg, "after()")
+        assert work.block_id in [e.dst for e in header.succs if e.kind == TRUE]
+        assert header.block_id in [e.dst for e in work.succs if e.kind == LOOP]
+        # FALSE leaves the loop (via the synthetic loop-after block).
+        false_paths = [e.dst for e in header.succs if e.kind == FALSE]
+        assert false_paths
+        assert after.block_id in cfg.reachable()
+
+    def test_break_skips_loop_body_tail(self) -> None:
+        cfg = _cfg_of(
+            "    for item in items():\n"
+            "        break\n"
+            "        dead()\n"
+            "    after()\n"
+        )
+        dead = _stmt_block(cfg, "dead()")
+        assert dead.block_id not in cfg.reachable()
+        after = _stmt_block(cfg, "after()")
+        assert after.block_id in cfg.reachable()
+
+    def test_dead_code_after_return_is_unreachable(self) -> None:
+        cfg = _cfg_of("    return x\n    dead()\n")
+        dead = _stmt_block(cfg, "dead()")
+        assert dead.block_id not in cfg.reachable()
+        assert dead.preds == []
+
+
+# ---------------------------------------------------------------------------
+# Whole-tree analysis budget
+# ---------------------------------------------------------------------------
+
+
+class TestAnalysisBudget:
+    def test_full_src_tree_under_ten_seconds(self) -> None:
+        src = pathlib.Path(__file__).resolve().parents[1] / "src"
+        assert src.is_dir()
+        start = time.perf_counter()
+        report = lint_paths([src])
+        elapsed = time.perf_counter() - start
+        assert report.files_checked > 0
+        assert elapsed < 10.0, f"lint of src/ took {elapsed:.2f}s"

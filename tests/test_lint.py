@@ -409,8 +409,11 @@ class TestRS008SpanDiscipline:
             """,
             "repro/engines/novel.py",
         )
-        assert codes(findings) == ["RS008"]
-        assert "with" in findings[0].message
+        # RS008 flags the bare start_span; RS011's flow analysis also
+        # (correctly) notices the span leaks if do_work() raises.
+        assert codes(findings) == ["RS008", "RS011"]
+        rs008 = [f for f in findings if f.code == "RS008"]
+        assert "with" in rs008[0].message
 
     def test_bare_tracer_span_is_flagged(self):
         findings = lint_snippet(
@@ -569,6 +572,383 @@ class TestRS009WalDiscipline:
         assert findings == []
 
 
+class TestRS010LockDiscipline:
+    def test_unlocked_guarded_read_is_flagged(self):
+        findings = lint_snippet(
+            """
+            from repro.analysis.concurrency import (
+                guarded_by,
+                shared_across_queries,
+            )
+
+            @shared_across_queries
+            @guarded_by("_lock", "_frames")
+            class Pool:
+                def get(self, page_id):
+                    return self._frames.get(page_id)
+            """,
+            "repro/storage/novel.py",
+        )
+        assert codes(findings) == ["RS010"]
+        assert "_frames" in findings[0].message
+        assert "_lock" in findings[0].message
+
+    def test_locked_access_is_clean(self):
+        findings = lint_snippet(
+            """
+            from repro.analysis.concurrency import (
+                guarded_by,
+                shared_across_queries,
+            )
+
+            @shared_across_queries
+            @guarded_by("_lock", "_frames")
+            class Pool:
+                def get(self, page_id):
+                    with self._lock:
+                        return self._frames.get(page_id)
+            """,
+            "repro/storage/novel.py",
+        )
+        assert findings == []
+
+    def test_one_unlocked_path_is_enough_to_flag(self):
+        findings = lint_snippet(
+            """
+            from repro.analysis.concurrency import (
+                guarded_by,
+                shared_across_queries,
+            )
+
+            @shared_across_queries
+            @guarded_by("_lock", "_frames")
+            class Pool:
+                def get(self, page_id, fast):
+                    if fast:
+                        return self._frames.get(page_id)
+                    with self._lock:
+                        return self._frames.get(page_id)
+            """,
+            "repro/storage/novel.py",
+        )
+        assert codes(findings) == ["RS010"]
+        assert len(findings) == 1  # only the fast path is unprotected
+
+    def test_access_after_with_block_is_flagged(self):
+        findings = lint_snippet(
+            """
+            from repro.analysis.concurrency import (
+                guarded_by,
+                shared_across_queries,
+            )
+
+            @shared_across_queries
+            @guarded_by("_lock", "_frames")
+            class Pool:
+                def get(self, page_id):
+                    with self._lock:
+                        value = self._frames.get(page_id)
+                    return value if value else self._frames.get(0)
+            """,
+            "repro/storage/novel.py",
+        )
+        assert codes(findings) == ["RS010"]
+
+    def test_acquire_release_in_try_finally_is_clean(self):
+        findings = lint_snippet(
+            """
+            from repro.analysis.concurrency import (
+                guarded_by,
+                shared_across_queries,
+            )
+
+            @shared_across_queries
+            @guarded_by("_lock", "_frames")
+            class Pool:
+                def get(self, page_id):
+                    self._lock.acquire()
+                    try:
+                        return self._frames.get(page_id)
+                    finally:
+                        self._lock.release()
+            """,
+            "repro/storage/novel.py",
+        )
+        assert findings == []
+
+    def test_requires_lock_helper_body_is_trusted(self):
+        findings = lint_snippet(
+            """
+            from repro.analysis.concurrency import (
+                guarded_by,
+                requires_lock,
+                shared_across_queries,
+            )
+
+            @shared_across_queries
+            @guarded_by("_lock", "_frames")
+            class Pool:
+                @requires_lock("_lock")
+                def _evict_one(self):
+                    self._frames.popitem()
+            """,
+            "repro/storage/novel.py",
+        )
+        assert findings == []
+
+    def test_requires_lock_call_without_lock_is_flagged(self):
+        findings = lint_snippet(
+            """
+            from repro.analysis.concurrency import (
+                guarded_by,
+                requires_lock,
+                shared_across_queries,
+            )
+
+            @shared_across_queries
+            @guarded_by("_lock", "_frames")
+            class Pool:
+                @requires_lock("_lock")
+                def _evict_one(self):
+                    self._frames.popitem()
+
+                def shrink(self):
+                    self._evict_one()
+            """,
+            "repro/storage/novel.py",
+        )
+        assert codes(findings) == ["RS010"]
+        assert "_evict_one" in findings[0].message
+
+    def test_init_is_lifecycle_exempt(self):
+        findings = lint_snippet(
+            """
+            from repro.analysis.concurrency import (
+                guarded_by,
+                shared_across_queries,
+            )
+
+            @shared_across_queries
+            @guarded_by("_lock", "_frames")
+            class Pool:
+                def __init__(self):
+                    self._frames = {}
+            """,
+            "repro/storage/novel.py",
+        )
+        assert findings == []
+
+    def test_unguarded_class_is_out_of_scope(self):
+        findings = lint_snippet(
+            """
+            class Pool:
+                def get(self, page_id):
+                    return self._frames.get(page_id)
+            """,
+            "repro/storage/novel.py",
+        )
+        assert findings == []
+
+
+class TestRS011ResourceLifecycle:
+    def test_leak_on_exceptional_path_is_flagged(self):
+        # validate(path) may raise with the log still open; note the
+        # may-raise call must not mention `wal`, or passing it onward
+        # would count as an ownership transfer.
+        findings = lint_snippet(
+            """
+            def recover(path):
+                wal = WriteAheadLog(path)
+                validate(path)
+                wal.close()
+            """,
+            "repro/storage/novel.py",
+        )
+        assert codes(findings) == ["RS011"]
+        assert "write-ahead log" in findings[0].message
+
+    def test_try_finally_close_is_clean(self):
+        findings = lint_snippet(
+            """
+            def recover(path):
+                wal = WriteAheadLog(path)
+                try:
+                    validate(path)
+                finally:
+                    wal.close()
+            """,
+            "repro/storage/novel.py",
+        )
+        assert findings == []
+
+    def test_with_statement_is_clean(self):
+        findings = lint_snippet(
+            """
+            def recover(path):
+                wal = WriteAheadLog(path)
+                with wal:
+                    validate(path)
+            """,
+            "repro/storage/novel.py",
+        )
+        assert findings == []
+
+    def test_discarded_opener_is_flagged(self):
+        findings = lint_snippet(
+            """
+            def add(db, values):
+                db.ingest()
+            """,
+            "repro/api_helpers.py",
+        )
+        assert codes(findings) == ["RS011"]
+        assert "discarded" in findings[0].message
+
+    def test_returned_resource_transfers_ownership(self):
+        findings = lint_snippet(
+            """
+            def open_wal(path):
+                wal = WriteAheadLog(path)
+                return wal
+            """,
+            "repro/storage/novel.py",
+        )
+        assert findings == []
+
+    def test_resource_passed_onward_transfers_ownership(self):
+        findings = lint_snippet(
+            """
+            def open_wal(path, registry):
+                wal = WriteAheadLog(path)
+                registry.adopt(wal)
+            """,
+            "repro/storage/novel.py",
+        )
+        assert findings == []
+
+    def test_leaked_pin_is_flagged(self):
+        findings = lint_snippet(
+            """
+            def read(pool, page_id):
+                pin = pool.pin(page_id)
+                value = pool.get(page_id)
+                pin.release()
+                return value
+            """,
+            "repro/storage/novel.py",
+        )
+        assert codes(findings) == ["RS011"]
+        assert "pin" in findings[0].message
+
+    def test_tracer_module_is_exempt(self):
+        findings = lint_snippet(
+            """
+            def open_root(self, name):
+                span = self.start_span(name)
+                self._register(name)
+                return None
+            """,
+            "repro/obs/tracer.py",
+        )
+        assert findings == []
+
+
+class TestRS012CheckThenAct:
+    def test_unlocked_check_then_act_is_flagged(self):
+        findings = lint_snippet(
+            """
+            from repro.analysis.concurrency import shared_across_queries
+
+            @shared_across_queries
+            class Cache:
+                def put(self, key):
+                    if self._count >= self._cap:
+                        self._count = 0
+                    self._count += 1
+            """,
+            "repro/storage/novel.py",
+        )
+        assert codes(findings) == ["RS012"]
+        assert "_count" in findings[0].message
+
+    def test_locked_check_then_act_is_clean(self):
+        findings = lint_snippet(
+            """
+            from repro.analysis.concurrency import shared_across_queries
+
+            @shared_across_queries
+            class Cache:
+                def put(self, key):
+                    with self._lock:
+                        if self._count >= self._cap:
+                            self._count = 0
+                        self._count += 1
+            """,
+            "repro/storage/novel.py",
+        )
+        assert findings == []
+
+    def test_mutator_call_counts_as_write(self):
+        findings = lint_snippet(
+            """
+            from repro.analysis.concurrency import shared_across_queries
+
+            @shared_across_queries
+            class Cache:
+                def evict(self):
+                    if self._entries:
+                        self._entries.pop()
+            """,
+            "repro/storage/novel.py",
+        )
+        assert codes(findings) == ["RS012"]
+
+    def test_write_through_helper_method_is_flagged(self):
+        findings = lint_snippet(
+            """
+            from repro.analysis.concurrency import shared_across_queries
+
+            @shared_across_queries
+            class Breaker:
+                def record(self):
+                    if self._state == "closed":
+                        self._trip()
+
+                def _trip(self):
+                    self._state = "open"
+            """,
+            "repro/storage/novel.py",
+        )
+        assert codes(findings) == ["RS012"]
+
+    def test_different_attribute_write_is_clean(self):
+        findings = lint_snippet(
+            """
+            from repro.analysis.concurrency import shared_across_queries
+
+            @shared_across_queries
+            class Breaker:
+                def record(self):
+                    if self._state == "closed":
+                        self._failures += 1
+            """,
+            "repro/storage/novel.py",
+        )
+        assert findings == []
+
+    def test_unshared_class_is_out_of_scope(self):
+        findings = lint_snippet(
+            """
+            class Cache:
+                def put(self, key):
+                    if self._count >= self._cap:
+                        self._count = 0
+            """,
+            "repro/storage/novel.py",
+        )
+        assert findings == []
+
+
 class TestSuppressions:
     def test_matching_code_is_suppressed(self):
         report = LintReport()
@@ -612,6 +992,62 @@ class TestSuppressions:
         )
         assert codes(findings) == ["RS001"]
 
+    def test_suppression_on_decorator_line_covers_the_def(self):
+        # RS004 anchors on the def line, but the comment sits on the
+        # decorator — the alias map must bridge the two.
+        report = LintReport()
+        findings = lint_source(
+            "@decorate  # repro: ignore[RS004]\n"
+            "def collect(matches=[]):\n"
+            "    return matches\n",
+            "repro/core/results.py",
+            report=report,
+        )
+        assert findings == []
+        assert report.suppressed == 1
+
+    def test_suppression_on_def_line_of_decorated_function(self):
+        findings = lint_source(
+            "@decorate\n"
+            "def collect(matches=[]):  # repro: ignore[RS004]\n"
+            "    return matches\n",
+            "repro/core/results.py",
+        )
+        assert findings == []
+
+    def test_decorator_suppression_does_not_leak_into_the_body(self):
+        findings = lint_source(
+            "@decorate  # repro: ignore[RS001]\n"
+            "def fetch(pager):\n"
+            "    return pager.read(0)\n",
+            "repro/engines/novel.py",
+        )
+        assert codes(findings) == ["RS001"]
+
+    def test_suppression_on_first_line_of_multiline_statement(self):
+        # The finding anchors on the continuation line holding the
+        # violating call, not the line carrying the comment.
+        findings = lint_source(
+            "def fetch(pager):\n"
+            "    return (  # repro: ignore[RS001]\n"
+            "        pager.read(0)\n"
+            "    )\n",
+            "repro/engines/novel.py",
+        )
+        assert findings == []
+
+    def test_multiline_suppression_needs_the_first_line(self):
+        findings = lint_source(
+            "def fetch(pager):\n"
+            "    return (\n"
+            "        pager.read(0)  # repro: ignore[RS001]\n"
+            "    )\n",
+            "repro/engines/novel.py",
+        )
+        # A comment on the continuation line still works — it matches
+        # the finding's own line directly.
+        assert findings == []
+
 
 class TestFramework:
     def test_syntax_error_reports_rs000(self):
@@ -630,7 +1066,7 @@ class TestFramework:
         with pytest.raises(ConfigurationError):
             all_rules(select=["RS999"])
 
-    def test_all_eight_rules_are_registered(self):
+    def test_all_rules_are_registered(self):
         registered = [rule.code for rule in all_rules()]
         assert registered == [
             "RS001",
@@ -642,6 +1078,9 @@ class TestFramework:
             "RS007",
             "RS008",
             "RS009",
+            "RS010",
+            "RS011",
+            "RS012",
         ]
 
 
@@ -687,8 +1126,38 @@ class TestSelfCheck:
             "RS007",
             "RS008",
             "RS009",
+            "RS010",
+            "RS011",
+            "RS012",
         ):
             assert code in out
+
+    def test_cli_sarif_format(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "storage" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f():\n    raise ValueError('x')\n")
+        assert cli_main(["lint", "--format", "sarif", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in payload["$schema"]
+        run = payload["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert "RS002" in rule_ids and "RS010" in rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "RS002"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == 2
+
+    def test_cli_sarif_clean_run_has_empty_results(self, tmp_path, capsys):
+        good = tmp_path / "repro" / "core" / "ok.py"
+        good.parent.mkdir(parents=True)
+        good.write_text("VALUE = 1\n")
+        assert cli_main(["lint", "--format", "sarif", str(good)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"] == []
 
     def test_cli_unknown_rule_code_is_usage_error(self, capsys):
         assert cli_main(["lint", "--select", "RS999", "src"]) == 2
