@@ -50,15 +50,27 @@ from repro.exceptions import (
     ExecutionInterrupted,
     IntegrityError,
     PartialSaveError,
+    ProtocolError,
     ReproError,
+    ServiceOverloadedError,
     StorageError,
     TransientIOError,
+)
+from repro.serve import (
+    QosClass,
+    QueryRequest,
+    QueryService,
+    ServeClient,
+    ServiceConfig,
+    ServiceResponse,
+    SocketServer,
+    TenantPolicy,
 )
 from repro.storage.buffer import RetryPolicy
 from repro.storage.circuit import CircuitBreaker
 from repro.storage.faults import FaultInjector, FaultSpec, FaultyPager
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "SubsequenceDatabase",
@@ -79,6 +91,14 @@ __all__ = [
     "ExecutionControl",
     "AdmissionController",
     "CircuitBreaker",
+    "QosClass",
+    "QueryRequest",
+    "QueryService",
+    "ServeClient",
+    "ServiceConfig",
+    "ServiceResponse",
+    "SocketServer",
+    "TenantPolicy",
     "Clock",
     "MonotonicClock",
     "FakeClock",
@@ -92,6 +112,8 @@ __all__ = [
     "ExecutionInterrupted",
     "CircuitOpenError",
     "AdmissionRejectedError",
+    "ProtocolError",
+    "ServiceOverloadedError",
     "FaultInjector",
     "FaultSpec",
     "FaultyPager",

@@ -41,6 +41,14 @@ Subcommands
 ``profile``
     Run one traced query and print the per-query profile: the hottest
     span names ranked by self time, plus the observability counters.
+``serve``
+    Run the concurrent multi-tenant query service
+    (:mod:`repro.serve`): JSON-lines over a local TCP socket, QoS
+    classes mapped onto an aging priority queue, per-tenant token
+    buckets and circuit breakers, graceful degradation under load
+    (see ``docs/service.md``).  ``--self-test N`` instead drives N
+    concurrent socket clients against the single-query oracle and
+    exits 0/1 (the CI smoke mode).
 
 These are convenience smoke tests; the real experiment drivers live in
 ``benchmarks/`` (one pytest-benchmark module per figure).
@@ -140,7 +148,7 @@ def _scrub(args: argparse.Namespace) -> int:
 
 
 def _chaos(args: argparse.Namespace) -> int:
-    from repro.chaos import run_chaos, run_ingest_chaos
+    from repro.chaos import run_chaos, run_ingest_chaos, run_serve_chaos
 
     progress = None
     if args.verbose:
@@ -148,7 +156,8 @@ def _chaos(args: argparse.Namespace) -> int:
     runners = {
         "search": (run_chaos,),
         "ingest": (run_ingest_chaos,),
-        "all": (run_chaos, run_ingest_chaos),
+        "serve": (run_serve_chaos,),
+        "all": (run_chaos, run_ingest_chaos, run_serve_chaos),
     }[args.suite]
     exit_code = 0
     for runner in runners:
@@ -225,7 +234,7 @@ def _bench(args: argparse.Namespace) -> int:
     from repro.bench import perf
 
     suites = (
-        ("kernels", "engines", "tracing", "ingest")
+        ("kernels", "engines", "tracing", "ingest", "serve")
         if args.suite == "all"
         else (args.suite,)
     )
@@ -285,6 +294,135 @@ def _bench(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 1
+
+
+def _serve_database(args: argparse.Namespace) -> "tuple[object, object]":
+    from repro import SubsequenceDatabase
+    from repro.data import load_dataset
+
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    db = SubsequenceDatabase(omega=args.omega, features=4)
+    db.insert(0, dataset.values)
+    db.build(psm=args.psm)
+    return db, dataset
+
+
+def _serve_self_test(
+    args: argparse.Namespace, db: "object", dataset: "object"
+) -> int:
+    """Concurrent mixed-engine socket clients vs the single-query oracle."""
+    import threading
+
+    import numpy as np  # noqa: F811 — keep function self-contained
+
+    from repro.serve import ServeClient, ServiceConfig, SocketServer
+    from repro.serve.service import QueryService
+
+    clients = max(1, args.self_test)
+    service = QueryService(
+        db,
+        ServiceConfig(
+            workers=args.workers, queue_capacity=args.queue_capacity
+        ),
+    )
+    server = SocketServer(service, host=args.host, port=args.port)
+    server.start()
+    host, port = server.address
+    print(f"serve: self-test with {clients} concurrent clients on "
+          f"{host}:{port}")
+    rng = np.random.default_rng(args.seed + 1)
+    methods = ("seqscan", "hlmj", "ru", "ru-cost")
+    jobs = []
+    for index in range(clients):
+        start = int(rng.integers(0, args.size - args.query_length))
+        query = dataset.values[start : start + args.query_length].tolist()
+        jobs.append((index, methods[index % len(methods)], query))
+    failures: list = []
+    barrier = threading.Barrier(clients)
+
+    def run_client(index: int, method: str, query: "list[float]") -> None:
+        try:
+            with ServeClient(host, port) as client:
+                barrier.wait(timeout=30)
+                out = client.request(
+                    {
+                        "kind": "knn",
+                        "query": query,
+                        "k": args.k,
+                        "method": method,
+                        "id": index,
+                    }
+                )
+                gold = db.search(query, k=args.k, method=method)
+                got = [tuple(row[:2]) for row in out["matches"]]
+                want = [(m.sid, m.start) for m in gold.matches]
+                if out["status"] != "exact" or got != want:
+                    failures.append(
+                        f"client {index} ({method}): got {got!r}, "
+                        f"want {want!r}"
+                    )
+        except Exception as error:  # noqa: BLE001 — reported below
+            failures.append(f"client {index} ({method}): {error!r}")
+
+    threads = [
+        threading.Thread(target=run_client, args=job, daemon=True)
+        for job in jobs
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    alive = [thread for thread in threads if thread.is_alive()]
+    server.close()
+    service.shutdown()
+    for failure in failures:
+        print(f"serve: FAILED {failure}", file=sys.stderr)
+    if alive:
+        print(f"serve: FAILED {len(alive)} client(s) hung", file=sys.stderr)
+        return 1
+    if failures:
+        return 1
+    stats = service.stats
+    print(
+        f"serve: self-test OK — {stats.completed} completed, "
+        f"{stats.rejected} rejected, peak inflight {stats.peak_inflight}; "
+        f"clean shutdown"
+    )
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    db, dataset = _serve_database(args)
+    if args.self_test:
+        return _serve_self_test(args, db, dataset)
+
+    from repro.serve import ServiceConfig, SocketServer
+    from repro.serve.service import QueryService
+
+    service = QueryService(
+        db,
+        ServiceConfig(
+            workers=args.workers, queue_capacity=args.queue_capacity
+        ),
+    )
+    server = SocketServer(service, host=args.host, port=args.port)
+    server.start()
+    host, port = server.address
+    print(
+        f"serve: listening on {host}:{port} "
+        f"({args.workers} workers, queue {args.queue_capacity}; "
+        f"JSON-lines protocol, see docs/service.md); Ctrl-C to stop"
+    )
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("serve: shutting down")
+    finally:
+        server.close()
+        service.shutdown()
+    return 0
 
 
 def _traced_query(args: argparse.Namespace) -> "object":
@@ -423,10 +561,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     chaos.add_argument(
         "--suite",
-        choices=("search", "ingest", "all"),
+        choices=("search", "ingest", "serve", "all"),
         default="search",
         help="search = query-path invariants (default); ingest = "
-        "crash-recovery exactness at seeded WAL/checkpoint crash points",
+        "crash-recovery exactness at seeded WAL/checkpoint crash points; "
+        "serve = many-client service campaign (overload, faults, "
+        "cancellation, deadlines) against the single-query oracle",
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--iterations", type=int, default=100)
@@ -440,7 +580,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     bench.add_argument(
         "--suite",
-        choices=("kernels", "engines", "tracing", "ingest", "all"),
+        choices=("kernels", "engines", "tracing", "ingest", "serve", "all"),
         default="all",
         help="which suite(s) to run (default: all)",
     )
@@ -464,6 +604,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(func=_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the concurrent query service (JSON-lines over TCP)",
+    )
+    serve.add_argument("--dataset", default="WALK", help="dataset name")
+    serve.add_argument("--size", type=int, default=40_000)
+    serve.add_argument("--omega", type=int, default=32)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 = ephemeral (printed)"
+    )
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--queue-capacity", type=int, default=64)
+    serve.add_argument("--query-length", type=int, default=128)
+    serve.add_argument("--k", type=int, default=5)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--psm", action="store_true", help="also build the PSM index"
+    )
+    serve.add_argument(
+        "--self-test",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run N concurrent socket clients against the oracle, then "
+        "shut down cleanly and exit 0/1 (CI smoke mode)",
+    )
+    serve.set_defaults(func=_serve)
 
     engines = ("seqscan", "hlmj", "hlmj-wg", "psm", "ru", "ru-cost")
 

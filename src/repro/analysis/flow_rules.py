@@ -1,4 +1,4 @@
-"""Flow-rules RS010–RS012: concurrency contracts checked over CFGs.
+"""Flow-rules RS010–RS013: concurrency contracts checked over CFGs.
 
 These rules combine :mod:`repro.analysis.cfg`,
 :mod:`repro.analysis.dataflow` and the contract vocabulary of
@@ -16,6 +16,13 @@ no single-node AST rule can:
   ``if`` that reads an attribute and then mutates the same attribute
   must run under a lock, or two queries interleave between the check
   and the act.
+* **RS013 service-loop discipline** — in :mod:`repro.serve`, every
+  unbounded (``while True``) loop must poll ``checkpoint()`` so
+  shutdown is observed, and no engine-execution call
+  (``search`` / ``range_search`` / ``iter_matches`` / ``get_next``)
+  may run with a service lock held (must-analysis of held locks —
+  a lock held across an engine call serializes the whole service
+  behind one query).
 
 Documented blind spots (kept deliberately, to stay simple and fast):
 closures over ``self`` are not analyzed against their enclosing
@@ -673,3 +680,153 @@ class CheckThenActRule(FlowRule):
                     "interleave with another query; hold a lock across "
                     "both",
                 )
+
+
+# ---------------------------------------------------------------------------
+# RS013 service-loop discipline
+# ---------------------------------------------------------------------------
+
+#: Terminal attribute names that constitute engine execution: calling
+#: any of these runs (part of) a query against the database.
+_ENGINE_EXECUTION_CALLS = frozenset(
+    {"search", "range_search", "iter_matches", "get_next"}
+)
+
+
+def _is_constant_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+@register
+class ServiceLoopDisciplineRule(FlowRule):
+    """RS013: serve loops checkpoint; no lock held across engine calls.
+
+    The query service is built from daemon loops (worker, accept,
+    connection handlers) that only terminate cooperatively: an
+    unbounded ``while True`` loop that never polls ``checkpoint()``
+    keeps its thread alive through :meth:`QueryService.shutdown`
+    forever.  And because the service multiplexes many queries over a
+    few locks, holding *any* service lock across an engine-execution
+    call serializes every other request behind one query's I/O — the
+    exact convoy the bounded queue and admission controller exist to
+    prevent.  Both halves share the :class:`_HeldLocks` must-analysis
+    with RS010, so the lock claim holds on *all* CFG paths.
+    """
+
+    code = "RS013"
+    name = "service-loop-discipline"
+    rationale = (
+        "an uncheckpointed while-True service loop never observes "
+        "shutdown, and a lock held across engine execution convoys "
+        "every concurrent request behind one query"
+    )
+
+    scope = ("repro/serve/",)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.in_package(*self.scope):
+            return
+        contracts: Dict[ast.ClassDef, ClassContract] = {
+            contract.node: contract
+            for contract in module_contracts(module.tree)
+        }
+        for owner, func in module.function_contexts():
+            yield from self._check_loops(module, func)
+            contract = contracts.get(owner) if owner is not None else None
+            yield from self._check_engine_calls(module, func, contract)
+
+    # -- half one: unbounded loops must poll checkpoint() --------------
+
+    def _outermost_loops(
+        self, func: FunctionNode
+    ) -> Iterator[ast.While]:
+        stack: List[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.While):
+                yield node
+                continue  # nested loops belong to this loop's subtree
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _has_checkpoint(loop: ast.While) -> bool:
+        for node in ast.walk(loop):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "checkpoint"
+            ):
+                return True
+        return False
+
+    def _check_loops(
+        self, module: ModuleSource, func: FunctionNode
+    ) -> Iterator[Finding]:
+        for loop in self._outermost_loops(func):
+            if not _is_constant_true(loop.test):
+                continue  # bounded loops terminate on their own
+            if not self._has_checkpoint(loop):
+                yield self.finding(
+                    module,
+                    loop,
+                    f"unbounded 'while True' loop in {func.name}() never "
+                    f"calls checkpoint(): the thread outlives shutdown "
+                    f"and the service cannot drain; poll "
+                    f"shutdown_control.checkpoint() each iteration",
+                )
+
+    # -- half two: no service lock held across engine execution --------
+
+    def _check_engine_calls(
+        self,
+        module: ModuleSource,
+        func: FunctionNode,
+        contract: Optional[ClassContract],
+    ) -> Iterator[Finding]:
+        locks = _any_lock_universe(func)
+        if contract is not None:
+            locks |= frozenset(contract.lock_attrs)
+        if not locks:
+            return
+        entry = frozenset(
+            {contract.requires[func.name]}
+            if contract is not None and func.name in contract.requires
+            else ()
+        )
+        cfg, before = _held_before(module, func, locks, entry)
+        reported: Set[Tuple[int, int]] = set()
+        for block in cfg.blocks:
+            held = before.get(block.block_id)
+            if held is None or is_top(held):
+                continue  # unreachable
+            assert isinstance(held, frozenset)
+            if not held:
+                continue
+            for stmt in block.statements:
+                for node in walk_evaluated(stmt):
+                    if not (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _ENGINE_EXECUTION_CALLS
+                    ):
+                        continue
+                    key = (node.lineno, node.col_offset)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    held_names = ", ".join(
+                        sorted(f"'self.{name}'" for name in held)
+                    )
+                    yield self.finding(
+                        module,
+                        node,
+                        f"engine-execution call '.{node.func.attr}()' "
+                        f"with {held_names} held on every path: a lock "
+                        f"held across engine execution serializes all "
+                        f"concurrent requests behind this query; "
+                        f"release before dispatching",
+                    )

@@ -45,6 +45,18 @@ are seeded; only wall-clock numbers vary between machines):
     throughput and recovery wall time are recorded for trend plots but
     never gated.
 
+``serve``
+    Concurrent load through the query service (:mod:`repro.serve`):
+    eight client threads drive a mixed-engine k-NN workload through an
+    in-process :class:`~repro.serve.QueryService` and every response is
+    checked against a single-query oracle digest.  The gate requires
+    every response exact (digest-identical) with zero errors, and
+    applies the same dual criterion as the kernel gate to throughput:
+    queries/second must not be *both* more than
+    :data:`SERVE_QPS_TOLERANCE` below the baseline *and* below the
+    absolute :data:`SERVE_QPS_FLOOR`.  Latency percentiles are recorded
+    for trend plots but never gated (they are host-relative).
+
 The committed ``benchmarks/baseline.json`` is the reference point;
 :func:`compare` applies the gate (>20 % speedup regression, any
 counter/digest drift, any exactness failure → non-zero exit).  Update
@@ -57,6 +69,7 @@ from __future__ import annotations
 import json
 import math
 import platform
+import threading
 import time
 from dataclasses import dataclass
 from datetime import datetime, timezone
@@ -117,6 +130,20 @@ ORACLE_RTOL = 1e-9
 #: generous cap absorbs small-query timing noise while still catching
 #: an accidentally always-on plane.
 DISABLED_OVERHEAD_LIMIT = 1.5
+
+#: Relative throughput drop the serve-suite gate tolerates before it
+#: even consults the absolute floor.  Wide on purpose: a threaded
+#: many-client benchmark on a CI box is scheduler-noisy, so only the
+#: dual criterion (relative drop AND absolute floor) fails the gate —
+#: the same design as the kernel speedup gate above.
+SERVE_QPS_TOLERANCE = 0.5
+
+#: Absolute queries-per-second floor for the serve load benchmark.  A
+#: healthy service on the tiny seeded database clears hundreds of
+#: queries per second; falling below this floor means the service
+#: layer itself broke (a lock held across engine execution, a stalled
+#: queue), not that the host is busy.
+SERVE_QPS_FLOOR = 5.0
 
 
 @dataclass(frozen=True)
@@ -667,6 +694,127 @@ def run_ingest_suite(seed: int = 0, quick: bool = False) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Serve suite
+# ----------------------------------------------------------------------
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 1])."""
+    ordered = sorted(values)
+    if not ordered:
+        return math.nan
+    rank = int(math.ceil(q * len(ordered))) - 1
+    return ordered[min(len(ordered) - 1, max(0, rank))]
+
+
+def run_serve_suite(seed: int = 0, quick: bool = False) -> Dict[str, Any]:
+    """Concurrent mixed-engine load through :class:`QueryService`.
+
+    Eight client threads fire k-NN requests across four engines at a
+    four-worker service and compare every response to a single-query
+    oracle digest computed up front.  ``exact``/``errors`` are the
+    gated facts; throughput gets the dual-criterion gate; latency
+    percentiles are trend-only.
+    """
+    from repro import SubsequenceDatabase
+    from repro.serve import QueryRequest, QueryService, ServiceConfig
+
+    db = SubsequenceDatabase(omega=16, features=4, buffer_fraction=0.1)
+    db.insert(0, _make_walk(3000, seed=seed + 41))
+    db.insert(1, _make_walk(2200, seed=seed + 42))
+    db.build()
+    query = tuple(
+        float(v) for v in db.store.peek_subsequence(0, 640, 48)
+    )
+
+    methods = ("seqscan", "hlmj", "ru", "ru-cost")
+    oracle: Dict[str, List[List[Any]]] = {}
+    for method in methods:
+        db.reset_cache()
+        result = db.search(
+            np.asarray(query), k=5, rho=2, method=method
+        )
+        oracle[method] = [
+            [match.sid, match.start, repr(match.distance)]
+            for match in result.matches
+        ]
+
+    clients = 8
+    per_client = 4 if quick else 12
+    config = ServiceConfig(workers=4, queue_capacity=256)
+    latencies: List[float] = []
+    queue_waits: List[float] = []
+    errors = 0
+    mismatches = 0
+    record_lock = threading.Lock()
+
+    def client(idx: int, barrier: threading.Barrier) -> None:
+        nonlocal errors, mismatches
+        barrier.wait()
+        for i in range(per_client):
+            method = methods[(idx + i) % len(methods)]
+            request = QueryRequest(
+                kind="knn",
+                query=query,
+                tenant=f"bench-{idx}",
+                k=5,
+                rho=2,
+                method=method,
+            )
+            started = time.perf_counter()
+            try:
+                response = service.query(request, timeout=120.0)
+            except Exception:
+                with record_lock:
+                    errors += 1
+                continue
+            elapsed = time.perf_counter() - started
+            digest = [
+                [match.sid, match.start, repr(match.distance)]
+                for match in response.result.matches
+            ]
+            with record_lock:
+                latencies.append(elapsed)
+                queue_waits.append(response.queue_wait_s)
+                if not response.exact or digest != oracle[method]:
+                    mismatches += 1
+
+    with QueryService(db, config=config) as service:
+        barrier = threading.Barrier(clients + 1)
+        threads = [
+            threading.Thread(target=client, args=(idx, barrier))
+            for idx in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+
+    completed = len(latencies)
+    return {
+        "load_mixed_knn": {
+            "clients": clients,
+            "workers": config.workers,
+            "requests": clients * per_client,
+            "completed": completed,
+            "errors": errors,
+            "exact": errors == 0 and mismatches == 0,
+            "throughput_qps": completed / elapsed if elapsed > 0 else 0.0,
+            "p50_ms": _percentile(latencies, 0.50) * 1e3,
+            "p99_ms": _percentile(latencies, 0.99) * 1e3,
+            "mean_queue_wait_ms": (
+                sum(queue_waits) / len(queue_waits) * 1e3
+                if queue_waits
+                else 0.0
+            ),
+        }
+    }
+
+
+# ----------------------------------------------------------------------
 # Reports, baselines, and the gate
 # ----------------------------------------------------------------------
 
@@ -697,6 +845,8 @@ def run_suites(
         suite_block["tracing"] = run_tracing_suite(seed=seed, quick=quick)
     if "ingest" in suites:
         suite_block["ingest"] = run_ingest_suite(seed=seed, quick=quick)
+    if "serve" in suites:
+        suite_block["serve"] = run_serve_suite(seed=seed, quick=quick)
     report["suites"] = suite_block
     return report
 
@@ -866,6 +1016,50 @@ def compare(
                             f"{base.get(key)} -> {cur.get(key)}",
                         )
                     )
+
+    base_serve = baseline_suites.get("serve")
+    cur_serve = current_suites.get("serve")
+    if base_serve is not None and cur_serve is not None:
+        for label, base in base_serve.items():
+            cur = cur_serve.get(label)
+            if cur is None:
+                regressions.append(
+                    Regression("serve", label, "serve run disappeared")
+                )
+                continue
+            if not cur.get("exact", False):
+                regressions.append(
+                    Regression(
+                        "serve",
+                        label,
+                        "service responses no longer match the "
+                        "single-query oracle (or were not exact)",
+                    )
+                )
+            if int(cur.get("errors", 0)) != 0:
+                regressions.append(
+                    Regression(
+                        "serve",
+                        label,
+                        f"{cur.get('errors')} request(s) errored under "
+                        f"an unsaturated load",
+                    )
+                )
+            base_qps = float(base.get("throughput_qps", 0.0))
+            qps = float(cur.get("throughput_qps", 0.0))
+            relative_floor = base_qps * (1.0 - SERVE_QPS_TOLERANCE)
+            if qps < relative_floor and qps < SERVE_QPS_FLOOR:
+                regressions.append(
+                    Regression(
+                        "serve",
+                        label,
+                        f"throughput {qps:.1f} qps fell below "
+                        f"{relative_floor:.1f} qps (baseline "
+                        f"{base_qps:.1f} - {SERVE_QPS_TOLERANCE:.0%}) "
+                        f"and below the absolute floor "
+                        f"{SERVE_QPS_FLOOR:.1f} qps",
+                    )
+                )
     return regressions
 
 
@@ -942,6 +1136,21 @@ def format_report(report: Dict[str, Any]) -> str:
                     f"{float(record['recover_ms']):>8.1f} "
                     f"{'yes' if record['exact'] else 'NO':>6s}"
                 )
+    serve = suites.get("serve")
+    if serve:
+        lines.append("")
+        lines.append(
+            f"{'serve':>16s} {'qps':>8s} {'p50':>9s} {'p99':>9s} "
+            f"{'errors':>7s} {'exact':>6s}"
+        )
+        for label, record in serve.items():
+            lines.append(
+                f"{label:>16s} {float(record['throughput_qps']):>8.1f} "
+                f"{float(record['p50_ms']):>7.1f}ms "
+                f"{float(record['p99_ms']):>7.1f}ms "
+                f"{int(record['errors']):>7d} "
+                f"{'yes' if record['exact'] else 'NO':>6s}"
+            )
     return "\n".join(lines)
 
 

@@ -777,3 +777,324 @@ def _run_ingest_iteration(
                     f"{got} != {want}"
                 ),
             )
+
+
+# ----------------------------------------------------------------------
+# Service chaos (``repro chaos --suite serve``)
+# ----------------------------------------------------------------------
+
+SERVE_SCENARIOS = (
+    "calm",
+    "overload",
+    "faults",
+    "deadline",
+    "cancel",
+    "shutdown",
+)
+
+#: Wall-clock bound on any single response; exceeding it is recorded as
+#: a hang (the campaign's zero-hang guarantee).
+_SERVE_HANG_S = 30.0
+
+#: Overload reasons a serve campaign may legitimately produce.
+_SERVE_REASONS = frozenset(
+    {
+        "queue-full",
+        "queue-shed",
+        "tenant-rate-limit",
+        "tenant-circuit-open",
+        "shutdown",
+    }
+)
+
+
+class _ServeIteration(_Iteration):
+    """One seeded service campaign iteration (own seed stream)."""
+
+    def __init__(self, seed: int, iteration: int) -> None:
+        self.iteration = iteration
+        self.rng = random.Random(f"{seed}:serve:{iteration}")
+        self.scenario = self.rng.choice(SERVE_SCENARIOS)
+        self.omega = self.rng.choice((8, 16))
+        self.with_psm = False
+        self.np_rng = np.random.default_rng(
+            [seed & 0x7FFFFFFF, iteration, 0x5E12E]
+        )
+
+
+def run_serve_chaos(
+    seed: int = 0,
+    iterations: int = 100,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Many-client chaos against :class:`repro.serve.service.QueryService`.
+
+    Per iteration: a seeded database plus a pool of concurrent client
+    threads (>= 8) drive mixed k-NN / range / streaming requests through
+    an in-process service while the scenario injects adversity —
+    overload (tiny queue, tight tenant rate limits, mixed QoS), corrupt
+    storage pages, racing deadlines on a fake clock, client-side
+    cancellation, or a shutdown mid-flight.  Every outcome is checked
+    against the single-query oracle:
+
+    * a successful response must be exact (calm path) or an honestly
+      flagged degraded/partial answer whose reported distances are true
+      and whose certificate is sound (:func:`_check_certificate`);
+    * every rejection must be a typed
+      :class:`~repro.exceptions.ServiceOverloadedError` with a known
+      reason and a non-negative retry-after (when present);
+    * every submitted request must resolve within ``_SERVE_HANG_S``
+      wall-clock seconds — zero crashes, zero hangs, zero silent drops.
+    """
+    import threading as _threading
+    from concurrent.futures import TimeoutError as _FutureTimeout
+
+    from repro.exceptions import ReproError, ServiceOverloadedError
+    from repro.serve.protocol import QueryRequest
+    from repro.serve.service import QueryService, ServiceConfig
+    from repro.serve.tenants import QosClass, TenantPolicy, TenantRegistry
+
+    report = ChaosReport(seed=seed)
+
+    def record(
+        it: _ServeIteration, label: str, message: Optional[str]
+    ) -> None:
+        report.checks += 1
+        if message is not None:
+            report.failures.append(
+                ChaosFailure(
+                    iteration=it.iteration,
+                    scenario=it.scenario,
+                    engine=label,
+                    message=message,
+                )
+            )
+
+    for iteration in range(iterations):
+        it = _ServeIteration(seed, iteration)
+        report.iterations += 1
+        report.scenario_counts[it.scenario] = (
+            report.scenario_counts.get(it.scenario, 0) + 1
+        )
+        if progress is not None:
+            progress(f"serve iteration {iteration}: {it.scenario}")
+        _run_serve_iteration(
+            it,
+            report,
+            record,
+            threading=_threading,
+            FutureTimeout=_FutureTimeout,
+            ReproError=ReproError,
+            ServiceOverloadedError=ServiceOverloadedError,
+            QueryRequest=QueryRequest,
+            QueryService=QueryService,
+            ServiceConfig=ServiceConfig,
+            QosClass=QosClass,
+            TenantPolicy=TenantPolicy,
+            TenantRegistry=TenantRegistry,
+        )
+    return report
+
+
+def _run_serve_iteration(
+    it: "_ServeIteration",
+    report: ChaosReport,
+    record: Callable[["_ServeIteration", str, Optional[str]], None],
+    *,
+    threading,
+    FutureTimeout,
+    ReproError,
+    ServiceOverloadedError,
+    QueryRequest,
+    QueryService,
+    ServiceConfig,
+    QosClass,
+    TenantPolicy,
+    TenantRegistry,
+) -> None:
+    scenario = it.scenario
+
+    if scenario == "faults":
+        injector = FaultInjector(seed=it.rng.randrange(2**31))
+        injector.add(
+            FaultSpec(
+                fault=CORRUPT,
+                page_kinds=frozenset({PageKind.DATA}),
+                probability=1.0,
+                max_triggers=it.rng.randint(1, 3),
+            )
+        )
+        db = it.build_db(fault_injector=injector)
+    else:
+        db = it.build_db()
+
+    clock = None
+    if scenario == "deadline":
+        clock = FakeClock(auto_advance=0.001)
+
+    clients = 8
+    requests_per_client = 2 if scenario != "overload" else 5
+    if scenario == "overload":
+        config = ServiceConfig(
+            workers=2,
+            queue_capacity=3,
+            max_concurrent=2,
+            retry_after_hint_s=0.05,
+        )
+    else:
+        config = ServiceConfig(workers=4, queue_capacity=64)
+
+    tenants = TenantRegistry(clock=clock)
+    qos_cycle = (QosClass.INTERACTIVE, QosClass.STANDARD, QosClass.BATCH)
+    for index in range(clients):
+        rate = 4.0 if scenario == "overload" and index == 0 else 500.0
+        burst = 2.0 if scenario == "overload" and index == 0 else 100.0
+        tenants.set_policy(
+            f"tenant-{index}",
+            TenantPolicy(
+                qos=qos_cycle[index % len(qos_cycle)],
+                rate=rate,
+                burst=burst,
+                breaker_reset_s=10.0,
+            ),
+        )
+
+    # Shared query pool: few distinct queries keep the brute-force
+    # oracle affordable while every client still races the same data.
+    queries = []
+    for _ in range(3):
+        query = it.make_query(db)
+        rho = max(1, len(query) // 20)
+        gold = brute_force_topk(db.store, query, k=10**6, rho=rho, p=db.p)
+        queries.append((query, rho, gold, _distance_table(gold)))
+
+    service = QueryService(db, config, tenants=tenants, clock=clock)
+    service.start()
+    outcomes: List[Tuple[str, object]] = []
+    outcome_lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+    stop_submitting = threading.Event()
+
+    def client_loop(index: int) -> None:
+        rng = random.Random(f"{it.rng.random()}:{index}")
+        try:
+            barrier.wait(timeout=_SERVE_HANG_S)
+        except threading.BrokenBarrierError:
+            return
+        for turn in range(requests_per_client):
+            if stop_submitting.is_set():
+                break
+            query, rho, gold, truth = queries[
+                (index + turn) % len(queries)
+            ]
+            kind = rng.choice(("knn", "knn", "stream"))
+            k = rng.randint(1, 6)
+            timeout_s = None
+            if it.scenario == "deadline":
+                timeout_s = rng.uniform(0.01, 0.4)
+            request = QueryRequest(
+                kind=kind,
+                query=tuple(float(v) for v in query),
+                tenant=f"tenant-{index}",
+                request_id=(index, turn),
+                k=k,
+                method=rng.choice(_ENGINES),
+                rho=rho,
+                timeout_s=timeout_s,
+                on_fault="degrade" if it.scenario == "faults" else "raise",
+            )
+            label = f"{kind}/{request.method}"
+            try:
+                pending = service.submit(request)
+                if it.scenario == "cancel" and rng.random() < 0.6:
+                    pending.cancel()
+                response = pending.result(timeout=_SERVE_HANG_S)
+                outcome = ("response", (label, k, gold, truth, response))
+            except FutureTimeout:
+                outcome = ("hang", label)
+            except ServiceOverloadedError as error:
+                outcome = ("overload", (label, error))
+            except ReproError as error:
+                outcome = ("error", (label, error))
+            except BaseException as error:  # noqa: BLE001
+                outcome = ("crash", (label, error))
+            with outcome_lock:
+                outcomes.append(outcome)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    if it.scenario == "shutdown":
+        # Let some requests land, then yank the service mid-flight.
+        deadline = it.rng.uniform(0.0, 0.02)
+        threading.Event().wait(deadline)
+        service.shutdown(drain=it.rng.random() < 0.5, timeout=_SERVE_HANG_S)
+        stop_submitting.set()
+    for thread in threads:
+        thread.join(timeout=_SERVE_HANG_S)
+    hung = [thread for thread in threads if thread.is_alive()]
+    if it.scenario != "shutdown":
+        service.shutdown(drain=True, timeout=_SERVE_HANG_S)
+
+    record(
+        it,
+        "service",
+        None if not hung else f"{len(hung)} client thread(s) hung",
+    )
+
+    for status, payload in outcomes:
+        if status == "hang":
+            record(it, str(payload), "request exceeded the hang bound")
+        elif status == "crash":
+            label, error = payload  # type: ignore[misc]
+            record(
+                it,
+                str(label),
+                f"untyped crash escaped the service: {error!r}",
+            )
+        elif status == "overload":
+            label, error = payload  # type: ignore[misc]
+            bad_reason = error.reason not in _SERVE_REASONS
+            bad_retry = (
+                error.retry_after_s is not None and error.retry_after_s < 0
+            )
+            record(
+                it,
+                str(label),
+                None
+                if not bad_reason and not bad_retry
+                else (
+                    f"malformed overload rejection: reason="
+                    f"{error.reason!r} retry_after={error.retry_after_s!r}"
+                ),
+            )
+        elif status == "error":
+            label, error = payload  # type: ignore[misc]
+            # Typed library errors are legitimate only on the faults
+            # path (a corrupt page under on_fault="raise" would be one,
+            # but serve chaos always degrades there).
+            record(
+                it,
+                str(label),
+                f"unexpected typed error: {type(error).__name__}: {error}",
+            )
+        else:
+            label, k, gold, truth, response = payload  # type: ignore[misc]
+            result = response.result
+            record(it, str(label), _check_reported_distances(result, truth))
+            record(it, str(label), _check_prefix(result, gold))
+            if isinstance(result, PartialResult):
+                report.partials += 1
+                record(it, str(label), _check_certificate(result, gold, k))
+                record(
+                    it,
+                    str(label),
+                    None
+                    if result.reason
+                    else "partial result carries no reason",
+                )
+            elif not result.degraded and response.degradation_tier == 0:
+                record(it, str(label), _check_exact(result, gold, k))

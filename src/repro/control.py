@@ -32,11 +32,12 @@ Every limit object is per-query; construct fresh ones per search.
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
 from dataclasses import dataclass
 from types import TracebackType
-from typing import Callable, Optional, Type
+from typing import Callable, List, Optional, Tuple, Type
 
 from repro.analysis.concurrency import (
     guarded_by,
@@ -316,7 +317,7 @@ class _AdmissionTicket:
 
 
 @shared_across_queries
-@guarded_by("_condition", "_active", "_waiting", "stats")
+@guarded_by("_condition", "_active", "_waiting", "_waiters", "_next_seq", "stats")
 class AdmissionController:
     """Bounded-concurrency admission control for query execution.
 
@@ -327,10 +328,21 @@ class AdmissionController:
     back-pressure instead of unbounded queueing, which is what the
     ROADMAP's heavy-traffic scenario needs from a front door.
 
-    Thread safety: the slot counters and stats are guarded by
-    ``_condition`` (a :class:`threading.Condition` doubling as the
-    mutex); ``admit``/``_release`` block on it, and the ``active`` /
-    ``waiting`` properties take it so monitors never see torn state.
+    Wakeup order is **deterministic**: waiters are granted slots in
+    ``(priority, arrival)`` order, so equal-priority waiters are FIFO
+    and a lower ``priority`` value always wins the next free slot.
+    (Pre-serve versions woke an *arbitrary* ``Condition`` waiter, which
+    silently undid any queue-level ordering upstream — the aging
+    guarantees of :mod:`repro.serve.queue` rely on this fix holding
+    end to end.)  A newcomer never barges past existing waiters, even
+    when a slot is momentarily free between a release and the head
+    waiter's wakeup.
+
+    Thread safety: the slot counters, waiter list, and stats are
+    guarded by ``_condition`` (a :class:`threading.Condition` doubling
+    as the mutex); ``admit``/``_release`` block on it, and the
+    ``active`` / ``waiting`` properties take it so monitors never see
+    torn state.
     """
 
     def __init__(
@@ -358,6 +370,9 @@ class AdmissionController:
         self._condition = threading.Condition()
         self._active = 0
         self._waiting = 0
+        #: Sorted (priority, seq) entries, head = next waiter to admit.
+        self._waiters: List[Tuple[int, int]] = []
+        self._next_seq = 0
 
     @property
     def active(self) -> int:
@@ -371,8 +386,12 @@ class AdmissionController:
         with self._condition:
             return self._waiting
 
-    def admit(self) -> _AdmissionTicket:
+    def admit(self, priority: int = 0) -> _AdmissionTicket:
         """Acquire one execution slot (blocking in the queue if allowed).
+
+        ``priority`` orders the wait queue: lower values are admitted
+        first, ties break FIFO by arrival.  The default of 0 gives pure
+        FIFO semantics for callers that never pass a priority.
 
         Returns a context manager releasing the slot; raises
         :class:`~repro.exceptions.AdmissionRejectedError` when both the
@@ -380,7 +399,7 @@ class AdmissionController:
         out.
         """
         with self._condition:
-            if self._active < self.max_concurrent:
+            if self._active < self.max_concurrent and not self._waiters:
                 self._admit_locked()
                 return _AdmissionTicket(self)
             if self._waiting >= self.max_queued:
@@ -391,15 +410,25 @@ class AdmissionController:
                     f"{self.max_concurrent} concurrent, "
                     f"{self.max_queued} queued)"
                 )
+            entry = (priority, self._next_seq)
+            self._next_seq += 1
+            bisect.insort(self._waiters, entry)
             self._waiting += 1
             self.stats.queued += 1
             try:
                 granted = self._condition.wait_for(
-                    lambda: self._active < self.max_concurrent,
+                    lambda: (
+                        self._active < self.max_concurrent
+                        and self._waiters[0] == entry
+                    ),
                     timeout=self.queue_timeout_s,
                 )
             finally:
                 self._waiting -= 1
+                self._waiters.remove(entry)
+                # The head may have changed (we left the queue either
+                # admitted or timed out); let the new head re-evaluate.
+                self._condition.notify_all()
             if not granted:
                 self.stats.rejected += 1
                 raise AdmissionRejectedError(
@@ -422,7 +451,10 @@ class AdmissionController:
                     "AdmissionController released more slots than admitted"
                 )
             self._active -= 1
-            self._condition.notify()
+            # notify_all, not notify: only the (priority, arrival) head
+            # may take the slot, and an arbitrary single wakeup could
+            # land on a non-head waiter that just goes back to sleep.
+            self._condition.notify_all()
 
 
 def certificate_from_pow(certificate_pow: float, p: float) -> float:

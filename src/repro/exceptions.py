@@ -165,3 +165,49 @@ class AdmissionRejectedError(ReproError):
     holds ``max_queued`` more (or the queue wait timed out).  Callers
     should treat this as back-pressure: retry later or shed load.
     """
+
+
+class ProtocolError(ReproError):
+    """A service request is malformed at the wire-protocol level.
+
+    Raised by :mod:`repro.serve.protocol` when a JSON-lines request
+    fails to parse or validate (unknown kind, missing query values,
+    non-finite floats, bad types).  Distinct from :class:`QueryError`
+    — the request never reached the query layer at all.
+    """
+
+
+class ServiceOverloadedError(ReproError):
+    """Typed back-pressure from the query service (``repro serve``).
+
+    Raised (or returned as an ``"error"`` response over the wire) when
+    a request cannot even be *queued*: the admission queue is full, the
+    tenant's token bucket is empty, the tenant's circuit breaker is
+    open after repeated faults, or the service is shutting down.  The
+    carried fields make the rejection actionable instead of opaque:
+
+    * :attr:`reason` — machine-readable cause (``"queue-full"``,
+      ``"queue-shed"``, ``"tenant-rate-limit"``, ``"tenant-circuit-open"``,
+      ``"shutdown"``).
+    * :attr:`retry_after_s` — the server's estimate of how long the
+      caller should back off before retrying, or ``None`` when no
+      useful estimate exists (e.g. shutdown).
+
+    Clients should treat this exactly like HTTP 429/503: honour
+    ``retry_after_s``, apply jitter, and shed their own load upstream.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        retry_after_s: "float | None" = None,
+        message: str = "",
+    ) -> None:
+        detail = message or f"service overloaded: {reason}"
+        if retry_after_s is not None:
+            detail += f" (retry after {retry_after_s:.3f}s)"
+        super().__init__(detail)
+        #: Machine-readable cause of the rejection.
+        self.reason = reason
+        #: Suggested back-off in seconds (``None`` = no estimate).
+        self.retry_after_s = retry_after_s

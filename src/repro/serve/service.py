@@ -1,0 +1,686 @@
+"""The embeddable threaded query service.
+
+:class:`QueryService` is the robustness layer between many concurrent
+clients and one :class:`~repro.api.SubsequenceDatabase`:
+
+* Requests enter through per-tenant gates (token bucket, circuit
+  breaker), land in an :class:`~repro.serve.queue.AgingPriorityQueue`,
+  and are executed by a fixed worker pool behind the shared
+  :class:`~repro.control.AdmissionController` — whose wakeup order is
+  ``(priority, arrival)``, so queue-level aging survives end to end.
+* QoS classes map onto the library's cooperative control plane:
+  deadlines start at *submit* time (queue wait counts against the
+  client's timeout), budgets tighten under saturation, and every
+  limit trip surfaces as a :class:`~repro.engines.base.PartialResult`
+  with a sound exactness certificate — never a crash, never a silent
+  drop.
+* Every overload path raises a typed
+  :class:`~repro.exceptions.ServiceOverloadedError` carrying a
+  retry-after hint; storage faults feed the tenant's breaker so a
+  fault-hammering tenant is cut off instead of burning workers.
+
+Worker loops follow lint rule RS013: each outer loop calls
+``checkpoint()`` (so shutdown is cooperative and prompt) and no service
+lock is ever held across engine execution.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.analysis.concurrency import (
+    guarded_by,
+    shared_across_queries,
+)
+from repro.control import (
+    AdmissionController,
+    CancellationToken,
+    Deadline,
+    QueryBudget,
+)
+from repro.core.clock import MONOTONIC_CLOCK, Clock
+from repro.core.results import Match
+from repro.engines.base import PartialResult, SearchResult
+from repro.exceptions import (
+    AdmissionRejectedError,
+    CircuitOpenError,
+    ConfigurationError,
+    ExecutionInterrupted,
+    ReproError,
+    ServiceOverloadedError,
+    StorageError,
+    UsageError,
+)
+from repro.serve.protocol import QueryRequest
+from repro.serve.queue import AgingPriorityQueue
+from repro.serve.tenants import QosClass, TenantRegistry, TenantState
+
+#: Default saturation budgets: pages a query may touch, per QoS class,
+#: once the queue crosses the degradation watermark.  ``None`` =
+#: uncapped (interactive traffic keeps full exactness; batch traffic
+#: absorbs the squeeze and gets certificate-carrying partials).
+DEFAULT_DEGRADED_PAGE_BUDGETS: Dict[QosClass, Optional[int]] = {
+    QosClass.INTERACTIVE: None,
+    QosClass.STANDARD: 4096,
+    QosClass.BATCH: 1024,
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning for one :class:`QueryService`.
+
+    Attributes
+    ----------
+    workers:
+        Executor threads (also the admission concurrency unless
+        ``max_concurrent`` overrides it).
+    queue_capacity:
+        Bounded depth of the aging priority queue.
+    aging_interval_s:
+        Seconds of queue age that equal one QoS class step (see
+        :mod:`repro.serve.queue`).
+    default_timeout_s:
+        Deadline applied when a request carries none (``None`` = no
+        server-side deadline).
+    saturation_watermark:
+        Queue-depth fraction at which degradation tier 1 engages and
+        per-QoS page budgets apply.
+    degraded_page_budgets:
+        Tier-1 page caps per QoS class (``None`` value = uncapped).
+    queue_poll_s:
+        Worker poll interval on the queue — bounds shutdown latency.
+    retry_after_hint_s:
+        Base back-off hint attached to queue-full / shed rejections.
+    """
+
+    workers: int = 4
+    queue_capacity: int = 64
+    aging_interval_s: float = 0.25
+    default_timeout_s: Optional[float] = None
+    max_concurrent: Optional[int] = None
+    saturation_watermark: float = 0.5
+    degraded_page_budgets: Optional[Dict[QosClass, Optional[int]]] = None
+    queue_poll_s: float = 0.05
+    retry_after_hint_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if not 0.0 < self.saturation_watermark <= 1.0:
+            raise ConfigurationError(
+                f"saturation_watermark must be in (0, 1], got "
+                f"{self.saturation_watermark}"
+            )
+        if self.queue_poll_s <= 0:
+            raise ConfigurationError(
+                f"queue_poll_s must be > 0, got {self.queue_poll_s}"
+            )
+
+    def page_budgets(self) -> Dict[QosClass, Optional[int]]:
+        if self.degraded_page_budgets is not None:
+            return self.degraded_page_budgets
+        return DEFAULT_DEGRADED_PAGE_BUDGETS
+
+
+@dataclass
+class ServiceStats:
+    """Service-wide counters (guarded by the service lock)."""
+
+    submitted: int = 0
+    completed: int = 0
+    #: Completed responses that were :class:`PartialResult`.
+    partial: int = 0
+    #: Requests that completed with an exception (typed error response).
+    errors: int = 0
+    #: Submissions rejected before enqueue (overload / tenant gates).
+    rejected: int = 0
+    #: Queued requests evicted for a better QoS class.
+    shed: int = 0
+    peak_inflight: int = 0
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One completed request: the engine result plus service context."""
+
+    request_id: Optional[Any]
+    kind: str
+    tenant: str
+    result: SearchResult
+    queue_wait_s: float
+    execution_s: float
+    #: 0 = normal, 1 = saturated (per-QoS page budgets applied).
+    degradation_tier: int
+    want_profile: bool = False
+
+    @property
+    def partial(self) -> bool:
+        return isinstance(self.result, PartialResult)
+
+    @property
+    def exact(self) -> bool:
+        """True when the response provably equals the exact answer."""
+        result = self.result
+        if isinstance(result, PartialResult):
+            return result.exact and not result.degraded
+        return not result.degraded
+
+
+@dataclass
+class PendingQuery:
+    """A submitted request travelling through the service.
+
+    The future resolves to a :class:`ServiceResponse`, or raises the
+    typed error that ended the request (overload, storage fault, …).
+    ``cancel()`` is cooperative: an already-running query stops at its
+    next engine checkpoint and still resolves — to a
+    :class:`~repro.engines.base.PartialResult` with reason
+    ``"cancelled"`` — so a cancelling client always gets an accounted
+    answer, never a dangling future.
+    """
+
+    request: QueryRequest
+    tenant: TenantState
+    qos: QosClass
+    enqueue_time: float
+    deadline: Optional[Deadline]
+    token: CancellationToken
+    future: "Future[ServiceResponse]" = field(default_factory=Future)
+    #: Streaming hook: called once per emitted match, from the worker
+    #: thread, before the final response resolves.
+    on_match: Optional[Callable[[Match], None]] = None
+
+    def cancel(self) -> None:
+        self.token.cancel()
+
+    def result(self, timeout: Optional[float] = None) -> ServiceResponse:
+        """Block for the response (raises what the request raised)."""
+        return self.future.result(timeout=timeout)
+
+
+@shared_across_queries
+class ShutdownControl:
+    """Cooperative stop signal for service loops.
+
+    Mirrors the engine-side checkpoint protocol
+    (:meth:`~repro.control.ExecutionControl.checkpoint`): every outer
+    service loop calls :meth:`checkpoint` once per iteration (lint rule
+    RS013), and after :meth:`stop` the next checkpoint raises
+    :class:`~repro.exceptions.ExecutionInterrupted` with reason
+    ``"shutdown"``.  Backed by a :class:`threading.Event`, so it is
+    safely shared across every worker and session thread.
+    """
+
+    def __init__(self) -> None:
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def checkpoint(self) -> None:
+        if self._stop.is_set():
+            raise ExecutionInterrupted("shutdown")
+
+
+@shared_across_queries
+@guarded_by("_lock", "_closed", "_inflight", "_running", "stats")
+class QueryService:
+    """Threaded, overload-protected front door for one database.
+
+    Use as a context manager, or call :meth:`start` / :meth:`shutdown`
+    explicitly.  Thread safety: the lifecycle flag, in-flight count,
+    and stats are guarded by ``_lock`` (a :class:`threading.Condition`
+    used by drain waits); the queue, tenants, and admission controller
+    are internally locked.  No service lock is held across engine
+    execution (RS013).
+    """
+
+    def __init__(
+        self,
+        db: Any,
+        config: Optional[ServiceConfig] = None,
+        tenants: Optional[TenantRegistry] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self._db = db
+        self._clock = clock if clock is not None else MONOTONIC_CLOCK
+        self._tenants = (
+            tenants
+            if tenants is not None
+            else TenantRegistry(clock=clock)
+        )
+        self._queue = AgingPriorityQueue(
+            capacity=self.config.queue_capacity,
+            aging_interval_s=self.config.aging_interval_s,
+            clock=self._clock,
+            retry_after_hint_s=self.config.retry_after_hint_s,
+        )
+        max_concurrent = (
+            self.config.max_concurrent
+            if self.config.max_concurrent is not None
+            else self.config.workers
+        )
+        self._admission = AdmissionController(
+            max_concurrent=max_concurrent,
+            max_queued=self.config.workers,
+        )
+        self.shutdown_control = ShutdownControl()
+        self._lock = threading.Condition()
+        self._closed = False
+        self._inflight = 0
+        self._running: List[PendingQuery] = []
+        self.stats = ServiceStats()
+        self._workers: List[threading.Thread] = []
+        self._started = False
+        # Engines are constructed lazily by the database and cached in
+        # a plain dict; warm the cache up front so worker threads never
+        # race the first construction.
+        if getattr(db, "index", None) is not None:
+            for method in ("seqscan", "hlmj", "hlmj-wg", "ru", "ru-cost"):
+                db._engine(method, None)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "QueryService":
+        """Spawn the worker pool (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        for index in range(self.config.workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    @property
+    def tenants(self) -> TenantRegistry:
+        return self._tenants
+
+    @property
+    def queue(self) -> AgingPriorityQueue:
+        return self._queue
+
+    @property
+    def admission(self) -> AdmissionController:
+        return self._admission
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def shutdown(
+        self, drain: bool = True, timeout: Optional[float] = 30.0
+    ) -> None:
+        """Stop the service; idempotent.
+
+        With ``drain`` (default) queued and running queries finish
+        first (bounded by ``timeout``); without it, queued requests
+        fail with ``ServiceOverloadedError("shutdown")`` and running
+        queries are cancelled — they resolve as partial results with
+        reason ``"cancelled"``.  Either way every outstanding future
+        resolves: shutdown never strands a client.
+        """
+        with self._lock:
+            already = self._closed
+            self._closed = True
+        if not already and drain:
+            with self._lock:
+                self._lock.wait_for(
+                    lambda: self._inflight == 0 and self._queue.depth == 0,
+                    timeout=timeout,
+                )
+        leftovers = self._queue.close()
+        if not drain:
+            self._cancel_inflight()
+        self.shutdown_control.stop()
+        for pending in leftovers:
+            self._fail(pending, ServiceOverloadedError("shutdown"))
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        # Late stragglers (e.g. a query finishing right at the drain
+        # timeout) still resolve via the worker's normal completion
+        # path; nothing is left permanently pending.
+
+    def _cancel_inflight(self) -> None:
+        for pending in self._inflight_pendings():
+            pending.cancel()
+
+    def _inflight_pendings(self) -> List["PendingQuery"]:
+        with self._lock:
+            return list(self._running)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> PendingQuery:
+        """Admit one request; returns its :class:`PendingQuery`.
+
+        Raises :class:`~repro.exceptions.ServiceOverloadedError` when
+        the request cannot even be queued (shutdown, rate limit, open
+        tenant breaker, full queue with nothing worse to shed).
+        """
+        with self._lock:
+            if self._closed:
+                self.stats.rejected += 1
+                raise ServiceOverloadedError("shutdown")
+            self.stats.submitted += 1
+        tenant = self._tenants.get_or_create(request.tenant)
+        tenant.count("submitted")
+
+        wait = tenant.bucket.try_acquire()
+        if wait > 0.0:
+            tenant.count("rejected_rate")
+            self._count_rejected()
+            raise ServiceOverloadedError(
+                "tenant-rate-limit",
+                retry_after_s=wait,
+                message=(
+                    f"tenant {tenant.name!r} exceeded "
+                    f"{tenant.policy.rate:g} req/s"
+                ),
+            )
+        if tenant.breaker.state == "open":
+            tenant.count("rejected_breaker")
+            self._count_rejected()
+            raise ServiceOverloadedError(
+                "tenant-circuit-open",
+                retry_after_s=tenant.policy.breaker_reset_s,
+                message=(
+                    f"tenant {tenant.name!r} breaker is open after "
+                    f"repeated query faults"
+                ),
+            )
+
+        timeout_s = request.timeout_s
+        if timeout_s is None:
+            timeout_s = self.config.default_timeout_s
+        deadline = (
+            Deadline.after(timeout_s, clock=self._clock)
+            if timeout_s is not None
+            else None
+        )
+        pending = PendingQuery(
+            request=request,
+            tenant=tenant,
+            qos=tenant.policy.qos,
+            enqueue_time=self._clock.monotonic(),
+            deadline=deadline,
+            token=CancellationToken(),
+        )
+        try:
+            shed = self._queue.put(pending, pending.qos)
+        except ServiceOverloadedError:
+            self._count_rejected()
+            raise
+        if shed is not None:
+            shed.tenant.count("shed")
+            with self._lock:
+                self.stats.shed += 1
+            self._fail(
+                shed,
+                ServiceOverloadedError(
+                    "queue-shed",
+                    retry_after_s=self.config.retry_after_hint_s
+                    * max(1, self._queue.depth),
+                    message="evicted from a full queue by higher-QoS work",
+                ),
+            )
+        return pending
+
+    def query(
+        self,
+        request: "QueryRequest | Dict[str, Any]",
+        timeout: Optional[float] = None,
+    ) -> ServiceResponse:
+        """Synchronous convenience: submit and wait for the response."""
+        from repro.serve.protocol import parse_request
+
+        if isinstance(request, dict):
+            request = parse_request(request)
+        return self.submit(request).result(timeout=timeout)
+
+    def _count_rejected(self) -> None:
+        with self._lock:
+            self.stats.rejected += 1
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                self.shutdown_control.checkpoint()
+            except ExecutionInterrupted:
+                break
+            pending = self._queue.get(timeout=self.config.queue_poll_s)
+            if pending is None:
+                continue
+            self._run_pending(pending)
+
+    def _current_tier(self) -> int:
+        watermark = (
+            self.config.saturation_watermark * self.config.queue_capacity
+        )
+        return 1 if self._queue.depth >= watermark else 0
+
+    def _effective_budget(
+        self, request: QueryRequest, qos: QosClass, tier: int
+    ) -> Optional[QueryBudget]:
+        pages = request.max_pages
+        if tier >= 1:
+            cap = self.config.page_budgets().get(qos)
+            if cap is not None:
+                pages = cap if pages is None else min(pages, cap)
+        if pages is None and request.max_candidates is None:
+            return None
+        return QueryBudget(
+            max_page_accesses=pages,
+            max_candidates=request.max_candidates,
+        )
+
+    def _run_pending(self, pending: PendingQuery) -> None:
+        started = self._clock.monotonic()
+        queue_wait = max(0.0, started - pending.enqueue_time)
+        tier = self._current_tier()
+        budget = self._effective_budget(pending.request, pending.qos, tier)
+        self._note_start(pending)
+        try:
+            try:
+                with self._admission.admit(priority=int(pending.qos)):
+                    result = self._dispatch(pending, budget)
+            except AdmissionRejectedError as error:
+                self._fail(
+                    pending,
+                    ServiceOverloadedError(
+                        "queue-full",
+                        retry_after_s=self.config.retry_after_hint_s
+                        * max(1, self._queue.depth),
+                        message=f"admission rejected: {error}",
+                    ),
+                )
+                return
+            except (CircuitOpenError, StorageError) as error:
+                pending.tenant.breaker.record_failure()
+                pending.tenant.count("faults")
+                self._fail(pending, error)
+                return
+            except ReproError as error:
+                # Bad parameters that only the engine could detect
+                # (query too short for omega, missing PSM index, ...).
+                self._fail(pending, error)
+                return
+            except BaseException as error:  # never kill a worker
+                self._fail(pending, error)
+                return
+            self._complete(pending, result, queue_wait, started, tier)
+        finally:
+            self._note_done(pending)
+
+    def _dispatch(
+        self, pending: PendingQuery, budget: Optional[QueryBudget]
+    ) -> SearchResult:
+        request = pending.request
+        db = self._db
+        common = dict(
+            rho=request.rho,
+            on_fault=request.on_fault,
+            budget=budget,
+            deadline=pending.deadline,
+            token=pending.token,
+        )
+        if request.kind == "knn":
+            return db.search(
+                list(request.query),
+                k=request.k,
+                method=request.method,
+                deferred=request.deferred,
+                **common,
+            )
+        if request.kind == "range":
+            return db.range_search(
+                list(request.query), epsilon=request.epsilon, **common
+            )
+        if request.kind == "stream":
+            return self._dispatch_stream(pending, budget)
+        raise UsageError(f"unknown request kind {request.kind!r}")
+
+    def _dispatch_stream(
+        self, pending: PendingQuery, budget: Optional[QueryBudget]
+    ) -> SearchResult:
+        request = pending.request
+        stream = self._db.iter_matches(
+            list(request.query),
+            k=request.k,
+            rho=request.rho,
+            on_fault=request.on_fault,
+            budget=budget,
+            deadline=pending.deadline,
+            token=pending.token,
+        )
+        matches: List[Match] = []
+        try:
+            for match in stream:
+                matches.append(match)
+                if pending.on_match is not None:
+                    pending.on_match(match)
+        finally:
+            stream.close()
+        stats = stream.stats
+        assert stats is not None  # set by close()/exhaustion
+        if stream.interrupted:
+            # The stream's own certificate bounds *unexamined*
+            # candidates, but an interrupted stream may also hold
+            # examined candidates whose ranks were never settled and
+            # therefore never emitted.  Those sit at or above the last
+            # emitted distance (ranked-union emission is nondecreasing),
+            # so the sound bound for the emitted prefix is the minimum
+            # of the two — and 0.0 when nothing was emitted at all (a
+            # vacuous but honest certificate).
+            if matches:
+                certificate = min(
+                    stream.certificate, matches[-1].distance
+                )
+            else:
+                certificate = 0.0
+            return PartialResult(
+                matches=matches,
+                stats=stats,
+                degraded=stream.degraded,
+                fault_report=stream.fault_report,
+                profile=stream.profile,
+                reason=stream.reason,
+                certificate=certificate,
+            )
+        return SearchResult(
+            matches=matches,
+            stats=stats,
+            degraded=stream.degraded,
+            fault_report=stream.fault_report,
+            profile=stream.profile,
+        )
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def _complete(
+        self,
+        pending: PendingQuery,
+        result: SearchResult,
+        queue_wait: float,
+        started: float,
+        tier: int,
+    ) -> None:
+        if result.degraded:
+            pending.tenant.breaker.record_failure()
+            pending.tenant.count("faults")
+        else:
+            pending.tenant.breaker.record_success()
+        partial = isinstance(result, PartialResult)
+        pending.tenant.count("partial" if partial else "completed")
+        with self._lock:
+            self.stats.completed += 1
+            if partial:
+                self.stats.partial += 1
+        response = ServiceResponse(
+            request_id=pending.request.request_id,
+            kind=pending.request.kind,
+            tenant=pending.tenant.name,
+            result=result,
+            queue_wait_s=queue_wait,
+            execution_s=max(0.0, self._clock.monotonic() - started),
+            degradation_tier=tier,
+            want_profile=pending.request.profile,
+        )
+        if not pending.future.set_running_or_notify_cancel():
+            return
+        pending.future.set_result(response)
+
+    def _fail(self, pending: PendingQuery, error: BaseException) -> None:
+        with self._lock:
+            self.stats.errors += 1
+        if not pending.future.set_running_or_notify_cancel():
+            return
+        pending.future.set_exception(error)
+
+    def _note_start(self, pending: PendingQuery) -> None:
+        with self._lock:
+            self._inflight += 1
+            self._running.append(pending)
+            self.stats.peak_inflight = max(
+                self.stats.peak_inflight, self._inflight
+            )
+            self._lock.notify_all()
+
+    def _note_done(self, pending: PendingQuery) -> None:
+        with self._lock:
+            self._inflight -= 1
+            if pending in self._running:
+                self._running.remove(pending)
+            self._lock.notify_all()

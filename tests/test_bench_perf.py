@@ -54,6 +54,23 @@ def engine_block(candidates=100, distance="1.5"):
     }
 
 
+def serve_block(qps=60.0, exact=True, errors=0):
+    return {
+        "load_mixed_knn": {
+            "clients": 8,
+            "workers": 4,
+            "requests": 96,
+            "completed": 96,
+            "errors": errors,
+            "exact": exact,
+            "throughput_qps": qps,
+            "p50_ms": 100.0,
+            "p99_ms": 200.0,
+            "mean_queue_wait_ms": 50.0,
+        }
+    }
+
+
 class TestCompareGate:
     def test_identical_reports_pass(self):
         report = make_report(
@@ -140,6 +157,56 @@ class TestCompareGate:
     def test_regression_renders_as_suite_slash_name(self):
         regression = perf.Regression("kernels", "dtw", "broke")
         assert str(regression) == "kernels/dtw: broke"
+
+
+class TestServeGate:
+    def test_identical_reports_pass(self):
+        report = make_report(serve=serve_block())
+        assert perf.compare(report, copy.deepcopy(report)) == []
+
+    def test_inexact_responses_fail(self):
+        base = make_report(serve=serve_block())
+        cur = make_report(serve=serve_block(exact=False))
+        regressions = perf.compare(cur, base)
+        assert any("oracle" in r.message for r in regressions)
+
+    def test_errors_fail(self):
+        base = make_report(serve=serve_block())
+        cur = make_report(serve=serve_block(errors=2))
+        regressions = perf.compare(cur, base)
+        assert any("errored" in r.message for r in regressions)
+
+    def test_missing_run_fails(self):
+        base = make_report(serve=serve_block())
+        cur = make_report(serve={})
+        regressions = perf.compare(cur, base)
+        assert any("disappeared" in r.message for r in regressions)
+
+    def test_throughput_dual_criterion(self):
+        base = make_report(serve=serve_block(qps=60.0))
+        # Below the relative floor (60 * 0.5 = 30) but above the 5 qps
+        # absolute floor: environment drift, not a regression.
+        slow_host = make_report(serve=serve_block(qps=10.0))
+        assert perf.compare(slow_host, base) == []
+        # Below both criteria: a real throughput regression.
+        broken = make_report(serve=serve_block(qps=2.0))
+        regressions = perf.compare(broken, base)
+        assert len(regressions) == 1
+        assert "absolute floor" in regressions[0].message
+
+    def test_format_report_renders_serve(self):
+        text = perf.format_report(make_report(serve=serve_block()))
+        assert "load_mixed_knn" in text
+        assert "qps" in text
+
+    def test_quick_suite_smoke(self):
+        block = perf.run_serve_suite(seed=0, quick=True)
+        record = block["load_mixed_knn"]
+        assert record["exact"] is True
+        assert record["errors"] == 0
+        assert record["completed"] == record["requests"]
+        assert record["throughput_qps"] > 0
+        assert record["p99_ms"] >= record["p50_ms"]
 
 
 class TestReportIO:

@@ -35,6 +35,13 @@ from repro.control import AdmissionController, ExecutionControl
 from repro.core.metrics import QueryStats, StatsRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Span, Tracer, validate_span_tree
+from repro.serve import (
+    AgingPriorityQueue,
+    QueryService,
+    TenantRegistry,
+    TenantState,
+    TokenBucket,
+)
 from repro.storage.buffer import BufferPool
 from repro.storage.circuit import CircuitBreaker
 from repro.storage.wal import WriteAheadLog
@@ -114,9 +121,14 @@ class TestContractDecorators:
         # The concrete contract map docs/concurrency-contracts.md
         # documents, introspectable at runtime.
         for cls in (
+            AgingPriorityQueue,
             BufferPool,
             CircuitBreaker,
             MetricsRegistry,
+            QueryService,
+            TenantRegistry,
+            TenantState,
+            TokenBucket,
             Tracer,
             WriteAheadLog,
         ):
@@ -135,6 +147,11 @@ class TestContractDecorators:
 
     def test_requires_lock_on_production_helpers(self) -> None:
         assert BufferPool._evict_one.__repro_requires_lock__ == "_lock"
+        assert (
+            AgingPriorityQueue._worst_index_locked.__repro_requires_lock__
+            == "_lock"
+        )
+        assert TokenBucket._refill_locked.__repro_requires_lock__ == "_lock"
         assert (
             MetricsRegistry._check_free.__repro_requires_lock__ == "_lock"
         )

@@ -949,6 +949,107 @@ class TestRS012CheckThenAct:
         assert findings == []
 
 
+class TestRS013ServiceLoopDiscipline:
+    def test_uncheckpointed_while_true_is_flagged(self):
+        findings = lint_snippet(
+            """
+            class Worker:
+                def loop(self):
+                    while True:
+                        item = self.poll()
+                        if item is not None:
+                            self.run(item)
+            """,
+            "repro/serve/novel.py",
+        )
+        assert codes(findings) == ["RS013"]
+        assert "checkpoint" in findings[0].message
+
+    def test_checkpointed_while_true_is_clean(self):
+        findings = lint_snippet(
+            """
+            class Worker:
+                def loop(self):
+                    while True:
+                        self.shutdown_control.checkpoint()
+                        item = self.poll()
+                        if item is not None:
+                            self.run(item)
+            """,
+            "repro/serve/novel.py",
+        )
+        assert findings == []
+
+    def test_bounded_while_is_out_of_scope(self):
+        findings = lint_snippet(
+            """
+            class Client:
+                def read_all(self):
+                    final = False
+                    while not final:
+                        final = self.read_line()
+            """,
+            "repro/serve/novel.py",
+        )
+        assert findings == []
+
+    def test_engine_call_under_lock_is_flagged(self):
+        findings = lint_snippet(
+            """
+            class Service:
+                def run(self, request):
+                    with self._lock:
+                        return self._db.search(request.query, k=request.k)
+            """,
+            "repro/serve/novel.py",
+        )
+        assert codes(findings) == ["RS013"]
+        assert "search" in findings[0].message
+
+    def test_engine_call_after_release_is_clean(self):
+        findings = lint_snippet(
+            """
+            class Service:
+                def run(self, request):
+                    with self._lock:
+                        budget = self._budget
+                    return self._db.search(request.query, budget=budget)
+            """,
+            "repro/serve/novel.py",
+        )
+        assert findings == []
+
+    def test_guarded_by_contract_lock_is_tracked(self):
+        findings = lint_snippet(
+            """
+            from repro.analysis.concurrency import guarded_by
+
+            @guarded_by("_lock", "_state")
+            class Service:
+                def run(self, request):
+                    self._lock.acquire()
+                    try:
+                        return self._db.range_search(request.query)
+                    finally:
+                        self._lock.release()
+            """,
+            "repro/serve/novel.py",
+        )
+        assert "RS013" in codes(findings)
+
+    def test_outside_serve_package_is_out_of_scope(self):
+        findings = lint_snippet(
+            """
+            class Worker:
+                def loop(self):
+                    while True:
+                        self.run(self.poll())
+            """,
+            "repro/engines/novel.py",
+        )
+        assert "RS013" not in codes(findings)
+
+
 class TestSuppressions:
     def test_matching_code_is_suppressed(self):
         report = LintReport()
@@ -1081,6 +1182,7 @@ class TestFramework:
             "RS010",
             "RS011",
             "RS012",
+            "RS013",
         ]
 
 
@@ -1129,6 +1231,7 @@ class TestSelfCheck:
             "RS010",
             "RS011",
             "RS012",
+            "RS013",
         ):
             assert code in out
 
