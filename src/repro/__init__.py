@@ -66,14 +66,28 @@ from repro.serve import (
     SocketServer,
     TenantPolicy,
 )
+from repro.shard import (
+    ShardedDatabase,
+    ShardedMatchStream,
+    ShardedPartialResult,
+    ShardedSearchResult,
+    ShardPlan,
+    ShardPlanner,
+)
 from repro.storage.buffer import RetryPolicy
 from repro.storage.circuit import CircuitBreaker
 from repro.storage.faults import FaultInjector, FaultSpec, FaultyPager
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "SubsequenceDatabase",
+    "ShardedDatabase",
+    "ShardedMatchStream",
+    "ShardedPartialResult",
+    "ShardedSearchResult",
+    "ShardPlan",
+    "ShardPlanner",
     "SearchResult",
     "PartialResult",
     "MatchStream",

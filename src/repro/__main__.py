@@ -148,7 +148,12 @@ def _scrub(args: argparse.Namespace) -> int:
 
 
 def _chaos(args: argparse.Namespace) -> int:
-    from repro.chaos import run_chaos, run_ingest_chaos, run_serve_chaos
+    from repro.chaos import (
+        run_chaos,
+        run_ingest_chaos,
+        run_serve_chaos,
+        run_shard_chaos,
+    )
 
     progress = None
     if args.verbose:
@@ -157,7 +162,8 @@ def _chaos(args: argparse.Namespace) -> int:
         "search": (run_chaos,),
         "ingest": (run_ingest_chaos,),
         "serve": (run_serve_chaos,),
-        "all": (run_chaos, run_ingest_chaos, run_serve_chaos),
+        "shard": (run_shard_chaos,),
+        "all": (run_chaos, run_ingest_chaos, run_serve_chaos, run_shard_chaos),
     }[args.suite]
     exit_code = 0
     for runner in runners:
@@ -234,7 +240,7 @@ def _bench(args: argparse.Namespace) -> int:
     from repro.bench import perf
 
     suites = (
-        ("kernels", "engines", "tracing", "ingest", "serve")
+        ("kernels", "engines", "tracing", "ingest", "serve", "shard")
         if args.suite == "all"
         else (args.suite,)
     )
@@ -301,6 +307,32 @@ def _serve_database(args: argparse.Namespace) -> "tuple[object, object]":
     from repro.data import load_dataset
 
     dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    shards = getattr(args, "shards", 0)
+    if shards and shards > 1:
+        from repro.shard import ShardedDatabase
+
+        # Split the dataset into one sequence per shard so partitioning
+        # has something to distribute; each chunk must still be long
+        # enough to hold sliding windows (and the self-test queries).
+        chunk = len(dataset.values) // shards
+        minimum = max(2 * args.omega - 1, args.query_length)
+        if chunk < minimum:
+            raise SystemExit(
+                f"serve: --shards {shards} leaves {chunk} values per "
+                f"sequence; need at least {minimum} (grow --size)"
+            )
+        sdb = ShardedDatabase(
+            num_shards=shards,
+            policy=args.shard_policy,
+            executor="thread",
+            omega=args.omega,
+            features=4,
+        )
+        for index in range(shards):
+            hi = (index + 1) * chunk if index < shards - 1 else None
+            sdb.insert(index, dataset.values[index * chunk : hi])
+        sdb.build(psm=args.psm)
+        return sdb, dataset
     db = SubsequenceDatabase(omega=args.omega, features=4)
     db.insert(0, dataset.values)
     db.build(psm=args.psm)
@@ -561,12 +593,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     chaos.add_argument(
         "--suite",
-        choices=("search", "ingest", "serve", "all"),
+        choices=("search", "ingest", "serve", "shard", "all"),
         default="search",
         help="search = query-path invariants (default); ingest = "
         "crash-recovery exactness at seeded WAL/checkpoint crash points; "
         "serve = many-client service campaign (overload, faults, "
-        "cancellation, deadlines) against the single-query oracle",
+        "cancellation, deadlines) against the single-query oracle; "
+        "shard = sharded execution (worker loss, per-shard faults, "
+        "mid-merge deadlines) against the single-process oracle",
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--iterations", type=int, default=100)
@@ -580,7 +614,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     bench.add_argument(
         "--suite",
-        choices=("kernels", "engines", "tracing", "ingest", "serve", "all"),
+        choices=(
+            "kernels",
+            "engines",
+            "tracing",
+            "ingest",
+            "serve",
+            "shard",
+            "all",
+        ),
         default="all",
         help="which suite(s) to run (default: all)",
     )
@@ -623,6 +665,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--psm", action="store_true", help="also build the PSM index"
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve a sharded database: split the dataset into N "
+        "sequences, partition them across N shards, and answer queries "
+        "through the parallel ranked-union merge (0 = unsharded)",
+    )
+    serve.add_argument(
+        "--shard-policy",
+        choices=("hash", "range"),
+        default="hash",
+        help="shard partitioning policy (with --shards)",
     )
     serve.add_argument(
         "--self-test",

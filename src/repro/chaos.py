@@ -1098,3 +1098,390 @@ def _run_serve_iteration(
                 )
             elif not result.degraded and response.degradation_tier == 0:
                 record(it, str(label), _check_exact(result, gold, k))
+
+
+# ---------------------------------------------------------------------------
+# Sharded-execution chaos (python -m repro chaos --suite shard)
+# ---------------------------------------------------------------------------
+
+SHARD_SCENARIOS = (
+    "parity",
+    "shard-crash",
+    "shard-transient",
+    "shard-corrupt",
+    "budget",
+    "deadline",
+)
+
+
+class _ShardIteration(_Iteration):
+    """One seeded sharded-vs-oracle iteration (own seed stream)."""
+
+    def __init__(self, seed: int, iteration: int) -> None:
+        self.iteration = iteration
+        self.rng = random.Random(f"{seed}:shard:{iteration}")
+        self.scenario = self.rng.choice(SHARD_SCENARIOS)
+        self.omega = self.rng.choice((8, 16))
+        self.with_psm = False
+        self.np_rng = np.random.default_rng(
+            [seed & 0x7FFFFFFF, iteration, 0x54A8D]
+        )
+        self.num_shards = self.rng.randint(2, 4)
+        self.policy = self.rng.choice(("hash", "range"))
+
+    def build_pair(
+        self,
+        fault_injectors: Optional[Dict[int, FaultInjector]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
+        """An unsharded fault-free oracle plus its sharded twin."""
+        from repro.shard import ShardedDatabase
+
+        oracle = SubsequenceDatabase(
+            omega=self.omega,
+            features=4,
+            page_size=1024,
+            buffer_fraction=0.1,
+        )
+        sdb = ShardedDatabase(
+            num_shards=self.num_shards,
+            policy=self.policy,
+            executor="serial",
+            omega=self.omega,
+            features=4,
+            page_size=1024,
+            buffer_fraction=0.1,
+            fault_injectors=fault_injectors,
+            retry_policy=retry_policy,
+        )
+        for injector in (fault_injectors or {}).values():
+            injector.enabled = False  # keep the build phase clean
+        for sid in range(3):
+            length = int(self.np_rng.integers(250, 550))
+            values = self.np_rng.standard_normal(length).cumsum()
+            oracle.insert(sid, values)
+            sdb.insert(sid, values)
+        oracle.build()
+        sdb.build()
+        for injector in (fault_injectors or {}).values():
+            injector.enabled = True
+        return oracle, sdb
+
+
+def _shard_injectors(
+    it: "_ShardIteration", fault: object, **spec_kwargs: object
+) -> Dict[int, FaultInjector]:
+    """Fault injectors for a random non-empty subset of shards."""
+    injectors: Dict[int, FaultInjector] = {}
+    while not injectors:
+        for shard in range(it.num_shards):
+            if it.rng.random() < 0.6:
+                injector = FaultInjector(seed=it.rng.randrange(2**31))
+                injector.add(
+                    FaultSpec(
+                        fault=fault,  # type: ignore[arg-type]
+                        page_kinds=frozenset({PageKind.DATA}),
+                        **spec_kwargs,  # type: ignore[arg-type]
+                    )
+                )
+                injectors[shard] = injector
+    return injectors
+
+
+def run_shard_chaos(
+    seed: int = 0,
+    iterations: int = 100,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Sharded execution vs the single-process oracle, under adversity.
+
+    Per iteration: identical data goes into an unsharded oracle and a
+    2-4 shard :class:`~repro.shard.ShardedDatabase` (random policy),
+    then the scenario attacks the sharded side only —
+
+    ``parity``
+        No faults: every engine's merged answer and the merged stream
+        must equal brute force exactly, and merged ``NUM_IO`` must be
+        the exact sum of the per-shard counters.
+    ``shard-crash``
+        One shard fails wholesale (worker loss).  Under ``degrade`` the
+        survivors must answer: the result must be a
+        :class:`~repro.engines.base.PartialResult` carrying the
+        (vacuous but honest) certificate ``0.0``, every reported
+        distance must be true, and the answer must be *exact for the
+        surviving shards* — brute force restricted to alive sequences.
+        Under ``raise`` the crash must propagate as ``StorageError``.
+    ``shard-transient`` / ``shard-corrupt``
+        Per-shard fault schedules on a random subset of shards.
+        Transient faults within the retry budget must stay invisible
+        (exact answers); corrupt pages under ``degrade`` may omit but
+        never fabricate and never beat brute force.
+    ``budget`` / ``deadline``
+        Per-shard budgets or a shared fake-clock deadline interrupt a
+        data-dependent subset of shards mid-merge; interrupted runs
+        must return certified partials (:func:`_check_certificate`).
+    """
+    report = ChaosReport(seed=seed)
+
+    def record(
+        it: _Iteration, engine: str, message: Optional[str]
+    ) -> None:
+        report.checks += 1
+        if message is not None:
+            report.failures.append(
+                ChaosFailure(
+                    iteration=it.iteration,
+                    scenario=it.scenario,
+                    engine=engine,
+                    message=message,
+                )
+            )
+
+    for iteration in range(iterations):
+        it = _ShardIteration(seed, iteration)
+        report.iterations += 1
+        report.scenario_counts[it.scenario] = (
+            report.scenario_counts.get(it.scenario, 0) + 1
+        )
+        if progress is not None:
+            progress(f"shard iteration {iteration}: {it.scenario}")
+        _run_shard_iteration(it, report, record)
+    return report
+
+
+def _num_io_message(result: object) -> Optional[str]:
+    merged = result.stats.page_accesses  # type: ignore[attr-defined]
+    parts = sum(
+        stats.page_accesses
+        for stats in result.shard_stats.values()  # type: ignore[attr-defined]
+    )
+    if merged != parts:
+        return f"merged NUM_IO {merged} != per-shard sum {parts}"
+    return None
+
+
+def _run_shard_iteration(
+    it: "_ShardIteration",
+    report: ChaosReport,
+    record: Callable[["_ShardIteration", str, Optional[str]], None],
+) -> None:
+    from repro.exceptions import StorageError
+    from repro.shard import REASON_SHARD_LOST
+
+    k = it.rng.randint(1, 8)
+    scenario = it.scenario
+
+    injectors: Optional[Dict[int, FaultInjector]] = None
+    retry: Optional[RetryPolicy] = None
+    if scenario == "shard-transient":
+        injectors = _shard_injectors(
+            it,
+            TRANSIENT,
+            probability=it.rng.uniform(0.05, 0.3),
+            max_per_page=2,
+        )
+        retry = RetryPolicy(max_attempts=4)
+    elif scenario == "shard-corrupt":
+        injectors = _shard_injectors(
+            it,
+            CORRUPT,
+            probability=1.0,
+            max_triggers=it.rng.randint(1, 2),
+        )
+
+    oracle, sdb = it.build_pair(
+        fault_injectors=injectors, retry_policy=retry
+    )
+    try:
+        query = it.make_query(oracle)
+        rho = max(1, len(query) // 20)
+        gold = brute_force_topk(
+            oracle.store, query, k=10**6, rho=rho, p=oracle.p
+        )
+        truth = _distance_table(gold)
+
+        if scenario == "parity":
+            for engine in _ENGINES:
+                result = sdb.search(query, k=k, rho=rho, method=engine)
+                record(it, engine, _check_exact(result, gold, k))
+                record(it, engine, _num_io_message(result))
+                record(
+                    it,
+                    engine,
+                    "parity run is unexpectedly partial"
+                    if isinstance(result, PartialResult)
+                    else None,
+                )
+            stream = sdb.iter_matches(query, k=k, rho=rho)
+            emitted = list(stream)
+            got = [round(m.distance, 6) for m in emitted]
+            want = [round(m.distance, 6) for m in gold[:k]]
+            record(
+                it,
+                "stream",
+                None if got == want else f"stream {got} != {want}",
+            )
+            keys = [(m.distance, m.sid, m.start) for m in emitted]
+            record(
+                it,
+                "stream",
+                None
+                if keys == sorted(keys)
+                else "stream emission is not nondecreasing",
+            )
+            return
+
+        if scenario == "shard-crash":
+            assert sdb.shards is not None
+            victim = it.rng.choice(sorted(sdb.shards))
+            sdb.inject_shard_failure(victim)
+            engine = it.rng.choice(_ENGINES)
+
+            try:
+                sdb.search(query, k=k, rho=rho, method=engine)
+                record(it, engine, "crashed shard did not raise")
+            except StorageError:
+                record(it, engine, None)
+
+            result = sdb.search(
+                query, k=k, rho=rho, method=engine, on_fault="degrade"
+            )
+            report.partials += 1
+            record(
+                it,
+                engine,
+                None
+                if isinstance(result, PartialResult)
+                else "lost shard did not produce a PartialResult",
+            )
+            if isinstance(result, PartialResult):
+                record(
+                    it,
+                    engine,
+                    None
+                    if result.certificate == 0.0
+                    else (
+                        f"lost shard certificate is "
+                        f"{result.certificate!r}, not the vacuous 0.0"
+                    ),
+                )
+                record(
+                    it,
+                    engine,
+                    None
+                    if REASON_SHARD_LOST in result.reason
+                    else f"reason {result.reason!r} does not flag the loss",
+                )
+                record(it, engine, _check_certificate(result, gold, k))
+            record(
+                it,
+                engine,
+                None
+                if result.degraded
+                else "lost shard result is not flagged degraded",
+            )
+            record(it, engine, _check_reported_distances(result, truth))
+            # The survivors completed normally, so the answer must be
+            # exact for the sequences they hold.
+            alive = {
+                sid
+                for sid, shard in sdb.plan.assignment.items()
+                if shard != victim
+            }
+            alive_gold = [m for m in gold if m.sid in alive]
+            record(it, engine, _check_exact(result, alive_gold, k))
+            return
+
+        if scenario in ("shard-transient", "shard-corrupt"):
+            on_fault = (
+                "raise" if scenario == "shard-transient" else "degrade"
+            )
+            for engine in ("hlmj", "ru", "ru-cost"):
+                sdb.reset_cache()
+                result = sdb.search(
+                    query, k=k, rho=rho, method=engine, on_fault=on_fault
+                )
+                if scenario == "shard-transient":
+                    # Recoverable faults must be invisible.
+                    record(it, engine, _check_exact(result, gold, k))
+                else:
+                    record(
+                        it, engine, _check_reported_distances(result, truth)
+                    )
+                    record(it, engine, _check_prefix(result, gold))
+                    if isinstance(result, PartialResult):
+                        report.partials += 1
+                        record(
+                            it, engine, _check_certificate(result, gold, k)
+                        )
+                    elif not result.degraded:
+                        record(it, engine, _check_exact(result, gold, k))
+            return
+
+        # budget / deadline: interruption of a data-dependent shard
+        # subset; certified partials or exact completions only.
+        engine = it.rng.choice(("hlmj", "ru", "ru-cost"))
+        kwargs: Dict[str, object] = {"k": k, "rho": rho, "method": engine}
+        if scenario == "budget":
+            if it.rng.random() < 0.5:
+                kwargs["budget"] = QueryBudget(
+                    max_page_accesses=it.rng.randint(0, 40)
+                )
+            else:
+                kwargs["budget"] = QueryBudget(
+                    max_candidates=it.rng.randint(0, 60)
+                )
+        else:
+            clock = FakeClock(auto_advance=0.001)
+            kwargs["deadline"] = Deadline.after(
+                it.rng.uniform(0.0, 0.2), clock=clock
+            )
+        result = sdb.search(query, **kwargs)  # type: ignore[arg-type]
+        record(it, engine, _check_reported_distances(result, truth))
+        record(it, engine, _check_prefix(result, gold))
+        if isinstance(result, PartialResult):
+            report.partials += 1
+            record(it, engine, _check_certificate(result, gold, k))
+            record(
+                it,
+                engine,
+                None
+                if result.reason
+                else "partial result carries no reason",
+            )
+            record(it, engine, _num_io_message(result))
+        else:
+            record(it, engine, _check_exact(result, gold, k))
+
+        # The same interruption applied mid-merge to the streaming
+        # path: the emitted prefix must stay ranked and certified.
+        stream_kwargs = {
+            key: value for key, value in kwargs.items() if key != "method"
+        }
+        stream = sdb.iter_matches(
+            query, **stream_kwargs  # type: ignore[arg-type]
+        )
+        emitted = list(stream)
+        keys = [(m.distance, m.sid, m.start) for m in emitted]
+        record(
+            it,
+            "stream",
+            None
+            if keys == sorted(keys)
+            else "interrupted stream emission is not nondecreasing",
+        )
+        if stream.interrupted:
+            report.partials += 1
+            shim = PartialResult(
+                matches=emitted,
+                stats=stream.stats,  # type: ignore[arg-type]
+                reason=stream.reason,
+                certificate=(
+                    min(stream.certificate, emitted[-1].distance)
+                    if emitted
+                    else 0.0
+                ),
+            )
+            record(it, "stream", _check_certificate(shim, gold, k))
+    finally:
+        sdb.close()

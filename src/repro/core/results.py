@@ -88,10 +88,17 @@ class TopKCollector:
     def offer_pow(self, distance_pow: float, sid: int, start: int) -> bool:
         """Offer a match with a powered distance; returns acceptance.
 
-        A match is accepted when the collector is not yet full or the
-        distance strictly improves on the current k-th best (ties are
-        resolved in favour of the incumbent, matching ``<=`` pruning in
-        the paper's algorithms).
+        A match is accepted when the collector is not yet full or it
+        precedes the current k-th best under the **total order**
+        ``(distance, sid, start)``.  Resolving equal-distance ties by
+        ``(sid, start)`` — rather than in favour of the incumbent —
+        makes the collected set a pure function of the offered
+        candidates, independent of arrival order, so per-shard
+        collectors merged by :mod:`repro.shard` agree byte-for-byte
+        with a single-process run even when duplicated sequences
+        produce exact distance ties.  Pruning semantics are unchanged:
+        :attr:`threshold_pow` never moves on an equal-distance
+        replacement, so ``<=`` prunes match the paper's algorithms.
         """
         if math.isinf(distance_pow):
             return False
@@ -99,7 +106,10 @@ class TopKCollector:
         if len(self._heap) < self._k:
             heapq.heappush(self._heap, entry)
             return True
-        if distance_pow >= -self._heap[0][0]:
+        # Min-heap of negated keys: the root is the (distance, sid,
+        # start)-maximal — i.e. worst — retained match.  Replace it iff
+        # the newcomer strictly precedes it in the total order.
+        if entry <= self._heap[0]:
             return False
         heapq.heapreplace(self._heap, entry)
         return True

@@ -285,8 +285,12 @@ class QueryService:
         self._started = False
         # Engines are constructed lazily by the database and cached in
         # a plain dict; warm the cache up front so worker threads never
-        # race the first construction.
-        if getattr(db, "index", None) is not None:
+        # race the first construction.  Sharded databases expose an
+        # explicit warm-up hook that covers every shard.
+        warm = getattr(db, "warm_engines", None)
+        if callable(warm):
+            warm()
+        elif getattr(db, "index", None) is not None:
             for method in ("seqscan", "hlmj", "hlmj-wg", "ru", "ru-cost"):
                 db._engine(method, None)
 

@@ -1,0 +1,69 @@
+"""Sharded indexes with parallel ranked union (ROADMAP item 2).
+
+Partition the sequence store and DualMatch index across N shards, run
+per-shard `Φ_i` subqueries in parallel, and merge through the paper's
+multi-way ranked-union frontier — exactness certificates compose
+shard-wise.  See ``docs/sharding.md``.
+
+Public surface:
+
+* :class:`~repro.shard.planner.ShardPlanner` /
+  :class:`~repro.shard.planner.ShardPlan` — deterministic hash/range
+  partitioning.
+* :class:`~repro.shard.database.ShardedDatabase` — the facade, same
+  query API as :class:`~repro.api.SubsequenceDatabase`, byte-identical
+  results.
+* :class:`~repro.shard.merge.ShardedMatchStream` and the merged result
+  types — ranked-union composition with shard-wise certificates.
+* Executors — serial / thread / process subquery execution.
+"""
+
+from repro.shard.database import (
+    SHARD_MANIFEST_NAME,
+    ShardedDatabase,
+    is_sharded_database_directory,
+    shard_dir_name,
+)
+from repro.shard.executor import (
+    EXECUTOR_KINDS,
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ThreadShardExecutor,
+    create_executor,
+)
+from repro.shard.merge import (
+    REASON_SHARD_LOST,
+    LostShard,
+    ShardedMatchStream,
+    ShardedPartialResult,
+    ShardedSearchResult,
+    merge_search_results,
+)
+from repro.shard.planner import (
+    POLICIES,
+    ShardPlan,
+    ShardPlanner,
+    hash_shard,
+)
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "LostShard",
+    "POLICIES",
+    "ProcessShardExecutor",
+    "REASON_SHARD_LOST",
+    "SHARD_MANIFEST_NAME",
+    "SerialShardExecutor",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardedDatabase",
+    "ShardedMatchStream",
+    "ShardedPartialResult",
+    "ShardedSearchResult",
+    "ThreadShardExecutor",
+    "create_executor",
+    "hash_shard",
+    "is_sharded_database_directory",
+    "merge_search_results",
+    "shard_dir_name",
+]

@@ -1,0 +1,797 @@
+"""The sharded facade: N single-process databases behind one API.
+
+:class:`ShardedDatabase` partitions the sequence store across ``N``
+independent :class:`~repro.api.SubsequenceDatabase` instances (each
+with its own pager, buffer pool, and DualMatch R*-tree), runs per-shard
+subqueries on a pluggable executor, and merges the answers through the
+ranked-union rules of :mod:`repro.shard.merge`.  The API mirrors the
+unsharded facade — ``insert`` / ``build`` / ``search`` /
+``range_search`` / ``iter_matches`` / ``save`` / ``load`` — and the
+differential suite holds the results to *byte identity* with the
+single-process oracle.
+
+Control-plane fan-out semantics (see ``docs/sharding.md``):
+
+* ``budget`` — the same :class:`~repro.control.QueryBudget` caps apply
+  to **each shard independently** (the frozen budget object is shared;
+  the per-query counters it is enforced against are per-shard).
+* ``deadline`` — one shared :class:`~repro.control.Deadline`; all
+  shards race the same wall clock.
+* ``token`` — one shared :class:`~repro.control.CancellationToken`;
+  cancelling it stops every shard at its next checkpoint.  Not
+  supported on the process executor (tokens cannot cross the process
+  boundary meaningfully).
+
+Shard faults: per-page storage faults inside a shard follow the normal
+``on_fault`` policy *within* that shard.  A shard failing wholesale
+(worker crash, unreadable shard, an injected
+:meth:`inject_shard_failure`) follows the same policy one level up —
+``"raise"`` propagates, ``"degrade"`` drops the shard and returns a
+:class:`~repro.shard.merge.ShardedPartialResult` whose certificate is
+``0.0``: trivially sound, claiming exactness for nothing.
+
+Thread safety: the facade is ``@shared_across_queries`` — after
+:meth:`build` (or :meth:`load`) the shard topology is immutable and
+query methods only create per-query state, so any number of threads
+may search concurrently (the concurrency hammer drives 8).  The
+build/staging phase is single-threaded by contract, like the unsharded
+facade's ``insert``/``build``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+import tempfile
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.concurrency import shared_across_queries
+from repro.api import MatchStream, SubsequenceDatabase
+from repro.control import CancellationToken, Deadline, QueryBudget
+from repro.core.metrics import QueryStats
+from repro.core.results import Match
+from repro.engines.base import PartialResult, SearchResult
+from repro.engines.cost_density import CostDensityConfig
+from repro.exceptions import (
+    ConfigurationError,
+    IndexNotBuiltError,
+    IntegrityError,
+    StorageError,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.shard.executor import create_executor
+from repro.shard.merge import (
+    LostShard,
+    ShardedMatchStream,
+    merge_search_results,
+)
+from repro.shard.planner import ShardPlan, ShardPlanner
+from repro.storage.buffer import RetryPolicy
+from repro.storage.faults import FaultInjector
+from repro.storage.page import PAGE_SIZE_DEFAULT
+
+#: Shard-manifest sentinel file (distinct from the per-shard format-v2
+#: ``MANIFEST`` so the two directory kinds are never confused).
+SHARD_MANIFEST_NAME = "SHARDS"
+SHARD_MANIFEST_MAGIC = "repro-sharded-database"
+SHARD_FORMAT_VERSION = 1
+
+_ShardExecutor = Any  # Serial/Thread/ProcessShardExecutor
+
+
+def shard_dir_name(index: int) -> str:
+    """Canonical subdirectory name for shard ``index``."""
+    return f"shard-{index:04d}"
+
+
+def is_sharded_database_directory(path: "os.PathLike[str] | str") -> bool:
+    """Whether ``path`` looks like a committed sharded database."""
+    return (pathlib.Path(path) / SHARD_MANIFEST_NAME).exists()
+
+
+@shared_across_queries
+class ShardedDatabase:
+    """N-shard ranked subsequence matching with exact merged answers.
+
+    Parameters mirror :class:`~repro.api.SubsequenceDatabase` where
+    they configure the per-shard databases; the sharding-specific ones:
+
+    num_shards:
+        Shard count ``N >= 1``.  ``N`` may exceed the number of
+        sequences — surplus shards stay empty and are skipped.
+    policy:
+        Partitioning policy, ``"hash"`` or ``"range"`` (see
+        :mod:`repro.shard.planner`).
+    executor:
+        ``"serial"``, ``"thread"`` (default), or ``"process"``.  The
+        process executor requires a database opened from a persisted
+        root (:meth:`load`) so workers can load shards from disk.
+    fault_injectors:
+        Optional ``{shard index -> FaultInjector}`` wiring per-shard
+        fault schedules into the chaos harness.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        policy: str = "hash",
+        executor: str = "thread",
+        omega: int = 64,
+        features: int = 4,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        buffer_fraction: float = 0.05,
+        p: float = 2.0,
+        data_stride: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+        fault_injectors: Optional[Dict[int, FaultInjector]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.planner = ShardPlanner(num_shards, policy=policy)
+        self.omega = omega
+        self.features = features
+        self.page_size = page_size
+        self.buffer_fraction = buffer_fraction
+        self.p = p
+        self.data_stride = data_stride
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._fault_injectors = dict(fault_injectors or {})
+        self._retry_policy = retry_policy
+        self._executor_kind = executor
+        self._executor: Optional[_ShardExecutor] = None
+        #: Insertion-ordered staging area; emptied by :meth:`build`.
+        self._staged: Dict[int, Any] = {}
+        #: ``shard index -> database`` for non-empty shards (build order).
+        self.shards: Optional[Dict[int, SubsequenceDatabase]] = None
+        self.plan: Optional[ShardPlan] = None
+        self._psm = False
+        #: Persisted root this database was loaded from (process
+        #: executor jobs reference its shard subdirectories).
+        self._root: Optional[pathlib.Path] = None
+        #: Chaos hook: shards that fail wholesale at the next query.
+        self._failed_shards: Set[int] = set()
+        # Validate the executor kind eagerly, not at first search.
+        if executor not in ("serial", "thread", "process"):
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; expected 'serial', "
+                f"'thread', or 'process'"
+            )
+
+    # ------------------------------------------------------------------
+    # Topology / introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return self.planner.num_shards
+
+    @property
+    def policy(self) -> str:
+        return self.planner.policy
+
+    @property
+    def num_sequences(self) -> int:
+        if self.shards is None:
+            return len(self._staged)
+        return sum(db.store.num_sequences for db in self.shards.values())
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Swap the tracer across every shard's storage stack."""
+        self._tracer = tracer
+        if self.shards is not None:
+            for db in self.shards.values():
+                db.set_tracer(tracer)
+
+    @property
+    def executor(self) -> _ShardExecutor:
+        """The shard executor (created lazily at build/load time)."""
+        if self._executor is None:
+            raise IndexNotBuiltError("call build() before querying")
+        return self._executor
+
+    def describe(self) -> Dict[str, object]:
+        """Topology summary plus per-shard Table 2-style descriptions."""
+        self._require_built()
+        assert self.shards is not None and self.plan is not None
+        return {
+            "num_shards": self.num_shards,
+            "policy": self.policy,
+            "executor": self.executor.kind,
+            "empty_shards": self.plan.empty_shards,
+            "sequences": self.num_sequences,
+            "shards": {
+                index: db.describe() for index, db in self.shards.items()
+            },
+        }
+
+    def reset_cache(self) -> None:
+        """Cold-start every shard's buffer pool and I/O counters."""
+        self._require_built()
+        assert self.shards is not None
+        for db in self.shards.values():
+            db.reset_cache()
+
+    def warm_engines(self) -> None:
+        """Pre-construct every shard's engine cache.
+
+        Engines are cached in a plain per-shard dict; warming them once
+        from the building thread means concurrent queries never race
+        the first construction (same pattern as the serve layer).
+        """
+        self._require_built()
+        assert self.shards is not None
+        methods = ["seqscan", "hlmj", "hlmj-wg", "ru", "ru-cost"]
+        if self._psm:
+            methods.append("psm")
+        for db in self.shards.values():
+            for method in methods:
+                db._engine(method, None)
+
+    def inject_shard_failure(self, shard: int) -> None:
+        """Chaos/test hook: make ``shard`` fail wholesale at query time.
+
+        Subsequent queries treat the shard as crashed: ``on_fault=
+        "raise"`` propagates a :class:`~repro.exceptions.StorageError`,
+        ``"degrade"`` drops the shard and degrades the merged result
+        with a 0.0 certificate.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ConfigurationError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        self._failed_shards.add(shard)
+
+    def heal_shard(self, shard: int) -> None:
+        """Undo :meth:`inject_shard_failure`."""
+        self._failed_shards.discard(shard)
+
+    # ------------------------------------------------------------------
+    # Loading and building
+    # ------------------------------------------------------------------
+
+    def insert(self, sid: int, values: Sequence[float]) -> None:
+        """Stage one data sequence.  Must precede :meth:`build`."""
+        if self.shards is not None:
+            raise ConfigurationError(
+                "insert() after build() is not supported; create a new "
+                "sharded database and rebuild"
+            )
+        if sid in self._staged:
+            raise ConfigurationError(f"sequence {sid} already inserted")
+        self._staged[sid] = values
+
+    def build(self, psm: bool = False) -> None:
+        """Partition the staged sequences and build every shard's index.
+
+        Sequences are routed by the planner and inserted into their
+        shard **in original insertion order**, so a one-shard database
+        is bit-identical (page layout, I/O counts) to the unsharded
+        equivalent.
+        """
+        if not self._staged:
+            raise ConfigurationError("no sequences inserted before build()")
+        plan = self.planner.plan(list(self._staged))
+        shards: Dict[int, SubsequenceDatabase] = {}
+        for sid, values in self._staged.items():
+            index = plan.assignment[sid]
+            db = shards.get(index)
+            if db is None:
+                db = self._make_shard(index)
+                shards[index] = db
+            db.insert(sid, values)
+        for db in shards.values():
+            db.build(psm=psm)
+        self.plan = plan
+        self.shards = dict(sorted(shards.items()))
+        self._psm = psm
+        self._staged = {}
+        self._executor = create_executor(self._executor_kind, self.num_shards)
+
+    def _make_shard(self, index: int) -> SubsequenceDatabase:
+        return SubsequenceDatabase(
+            omega=self.omega,
+            features=self.features,
+            page_size=self.page_size,
+            buffer_fraction=self.buffer_fraction,
+            p=self.p,
+            data_stride=self.data_stride,
+            fault_injector=self._fault_injectors.get(index),
+            retry_policy=self._retry_policy,
+            tracer=self._tracer,
+        )
+
+    def _require_built(self) -> None:
+        if self.shards is None:
+            raise IndexNotBuiltError("call build() before querying")
+
+    # ------------------------------------------------------------------
+    # Searching
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        query: Sequence[float],
+        k: int = 10,
+        rho: Optional[int] = None,
+        method: str = "ru-cost",
+        deferred: bool = False,
+        cost_config: Optional[CostDensityConfig] = None,
+        on_fault: str = "raise",
+        budget: Optional[QueryBudget] = None,
+        deadline: Optional[Deadline] = None,
+        token: Optional[CancellationToken] = None,
+    ) -> SearchResult:
+        """Globally exact top-k over every shard (same API as unsharded).
+
+        Fan-out/merge semantics are described in the module docstring;
+        the result is byte-identical to
+        :meth:`repro.api.SubsequenceDatabase.search` on the same data.
+        """
+        self._require_built()
+        if rho is None:
+            rho = max(1, int(0.05 * len(query)))
+
+        if self._use_process_pool(token):
+            request = self._base_request(
+                query, rho, on_fault, budget, deadline
+            )
+            request.update(
+                kind="knn", k=k, method=method,
+                deferred=deferred, psm=self._psm,
+            )
+            if method == "ru-cost" and cost_config is not None:
+                raise ConfigurationError(
+                    "cost_config overrides are not supported on the "
+                    "process executor"
+                )
+            outcomes, lost = self._run_process(request, on_fault)
+        else:
+
+            def subquery(db: SubsequenceDatabase) -> SearchResult:
+                return db.search(
+                    query,
+                    k=k,
+                    rho=rho,
+                    method=method,
+                    deferred=deferred,
+                    cost_config=cost_config,
+                    on_fault=on_fault,
+                    budget=budget,
+                    deadline=deadline,
+                    token=token,
+                )
+
+            outcomes, lost = self._fan_out(subquery, on_fault)
+        merged = merge_search_results(outcomes, k=k, lost=lost)
+        self._record_shard_metrics(outcomes)
+        return merged
+
+    def range_search(
+        self,
+        query: Sequence[float],
+        epsilon: float,
+        rho: Optional[int] = None,
+        on_fault: str = "raise",
+        budget: Optional[QueryBudget] = None,
+        deadline: Optional[Deadline] = None,
+        token: Optional[CancellationToken] = None,
+    ) -> SearchResult:
+        """All subsequences within ``epsilon``, merged across shards."""
+        self._require_built()
+        if rho is None:
+            rho = max(1, int(0.05 * len(query)))
+
+        if self._use_process_pool(token):
+            request = self._base_request(
+                query, rho, on_fault, budget, deadline
+            )
+            request.update(kind="range", epsilon=epsilon, psm=self._psm)
+            outcomes, lost = self._run_process(request, on_fault)
+        else:
+
+            def subquery(db: SubsequenceDatabase) -> SearchResult:
+                return db.range_search(
+                    query,
+                    epsilon=epsilon,
+                    rho=rho,
+                    on_fault=on_fault,
+                    budget=budget,
+                    deadline=deadline,
+                    token=token,
+                )
+
+            outcomes, lost = self._fan_out(subquery, on_fault)
+        merged = merge_search_results(outcomes, k=None, lost=lost)
+        self._record_shard_metrics(outcomes)
+        return merged
+
+    def iter_matches(
+        self,
+        query: Sequence[float],
+        k: int = 10,
+        rho: Optional[int] = None,
+        scheduling: str = "max-delta",
+        on_fault: str = "raise",
+        budget: Optional[QueryBudget] = None,
+        deadline: Optional[Deadline] = None,
+        token: Optional[CancellationToken] = None,
+    ) -> ShardedMatchStream:
+        """Stream globally ranked matches lazily, best first.
+
+        Opens one :class:`~repro.api.MatchStream` per non-empty shard
+        and merges their heads through a ranked-union heap; emission is
+        nondecreasing in ``(distance, sid, start)`` and byte-identical
+        to the unsharded stream.  Streaming pulls shards incrementally
+        from the calling thread, so it runs in-process regardless of
+        the executor (the process pool is for whole subqueries).
+        """
+        self._require_built()
+        assert self.shards is not None
+        if rho is None:
+            rho = max(1, int(0.05 * len(query)))
+        streams: List[Tuple[int, MatchStream]] = []
+        try:
+            for index, db in self.shards.items():
+                if index in self._failed_shards:
+                    raise StorageError(
+                        f"shard {index} failed (injected shard failure)"
+                    )
+                streams.append(
+                    (
+                        index,
+                        db.iter_matches(
+                            query,
+                            k=k,
+                            rho=rho,
+                            scheduling=scheduling,
+                            on_fault=on_fault,
+                            budget=budget,
+                            deadline=deadline,
+                            token=token,
+                        ),
+                    )
+                )
+        except StorageError:
+            for _, stream in streams:
+                stream.close()
+            raise
+        return ShardedMatchStream(streams, k=k)
+
+    # ------------------------------------------------------------------
+    # Fan-out plumbing
+    # ------------------------------------------------------------------
+
+    def _use_process_pool(self, token: Optional[CancellationToken]) -> bool:
+        if self.executor.kind != "process":
+            return False
+        if token is not None:
+            raise ConfigurationError(
+                "cancellation tokens are not supported on the process "
+                "executor; use executor='thread' or 'serial'"
+            )
+        return True
+
+    def _base_request(
+        self,
+        query: Sequence[float],
+        rho: int,
+        on_fault: str,
+        budget: Optional[QueryBudget],
+        deadline: Optional[Deadline],
+    ) -> Dict[str, Any]:
+        return {
+            "query": [float(v) for v in query],
+            "rho": rho,
+            "on_fault": on_fault,
+            "budget": budget,
+            "deadline_s": None if deadline is None else deadline.remaining(),
+        }
+
+    def _shard_items(self) -> List[Tuple[int, SubsequenceDatabase]]:
+        assert self.shards is not None
+        return list(self.shards.items())
+
+    def _fan_out(
+        self,
+        subquery: Callable[[SubsequenceDatabase], SearchResult],
+        on_fault: str,
+    ) -> Tuple[List[Tuple[int, SearchResult]], List[LostShard]]:
+        """Run ``subquery`` on every non-empty shard via the executor.
+
+        Per-shard *storage* faults are already handled inside the shard
+        by its ``on_fault`` policy; this layer applies the same policy
+        to whole-shard failures.
+        """
+        items = self._shard_items()
+        tracer = self._tracer
+
+        def task(index: int, db: SubsequenceDatabase) -> Tuple[int, Any]:
+            try:
+                if index in self._failed_shards:
+                    raise StorageError(
+                        f"shard {index} failed (injected shard failure)"
+                    )
+                if tracer.enabled:
+                    with tracer.span("shard.subquery", shard=index):
+                        return (index, subquery(db))
+                return (index, subquery(db))
+            except StorageError as error:
+                if on_fault != "degrade":
+                    raise
+                return (index, LostShard(shard=index, detail=str(error)))
+
+        tasks = [
+            (lambda index=index, db=db: task(index, db))
+            for index, db in items
+        ]
+        tagged = self.executor.run(tasks)
+        outcomes: List[Tuple[int, SearchResult]] = []
+        lost: List[LostShard] = []
+        for index, payload in tagged:
+            if isinstance(payload, LostShard):
+                lost.append(payload)
+            else:
+                outcomes.append((index, payload))
+        return outcomes, lost
+
+    def _run_process(
+        self, request: Dict[str, Any], on_fault: str
+    ) -> Tuple[List[Tuple[int, SearchResult]], List[LostShard]]:
+        """Dispatch one request per shard to the process pool."""
+        if self._root is None:
+            raise ConfigurationError(
+                "the process executor requires a database opened from a "
+                "persisted root (ShardedDatabase.load(..., "
+                "executor='process'))"
+            )
+        items = self._shard_items()
+        jobs: List[Tuple[str, Dict[str, Any]]] = []
+        live: List[int] = []
+        lost: List[LostShard] = []
+        for index, _ in items:
+            if index in self._failed_shards:
+                failure = StorageError(
+                    f"shard {index} failed (injected shard failure)"
+                )
+                if on_fault != "degrade":
+                    raise failure
+                lost.append(LostShard(shard=index, detail=str(failure)))
+                continue
+            jobs.append(
+                (str(self._root / shard_dir_name(index)), dict(request))
+            )
+            live.append(index)
+        encoded = self.executor.run_requests(jobs)
+        outcomes: List[Tuple[int, SearchResult]] = []
+        for index, record in zip(live, encoded):
+            error = record.get("error")
+            if error is not None:
+                if on_fault != "degrade":
+                    raise StorageError(
+                        f"shard {index} subquery failed: {error}"
+                    )
+                lost.append(LostShard(shard=index, detail=str(error)))
+                continue
+            outcomes.append((index, _decode_result(record)))
+        return outcomes, lost
+
+    def _record_shard_metrics(
+        self, outcomes: Sequence[Tuple[int, SearchResult]]
+    ) -> None:
+        """Publish per-shard NUM_IO counters to the metrics registry.
+
+        ``shard.<i>.page_accesses`` / ``shard.<i>.candidates`` sum to
+        the merged result's counters by construction; the property
+        suite pins that invariant and, for one shard, the golden
+        table's unsharded values.
+        """
+        if not self._tracer.enabled:
+            return
+        metrics = self._tracer.metrics
+        for index, outcome in outcomes:
+            metrics.counter(f"shard.{index}.page_accesses").inc(
+                outcome.stats.page_accesses
+            )
+            metrics.counter(f"shard.{index}.candidates").inc(
+                outcome.stats.candidates
+            )
+
+    # ------------------------------------------------------------------
+    # Persistence: shard manifest on top of format-v2
+    # ------------------------------------------------------------------
+
+    def save(self, directory: "os.PathLike[str] | str") -> None:
+        """Persist the sharded database: manifest + per-shard format-v2.
+
+        Crash-safe like the per-shard format: everything lands in a
+        temporary sibling, each shard directory is a complete format-v2
+        database, the ``SHARDS`` manifest is written last, and the root
+        is atomically renamed into place.
+        """
+        self._require_built()
+        assert self.shards is not None and self.plan is not None
+        target = pathlib.Path(directory)
+        if target.exists() and not (
+            target.is_dir()
+            and (not any(target.iterdir())
+                 or is_sharded_database_directory(target))
+        ):
+            raise ConfigurationError(
+                f"refusing to overwrite {target}: not an empty directory "
+                f"or a sharded database"
+            )
+        target.parent.mkdir(parents=True, exist_ok=True)
+        temp = pathlib.Path(
+            tempfile.mkdtemp(
+                prefix=f".{target.name}.tmp-", dir=target.parent
+            )
+        )
+        try:
+            for index, db in self.shards.items():
+                db.save(temp / shard_dir_name(index))
+            manifest = {
+                "magic": SHARD_MANIFEST_MAGIC,
+                "format": SHARD_FORMAT_VERSION,
+                "num_shards": self.num_shards,
+                "policy": self.policy,
+                "psm": self._psm,
+                "assignment": {
+                    str(sid): shard
+                    for sid, shard in self.plan.assignment.items()
+                },
+                "shard_dirs": {
+                    str(index): shard_dir_name(index)
+                    for index in self.shards
+                },
+                "config": {
+                    "omega": self.omega,
+                    "features": self.features,
+                    "page_size": self.page_size,
+                    "buffer_fraction": self.buffer_fraction,
+                    "p": self.p,
+                    "data_stride": self.data_stride,
+                },
+            }
+            manifest_path = temp / SHARD_MANIFEST_NAME
+            with open(manifest_path, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            if target.exists():
+                old = pathlib.Path(
+                    tempfile.mkdtemp(
+                        prefix=f".{target.name}.old-", dir=target.parent
+                    )
+                )
+                os.rename(target, old / "previous")
+                os.rename(temp, target)
+                shutil.rmtree(old, ignore_errors=True)
+            else:
+                os.rename(temp, target)
+        except BaseException:
+            shutil.rmtree(temp, ignore_errors=True)
+            raise
+
+    @classmethod
+    def load(
+        cls,
+        directory: "os.PathLike[str] | str",
+        executor: str = "thread",
+    ) -> "ShardedDatabase":
+        """Reconstruct a sharded database saved with :meth:`save`.
+
+        Every shard reloads page-for-page, so a reloaded sharded
+        database reproduces identical results *and* identical per-shard
+        I/O counts.  This is the entry point for
+        ``executor="process"`` — workers stream shards from this root.
+        """
+        root = pathlib.Path(directory)
+        manifest_path = root / SHARD_MANIFEST_NAME
+        if not manifest_path.exists():
+            raise IntegrityError(
+                f"{root} is not a sharded database (no "
+                f"{SHARD_MANIFEST_NAME} manifest)"
+            )
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("magic") != SHARD_MANIFEST_MAGIC:
+            raise IntegrityError(f"{root}: bad shard manifest magic")
+        if manifest.get("format") != SHARD_FORMAT_VERSION:
+            raise IntegrityError(
+                f"{root}: unsupported shard format "
+                f"{manifest.get('format')!r}"
+            )
+        config = manifest["config"]
+        db = cls(
+            num_shards=int(manifest["num_shards"]),
+            policy=str(manifest["policy"]),
+            executor=executor,
+            omega=int(config["omega"]),
+            features=int(config["features"]),
+            page_size=int(config["page_size"]),
+            buffer_fraction=float(config["buffer_fraction"]),
+            p=float(config["p"]),
+            data_stride=config["data_stride"],
+        )
+        psm = bool(manifest.get("psm", False))
+        shards: Dict[int, SubsequenceDatabase] = {}
+        for key, name in sorted(
+            manifest["shard_dirs"].items(), key=lambda kv: int(kv[0])
+        ):
+            shards[int(key)] = SubsequenceDatabase.load(
+                root / name, psm=psm
+            )
+        assignment = {
+            int(sid): int(shard)
+            for sid, shard in manifest["assignment"].items()
+        }
+        db.plan = ShardPlan(
+            num_shards=db.num_shards,
+            policy=db.policy,
+            assignment=assignment,
+        )
+        db.shards = shards
+        db._psm = psm
+        db._root = root
+        db._staged = {}
+        db._executor = create_executor(executor, db.num_shards)
+        return db
+
+    def close(self) -> None:
+        """Release the executor's worker pool (idempotent)."""
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.close()
+
+    def __enter__(self) -> "ShardedDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _decode_result(record: Dict[str, Any]) -> SearchResult:
+    """Rebuild a (Partial)SearchResult from a worker's result dict."""
+    from repro.engines.base import FaultEvent, FaultReport
+
+    matches = [
+        Match(distance=d, sid=sid, start=start, length=length)
+        for d, sid, start, length in record["matches"]
+    ]
+    stats = QueryStats(**record["stats"])
+    events = [
+        FaultEvent(
+            error=error,
+            detail=detail,
+            page_id=page_id,
+            candidate=None if candidate is None else tuple(candidate),
+        )
+        for error, detail, page_id, candidate in record["fault_events"]
+    ]
+    report: Optional[FaultReport] = None
+    if events or record["fault_suppressed"]:
+        report = FaultReport(
+            events=events, suppressed=record["fault_suppressed"]
+        )
+    if record["partial"]:
+        return PartialResult(
+            matches=matches,
+            stats=stats,
+            degraded=bool(record["degraded"]),
+            fault_report=report,
+            reason=str(record["reason"]),
+            certificate=float(record["certificate"]),
+        )
+    return SearchResult(
+        matches=matches,
+        stats=stats,
+        degraded=bool(record["degraded"]),
+        fault_report=report,
+    )

@@ -1,0 +1,274 @@
+"""Per-shard subquery execution: serial, thread-pool, or process-pool.
+
+The merge layer (:mod:`repro.shard.merge`) is executor-agnostic: it
+consumes one result per shard, in shard order.  What varies is *where*
+the per-shard work runs:
+
+``serial``
+    Inline in the calling thread, shard 0 first.  Fully deterministic
+    scheduling — the reference executor for differential tests.
+``thread``
+    A persistent :class:`~concurrent.futures.ThreadPoolExecutor`.  The
+    shards share the process, so per-shard subqueries see the parent's
+    in-memory shard databases directly (and the parent's tracer — each
+    worker thread records its own span subtree via the tracer's
+    thread-local stacks).  This is the default: the engines spend much
+    of their time in numpy kernels that release the GIL, and on a
+    single-core host it degrades gracefully to interleaved execution.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` over a
+    *persisted* shard root (see :meth:`~repro.shard.database.
+    ShardedDatabase.save`).  Each worker lazily loads — then caches —
+    its shard from disk, so page data is shared between workers at the
+    OS file-cache level rather than copied through pickles.  Requests
+    and results cross the process boundary as plain dicts; anything
+    that cannot (cancellation tokens, fault injectors, tracers) is
+    rejected up front by the facade.  Hosts that cannot start a
+    process pool fall back to threads (``create_executor`` never
+    fails over silently — the returned executor's ``kind`` says what
+    actually runs).
+
+Thread safety: executors are ``@shared_across_queries`` — one instance
+serves every concurrent query on the facade.  The pool handle is
+``@guarded_by`` the executor lock so close/submit races are impossible
+(RS010/RS012).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.analysis.concurrency import guarded_by, shared_across_queries
+from repro.control import Deadline, QueryBudget
+from repro.exceptions import ConfigurationError, UsageError
+
+T = TypeVar("T")
+
+#: Executor kinds accepted by :func:`create_executor`.
+EXECUTOR_KINDS: Tuple[str, ...] = ("serial", "thread", "process")
+
+
+@shared_across_queries
+class SerialShardExecutor:
+    """Run every shard task inline, in shard order."""
+
+    kind = "serial"
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        return [task() for task in tasks]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+    def __enter__(self) -> "SerialShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@shared_across_queries
+@guarded_by("_lock", "_pool")
+class ThreadShardExecutor:
+    """Run shard tasks on a persistent thread pool."""
+
+    kind = "thread"
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self._lock = threading.Lock()
+        self._pool: Optional[Executor] = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-shard"
+        )
+
+    def _live_pool(self) -> Executor:
+        with self._lock:
+            pool = self._pool
+        if pool is None:
+            raise UsageError("shard executor used after close()")
+        return pool
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        pool = self._live_pool()
+        futures = [pool.submit(task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        with self._lock:
+            pool = self._pool
+            self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Process pool: module-level worker with a per-process shard cache
+# ---------------------------------------------------------------------------
+
+#: Per-worker-process cache of loaded shard databases, keyed by the
+#: shard directory.  Lives at module level so every task dispatched to
+#: the same worker process reuses the already-loaded shard.
+_WORKER_SHARDS: Dict[str, Any] = {}
+
+
+def _worker_shard(shard_dir: str, psm: bool) -> Any:
+    db = _WORKER_SHARDS.get(shard_dir)
+    if db is None:
+        from repro.storage.persistence import load_database
+
+        db = load_database(shard_dir, psm=psm)
+        _WORKER_SHARDS[shard_dir] = db
+    return db
+
+
+def run_shard_request(shard_dir: str, request: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one serialized subquery against a persisted shard.
+
+    Runs inside a pool worker process (but is a plain function — the
+    serial/thread paths never use it, and tests call it directly).
+    Returns a picklable result dict; see ``_encode_result``.
+    """
+    from repro.engines.base import PartialResult
+
+    db = _worker_shard(shard_dir, bool(request.get("psm", False)))
+    budget: Optional[QueryBudget] = request.get("budget")
+    deadline_s: Optional[float] = request.get("deadline_s")
+    deadline = None if deadline_s is None else Deadline.after(deadline_s)
+    common: Dict[str, Any] = {
+        "rho": request["rho"],
+        "on_fault": request.get("on_fault", "raise"),
+        "budget": budget,
+        "deadline": deadline,
+    }
+    if request["kind"] == "range":
+        result = db.range_search(
+            request["query"], epsilon=request["epsilon"], **common
+        )
+    else:
+        result = db.search(
+            request["query"],
+            k=request["k"],
+            method=request.get("method", "ru-cost"),
+            deferred=bool(request.get("deferred", False)),
+            **common,
+        )
+    encoded: Dict[str, Any] = {
+        "matches": [
+            (m.distance, m.sid, m.start, m.length) for m in result.matches
+        ],
+        "stats": result.stats.as_dict(),
+        "degraded": result.degraded,
+        "fault_events": [
+            (e.error, e.detail, e.page_id, e.candidate)
+            for e in (
+                result.fault_report.events if result.fault_report else []
+            )
+        ],
+        "fault_suppressed": (
+            result.fault_report.suppressed if result.fault_report else 0
+        ),
+        "partial": isinstance(result, PartialResult),
+    }
+    if isinstance(result, PartialResult):
+        encoded["reason"] = result.reason
+        encoded["certificate"] = result.certificate
+    return encoded
+
+
+@shared_across_queries
+@guarded_by("_lock", "_pool")
+class ProcessShardExecutor:
+    """Run serialized shard requests on a process pool over a saved root."""
+
+    kind = "process"
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self._lock = threading.Lock()
+        # May raise on hosts without working multiprocessing; the
+        # create_executor factory catches that and falls back to threads.
+        self._pool: Optional[Executor] = ProcessPoolExecutor(
+            max_workers=max_workers
+        )
+
+    def _live_pool(self) -> Executor:
+        with self._lock:
+            pool = self._pool
+        if pool is None:
+            raise UsageError("shard executor used after close()")
+        return pool
+
+    def run_requests(
+        self, jobs: Sequence[Tuple[str, Dict[str, Any]]]
+    ) -> List[Dict[str, Any]]:
+        """Dispatch ``(shard_dir, request)`` jobs; one result dict each.
+
+        A worker that dies mid-request (or a broken pool) surfaces as an
+        ``{"error": ...}`` marker for that shard instead of poisoning
+        the whole fan-out — the facade applies its shard-fault policy.
+        """
+        pool = self._live_pool()
+        futures = [
+            pool.submit(run_shard_request, shard_dir, request)
+            for shard_dir, request in jobs
+        ]
+        results: List[Dict[str, Any]] = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as error:  # noqa: BLE001 — per-shard fault policy
+                results.append(
+                    {"error": f"{type(error).__name__}: {error}"}
+                )
+        return results
+
+    def close(self) -> None:
+        with self._lock:
+            pool = self._pool
+            self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ProcessShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def create_executor(
+    kind: str, num_shards: int
+) -> "SerialShardExecutor | ThreadShardExecutor | ProcessShardExecutor":
+    """Build the executor for one sharded database.
+
+    ``process`` needs working OS multiprocessing; when the pool cannot
+    be created the factory falls back to a thread executor (check the
+    returned object's ``kind`` to see what actually runs).
+    """
+    if kind not in EXECUTOR_KINDS:
+        raise ConfigurationError(
+            f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
+        )
+    if kind == "serial":
+        return SerialShardExecutor()
+    workers = max(1, num_shards)
+    if kind == "process":
+        try:
+            return ProcessShardExecutor(max_workers=workers)
+        except (OSError, ImportError, NotImplementedError):
+            return ThreadShardExecutor(max_workers=workers)
+    return ThreadShardExecutor(max_workers=workers)

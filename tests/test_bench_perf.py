@@ -71,6 +71,19 @@ def serve_block(qps=60.0, exact=True, errors=0):
     }
 
 
+def shard_block(speedup=1.3, exact=True):
+    return {
+        "ru_cost_shards4": {
+            "shards": 4,
+            "executor": "thread",
+            "unsharded_ms": 100.0,
+            "sharded_ms": 100.0 / speedup,
+            "speedup": speedup,
+            "exact": exact,
+        }
+    }
+
+
 class TestCompareGate:
     def test_identical_reports_pass(self):
         report = make_report(
@@ -207,6 +220,57 @@ class TestServeGate:
         assert record["completed"] == record["requests"]
         assert record["throughput_qps"] > 0
         assert record["p99_ms"] >= record["p50_ms"]
+
+
+class TestShardGate:
+    def test_identical_reports_pass(self):
+        report = make_report(shard=shard_block())
+        assert perf.compare(report, copy.deepcopy(report)) == []
+
+    def test_exactness_always_gated(self):
+        base = make_report(shard=shard_block())
+        cur = make_report(shard=shard_block(exact=False))
+        regressions = perf.compare(cur, base)
+        assert any("byte-identical" in r.message for r in regressions)
+
+    def test_missing_run_fails(self):
+        base = make_report(shard=shard_block())
+        cur = make_report(shard={})
+        regressions = perf.compare(cur, base)
+        assert any("disappeared" in r.message for r in regressions)
+
+    def test_speedup_dual_criterion(self):
+        base = make_report(shard=shard_block(speedup=1.3))
+        # Below the 1.0x floor but within the relative tolerance of the
+        # committed baseline (1.3 * 0.5 = 0.65): a single-core host, not
+        # a regression.
+        single_core = make_report(shard=shard_block(speedup=0.7))
+        assert perf.compare(single_core, base) == []
+        # Below the floor AND collapsed versus the baseline: a genuine
+        # parallel-path regression.
+        broken = make_report(shard=shard_block(speedup=0.2))
+        regressions = perf.compare(broken, base)
+        assert len(regressions) == 1
+        assert "floor" in regressions[0].message
+
+    def test_speedup_above_floor_never_fails(self):
+        # A host that still clears the absolute floor passes no matter
+        # how fast the baseline host was.
+        base = make_report(shard=shard_block(speedup=3.5))
+        cur = make_report(shard=shard_block(speedup=1.05))
+        assert perf.compare(cur, base) == []
+
+    def test_format_report_renders_shard(self):
+        text = perf.format_report(make_report(shard=shard_block()))
+        assert "ru_cost_shards4" in text
+        assert "speedup" in text
+
+    def test_quick_suite_smoke(self):
+        block = perf.run_shard_suite(seed=0, quick=True)
+        for record in block.values():
+            assert record["exact"] is True
+            assert record["speedup"] > 0
+            assert record["sharded_ms"] > 0
 
 
 class TestReportIO:

@@ -4,9 +4,11 @@ from repro.__main__ import main as cli_main
 from repro.chaos import (
     SCENARIOS,
     SERVE_SCENARIOS,
+    SHARD_SCENARIOS,
     ChaosReport,
     run_chaos,
     run_serve_chaos,
+    run_shard_chaos,
 )
 
 
@@ -74,6 +76,28 @@ class TestRunServeChaos:
         assert report.partials > 0
 
 
+class TestRunShardChaos:
+    def test_small_campaign_holds_every_invariant(self):
+        report = run_shard_chaos(seed=3, iterations=8)
+        assert report.ok, [str(failure) for failure in report.failures]
+        assert report.iterations == 8
+        assert report.checks > 0
+
+    def test_deterministic_across_runs(self):
+        first = run_shard_chaos(seed=5, iterations=6)
+        second = run_shard_chaos(seed=5, iterations=6)
+        assert first.scenario_counts == second.scenario_counts
+        assert first.checks == second.checks
+        assert first.partials == second.partials
+
+    def test_scenarios_all_reachable(self):
+        report = run_shard_chaos(seed=7, iterations=40)
+        assert report.ok, [str(failure) for failure in report.failures]
+        assert set(report.scenario_counts) == set(SHARD_SCENARIOS)
+        # Crashes, budgets, and deadlines must produce honest partials.
+        assert report.partials > 0
+
+
 class TestChaosCli:
     def test_exit_zero_and_summary_on_clean_run(self, capsys):
         assert cli_main(["chaos", "--seed", "3", "--iterations", "4"]) == 0
@@ -99,3 +123,22 @@ class TestChaosCli:
         out = capsys.readouterr().out
         assert "OK" in out
         assert "run_serve_chaos" in out
+
+    def test_shard_suite_exit_zero(self, capsys):
+        assert (
+            cli_main(
+                [
+                    "chaos",
+                    "--suite",
+                    "shard",
+                    "--seed",
+                    "3",
+                    "--iterations",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "run_shard_chaos" in out

@@ -145,6 +145,27 @@ class TestContractDecorators:
         assert StatsRecorder.__repro_shared__ is False
         assert ExecutionControl.__repro_shared__ is False
 
+    def test_shard_classes_declare_contracts(self) -> None:
+        from repro.shard import (
+            ProcessShardExecutor,
+            SerialShardExecutor,
+            ShardedDatabase,
+            ShardedMatchStream,
+            ShardPlanner,
+            ThreadShardExecutor,
+        )
+
+        # Pool-holding executors guard the pool handle with the lock.
+        for cls in (ThreadShardExecutor, ProcessShardExecutor):
+            assert cls.__repro_shared__ is True, cls.__name__
+            assert cls.__repro_guards__ == {"_pool": "_lock"}, cls.__name__
+        # Shared but lock-free by construction (immutable after build).
+        assert ShardedDatabase.__repro_shared__ is True
+        assert SerialShardExecutor.__repro_shared__ is True
+        assert ShardPlanner.__repro_shared__ is True
+        # One stream belongs to one query.
+        assert ShardedMatchStream.__repro_shared__ is False
+
     def test_requires_lock_on_production_helpers(self) -> None:
         assert BufferPool._evict_one.__repro_requires_lock__ == "_lock"
         assert (
@@ -316,3 +337,97 @@ class TestCircuitBreakerUnderThreads:
         _run_threads(worker)
         assert len(breaker._outcomes) == THREADS * iters
         assert breaker.state == "closed"
+
+
+class TestShardedDatabaseUnderThreads:
+    """8 threads hammer one shared ShardedDatabase concurrently.
+
+    The facade is @shared_across_queries: the plan, the shard
+    databases, and the thread-pool executor are shared between every
+    in-flight query, so racing queries must not corrupt each other's
+    merged results.  Every thread checks its answers against
+    single-threaded golden answers captured up front.
+    """
+
+    QUERIES_PER_THREAD = 4
+
+    def test_parallel_queries_stay_exact(self) -> None:
+        import numpy as np
+
+        from repro.shard import ShardedDatabase
+
+        rng = np.random.default_rng(77)
+        db = ShardedDatabase(
+            num_shards=3,
+            policy="hash",
+            executor="thread",
+            omega=8,
+            features=4,
+            buffer_fraction=0.2,
+        )
+        for sid, n in enumerate((400, 300, 350)):
+            db.insert(sid, rng.standard_normal(n).cumsum())
+        db.build()
+        try:
+            methods = ("seqscan", "hlmj", "ru", "ru-cost")
+            queries = [
+                rng.standard_normal(24).cumsum()
+                for _ in range(self.QUERIES_PER_THREAD)
+            ]
+            golden = {
+                (qi, method): db.search(
+                    queries[qi], k=5, rho=1, method=method
+                ).matches
+                for qi in range(len(queries))
+                for method in methods
+            }
+
+            def worker(index: int) -> None:
+                for qi in range(len(queries)):
+                    method = methods[(index + qi) % len(methods)]
+                    result = db.search(
+                        queries[qi], k=5, rho=1, method=method
+                    )
+                    assert result.matches == golden[(qi, method)]
+                    assert result.stats.page_accesses == sum(
+                        s.page_accesses
+                        for s in result.shard_stats.values()
+                    )
+
+            _run_threads(worker)
+        finally:
+            db.close()
+
+    def test_parallel_streams_stay_exact(self) -> None:
+        import numpy as np
+
+        from repro.shard import ShardedDatabase
+
+        rng = np.random.default_rng(78)
+        db = ShardedDatabase(
+            num_shards=2,
+            policy="range",
+            executor="thread",
+            omega=8,
+            features=4,
+            buffer_fraction=0.2,
+        )
+        for sid, n in enumerate((350, 300)):
+            db.insert(sid, rng.standard_normal(n).cumsum())
+        db.build()
+        try:
+            query = rng.standard_normal(24).cumsum()
+            golden_stream = db.iter_matches(query, k=6, rho=1)
+            golden = list(golden_stream)
+            golden_stream.close()
+
+            def worker(index: int) -> None:
+                stream = db.iter_matches(query, k=6, rho=1)
+                try:
+                    assert list(stream) == golden
+                finally:
+                    stream.close()
+
+            _run_threads(worker)
+        finally:
+            db.close()

@@ -78,3 +78,51 @@ class TestTopKCollector:
     def test_invalid_k(self):
         with pytest.raises(QueryError):
             TopKCollector(k=0)
+
+
+class TestTopKCollectorTotalOrder:
+    """The frontier pins the total order (distance, sid, start).
+
+    Regression for a latent tie-breaking nondeterminism: with
+    distance-only comparisons the retained set among equal-distance
+    candidates depended on arrival order, which broke byte-identical
+    sharded-vs-unsharded differential testing (shards enumerate
+    candidates in different orders).
+    """
+
+    CANDIDATES = [
+        (4.0, 1, 7),
+        (4.0, 0, 9),
+        (4.0, 2, 1),
+        (4.0, 0, 3),
+        (1.0, 5, 5),
+        (4.0, 1, 2),
+    ]
+
+    @staticmethod
+    def _collect(order):
+        collector = TopKCollector(k=3)
+        for pow_, sid, start in order:
+            collector.offer_pow(pow_, sid, start)
+        return [(m.distance, m.sid, m.start) for m in collector.matches(4)]
+
+    def test_arrival_order_invariance(self):
+        import itertools
+
+        expected = sorted(
+            (math.sqrt(p), sid, start)
+            for p, sid, start in self.CANDIDATES
+        )[:3]
+        for order in itertools.permutations(self.CANDIDATES):
+            assert self._collect(order) == expected
+
+    def test_equal_distance_ties_prefer_low_sid_then_start(self):
+        collector = TopKCollector(k=2)
+        collector.offer_pow(1.0, 9, 9)
+        collector.offer_pow(1.0, 2, 5)
+        collector.offer_pow(1.0, 2, 4)
+        collector.offer_pow(1.0, 3, 0)
+        assert [(m.sid, m.start) for m in collector.matches(4)] == [
+            (2, 4),
+            (2, 5),
+        ]

@@ -1,0 +1,324 @@
+"""Differential tests: sharded execution vs the single-shard oracle.
+
+The tentpole invariant of the sharding subsystem is *byte identity*:
+for every engine configuration in the golden table, a sharded database
+must return exactly the matches — same distances bit-for-bit, same
+tie-breaking order — that the unsharded oracle returns, for every shard
+count and partitioning policy.  These tests enumerate that grid
+directly; the Hypothesis suite (``test_property_shard.py``) walks
+randomized workloads, and the chaos suite covers faults.
+
+The N=1 column doubles as an accounting check: a single shard holds
+the sequences in the original insertion order, so its index geometry —
+and therefore every golden NUM_IO counter — is identical to the
+unsharded database's.
+"""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.shard import (
+    POLICIES,
+    ShardedDatabase,
+    ShardedSearchResult,
+    ShardPlanner,
+    hash_shard,
+)
+from tests.conftest import (
+    build_golden_db,
+    build_golden_psm_db,
+    make_walk,
+    query_from,
+)
+from tests.test_engines_stats import (
+    GOLDEN_COUNTERS,
+    GOLDEN_DISTANCES,
+    GOLDEN_MATCHES,
+    GOLDEN_PSM_DISTANCES,
+    GOLDEN_PSM_MATCHES,
+    GOLDEN_STAT_KEYS,
+)
+
+SHARD_COUNTS = (1, 2, 3, 7)  # 3 and 7 exceed num_sequences (= 2)
+
+ENGINE_LABELS = (
+    "seqscan", "hlmj", "hlmj-d", "hlmj-wg", "hlmj-wg-d",
+    "ru", "ru-d", "ru-cost", "ru-cost-d",
+)
+
+GRID = [
+    (n, policy) for n in SHARD_COUNTS for policy in POLICIES
+]
+
+
+def _method_of(label):
+    deferred = label.endswith("-d")
+    return (label[:-2] if deferred else label), deferred
+
+
+def build_sharded_golden_db(num_shards, policy, executor="serial"):
+    """The golden workload, partitioned across ``num_shards``."""
+    db = ShardedDatabase(
+        num_shards=num_shards,
+        policy=policy,
+        executor=executor,
+        omega=16,
+        features=4,
+        buffer_fraction=0.1,
+    )
+    db.insert(0, make_walk(3000, seed=11))
+    db.insert(1, make_walk(2200, seed=12))
+    db.build()
+    return db
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return build_golden_db()
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    """One sharded golden database per (num_shards, policy) cell."""
+    dbs = {
+        (n, policy): build_sharded_golden_db(n, policy)
+        for n, policy in GRID
+    }
+    yield dbs
+    for db in dbs.values():
+        db.close()
+
+
+def _num_io_adds_up(result):
+    assert isinstance(result, ShardedSearchResult)
+    assert result.stats.page_accesses == sum(
+        stats.page_accesses for stats in result.shard_stats.values()
+    )
+    assert result.stats.candidates == sum(
+        stats.candidates for stats in result.shard_stats.values()
+    )
+
+
+class TestGoldenDifferential:
+    """Every golden engine config, every shard count, every policy."""
+
+    @pytest.mark.parametrize("label", ENGINE_LABELS)
+    @pytest.mark.parametrize("num_shards,policy", GRID)
+    def test_byte_identical_topk(
+        self, oracle, sharded, label, num_shards, policy
+    ):
+        method, deferred = _method_of(label)
+        query = query_from(oracle, 640, 48)
+        sdb = sharded[(num_shards, policy)]
+        sdb.reset_cache()
+        result = sdb.search(
+            query, k=5, rho=2, method=method, deferred=deferred
+        )
+        # Bit-identical distances and the pinned tie-breaking order.
+        assert [repr(m.distance) for m in result.matches] == GOLDEN_DISTANCES
+        assert [(m.sid, m.start) for m in result.matches] == GOLDEN_MATCHES
+        oracle.reset_cache()
+        gold = oracle.search(
+            query, k=5, rho=2, method=method, deferred=deferred
+        )
+        assert result.matches == gold.matches
+        _num_io_adds_up(result)
+
+    @pytest.mark.parametrize("num_shards,policy", GRID)
+    def test_range_search_identical(self, oracle, sharded, num_shards, policy):
+        query = query_from(oracle, 640, 48)
+        sdb = sharded[(num_shards, policy)]
+        sdb.reset_cache()
+        result = sdb.range_search(query, epsilon=2.5, rho=2)
+        oracle.reset_cache()
+        gold = oracle.range_search(query, epsilon=2.5, rho=2)
+        assert result.matches == gold.matches
+        assert [repr(m.distance) for m in result.matches] == GOLDEN_DISTANCES
+        _num_io_adds_up(result)
+
+    @pytest.mark.parametrize("num_shards,policy", GRID)
+    def test_stream_identical_and_nondecreasing(
+        self, oracle, sharded, num_shards, policy
+    ):
+        query = query_from(oracle, 640, 48)
+        sdb = sharded[(num_shards, policy)]
+        sdb.reset_cache()
+        stream = sdb.iter_matches(query, k=5, rho=2)
+        got = list(stream)
+        oracle.reset_cache()
+        gold_stream = oracle.iter_matches(query, k=5, rho=2)
+        want = list(gold_stream)
+        gold_stream.close()
+        assert got == want
+        keys = [(m.distance, m.sid, m.start) for m in got]
+        assert keys == sorted(keys)
+        assert stream.stats is not None
+        assert stream.stats.page_accesses == sum(
+            stats.page_accesses for stats in stream.shard_stats.values()
+        )
+        assert math.isinf(stream.certificate)
+
+    @pytest.mark.parametrize("label", ENGINE_LABELS)
+    def test_single_shard_matches_golden_counters(self, sharded, label):
+        """N=1 is bit-identical to the unsharded database — NUM_IO too."""
+        method, deferred = _method_of(label)
+        for policy in POLICIES:
+            sdb = sharded[(1, policy)]
+            query = sdb.shards[0].store.peek_subsequence(0, 640, 48).copy()
+            sdb.reset_cache()
+            result = sdb.search(
+                query, k=5, rho=2, method=method, deferred=deferred
+            )
+            expected = GOLDEN_COUNTERS[label]
+            got = {
+                key: getattr(result.stats, key) for key in GOLDEN_STAT_KEYS
+            }
+            want = {key: expected.get(key, 0) for key in GOLDEN_STAT_KEYS}
+            assert got == want, f"{label}/{policy}: N=1 counters drifted"
+
+
+class TestPsmDifferential:
+    @pytest.mark.parametrize("num_shards,policy", GRID)
+    def test_psm_byte_identical(self, num_shards, policy):
+        oracle = build_golden_psm_db()
+        sdb = ShardedDatabase(
+            num_shards=num_shards,
+            policy=policy,
+            executor="serial",
+            omega=8,
+            features=4,
+            buffer_fraction=0.1,
+        )
+        sdb.insert(0, make_walk(900, seed=21))
+        sdb.insert(1, make_walk(700, seed=22))
+        sdb.build(psm=True)
+        try:
+            query = query_from(oracle, 200, 32)
+            result = sdb.search(query, k=3, rho=1, method="psm")
+            gold = oracle.search(query, k=3, rho=1, method="psm")
+            assert result.matches == gold.matches
+            assert [
+                repr(m.distance) for m in result.matches
+            ] == GOLDEN_PSM_DISTANCES
+            assert [
+                (m.sid, m.start) for m in result.matches
+            ] == GOLDEN_PSM_MATCHES
+            _num_io_adds_up(result)
+        finally:
+            sdb.close()
+
+
+class TestTieBreakRegression:
+    """Duplicated sequences force exact cross-shard distance ties.
+
+    With distance-only tie-breaking the merged order depended on which
+    shard answered first; the pinned total order (distance, sid, start)
+    makes sharded and unsharded answers identical even when every
+    distance appears twice.
+    """
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("num_shards", (2, 3))
+    def test_duplicated_sequences(self, policy, num_shards):
+        from repro import SubsequenceDatabase
+
+        walk = make_walk(1200, seed=33)
+        oracle = SubsequenceDatabase(
+            omega=16, features=4, buffer_fraction=0.1
+        )
+        sdb = ShardedDatabase(
+            num_shards=num_shards,
+            policy=policy,
+            executor="serial",
+            omega=16,
+            features=4,
+            buffer_fraction=0.1,
+        )
+        for db in (oracle, sdb):
+            db.insert(0, walk)
+            db.insert(1, walk)  # exact duplicate: every distance ties
+        oracle.build()
+        sdb.build()
+        try:
+            # Only meaningful when the duplicates live on *different*
+            # shards — otherwise the tie never crosses the merge.
+            assignment = sdb.plan.assignment
+            if num_shards > 1 and policy == "range":
+                assert assignment[0] != assignment[1]
+            query = oracle.store.peek_subsequence(0, 500, 48).copy()
+            for method in ("seqscan", "hlmj", "ru", "ru-cost"):
+                gold = oracle.search(query, k=6, rho=2, method=method)
+                got = sdb.search(query, k=6, rho=2, method=method)
+                assert got.matches == gold.matches, method
+                # The duplicate pair straddles sids: ties resolve to
+                # the lower sid first under the total order.
+                by_key = [(m.distance, m.sid) for m in gold.matches]
+                assert by_key == sorted(by_key)
+        finally:
+            sdb.close()
+
+
+class TestTopology:
+    def test_more_shards_than_sequences(self, sharded):
+        sdb = sharded[(7, "hash")]
+        assert len(sdb.shards) <= 2  # only 2 sequences exist
+        assert sdb.plan.empty_shards  # surplus shards stay empty
+
+    def test_hash_routing_is_process_independent(self):
+        # Pinned values: hash_shard must never pick up Python's salted
+        # builtin hash (PYTHONHASHSEED would break cross-process plans).
+        assert [hash_shard(sid, 4) for sid in range(8)] == [
+            0, 2, 0, 1, 1, 0, 2, 3,
+        ]
+
+    def test_range_policy_keeps_adjacent_ids_together(self):
+        plan = ShardPlanner(num_shards=2, policy="range").plan(
+            [5, 1, 9, 3, 7, 11]
+        )
+        assert plan.members(0) == [1, 3, 5]
+        assert plan.members(1) == [7, 9, 11]
+
+    def test_duplicate_sids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardPlanner(num_shards=2).plan([1, 2, 1])
+
+
+class TestPersistenceAndExecutors:
+    def test_save_load_round_trip(self, oracle, tmp_path):
+        sdb = build_sharded_golden_db(3, "hash")
+        query = query_from(oracle, 640, 48)
+        gold = sdb.search(query, k=5, rho=2, method="ru").matches
+        root = tmp_path / "sharded"
+        sdb.save(str(root))
+        sdb.close()
+        with ShardedDatabase.load(str(root), executor="serial") as reloaded:
+            assert reloaded.plan.policy == "hash"
+            assert reloaded.plan.num_shards == 3
+            result = reloaded.search(query, k=5, rho=2, method="ru")
+            assert result.matches == gold
+            _num_io_adds_up(result)
+
+    def test_thread_executor_identical(self, oracle):
+        query = query_from(oracle, 640, 48)
+        with build_sharded_golden_db(3, "hash", executor="thread") as sdb:
+            for method in ("ru", "ru-cost", "hlmj"):
+                gold = oracle.search(query, k=5, rho=2, method=method)
+                got = sdb.search(query, k=5, rho=2, method=method)
+                assert got.matches == gold.matches
+
+    def test_process_executor_identical(self, oracle, tmp_path):
+        query = query_from(oracle, 640, 48)
+        sdb = build_sharded_golden_db(2, "hash")
+        root = tmp_path / "sharded-proc"
+        sdb.save(str(root))
+        sdb.close()
+        reloaded = ShardedDatabase.load(str(root), executor="process")
+        try:
+            gold = oracle.search(query, k=5, rho=2, method="ru")
+            result = reloaded.search(query, k=5, rho=2, method="ru")
+            assert result.matches == gold.matches
+            _num_io_adds_up(result)
+        finally:
+            reloaded.close()
