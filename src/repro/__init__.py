@@ -74,11 +74,17 @@ from repro.shard import (
     ShardPlan,
     ShardPlanner,
 )
+from repro.storage.backends import (
+    FileBackend,
+    MmapBackend,
+    StorageBackend,
+    resolve_backend,
+)
 from repro.storage.buffer import RetryPolicy
 from repro.storage.circuit import CircuitBreaker
 from repro.storage.faults import FaultInjector, FaultSpec, FaultyPager
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "SubsequenceDatabase",
@@ -133,5 +139,9 @@ __all__ = [
     "FaultyPager",
     "FaultReport",
     "RetryPolicy",
+    "StorageBackend",
+    "FileBackend",
+    "MmapBackend",
+    "resolve_backend",
     "__version__",
 ]

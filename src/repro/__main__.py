@@ -118,7 +118,7 @@ def _scrub(args: argparse.Namespace) -> int:
     from repro.storage.persistence import load_database
 
     try:
-        db = load_database(args.directory)
+        db = load_database(args.directory, backend=args.backend)
     except FileNotFoundError as error:
         print(f"scrub: {error}", file=sys.stderr)
         return 1
@@ -199,7 +199,9 @@ def _recover(args: argparse.Namespace) -> int:
     from repro.ingest import recover_database
 
     try:
-        db, report = recover_database(args.root, psm=args.psm)
+        db, report = recover_database(
+            args.root, psm=args.psm, backend=args.backend
+        )
     except FileNotFoundError as error:
         print(f"recover: {error}", file=sys.stderr)
         return 1
@@ -240,7 +242,8 @@ def _bench(args: argparse.Namespace) -> int:
     from repro.bench import perf
 
     suites = (
-        ("kernels", "engines", "tracing", "ingest", "serve", "shard")
+        ("kernels", "engines", "tracing", "ingest", "serve", "shard",
+         "storage")
         if args.suite == "all"
         else (args.suite,)
     )
@@ -566,6 +569,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scrub", help="verify a saved database directory end to end"
     )
     scrub.add_argument("directory", help="database directory to verify")
+    scrub.add_argument(
+        "--backend",
+        choices=("file", "mmap"),
+        default=None,
+        help="storage backend to load under (default: file)",
+    )
     scrub.set_defaults(func=_scrub)
 
     recover = sub.add_parser(
@@ -585,6 +594,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--checkpoint",
         action="store_true",
         help="checkpoint after replay (truncates the WAL)",
+    )
+    recover.add_argument(
+        "--backend",
+        choices=("file", "mmap"),
+        default=None,
+        help="storage backend for the recovered database (default: file)",
     )
     recover.set_defaults(func=_recover)
 
@@ -621,6 +636,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "ingest",
             "serve",
             "shard",
+            "storage",
             "all",
         ),
         default="all",

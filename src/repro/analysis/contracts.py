@@ -141,6 +141,43 @@ LOWER_BOUND_CONTRACTS: Mapping[str, BoundContract] = MappingProxyType(
             bounds="DTW_rho(Q, S) ** p (Definition 6, per equivalence class)",
             tightens="",
         ),
+        "lb_keogh_znorm_pow": BoundContract(
+            kind="lower",
+            bounds="DTW_rho(Q_hat, (S - mu) / sigma) ** p",
+            tightens="",
+        ),
+        "lb_paa_znorm_pow_batch": BoundContract(
+            kind="lower",
+            bounds=(
+                "LB_Keogh(E(Q_hat), (S_b - mu_b) / sigma_b) ** p per batch "
+                "row (deflated for affine-PAA float rounding)"
+            ),
+            tightens="lb_keogh_znorm_pow",
+        ),
+        "mindist_znorm_pow_batch": BoundContract(
+            kind="lower",
+            bounds=(
+                "LB_PAA_znorm ** p for every candidate in MBR_b with stats "
+                "in the (mu, sigma) box, per row"
+            ),
+            tightens="lb_paa_znorm_pow_batch",
+        ),
+        "maxdist_znorm_pow_batch": BoundContract(
+            kind="upper",
+            bounds=(
+                "LB_PAA_znorm ** p over every candidate in MBR_b with stats "
+                "in the (mu, sigma) box, per row"
+            ),
+            tightens="",
+        ),
+        "batch_lower_bounds_znorm": BoundContract(
+            kind="lower",
+            bounds=(
+                "LB_PAA_znorm ** p per entry (near; far is the normalized "
+                "MAXDIST upper bound)"
+            ),
+            tightens="mindist_znorm_pow_batch",
+        ),
     }
 )
 

@@ -37,7 +37,15 @@ from __future__ import annotations
 
 import math
 import pathlib
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.control import (
     AdmissionController,
@@ -69,9 +77,10 @@ from repro.exceptions import (
 from repro.index.builder import DualMatchIndex, build_index
 from repro.obs import QueryProfile
 from repro.obs.tracer import NULL_TRACER, Span, Tracer
+from repro.storage.backends import StorageBackend, resolve_backend
 from repro.storage.buffer import BufferPool, RetryPolicy
 from repro.storage.circuit import CircuitBreaker
-from repro.storage.faults import FaultInjector, FaultyPager
+from repro.storage.faults import FaultInjector
 from repro.storage.page import PAGE_SIZE_DEFAULT, PageKind
 from repro.storage.pager import Pager
 from repro.storage.sequences import SequenceStore
@@ -136,6 +145,13 @@ class SubsequenceDatabase:
         to the disabled null tracer — the untraced fast path is
         byte-identical to a database built without one.  Can be swapped
         later with :meth:`set_tracer`.
+    backend:
+        Storage backend spec: ``None``/``"file"`` (reference, heap
+        payloads), ``"mmap"`` (zero-copy data pages over a read-only
+        memory map), or a :class:`~repro.storage.backends.StorageBackend`
+        instance.  Backends are a runtime cache policy — results, page
+        access counts, and the on-disk persistence format are identical
+        across them.  See :mod:`repro.storage.backends`.
     """
 
     def __init__(
@@ -152,6 +168,7 @@ class SubsequenceDatabase:
         circuit_breaker: Optional[CircuitBreaker] = None,
         admission: Optional[AdmissionController] = None,
         tracer: Optional[Tracer] = None,
+        backend: Union[None, str, StorageBackend] = None,
     ) -> None:
         if not 0 < buffer_fraction <= 1:
             raise ConfigurationError(
@@ -163,12 +180,10 @@ class SubsequenceDatabase:
         self.p = p
         self.buffer_fraction = buffer_fraction
         self.clock = clock
-        if fault_injector is not None:
-            self.pager: Pager = FaultyPager(
-                page_size=page_size, injector=fault_injector, clock=clock
-            )
-        else:
-            self.pager = Pager(page_size=page_size)
+        self._backend = resolve_backend(backend)
+        self.pager: Pager = self._backend.open_pager(
+            page_size=page_size, fault_injector=fault_injector, clock=clock
+        )
         self.buffer = BufferPool(
             self.pager,
             capacity_pages=1,
@@ -204,6 +219,30 @@ class SubsequenceDatabase:
         self.buffer.tracer = tracer
         if self._wal is not None:
             self._wal.tracer = tracer
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage backend serving this database's pages."""
+        return self._backend
+
+    def close(self) -> None:
+        """Release backend resources (maps, scratch files).  Idempotent.
+
+        The database stays usable afterwards — a zero-copy backend
+        migrates still-live views back to heap arrays before unmapping —
+        but new queries run on heap pages.  Also usable as a context
+        manager::
+
+            with SubsequenceDatabase(backend="mmap") as db:
+                ...
+        """
+        self._backend.close()
+
+    def __enter__(self) -> "SubsequenceDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     @property
     def circuit_breaker(self) -> Optional[CircuitBreaker]:
@@ -247,6 +286,9 @@ class SubsequenceDatabase:
             self._sliding_index = build_sliding_index(
                 self.store, omega=self.omega, features=self.features, p=self.p
             )
+        # Let the backend install its query-serving representation
+        # (e.g. zero-copy mmap views) before checksums snapshot it.
+        self._backend.attach(self)
         # The page file is now in its query-serving state: snapshot
         # per-page checksums so every later fetch is verified.
         self.pager.seal()
@@ -321,6 +363,7 @@ class SubsequenceDatabase:
         budget: Optional[QueryBudget] = None,
         deadline: Optional[Deadline] = None,
         token: Optional[CancellationToken] = None,
+        normalize: bool = False,
     ) -> SearchResult:
         """Find the ``k`` subsequences nearest to ``query`` under DTW.
 
@@ -353,6 +396,14 @@ class SubsequenceDatabase:
         token:
             Optional :class:`~repro.control.CancellationToken` the
             caller can cancel from outside.
+        normalize:
+            Match under z-normalized DTW: the query and every candidate
+            are z-normalized (each by its own mean and standard
+            deviation) before distances are computed.  Exact — the
+            normalized lower bounds of :mod:`repro.core.normalize` keep
+            the same sandwich guarantees as the raw ones — and the
+            default raw path is byte-identical to before the flag
+            existed.
 
         When any limit trips mid-query, the return value is a
         :class:`~repro.engines.base.PartialResult`: the best-k-so-far
@@ -364,7 +415,12 @@ class SubsequenceDatabase:
             rho = max(1, int(0.05 * len(query)))
         engine = self._engine(method, cost_config)
         config = EngineConfig(
-            k=k, rho=rho, deferred=deferred, p=self.p, on_fault=on_fault
+            k=k,
+            rho=rho,
+            deferred=deferred,
+            p=self.p,
+            on_fault=on_fault,
+            normalize=normalize,
         )
         control = ExecutionControl(
             budget=budget, deadline=deadline, token=token,
@@ -440,14 +496,16 @@ class SubsequenceDatabase:
         budget: Optional[QueryBudget] = None,
         deadline: Optional[Deadline] = None,
         token: Optional[CancellationToken] = None,
+        normalize: bool = False,
     ) -> SearchResult:
         """All subsequences within DTW distance ``epsilon`` of ``query``.
 
         The classical range subsequence matching query of the FRM /
         DualMatch lineage the paper builds on; exact under the banded
         DTW model.  Results are sorted best-first, with the same
-        ``on_fault`` policy, fault reporting, and budget / deadline /
-        cancellation surface as :meth:`search`.
+        ``on_fault`` policy, fault reporting, budget / deadline /
+        cancellation surface, and ``normalize`` semantics as
+        :meth:`search`.
         """
         from repro.engines.range_search import RangeSearchEngine
 
@@ -467,6 +525,7 @@ class SubsequenceDatabase:
             p=self.p,
             on_fault=on_fault,
             control=control,
+            normalize=normalize,
         )
 
     def iter_matches(
@@ -479,6 +538,7 @@ class SubsequenceDatabase:
         budget: Optional[QueryBudget] = None,
         deadline: Optional[Deadline] = None,
         token: Optional[CancellationToken] = None,
+        normalize: bool = False,
     ) -> "MatchStream":
         """Stream up to ``k`` matches lazily, best first.
 
@@ -505,7 +565,9 @@ class SubsequenceDatabase:
             raise IndexNotBuiltError("call build() before iter_matches()")
         if rho is None:
             rho = max(1, int(0.05 * len(query)))
-        config = EngineConfig(k=k, rho=rho, p=self.p, on_fault=on_fault)
+        config = EngineConfig(
+            k=k, rho=rho, p=self.p, on_fault=on_fault, normalize=normalize
+        )
         control = ExecutionControl(
             budget=budget, deadline=deadline, token=token,
             tracer=self._tracer,
@@ -595,12 +657,20 @@ class SubsequenceDatabase:
 
     @classmethod
     def load(
-        cls, directory: "PathLike", psm: bool = False
+        cls,
+        directory: "PathLike",
+        psm: bool = False,
+        backend: Union[None, str, StorageBackend] = None,
     ) -> "SubsequenceDatabase":
-        """Reconstruct a database saved with :meth:`save`."""
+        """Reconstruct a database saved with :meth:`save`.
+
+        ``backend`` selects the storage backend the reloaded database
+        runs on (the persisted format is backend-independent, so any
+        save loads under any backend).
+        """
         from repro.storage.persistence import load_database
 
-        return load_database(directory, psm=psm)
+        return load_database(directory, psm=psm, backend=backend)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -703,6 +773,7 @@ class MatchStream(Iterator[Match]):
         control: ExecutionControl,
     ) -> None:
         from repro.core.metrics import StatsRecorder
+        from repro.core.normalize import NormalizationContext
         from repro.core.windows import QueryWindowSet
         from repro.engines.base import CandidateEvaluator
         from repro.engines.ranked_union import PhiOperator, UnionOperator
@@ -717,7 +788,16 @@ class MatchStream(Iterator[Match]):
             rho=config.rho,
             p=config.p,
             data_stride=db.index.data_stride,
+            normalize=config.normalize,
         )
+        # Candidate-side normalization stats come from in-memory
+        # metadata (no page I/O), so build them before the recorder
+        # starts counting.
+        norm: Optional[NormalizationContext] = None
+        if config.normalize:
+            norm = NormalizationContext(
+                db.index.store, self._window_set.length
+            )
         self._recorder = StatsRecorder(db.pager, db.buffer).start()
         pager_stats = db.pager.stats
         reads_at_start = pager_stats.physical_reads
@@ -751,6 +831,7 @@ class MatchStream(Iterator[Match]):
             config=config,
             stats=self._recorder.stats,
             control=control,
+            norm=norm,
         )
         children = [
             PhiOperator(

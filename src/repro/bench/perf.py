@@ -903,6 +903,90 @@ def run_shard_suite(seed: int = 0, quick: bool = False) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Storage backend suite
+# ----------------------------------------------------------------------
+
+
+def run_storage_suite(seed: int = 0, quick: bool = False) -> Dict[str, Any]:
+    """File versus mmap backend on the same workload (large config).
+
+    Builds one seeded database twice — once per backend — and times the
+    same cold-cache ranked query on both.  ``exact`` gates byte-identical
+    matches, distances, *and* NUM_IO between the backends (the mmap
+    backend is a page-cache substitution, so every deterministic counter
+    must survive it); wall time is recorded but never gated, since the
+    zero-copy win depends on the host.  A second entry repeats the
+    comparison under z-normalized matching.
+    """
+    from repro import SubsequenceDatabase
+
+    repeats = 2 if quick else 4
+    walks = {0: _make_walk(3000, seed=seed + 11),
+             1: _make_walk(2200, seed=seed + 12)}
+
+    def build(backend: str) -> "SubsequenceDatabase":
+        db = SubsequenceDatabase(
+            omega=16, features=4, buffer_fraction=0.1, backend=backend
+        )
+        for sid, values in walks.items():
+            db.insert(sid, values)
+        db.build()
+        return db
+
+    results: Dict[str, Any] = {}
+    file_db = build("file")
+    mmap_db = build("mmap")
+    query = file_db.store.peek_subsequence(0, 640, 48).copy()
+    try:
+        for normalize in (False, True):
+            records = {}
+            for name, db in (("file", file_db), ("mmap", mmap_db)):
+                db.reset_cache()
+                result = db.search(
+                    query, k=5, rho=2, method="ru-cost", normalize=normalize
+                )
+                seconds = _best_seconds(
+                    lambda db=db: (
+                        db.reset_cache(),
+                        db.search(
+                            query,
+                            k=5,
+                            rho=2,
+                            method="ru-cost",
+                            normalize=normalize,
+                        ),
+                    ),
+                    repeats,
+                )
+                records[name] = {
+                    "record": _engine_record(result),
+                    "cold_ms": seconds * 1e3,
+                }
+            file_rec = records["file"]["record"]
+            mmap_rec = records["mmap"]["record"]
+            exact = (
+                file_rec["counters"] == mmap_rec["counters"]
+                and file_rec["distances"] == mmap_rec["distances"]
+                and file_rec["matches"] == mmap_rec["matches"]
+            )
+            label = "ru_cost_znorm" if normalize else "ru_cost_raw"
+            results[label] = {
+                "normalize": normalize,
+                "file_ms": records["file"]["cold_ms"],
+                "mmap_ms": records["mmap"]["cold_ms"],
+                "speedup": (
+                    records["file"]["cold_ms"] / records["mmap"]["cold_ms"]
+                ),
+                "page_accesses": file_rec["counters"]["page_accesses"],
+                "exact": exact,
+            }
+    finally:
+        mmap_db.close()
+        file_db.close()
+    return results
+
+
+# ----------------------------------------------------------------------
 # Reports, baselines, and the gate
 # ----------------------------------------------------------------------
 
@@ -937,6 +1021,8 @@ def run_suites(
         suite_block["serve"] = run_serve_suite(seed=seed, quick=quick)
     if "shard" in suites:
         suite_block["shard"] = run_shard_suite(seed=seed, quick=quick)
+    if "storage" in suites:
+        suite_block["storage"] = run_storage_suite(seed=seed, quick=quick)
     report["suites"] = suite_block
     return report
 
@@ -1190,6 +1276,38 @@ def compare(
                         f"{SHARD_SPEEDUP_TOLERANCE:.0%})",
                     )
                 )
+
+    base_storage = baseline_suites.get("storage")
+    cur_storage = current_suites.get("storage")
+    if base_storage is not None and cur_storage is not None:
+        for label, base in base_storage.items():
+            cur = cur_storage.get(label)
+            if cur is None:
+                regressions.append(
+                    Regression("storage", label, "storage run disappeared")
+                )
+                continue
+            # Exactness (and the pinned NUM_IO) gate unconditionally;
+            # the mmap-vs-file timing ratio is host-dependent and is
+            # recorded but never gated.
+            if not cur.get("exact", False):
+                regressions.append(
+                    Regression(
+                        "storage",
+                        label,
+                        "file and mmap backends no longer byte-identical "
+                        "(matches, distances, or counters drifted)",
+                    )
+                )
+            if cur.get("page_accesses") != base.get("page_accesses"):
+                regressions.append(
+                    Regression(
+                        "storage",
+                        label,
+                        f"NUM_IO drifted: {base.get('page_accesses')} -> "
+                        f"{cur.get('page_accesses')}",
+                    )
+                )
     return regressions
 
 
@@ -1293,6 +1411,21 @@ def format_report(report: Dict[str, Any]) -> str:
                 f"{label:>20s} {float(record['unsharded_ms']):>9.1f}ms "
                 f"{float(record['sharded_ms']):>9.1f}ms "
                 f"{float(record['speedup']):>8.2f}x "
+                f"{'yes' if record['exact'] else 'NO':>6s}"
+            )
+    storage = suites.get("storage")
+    if storage:
+        lines.append("")
+        lines.append(
+            f"{'storage':>16s} {'file':>11s} {'mmap':>11s} "
+            f"{'speedup':>9s} {'pages':>7s} {'exact':>6s}"
+        )
+        for label, record in storage.items():
+            lines.append(
+                f"{label:>16s} {float(record['file_ms']):>9.1f}ms "
+                f"{float(record['mmap_ms']):>9.1f}ms "
+                f"{float(record['speedup']):>8.2f}x "
+                f"{record['page_accesses']:>7,d} "
                 f"{'yes' if record['exact'] else 'NO':>6s}"
             )
     return "\n".join(lines)

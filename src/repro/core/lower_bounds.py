@@ -321,6 +321,221 @@ def batch_lower_bounds(
     return near, far
 
 
+# ---------------------------------------------------------------------------
+# Z-normalized bounds (ROADMAP item 3; KV-match / UCR-suite style matching).
+#
+# Under `normalize=True` a candidate S with per-window stats (mu, sigma) is
+# matched as (S - mu) / sigma against a z-normalized query.  The leaf-level
+# bounds below transform the candidate exactly (same arithmetic as the
+# verification path, so LB_Keogh stays float-sound against the normalized
+# DTW); the PAA and MBR forms exploit that PAA is affine-equivariant
+# (PAA((x - mu) / sigma) == (PAA(x) - mu) / sigma in real arithmetic) and
+# carry a one-part-in-1e9 deflation that absorbs the float rounding of the
+# affine transform, keeping the Lemma 1 chain sound in float space:
+#
+#   DTW_znorm >= LB_Keogh_znorm >= LB_PAA_znorm >= MINDIST_znorm
+#
+# Internal R*-tree nodes aggregate candidates with *different* stats, so
+# their rectangles are transformed under the global [mu_lo, mu_hi] x
+# [sigma_lo, sigma_hi] box of the store: per dimension the transform
+# t(x) = (x - mu) / sigma is monotone in x and attains its extremes over
+# the (mu, sigma) box at the box corners, so the 4-corner hull encloses
+# every per-candidate transformed rectangle and MINDIST over it
+# lower-bounds every candidate the subtree can contain.
+# ---------------------------------------------------------------------------
+
+#: Relative margins absorbing float rounding of the affine PAA / corner
+#: transforms.  Deflation keeps lower bounds sound (never above the true
+#: quantity); inflation keeps the MAXDIST upper bound sound.
+_ZNORM_DEFLATE = 1.0 - 1e-9
+_ZNORM_INFLATE = 1.0 + 1e-9
+
+
+def _validate_stat_ranges(
+    mu_range: Tuple[float, float], sigma_range: Tuple[float, float]
+) -> Tuple[float, float, float, float]:
+    """Unpack and sanity-check the global ``(mu, sigma)`` box."""
+    mu_lo, mu_hi = float(mu_range[0]), float(mu_range[1])
+    sigma_lo, sigma_hi = float(sigma_range[0]), float(sigma_range[1])
+    if mu_hi < mu_lo:
+        raise QueryError(f"mu_range is inverted: ({mu_lo}, {mu_hi})")
+    if not sigma_lo > 0.0 or sigma_hi < sigma_lo:
+        raise QueryError(
+            f"sigma_range must be positive and ordered, got "
+            f"({sigma_lo}, {sigma_hi})"
+        )
+    return mu_lo, mu_hi, sigma_lo, sigma_hi
+
+
+def _znorm_rect_hull(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    mu_range: Tuple[float, float],
+    sigma_range: Tuple[float, float],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Hull of ``(rect - mu) / sigma`` over the ``(mu, sigma)`` box."""
+    mu_lo, mu_hi, sigma_lo, sigma_hi = _validate_stat_ranges(
+        mu_range, sigma_range
+    )
+    corners = [
+        (mu_lo, sigma_lo),
+        (mu_lo, sigma_hi),
+        (mu_hi, sigma_lo),
+        (mu_hi, sigma_hi),
+    ]
+    hull_low = np.minimum.reduce([(lows - mu) / sig for mu, sig in corners])
+    hull_high = np.maximum.reduce([(highs - mu) / sig for mu, sig in corners])
+    return hull_low, hull_high
+
+
+def lb_keogh_znorm_pow(
+    envelope: Envelope,
+    values: Sequence[float],
+    mu: float,
+    sigma: float,
+    p: float = 2.0,
+) -> float:
+    """``LB_Keogh(E(Q_hat), (S - mu) / sigma) ** p``.
+
+    ``envelope`` is the envelope of the *z-normalized* query; the
+    candidate is transformed with exactly the arithmetic of
+    :func:`repro.core.normalize.znormalize`, so this bound relates to
+    the normalized-space DTW precisely as the raw ``lb_keogh_pow``
+    relates to raw DTW — no margin needed.
+    """
+    if not sigma > 0.0:
+        raise QueryError(f"sigma must be positive, got {sigma}")
+    array = (np.asarray(values, dtype=np.float64) - mu) / sigma
+    return lb_keogh_pow(envelope, array, p)
+
+
+def lb_paa_znorm_pow_batch(
+    paa_lower: np.ndarray,
+    paa_upper: np.ndarray,
+    paa_rows: Sequence[Sequence[float]],
+    mus: np.ndarray,
+    sigmas: np.ndarray,
+    seg_len: int,
+    p: float = 2.0,
+) -> np.ndarray:
+    """``LB_PAA`` of per-candidate z-normalized PAA points, deflated.
+
+    Row ``b``'s stored raw PAA point is mapped through that candidate's
+    own ``(mu_b, sigma_b)`` — exact by PAA affine-equivariance up to
+    float rounding, which the deflation absorbs — then scored against
+    the normalized query's PAA envelope.
+    """
+    array = _as_batch(paa_rows, "PAA batch")
+    mus64 = np.asarray(mus, dtype=np.float64)
+    sigmas64 = np.asarray(sigmas, dtype=np.float64)
+    if mus64.shape != (array.shape[0],) or sigmas64.shape != (array.shape[0],):
+        raise QueryError(
+            f"per-row stats must have shape ({array.shape[0]},), got "
+            f"{mus64.shape} and {sigmas64.shape}"
+        )
+    if not bool(np.all(sigmas64 > 0.0)):
+        raise QueryError("sigmas must all be positive")
+    norm_rows = (array - mus64[:, None]) / sigmas64[:, None]
+    return _ZNORM_DEFLATE * lb_paa_pow_batch(
+        paa_lower, paa_upper, norm_rows, seg_len, p
+    )
+
+
+def mindist_znorm_pow_batch(
+    paa_lower: np.ndarray,
+    paa_upper: np.ndarray,
+    rect_lows: Sequence[Sequence[float]],
+    rect_highs: Sequence[Sequence[float]],
+    mu_range: Tuple[float, float],
+    sigma_range: Tuple[float, float],
+    seg_len: int,
+    p: float = 2.0,
+) -> np.ndarray:
+    """``MINDIST`` of raw MBRs seen through the global stats box.
+
+    Each rectangle is enlarged to the corner hull of its image under
+    every ``(mu, sigma)`` in the box, then scored with the standard
+    MINDIST and deflated.  Enlarging the rectangle can only shrink
+    MINDIST, so the result lower-bounds ``lb_paa_znorm_pow_batch`` of
+    every candidate inside the subtree whose stats lie in the box.
+    """
+    lows = _as_batch(rect_lows, "rectangle lows")
+    highs = _as_batch(rect_highs, "rectangle highs")
+    if lows.shape != highs.shape:
+        raise QueryError(
+            f"rectangle halves differ in shape: {lows.shape} vs {highs.shape}"
+        )
+    hull_low, hull_high = _znorm_rect_hull(lows, highs, mu_range, sigma_range)
+    return _ZNORM_DEFLATE * mindist_pow_batch(
+        paa_lower, paa_upper, hull_low, hull_high, seg_len, p
+    )
+
+
+def maxdist_znorm_pow_batch(
+    paa_lower: np.ndarray,
+    paa_upper: np.ndarray,
+    rect_lows: Sequence[Sequence[float]],
+    rect_highs: Sequence[Sequence[float]],
+    mu_range: Tuple[float, float],
+    sigma_range: Tuple[float, float],
+    seg_len: int,
+    p: float = 2.0,
+) -> np.ndarray:
+    """``MAXDIST`` over the same corner hull, inflated.
+
+    Enlarging the rectangle can only grow MAXDIST, so this stays an
+    upper bound on every in-box candidate's normalized ``LB_PAA``; it
+    only feeds RU-COST's density ordering, never pruning.
+    """
+    lows = _as_batch(rect_lows, "rectangle lows")
+    highs = _as_batch(rect_highs, "rectangle highs")
+    if lows.shape != highs.shape:
+        raise QueryError(
+            f"rectangle halves differ in shape: {lows.shape} vs {highs.shape}"
+        )
+    hull_low, hull_high = _znorm_rect_hull(lows, highs, mu_range, sigma_range)
+    return _ZNORM_INFLATE * maxdist_pow_batch(
+        paa_lower, paa_upper, hull_low, hull_high, seg_len, p
+    )
+
+
+def batch_lower_bounds_znorm(
+    paa_lower: np.ndarray,
+    paa_upper: np.ndarray,
+    rect_lows: Sequence[Sequence[float]],
+    rect_highs: Sequence[Sequence[float]],
+    mu_range: Tuple[float, float],
+    sigma_range: Tuple[float, float],
+    seg_len: int,
+    p: float = 2.0,
+    include_far: bool = False,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Normalized analogue of :func:`batch_lower_bounds` for node blocks."""
+    near = mindist_znorm_pow_batch(
+        paa_lower,
+        paa_upper,
+        rect_lows,
+        rect_highs,
+        mu_range,
+        sigma_range,
+        seg_len,
+        p,
+    )
+    far: Optional[np.ndarray] = None
+    if include_far:
+        far = maxdist_znorm_pow_batch(
+            paa_lower,
+            paa_upper,
+            rect_lows,
+            rect_highs,
+            mu_range,
+            sigma_range,
+            seg_len,
+            p,
+        )
+    return near, far
+
+
 def mdmwp_pow(min_pair_pow: float, r: int) -> float:
     """``MDMWP-distance ** p`` (Definition 2): ``r * d(q_m, s_m)^p``.
 

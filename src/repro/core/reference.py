@@ -143,6 +143,46 @@ def reference_paa(values: Sequence[float], features: int) -> np.ndarray:
     return out
 
 
+def reference_rolling_stats(
+    values: Sequence[float], window: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-window ``(mu, sigma_eff)`` via naive two-pass scalar loops.
+
+    The oracle for :func:`repro.core.normalize.rolling_stats`: each
+    window is summed twice (mean, then centred squares) in plain Python
+    floats, with the same constant-window convention — a deviation at
+    or below ``1e-10`` is replaced by ``1.0``.
+    """
+    if window < 1:
+        raise QueryError(f"window must be >= 1, got {window}")
+    vals = _as_float_list(values)
+    count = len(vals) - window + 1
+    mus: List[float] = []
+    sigmas: List[float] = []
+    for start in range(max(0, count)):
+        chunk = vals[start : start + window]
+        mean = sum(chunk) / window
+        var = sum((v - mean) * (v - mean) for v in chunk) / window
+        sigma = math.sqrt(var)
+        mus.append(mean)
+        sigmas.append(sigma if sigma > 1e-10 else 1.0)
+    return (
+        np.asarray(mus, dtype=np.float64),
+        np.asarray(sigmas, dtype=np.float64),
+    )
+
+
+def reference_znormalize(values: Sequence[float]) -> np.ndarray:
+    """Whole-sequence z-normalization via the scalar stats oracle."""
+    vals = _as_float_list(values)
+    if not vals:
+        raise QueryError("cannot z-normalize an empty sequence")
+    mus, sigmas = reference_rolling_stats(vals, len(vals))
+    mean = float(mus[0])
+    sigma = float(sigmas[0])
+    return np.asarray([(v - mean) / sigma for v in vals], dtype=np.float64)
+
+
 def _reference_gap(lower: float, upper: float, value: float) -> float:
     """Scalar distance from ``value`` to the band ``[lower, upper]``."""
     if value > upper:

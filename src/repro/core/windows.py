@@ -34,6 +34,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.envelope import Envelope, query_envelope
+from repro.core.normalize import znormalize
 from repro.core.paa import paa, segment_length
 from repro.exceptions import QueryError, QueryTooShortError
 
@@ -114,6 +115,9 @@ class QueryWindowSet:
     data_stride: int
     windows: List[QueryWindow] = field(repr=False)
     classes: List[List[QueryWindow]] = field(repr=False)
+    #: Whether :attr:`query` (and hence the envelope and every PAA
+    #: window) is the z-normalized form of the caller's query.
+    normalized: bool = False
 
     @property
     def length(self) -> int:
@@ -140,11 +144,15 @@ class QueryWindowSet:
         p: float = 2.0,
         envelope: Optional[Envelope] = None,
         data_stride: Optional[int] = None,
+        normalize: bool = False,
     ) -> "QueryWindowSet":
         """Construct envelope, query windows, and the MSEQ partition.
 
         ``data_stride`` (``J``) defaults to ``omega`` (DualMatch) and
-        must divide ``omega``.
+        must divide ``omega``.  With ``normalize`` the query is first
+        z-normalized (whole-query mean/std, the UCR convention), so the
+        envelope and every PAA window live in normalized space; pass no
+        precomputed ``envelope`` in that case.
 
         Raises
         ------
@@ -167,6 +175,13 @@ class QueryWindowSet:
                 f"would break"
             )
         segment_length(omega, features)  # validates omega/features pairing
+        if normalize:
+            if envelope is not None:
+                raise QueryError(
+                    "normalize=True rebuilds the envelope in normalized "
+                    "space; do not pass a precomputed envelope"
+                )
+            array = np.ascontiguousarray(znormalize(array))
         if envelope is None:
             envelope = query_envelope(array, rho)
         windows: List[QueryWindow] = []
@@ -195,6 +210,7 @@ class QueryWindowSet:
             data_stride=stride,
             windows=windows,
             classes=classes,
+            normalized=normalize,
         )
 
     def class_of(self, sliding_offset: int) -> List[QueryWindow]:

@@ -31,6 +31,7 @@ from repro.core.distance import dtw_pow
 from repro.core.envelope import Envelope
 from repro.core.lower_bounds import lb_keogh_pow
 from repro.core.metrics import QueryStats, StatsRecorder
+from repro.core.normalize import NormalizationContext, znormalize
 from repro.core.results import Match, TopKCollector
 from repro.core.windows import QueryWindowSet
 from repro.exceptions import (
@@ -73,6 +74,13 @@ class EngineConfig:
         still returns a well-formed top-k over everything readable, and
         flags the result ``degraded=True`` with a per-query
         :class:`FaultReport` — availability over exactness.
+    normalize:
+        Match in z-normalized space (amplitude/offset-invariant): the
+        query and every candidate window are normalized to zero mean and
+        unit variance before bounding and DTW, using the online
+        rolling-stats kernel of :mod:`repro.core.normalize` and the
+        ``*_znorm_*`` members of the RS005 bound chain.  ``False`` (the
+        default) preserves the raw paper semantics bit for bit.
     """
 
     k: int
@@ -81,6 +89,7 @@ class EngineConfig:
     deferred_fraction: float = 0.005
     p: float = 2.0
     on_fault: str = "raise"
+    normalize: bool = False
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -232,12 +241,18 @@ class CandidateEvaluator:
         config: EngineConfig,
         stats: QueryStats,
         control: Optional[ExecutionControl] = None,
+        norm: Optional[NormalizationContext] = None,
     ) -> None:
         self._index = index
         self._envelope = envelope
         self._query = query
         self._config = config
         self.stats = stats
+        #: Per-query candidate statistics when matching in z-normalized
+        #: space (``None`` on the raw path).  Engines read this to build
+        #: their per-window :class:`~repro.core.normalize.WindowNormalizer`
+        #: adapters so bounds and verification share the same stats.
+        self.norm = norm
         #: The query's budget/deadline/cancellation checkpoints.  Engines
         #: bind this as their local ``budget`` and checkpoint at every
         #: traversal-loop boundary (lint rule RS007).  A default
@@ -351,6 +366,12 @@ class CandidateEvaluator:
             self.fault(error, candidate=(sid, start))
             return None
         self.stats.candidates += 1
+        if self.norm is not None:
+            # One transform serves both LB_Keogh and DTW below — the
+            # arithmetic of lb_keogh_znorm_pow, applied once, so bound
+            # and verification see the identical normalized array.
+            mu, sigma = self.norm.stats(sid, start)
+            values = znormalize(values, mu, sigma)
         threshold_pow = self.threshold_pow
         self.stats.lb_keogh_computations += 1
         keogh_pow = lb_keogh_pow(self._envelope, values, self._config.p)
@@ -489,7 +510,16 @@ class Engine(abc.ABC):
             rho=config.rho,
             p=config.p,
             data_stride=getattr(self.index, "data_stride", None),
+            normalize=config.normalize,
         )
+        # Candidate stats are priced before I/O accounting starts: the
+        # context reads through the zero-copy peek path, so NUM_IO still
+        # counts exactly the pages the engine itself faults in.
+        norm: Optional[NormalizationContext] = None
+        if config.normalize:
+            norm = NormalizationContext(
+                self.index.store, window_set.length
+            )
         recorder = StatsRecorder(
             self.index.store.pager, self.index.store.buffer
         ).start()
@@ -506,6 +536,7 @@ class Engine(abc.ABC):
             config=config,
             stats=recorder.stats,
             control=control,
+            norm=norm,
         )
         tracer = control.tracer
         interrupt: Optional[ExecutionInterrupted] = None

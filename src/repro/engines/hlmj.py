@@ -27,16 +27,19 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List, Tuple, cast
+from typing import List, Optional, Tuple, cast
 
 import numpy as np
 
 from repro.core.lower_bounds import (
     batch_lower_bounds,
+    batch_lower_bounds_znorm,
     lb_paa_pow,
     lb_paa_pow_batch,
+    lb_paa_znorm_pow_batch,
     min_disjoint_windows,
 )
+from repro.core.normalize import NormalizationContext, WindowNormalizer
 from repro.core.windows import (
     QueryWindow,
     QueryWindowSet,
@@ -82,14 +85,24 @@ class HlmjEngine(Engine):
         start: int,
         stats: QueryStats,
         p: float,
+        norm: Optional[NormalizationContext] = None,
     ) -> float:
         """Sum of LB_PAA terms over every class window the candidate
-        fully contains (the window-group distance, p-th power)."""
+        fully contains (the window-group distance, p-th power).
+
+        Under normalized matching every contained window is a window of
+        the *same* candidate, so all terms transform by the candidate's
+        own ``(mu, sigma)`` — the stats the verification path will use.
+        """
         table = self.index.window_point_table()
         omega = self.index.omega
         stride = self.index.data_stride
         seg_len = self.index.seg_len
         stats.window_group_evaluations += 1
+        if norm is not None:
+            mu, sigma = norm.stats(sid, start)
+            mus = np.asarray([mu], dtype=np.float64)
+            sigmas = np.asarray([sigma], dtype=np.float64)
         # The candidate's class residue: offset of its first grid window.
         residue = (-start) % stride
         total = 0.0
@@ -99,13 +112,26 @@ class HlmjEngine(Engine):
             point = table.get((sid, data_window))
             if point is not None:
                 window = window_set.window_at(offset)
-                total += lb_paa_pow(
-                    window.paa_lower,
-                    window.paa_upper,
-                    point,
-                    seg_len,
-                    p,
-                )
+                if norm is None:
+                    total += lb_paa_pow(
+                        window.paa_lower,
+                        window.paa_upper,
+                        point,
+                        seg_len,
+                        p,
+                    )
+                else:
+                    total += float(
+                        lb_paa_znorm_pow_batch(
+                            window.paa_lower,
+                            window.paa_upper,
+                            np.asarray(point, dtype=np.float64)[None, :],
+                            mus,
+                            sigmas,
+                            seg_len,
+                            p,
+                        )[0]
+                    )
             offset += omega
         return total
 
@@ -190,7 +216,12 @@ class HlmjEngine(Engine):
                 record.sid, start
             ):
                 group_pow = self._window_group_pow(
-                    window_set, record.sid, start, stats, config.p
+                    window_set,
+                    record.sid,
+                    start,
+                    stats,
+                    config.p,
+                    evaluator.norm,
                 )
                 if group_pow > bound_pow:
                     bound_pow = group_pow
@@ -223,18 +254,25 @@ class HlmjEngine(Engine):
         entries = node.entries
         if not entries:
             return
+        norm = (
+            None
+            if evaluator.norm is None
+            else evaluator.norm.for_window(
+                window.sliding_offset, self.index.data_stride
+            )
+        )
         tracer = evaluator.tracer
         if tracer.enabled:
             with tracer.span(
                 "engine.lb_batch", n=len(entries), leaf=node.is_leaf
             ):
                 child_pows, child_kind, payloads = self._score_entries(
-                    node, window, seg_len, config
+                    node, window, seg_len, config, norm
                 )
             tracer.metrics.histogram("lb.batch_size").observe(len(entries))
         else:
             child_pows, child_kind, payloads = self._score_entries(
-                node, window, seg_len, config
+                node, window, seg_len, config, norm
             )
         for child_pow, child_payload in zip(child_pows.tolist(), payloads):
             if r * child_pow > threshold_pow:
@@ -256,6 +294,7 @@ class HlmjEngine(Engine):
         window: QueryWindow,
         seg_len: int,
         config: EngineConfig,
+        norm: Optional[WindowNormalizer] = None,
     ) -> Tuple[np.ndarray, int, List[object]]:
         """Score a node's entries in one batched kernel call.
 
@@ -265,20 +304,49 @@ class HlmjEngine(Engine):
         """
         entries = node.entries
         if node.is_leaf:
-            child_pows = lb_paa_pow_batch(
+            points = np.stack([entry.low for entry in entries])
+            if norm is None:
+                child_pows = lb_paa_pow_batch(
+                    window.paa_lower,
+                    window.paa_upper,
+                    points,
+                    seg_len,
+                    config.p,
+                )
+            else:
+                mus, sigmas = norm.leaf_stats(
+                    [entry.record for entry in entries]
+                )
+                child_pows = lb_paa_znorm_pow_batch(
+                    window.paa_lower,
+                    window.paa_upper,
+                    points,
+                    mus,
+                    sigmas,
+                    seg_len,
+                    config.p,
+                )
+            return child_pows, _LEAF, [entry.record for entry in entries]
+        lows = np.stack([entry.low for entry in entries])
+        highs = np.stack([entry.high for entry in entries])
+        if norm is None:
+            child_pows, _far = batch_lower_bounds(
                 window.paa_lower,
                 window.paa_upper,
-                np.stack([entry.low for entry in entries]),
+                lows,
+                highs,
                 seg_len,
                 config.p,
             )
-            return child_pows, _LEAF, [entry.record for entry in entries]
-        child_pows, _far = batch_lower_bounds(
-            window.paa_lower,
-            window.paa_upper,
-            np.stack([entry.low for entry in entries]),
-            np.stack([entry.high for entry in entries]),
-            seg_len,
-            config.p,
-        )
+        else:
+            child_pows, _far = batch_lower_bounds_znorm(
+                window.paa_lower,
+                window.paa_upper,
+                lows,
+                highs,
+                norm.mu_range,
+                norm.sigma_range,
+                seg_len,
+                config.p,
+            )
         return child_pows, _NODE, [entry.child_page for entry in entries]

@@ -37,7 +37,13 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.lower_bounds import batch_lower_bounds, lb_paa_pow_batch
+from repro.core.lower_bounds import (
+    batch_lower_bounds,
+    batch_lower_bounds_znorm,
+    lb_paa_pow_batch,
+    lb_paa_znorm_pow_batch,
+)
+from repro.core.normalize import WindowNormalizer
 from repro.core.paa import segment_length
 from repro.core.windows import (
     QueryWindow,
@@ -293,15 +299,26 @@ class PsmEngine(Engine):
         entries = node.entries
         if not entries:
             return
+        # Sliding leaf records hold raw offsets (stride 1), so the
+        # candidate a record implies under this join window starts at
+        # ``offset - sliding_offset`` — aligned states therefore score
+        # every component under the *same* candidate stats.
+        norm = (
+            None
+            if evaluator.norm is None
+            else evaluator.norm.for_window(window.sliding_offset, 1)
+        )
         tracer = evaluator.tracer
         if tracer.enabled:
             with tracer.span(
                 "engine.lb_batch", n=len(entries), leaf=node.is_leaf
             ):
-                dist_pows = self._score_node(node, window, seg_len, config)
+                dist_pows = self._score_node(
+                    node, window, seg_len, config, norm
+                )
             tracer.metrics.histogram("lb.batch_size").observe(len(entries))
         else:
-            dist_pows = self._score_node(node, window, seg_len, config)
+            dist_pows = self._score_node(node, window, seg_len, config, norm)
         for entry, dist_pow in zip(entries, dist_pows.tolist()):
             if node.is_leaf:
                 component: Component = (_LEAF, entry.record, dist_pow)
@@ -323,6 +340,7 @@ class PsmEngine(Engine):
         window: QueryWindow,
         seg_len: int,
         config: EngineConfig,
+        norm: Optional[WindowNormalizer] = None,
     ) -> np.ndarray:
         """Score a node's entries with one batched kernel call.
 
@@ -332,21 +350,49 @@ class PsmEngine(Engine):
         """
         entries = node.entries
         if node.is_leaf:
-            return lb_paa_pow_batch(
+            points = np.stack([entry.low for entry in entries])
+            if norm is None:
+                return lb_paa_pow_batch(
+                    window.paa_lower,
+                    window.paa_upper,
+                    points,
+                    seg_len,
+                    config.p,
+                )
+            mus, sigmas = norm.leaf_stats(
+                [entry.record for entry in entries]
+            )
+            return lb_paa_znorm_pow_batch(
                 window.paa_lower,
                 window.paa_upper,
-                np.stack([entry.low for entry in entries]),
+                points,
+                mus,
+                sigmas,
                 seg_len,
                 config.p,
             )
-        dist_pows, _far = batch_lower_bounds(
-            window.paa_lower,
-            window.paa_upper,
-            np.stack([entry.low for entry in entries]),
-            np.stack([entry.high for entry in entries]),
-            seg_len,
-            config.p,
-        )
+        lows = np.stack([entry.low for entry in entries])
+        highs = np.stack([entry.high for entry in entries])
+        if norm is None:
+            dist_pows, _far = batch_lower_bounds(
+                window.paa_lower,
+                window.paa_upper,
+                lows,
+                highs,
+                seg_len,
+                config.p,
+            )
+        else:
+            dist_pows, _far = batch_lower_bounds_znorm(
+                window.paa_lower,
+                window.paa_upper,
+                lows,
+                highs,
+                norm.mu_range,
+                norm.sigma_range,
+                seg_len,
+                config.p,
+            )
         return dist_pows
 
     def _signature_allows(

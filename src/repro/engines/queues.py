@@ -26,8 +26,14 @@ from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.lower_bounds import batch_lower_bounds, lb_paa_pow_batch
+from repro.core.lower_bounds import (
+    batch_lower_bounds,
+    batch_lower_bounds_znorm,
+    lb_paa_pow_batch,
+    lb_paa_znorm_pow_batch,
+)
 from repro.core.metrics import QueryStats
+from repro.core.normalize import WindowNormalizer
 from repro.core.windows import QueryWindow
 from repro.exceptions import StorageError
 from repro.index.rstar import LeafRecord, RStarNode, RStarTree
@@ -57,6 +63,7 @@ class WindowQueue:
         p: float,
         stats: QueryStats,
         on_fault: Optional[FaultHandler] = None,
+        norm: Optional[WindowNormalizer] = None,
     ) -> None:
         self.window = window
         self._tree = tree
@@ -64,6 +71,9 @@ class WindowQueue:
         self._p = p
         self._stats = stats
         self._on_fault = on_fault
+        #: When matching in z-normalized space: per-candidate stats for
+        #: leaf entries, global stat ranges for internal-node MBRs.
+        self._norm = norm
         self._heap: List[QueueEntry] = [
             (0.0, next(_counter), NODE, tree.root_page, math.inf)
         ]
@@ -125,13 +135,27 @@ class WindowQueue:
         entries = node.entries
         if node.is_leaf:
             points = np.stack([entry.low for entry in entries])
-            near = lb_paa_pow_batch(
-                self.window.paa_lower,
-                self.window.paa_upper,
-                points,
-                self._seg_len,
-                self._p,
-            )
+            if self._norm is None:
+                near = lb_paa_pow_batch(
+                    self.window.paa_lower,
+                    self.window.paa_upper,
+                    points,
+                    self._seg_len,
+                    self._p,
+                )
+            else:
+                mus, sigmas = self._norm.leaf_stats(
+                    [entry.record for entry in entries]
+                )
+                near = lb_paa_znorm_pow_batch(
+                    self.window.paa_lower,
+                    self.window.paa_upper,
+                    points,
+                    mus,
+                    sigmas,
+                    self._seg_len,
+                    self._p,
+                )
             for entry, dist_pow in zip(entries, near.tolist()):
                 if dist_pow > cap_pow:
                     continue
@@ -142,15 +166,28 @@ class WindowQueue:
             return
         lows = np.stack([entry.low for entry in entries])
         highs = np.stack([entry.high for entry in entries])
-        near, far = batch_lower_bounds(
-            self.window.paa_lower,
-            self.window.paa_upper,
-            lows,
-            highs,
-            self._seg_len,
-            self._p,
-            include_far=True,
-        )
+        if self._norm is None:
+            near, far = batch_lower_bounds(
+                self.window.paa_lower,
+                self.window.paa_upper,
+                lows,
+                highs,
+                self._seg_len,
+                self._p,
+                include_far=True,
+            )
+        else:
+            near, far = batch_lower_bounds_znorm(
+                self.window.paa_lower,
+                self.window.paa_upper,
+                lows,
+                highs,
+                self._norm.mu_range,
+                self._norm.sigma_range,
+                self._seg_len,
+                self._p,
+                include_far=True,
+            )
         assert far is not None
         for entry, dist_pow, far_pow in zip(
             entries, near.tolist(), far.tolist()

@@ -26,10 +26,17 @@ from repro.control import ExecutionControl
 from repro.core.distance import dtw_pow
 from repro.core.lower_bounds import (
     batch_lower_bounds,
+    batch_lower_bounds_znorm,
     lb_keogh_pow,
     lb_paa_pow_batch,
+    lb_paa_znorm_pow_batch,
 )
 from repro.core.metrics import QueryStats, StatsRecorder
+from repro.core.normalize import (
+    NormalizationContext,
+    WindowNormalizer,
+    znormalize,
+)
 from repro.core.results import Match
 from repro.core.windows import (
     QueryWindow,
@@ -45,6 +52,7 @@ from repro.exceptions import (
     StorageError,
 )
 from repro.index.builder import DualMatchIndex
+from repro.index.rstar import RStarNode
 from repro.obs import QueryProfile
 from repro.obs.tracer import Span
 from repro.storage.sequences import SequenceStore
@@ -66,8 +74,13 @@ class RangeSearchEngine:
         p: float = 2.0,
         on_fault: str = "raise",
         control: Optional[ExecutionControl] = None,
+        normalize: bool = False,
     ) -> SearchResult:
         """All subsequences with ``DTW_rho(Q, S) <= epsilon``.
+
+        With ``normalize`` both the query and every candidate window are
+        z-normalized (``epsilon`` then thresholds the normalized-space
+        distance), using the same stats plane as the ranked engines.
 
         Results are returned best-first, like the ranked engines, with
         the same fault policy (``on_fault="degrade"`` skips unreadable
@@ -91,20 +104,26 @@ class RangeSearchEngine:
             rho=rho,
             p=p,
             data_stride=self.index.data_stride,
+            normalize=normalize,
         )
+        norm: Optional[NormalizationContext] = None
+        if normalize:
+            norm = NormalizationContext(
+                self.index.store, window_set.length
+            )
         if control is None:
             control = ExecutionControl()
         tracer = control.tracer
         if not tracer.enabled:
             return self._execute(
-                window_set, epsilon, rho, p, on_fault, control
+                window_set, epsilon, rho, p, on_fault, control, norm
             )
         metrics_before = tracer.metrics.snapshot()
         with tracer.span(
             "engine.search", engine=self.name, epsilon=epsilon, rho=rho
         ) as root:
             result = self._execute(
-                window_set, epsilon, rho, p, on_fault, control
+                window_set, epsilon, rho, p, on_fault, control, norm
             )
         if isinstance(root, Span):
             result.profile = QueryProfile(
@@ -123,6 +142,7 @@ class RangeSearchEngine:
         p: float,
         on_fault: str,
         control: ExecutionControl,
+        norm: Optional[NormalizationContext] = None,
     ) -> SearchResult:
         tracer = control.tracer
         recorder = StatsRecorder(
@@ -160,6 +180,7 @@ class RangeSearchEngine:
                             report,
                             seen,
                             matches,
+                            norm,
                         )
                 else:
                     self._probe_window(
@@ -174,6 +195,7 @@ class RangeSearchEngine:
                         report,
                         seen,
                         matches,
+                        norm,
                     )
         except ExecutionInterrupted as signal:
             interrupt = signal
@@ -210,11 +232,17 @@ class RangeSearchEngine:
         report: FaultReport,
         seen: Set[Tuple[int, int]],
         matches: List[Match],
+        norm: Optional[NormalizationContext] = None,
     ) -> None:
         seg_len = self.index.seg_len
         tree = self.index.tree
         store = self.index.store
         tracer = budget.tracer
+        window_norm: Optional[WindowNormalizer] = None
+        if norm is not None:
+            window_norm = norm.for_window(
+                window.sliding_offset, self.index.data_stride
+            )
         stack = [tree.root_page]
         while stack:
             budget.checkpoint()
@@ -238,25 +266,15 @@ class RangeSearchEngine:
                     with tracer.span(
                         "engine.lb_batch", n=len(entries), leaf=False
                     ):
-                        gap_pows, _far = batch_lower_bounds(
-                            window.paa_lower,
-                            window.paa_upper,
-                            np.stack([entry.low for entry in entries]),
-                            np.stack([entry.high for entry in entries]),
-                            seg_len,
-                            p,
+                        gap_pows = self._score_internal(
+                            node, window, window_norm, seg_len, p
                         )
                     tracer.metrics.histogram("lb.batch_size").observe(
                         len(entries)
                     )
                 else:
-                    gap_pows, _far = batch_lower_bounds(
-                        window.paa_lower,
-                        window.paa_upper,
-                        np.stack([entry.low for entry in entries]),
-                        np.stack([entry.high for entry in entries]),
-                        seg_len,
-                        p,
+                    gap_pows = self._score_internal(
+                        node, window, window_norm, seg_len, p
                     )
                 for entry, gap_pow in zip(entries, gap_pows.tolist()):
                     if gap_pow <= epsilon_pow:
@@ -266,23 +284,15 @@ class RangeSearchEngine:
                 with tracer.span(
                     "engine.lb_batch", n=len(entries), leaf=True
                 ):
-                    gap_pows = lb_paa_pow_batch(
-                        window.paa_lower,
-                        window.paa_upper,
-                        np.stack([entry.low for entry in entries]),
-                        seg_len,
-                        p,
+                    gap_pows = self._score_leaf(
+                        node, window, window_norm, seg_len, p
                     )
                 tracer.metrics.histogram("lb.batch_size").observe(
                     len(entries)
                 )
             else:
-                gap_pows = lb_paa_pow_batch(
-                    window.paa_lower,
-                    window.paa_upper,
-                    np.stack([entry.low for entry in entries]),
-                    seg_len,
-                    p,
+                gap_pows = self._score_leaf(
+                    node, window, window_norm, seg_len, p
                 )
             for entry, gap_pow in zip(entries, gap_pows.tolist()):
                 if gap_pow > epsilon_pow:
@@ -314,6 +324,11 @@ class RangeSearchEngine:
                     stats.faults_skipped += 1
                     report.record(error, candidate=key)
                     continue
+                if norm is not None:
+                    # One transform serves LB_Keogh and DTW alike, the
+                    # same discipline as CandidateEvaluator.
+                    mu, sigma = norm.stats(record.sid, start)
+                    values = znormalize(values, mu, sigma)
                 stats.candidates += 1
                 stats.lb_keogh_computations += 1
                 if (
@@ -360,6 +375,63 @@ class RangeSearchEngine:
                         )
                     )
 
+    @staticmethod
+    def _score_internal(
+        node: "RStarNode",
+        window: QueryWindow,
+        window_norm: Optional[WindowNormalizer],
+        seg_len: int,
+        p: float,
+    ) -> np.ndarray:
+        """MINDIST of one internal node's entry rectangles."""
+        entries = node.entries
+        lows = np.stack([entry.low for entry in entries])
+        highs = np.stack([entry.high for entry in entries])
+        if window_norm is None:
+            gap_pows, _far = batch_lower_bounds(
+                window.paa_lower, window.paa_upper, lows, highs, seg_len, p
+            )
+        else:
+            gap_pows, _far = batch_lower_bounds_znorm(
+                window.paa_lower,
+                window.paa_upper,
+                lows,
+                highs,
+                window_norm.mu_range,
+                window_norm.sigma_range,
+                seg_len,
+                p,
+            )
+        return gap_pows
+
+    @staticmethod
+    def _score_leaf(
+        node: "RStarNode",
+        window: QueryWindow,
+        window_norm: Optional[WindowNormalizer],
+        seg_len: int,
+        p: float,
+    ) -> np.ndarray:
+        """LB_PAA of one leaf node's entry points."""
+        entries = node.entries
+        points = np.stack([entry.low for entry in entries])
+        if window_norm is None:
+            return lb_paa_pow_batch(
+                window.paa_lower, window.paa_upper, points, seg_len, p
+            )
+        mus, sigmas = window_norm.leaf_stats(
+            [entry.record for entry in entries]
+        )
+        return lb_paa_znorm_pow_batch(
+            window.paa_lower,
+            window.paa_upper,
+            points,
+            mus,
+            sigmas,
+            seg_len,
+            p,
+        )
+
 
 def brute_force_range(
     store: SequenceStore,
@@ -367,16 +439,23 @@ def brute_force_range(
     epsilon: float,
     rho: int,
     p: float = 2.0,
+    normalize: bool = False,
 ) -> List[Match]:
     """Exhaustive reference for range matching (tests only)."""
     array = np.ascontiguousarray(query, dtype=np.float64)
+    norm_ctx: Optional[NormalizationContext] = None
+    if normalize:
+        norm_ctx = NormalizationContext(store, int(array.size))
+        array = np.ascontiguousarray(znormalize(array))
     epsilon_pow = epsilon**p
     results: List[Match] = []
     for sid, values in store.iter_sequences():
         for start in range(values.size - array.size + 1):
-            distance_pow = dtw_pow(
-                values[start : start + array.size], array, rho, p=p
-            )
+            window_values = values[start : start + array.size]
+            if norm_ctx is not None:
+                mu, sigma = norm_ctx.stats(sid, start)
+                window_values = znormalize(window_values, mu, sigma)
+            distance_pow = dtw_pow(window_values, array, rho, p=p)
             if distance_pow <= epsilon_pow:
                 results.append(
                     Match(

@@ -81,6 +81,7 @@ class PhiOperator(ExtendedIterator):
         self._evaluator = evaluator
         self._config = config
         self._query_length = window_set.length
+        norm = evaluator.norm
         self.queues = [
             WindowQueue(
                 window=window,
@@ -89,6 +90,13 @@ class PhiOperator(ExtendedIterator):
                 p=config.p,
                 stats=evaluator.stats,
                 on_fault=evaluator.fault,
+                norm=(
+                    None
+                    if norm is None
+                    else norm.for_window(
+                        window.sliding_offset, index.data_stride
+                    )
+                ),
             )
             for window in window_set.classes[class_index]
         ]

@@ -86,9 +86,21 @@ class SeqScanEngine(Engine):
             return
         offsets = values.size - length + 1
         windows = np.lib.stride_tricks.sliding_window_view(values, length)
+        norm = evaluator.norm
+        if norm is not None:
+            all_mus, all_sigmas = norm.stats_array(
+                sid, np.arange(offsets, dtype=np.int64)
+            )
         for block_start in range(0, offsets, _BLOCK):
             budget.checkpoint()
             block = windows[block_start : block_start + _BLOCK]
+            if norm is not None:
+                # Same elementwise (x - mu) / sigma as the evaluator's
+                # scalar path, so SeqScan distances stay bit-identical
+                # to the index engines' on common candidates.
+                mus = all_mus[block_start : block_start + _BLOCK]
+                sigmas = all_sigmas[block_start : block_start + _BLOCK]
+                block = (block - mus[:, None]) / sigmas[:, None]
             if tracer.enabled:
                 with tracer.span("engine.lb_batch", n=int(block.shape[0])):
                     keogh_pows = lb_keogh_pow_batch(

@@ -422,6 +422,7 @@ def recover_database(
     retry_policy: Optional[RetryPolicy] = None,
     clock: Optional["Clock"] = None,
     circuit_breaker: Optional["CircuitBreaker"] = None,
+    backend: Optional[object] = None,
 ):
     """Roll a durable root forward to its last committed state.
 
@@ -433,12 +434,17 @@ def recover_database(
     nothing.  Replay is idempotent: records at or below the
     checkpoint's ``wal_lsn`` watermark (re-presented when a crash hit
     between checkpoint save and WAL truncation) are skipped.
+
+    ``backend`` selects the storage backend the recovered database
+    runs on (see :func:`repro.storage.backends.resolve_backend`);
+    replayed mutations land on heap pages regardless, so a zero-copy
+    backend only serves the checkpointed prefix from its map.
     """
     from repro.storage.persistence import load_database
 
     root_path = pathlib.Path(root)
     checkpoint = root_path / CHECKPOINT_NAME
-    db = load_database(checkpoint, psm=psm)
+    db = load_database(checkpoint, psm=psm, backend=backend)
     meta = json.loads((checkpoint / "meta.json").read_text())
     checkpoint_lsn = int(meta.get("wal_lsn", 0))
 

@@ -111,6 +111,11 @@ class ShardedDatabase:
     fault_injectors:
         Optional ``{shard index -> FaultInjector}`` wiring per-shard
         fault schedules into the chaos harness.
+    backend:
+        Storage backend *name* applied to every shard (``None``/
+        ``"file"``/``"mmap"``).  Backend instances are per-database
+        state, so the sharded facade accepts only specs it can resolve
+        freshly per shard.
     """
 
     def __init__(
@@ -127,7 +132,14 @@ class ShardedDatabase:
         tracer: Optional[Tracer] = None,
         fault_injectors: Optional[Dict[int, FaultInjector]] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        backend: Optional[str] = None,
     ) -> None:
+        if backend is not None and not isinstance(backend, str):
+            raise ConfigurationError(
+                "sharded databases take a backend *name* (one instance "
+                "is resolved per shard); got "
+                f"{type(backend).__name__}"
+            )
         self.planner = ShardPlanner(num_shards, policy=policy)
         self.omega = omega
         self.features = features
@@ -138,6 +150,7 @@ class ShardedDatabase:
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._fault_injectors = dict(fault_injectors or {})
         self._retry_policy = retry_policy
+        self._backend_spec = backend
         self._executor_kind = executor
         self._executor: Optional[_ShardExecutor] = None
         #: Insertion-ordered staging area; emptied by :meth:`build`.
@@ -303,6 +316,7 @@ class ShardedDatabase:
             fault_injector=self._fault_injectors.get(index),
             retry_policy=self._retry_policy,
             tracer=self._tracer,
+            backend=self._backend_spec,
         )
 
     def _require_built(self) -> None:
@@ -325,12 +339,16 @@ class ShardedDatabase:
         budget: Optional[QueryBudget] = None,
         deadline: Optional[Deadline] = None,
         token: Optional[CancellationToken] = None,
+        normalize: bool = False,
     ) -> SearchResult:
         """Globally exact top-k over every shard (same API as unsharded).
 
         Fan-out/merge semantics are described in the module docstring;
         the result is byte-identical to
         :meth:`repro.api.SubsequenceDatabase.search` on the same data.
+        ``normalize=True`` matches under z-normalized DTW (each shard
+        normalizes candidates by their own rolling statistics, so the
+        merged answer equals the unsharded normalized answer).
         """
         self._require_built()
         if rho is None:
@@ -338,7 +356,7 @@ class ShardedDatabase:
 
         if self._use_process_pool(token):
             request = self._base_request(
-                query, rho, on_fault, budget, deadline
+                query, rho, on_fault, budget, deadline, normalize
             )
             request.update(
                 kind="knn", k=k, method=method,
@@ -364,6 +382,7 @@ class ShardedDatabase:
                     budget=budget,
                     deadline=deadline,
                     token=token,
+                    normalize=normalize,
                 )
 
             outcomes, lost = self._fan_out(subquery, on_fault)
@@ -380,6 +399,7 @@ class ShardedDatabase:
         budget: Optional[QueryBudget] = None,
         deadline: Optional[Deadline] = None,
         token: Optional[CancellationToken] = None,
+        normalize: bool = False,
     ) -> SearchResult:
         """All subsequences within ``epsilon``, merged across shards."""
         self._require_built()
@@ -388,7 +408,7 @@ class ShardedDatabase:
 
         if self._use_process_pool(token):
             request = self._base_request(
-                query, rho, on_fault, budget, deadline
+                query, rho, on_fault, budget, deadline, normalize
             )
             request.update(kind="range", epsilon=epsilon, psm=self._psm)
             outcomes, lost = self._run_process(request, on_fault)
@@ -403,6 +423,7 @@ class ShardedDatabase:
                     budget=budget,
                     deadline=deadline,
                     token=token,
+                    normalize=normalize,
                 )
 
             outcomes, lost = self._fan_out(subquery, on_fault)
@@ -420,6 +441,7 @@ class ShardedDatabase:
         budget: Optional[QueryBudget] = None,
         deadline: Optional[Deadline] = None,
         token: Optional[CancellationToken] = None,
+        normalize: bool = False,
     ) -> ShardedMatchStream:
         """Stream globally ranked matches lazily, best first.
 
@@ -453,6 +475,7 @@ class ShardedDatabase:
                             budget=budget,
                             deadline=deadline,
                             token=token,
+                            normalize=normalize,
                         ),
                     )
                 )
@@ -483,6 +506,7 @@ class ShardedDatabase:
         on_fault: str,
         budget: Optional[QueryBudget],
         deadline: Optional[Deadline],
+        normalize: bool = False,
     ) -> Dict[str, Any]:
         return {
             "query": [float(v) for v in query],
@@ -490,6 +514,7 @@ class ShardedDatabase:
             "on_fault": on_fault,
             "budget": budget,
             "deadline_s": None if deadline is None else deadline.remaining(),
+            "normalize": normalize,
         }
 
     def _shard_items(self) -> List[Tuple[int, SubsequenceDatabase]]:
@@ -683,6 +708,7 @@ class ShardedDatabase:
         cls,
         directory: "os.PathLike[str] | str",
         executor: str = "thread",
+        backend: Optional[str] = None,
     ) -> "ShardedDatabase":
         """Reconstruct a sharded database saved with :meth:`save`.
 
@@ -690,6 +716,7 @@ class ShardedDatabase:
         database reproduces identical results *and* identical per-shard
         I/O counts.  This is the entry point for
         ``executor="process"`` — workers stream shards from this root.
+        ``backend`` is a storage backend name applied per shard.
         """
         root = pathlib.Path(directory)
         manifest_path = root / SHARD_MANIFEST_NAME
@@ -718,6 +745,7 @@ class ShardedDatabase:
             buffer_fraction=float(config["buffer_fraction"]),
             p=float(config["p"]),
             data_stride=config["data_stride"],
+            backend=backend,
         )
         psm = bool(manifest.get("psm", False))
         shards: Dict[int, SubsequenceDatabase] = {}
@@ -725,7 +753,7 @@ class ShardedDatabase:
             manifest["shard_dirs"].items(), key=lambda kv: int(kv[0])
         ):
             shards[int(key)] = SubsequenceDatabase.load(
-                root / name, psm=psm
+                root / name, psm=psm, backend=backend
             )
         assignment = {
             int(sid): int(shard)
@@ -744,11 +772,14 @@ class ShardedDatabase:
         return db
 
     def close(self) -> None:
-        """Release the executor's worker pool (idempotent)."""
+        """Release the executor pool and shard backends (idempotent)."""
         executor = self._executor
         self._executor = None
         if executor is not None:
             executor.close()
+        if self.shards is not None:
+            for db in self.shards.values():
+                db.close()
 
     def __enter__(self) -> "ShardedDatabase":
         return self

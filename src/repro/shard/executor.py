@@ -150,6 +150,7 @@ def run_shard_request(shard_dir: str, request: Dict[str, Any]) -> Dict[str, Any]
         "on_fault": request.get("on_fault", "raise"),
         "budget": budget,
         "deadline": deadline,
+        "normalize": bool(request.get("normalize", False)),
     }
     if request["kind"] == "range":
         result = db.range_search(

@@ -1,0 +1,335 @@
+"""Pluggable storage backends.
+
+The simulated disk has always been one thing: an in-memory
+:class:`~repro.storage.pager.Pager` holding page payloads as Python
+objects, persisted through the format-v2 directory layout of
+:mod:`repro.storage.persistence`.  This module abstracts that choice
+behind :class:`StorageBackend` so a database can run its *query-serving
+cache* on different substrates while everything above the pager — the
+buffer pool, NUM_IO accounting, the R*-tree, every engine — stays
+untouched:
+
+``file`` (:class:`FileBackend`)
+    The reference backend.  Heap-resident page payloads, checksums
+    verified on every sealed read.  Byte-identical to the historical
+    behaviour.
+
+``mmap`` (:class:`MmapBackend`)
+    Zero-copy data pages.  On :meth:`~StorageBackend.attach` the
+    backend writes every stored sequence into one scratch ``values.bin``
+    file, memory-maps it read-only, and swaps both the store's
+    sequence arrays and every ``DATA`` page payload for read-only numpy
+    views into the map.  Page *content* is unchanged, so checksums,
+    NUM_IO counts, and query results are bit-identical to the file
+    backend; what changes is residency — data pages live in the OS page
+    cache and are shared, not copied, across the store and the pager.
+    Checksums verify on first touch (see
+    ``Pager(verify_mode="first-touch")``) unless a fault injector is
+    active, in which case every read verifies, since injected
+    corruption may land after a page's first read.
+
+Both backends persist through the *same* format-v2 directory layout:
+the backend is a runtime cache policy, not a file format.  A database
+saved under one backend loads under the other.
+
+Online ingest degrades gracefully on ``mmap``: extending a sequence
+concatenates onto a fresh heap array (the map is immutable), so mutated
+sequences simply migrate back to heap pages while untouched ones stay
+zero-copy.
+"""
+
+from __future__ import annotations
+
+import abc
+import mmap
+import os
+import pathlib
+import shutil
+import tempfile
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.clock import Clock
+from repro.exceptions import ConfigurationError, StorageError
+from repro.storage.faults import FaultInjector, FaultyPager
+from repro.storage.page import PAGE_SIZE_DEFAULT
+from repro.storage.pager import Pager
+
+if TYPE_CHECKING:
+    from repro.api import SubsequenceDatabase
+
+#: Accepted string specs for :func:`resolve_backend`.
+BACKEND_NAMES = ("file", "mmap")
+
+
+class StorageBackend(abc.ABC):
+    """Where a database's page payloads live at query time.
+
+    One backend instance belongs to exactly one
+    :class:`~repro.api.SubsequenceDatabase`; backends hold per-database
+    state (scratch files, memory maps), so they are never shared.  The
+    lifecycle is::
+
+        pager = backend.open_pager(page_size, injector, clock)
+        ...inserts / load...
+        backend.attach(db)     # build()/load() call this before seal()
+        ...queries...
+        backend.close()        # db.close() — release OS resources
+
+    ``attach`` and ``close`` are idempotent.
+    """
+
+    #: Spec name, e.g. ``"file"``.
+    name: str = ""
+
+    @abc.abstractmethod
+    def open_pager(
+        self,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        fault_injector: Optional[FaultInjector] = None,
+        clock: Optional[Clock] = None,
+    ) -> Pager:
+        """Construct the pager this backend serves pages through."""
+
+    def attach(self, db: "SubsequenceDatabase") -> None:
+        """Install the backend's cache once the database is built/loaded.
+
+        Called by ``build()`` and ``load()`` immediately *before*
+        ``pager.seal()``, so checksums snapshot whatever representation
+        the backend installed.  The default is a no-op (heap payloads
+        need no installation).
+        """
+
+    def close(self) -> None:
+        """Release OS resources (maps, scratch files).  Idempotent."""
+
+    def capabilities(self) -> Dict[str, object]:
+        """Feature flags for tests and ``describe`` output."""
+        return {"zero_copy": False, "verify": "always"}
+
+    def describe(self) -> Dict[str, object]:
+        """Human-readable backend summary."""
+        summary: Dict[str, object] = {"backend": self.name}
+        summary.update(self.capabilities())
+        return summary
+
+
+class FileBackend(StorageBackend):
+    """The reference backend: heap payloads, verify-on-every-read."""
+
+    name = "file"
+
+    def open_pager(
+        self,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        fault_injector: Optional[FaultInjector] = None,
+        clock: Optional[Clock] = None,
+    ) -> Pager:
+        if fault_injector is not None:
+            return FaultyPager(
+                page_size=page_size, injector=fault_injector, clock=clock
+            )
+        return Pager(page_size=page_size)
+
+
+class MmapBackend(StorageBackend):
+    """Zero-copy data pages backed by a read-only memory map.
+
+    Parameters
+    ----------
+    scratch_dir:
+        Directory to create the per-database scratch directory in.
+        Defaults to the system temporary directory.
+    """
+
+    name = "mmap"
+
+    def __init__(
+        self, scratch_dir: Optional[Union[str, os.PathLike]] = None
+    ) -> None:
+        self._scratch_parent = (
+            None if scratch_dir is None else pathlib.Path(scratch_dir)
+        )
+        self._scratch: Optional[pathlib.Path] = None
+        self._map: Optional[mmap.mmap] = None
+        self._base: Optional[np.ndarray] = None
+        self._injected = False
+        self._db: Optional["SubsequenceDatabase"] = None
+        #: sid -> the exact view object installed in the store.
+        self._installed_arrays: Dict[int, np.ndarray] = {}
+        #: page id -> the exact view object installed in the pager.
+        self._installed_payloads: Dict[int, np.ndarray] = {}
+
+    def open_pager(
+        self,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        fault_injector: Optional[FaultInjector] = None,
+        clock: Optional[Clock] = None,
+    ) -> Pager:
+        self._injected = fault_injector is not None
+        if fault_injector is not None:
+            # Injected corruption replaces payloads at arbitrary later
+            # reads; first-touch trust would miss it.
+            return FaultyPager(
+                page_size=page_size,
+                injector=fault_injector,
+                clock=clock,
+                verify_mode="always",
+            )
+        return Pager(page_size=page_size, verify_mode="first-touch")
+
+    def capabilities(self) -> Dict[str, object]:
+        return {
+            "zero_copy": True,
+            "verify": "always" if self._injected else "first-touch",
+        }
+
+    def describe(self) -> Dict[str, object]:
+        summary = super().describe()
+        summary["mapped_bytes"] = (
+            0 if self._map is None else len(self._map)
+        )
+        summary["scratch"] = (
+            "" if self._scratch is None else str(self._scratch)
+        )
+        return summary
+
+    # ------------------------------------------------------------------
+    # Attach / detach
+    # ------------------------------------------------------------------
+
+    def attach(self, db: "SubsequenceDatabase") -> None:
+        """Map every stored sequence and swap in zero-copy views.
+
+        Writes ``values.bin`` (all sequences concatenated, insertion
+        order), maps it read-only, and repoints each sequence array and
+        each ``DATA`` page payload at a view of the map.  View contents
+        equal the originals, so the seal that follows snapshots the
+        same checksums a heap database would.
+        """
+        self.close()  # re-attach after a rebuild starts clean
+        self._db = db
+        store = db.store
+        placements: Dict[int, Tuple[int, int]] = {}
+        total = 0
+        for sid in store.sequence_ids():
+            length = int(store.peek_full_sequence(sid).size)
+            placements[sid] = (total, length)
+            total += length
+        if total == 0:
+            return
+        parent = self._scratch_parent
+        scratch = pathlib.Path(
+            tempfile.mkdtemp(
+                prefix="repro-mmap-",
+                dir=None if parent is None else str(parent),
+            )
+        )
+        self._scratch = scratch
+        path = scratch / "values.bin"
+        try:
+            with open(path, "wb") as handle:
+                for sid in store.sequence_ids():
+                    handle.write(
+                        np.ascontiguousarray(
+                            store.peek_full_sequence(sid),
+                            dtype=np.float64,
+                        ).tobytes()
+                    )
+            fd = os.open(path, os.O_RDONLY)
+            try:
+                self._map = mmap.mmap(fd, 0, access=mmap.ACCESS_READ)
+            finally:
+                os.close(fd)
+        except OSError as error:
+            self.close()
+            raise StorageError(
+                f"mmap backend failed to map {path}: {error}"
+            ) from error
+        base = np.frombuffer(self._map, dtype=np.float64)
+        self._base = base
+        vpp = store.values_per_page
+        pager = db.pager
+        for sid, (offset, length) in placements.items():
+            view = base[offset : offset + length]
+            store._arrays[sid] = view
+            self._installed_arrays[sid] = view
+            meta = store.meta(sid)
+            for index, page_id in enumerate(meta.pages):
+                chunk = view[index * vpp : (index + 1) * vpp]
+                pager._payloads[page_id] = chunk
+                self._installed_payloads[page_id] = chunk
+
+    def close(self) -> None:
+        """Migrate still-installed views back to heap and unmap.
+
+        Any view we installed that is *still* the live object (identity
+        check — ingest may have already replaced some) is copied back
+        to a heap array, so the database stays fully usable after the
+        backend is gone.
+        """
+        if self._map is None and self._scratch is None:
+            return
+        db = self._db
+        if db is not None:
+            store = db.store
+            pager = db.pager
+            for sid, view in self._installed_arrays.items():
+                if store._arrays.get(sid) is view:
+                    copy = np.array(view)
+                    copy.setflags(write=False)
+                    store._arrays[sid] = copy
+            for page_id, chunk in self._installed_payloads.items():
+                if (
+                    page_id < len(pager._payloads)
+                    and pager._payloads[page_id] is chunk
+                ):
+                    copy = np.array(chunk)
+                    copy.setflags(write=False)
+                    pager._payloads[page_id] = copy
+        self._installed_arrays.clear()
+        self._installed_payloads.clear()
+        self._base = None
+        self._db = None
+        if self._map is not None:
+            try:
+                self._map.close()
+            except BufferError:
+                # A caller still holds a view; the map is freed when
+                # the last view is garbage-collected.
+                pass
+            self._map = None
+        if self._scratch is not None:
+            shutil.rmtree(self._scratch, ignore_errors=True)
+            self._scratch = None
+
+
+def resolve_backend(
+    spec: Union[None, str, StorageBackend],
+) -> StorageBackend:
+    """Turn a backend spec into a fresh :class:`StorageBackend`.
+
+    ``None`` and ``"file"`` give the reference :class:`FileBackend`;
+    ``"mmap"`` gives a :class:`MmapBackend`; an existing instance
+    passes through unchanged (callers owning several databases must
+    resolve one instance per database — backends hold per-database
+    state).
+    """
+    if spec is None:
+        return FileBackend()
+    if isinstance(spec, StorageBackend):
+        return spec
+    if isinstance(spec, str):
+        if spec == "file":
+            return FileBackend()
+        if spec == "mmap":
+            return MmapBackend()
+        raise ConfigurationError(
+            f"unknown storage backend {spec!r}; expected one of "
+            f"{BACKEND_NAMES}"
+        )
+    raise ConfigurationError(
+        f"backend must be None, a name in {BACKEND_NAMES}, or a "
+        f"StorageBackend instance, got {type(spec).__name__}"
+    )

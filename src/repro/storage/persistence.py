@@ -416,7 +416,9 @@ def _sequence_pages(seq: Dict[str, Any]) -> List[int]:
 
 
 def load_database(
-    directory: PathLike, psm: bool = False
+    directory: PathLike,
+    psm: bool = False,
+    backend: Any = None,
 ) -> "SubsequenceDatabase":
     """Reconstruct a database saved by :func:`save_database`.
 
@@ -424,16 +426,42 @@ def load_database(
     array shapes before touching any data; structural dangling
     references surface as :class:`SequenceNotFoundError` or
     :class:`IntegrityError` rather than raw ``KeyError``.
-    """
-    from repro.api import SubsequenceDatabase
-    from repro.index.builder import DualMatchIndex
-    from repro.storage.sequences import SequenceStore
 
+    ``backend`` is a storage-backend spec (see
+    :func:`repro.storage.backends.resolve_backend`); the persisted
+    format is backend-independent, so any save loads under any backend.
+    """
     path = pathlib.Path(directory)
     meta = _verify_on_disk(path)
 
+    # NpzFile objects hold open zip handles; close them deterministically
+    # (the arrays below are materialised copies) so long-lived processes
+    # do not leak file descriptors or trip ResourceWarning.
     values = _load_npz(path, meta, "values.npz")
-    index_data = _load_npz(path, meta, "index.npz")
+    try:
+        index_data = _load_npz(path, meta, "index.npz")
+        try:
+            return _reconstruct(
+                path, meta, values, index_data, psm, backend
+            )
+        finally:
+            index_data.close()
+    finally:
+        values.close()
+
+
+def _reconstruct(
+    path: pathlib.Path,
+    meta: Dict[str, Any],
+    values: Any,
+    index_data: Any,
+    psm: bool,
+    backend: Any,
+) -> "SubsequenceDatabase":
+    """Rebuild the database object from verified, open archives."""
+    from repro.api import SubsequenceDatabase
+    from repro.index.builder import DualMatchIndex
+    from repro.storage.sequences import SequenceStore
 
     required_columns = (
         "node_pages",
@@ -458,6 +486,7 @@ def load_database(
         buffer_fraction=meta["buffer_fraction"],
         p=meta["p"],
         data_stride=meta.get("data_stride"),
+        backend=backend,
     )
     pager: Pager = db.pager
     kinds = [PageKind(value) for value in meta["page_kinds"]]
@@ -612,6 +641,9 @@ def load_database(
                 features=meta["features"],
                 p=meta["p"],
             )
+    # As in build(): the backend installs its query-serving cache (e.g.
+    # zero-copy mmap views) before checksums snapshot the payloads.
+    db._backend.attach(db)  # noqa: SLF001
     db.pager.seal()
     db.resize_buffer(meta["buffer_fraction"])
     db.reset_cache()

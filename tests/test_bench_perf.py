@@ -273,6 +273,66 @@ class TestShardGate:
             assert record["sharded_ms"] > 0
 
 
+def storage_block(exact=True, page_accesses=248):
+    return {
+        "ru_cost_raw": {
+            "normalize": False,
+            "file_ms": 20.0,
+            "mmap_ms": 16.0,
+            "speedup": 1.25,
+            "page_accesses": page_accesses,
+            "exact": exact,
+        }
+    }
+
+
+class TestStorageGate:
+    def test_identical_reports_pass(self):
+        report = make_report(storage=storage_block())
+        assert perf.compare(report, copy.deepcopy(report)) == []
+
+    def test_exactness_always_gated(self):
+        base = make_report(storage=storage_block())
+        cur = make_report(storage=storage_block(exact=False))
+        regressions = perf.compare(cur, base)
+        assert any("byte-identical" in r.message for r in regressions)
+
+    def test_num_io_drift_fails(self):
+        base = make_report(storage=storage_block())
+        cur = make_report(storage=storage_block(page_accesses=249))
+        regressions = perf.compare(cur, base)
+        assert any("NUM_IO drifted" in r.message for r in regressions)
+
+    def test_missing_run_fails(self):
+        base = make_report(storage=storage_block())
+        cur = make_report(storage={})
+        regressions = perf.compare(cur, base)
+        assert any("disappeared" in r.message for r in regressions)
+
+    def test_timing_is_never_gated(self):
+        # The mmap-vs-file ratio depends on the host's page cache and
+        # allocator; only exactness and NUM_IO are gated.
+        base = make_report(storage=storage_block())
+        cur = make_report(storage=storage_block())
+        cur["suites"]["storage"]["ru_cost_raw"]["speedup"] = 0.01
+        cur["suites"]["storage"]["ru_cost_raw"]["mmap_ms"] = 2000.0
+        assert perf.compare(cur, base) == []
+
+    def test_format_report_renders_storage(self):
+        text = perf.format_report(make_report(storage=storage_block()))
+        assert "ru_cost_raw" in text
+        assert "mmap" in text
+
+    def test_quick_suite_smoke(self):
+        block = perf.run_storage_suite(seed=0, quick=True)
+        assert set(block) == {"ru_cost_raw", "ru_cost_znorm"}
+        for record in block.values():
+            assert record["exact"] is True
+            assert record["mmap_ms"] > 0
+            assert record["file_ms"] > 0
+        assert block["ru_cost_raw"]["page_accesses"] == 248
+
+
 class TestReportIO:
     def test_round_trip(self, tmp_path):
         report = make_report(kernels=kernel_block())
